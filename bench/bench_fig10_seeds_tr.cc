@@ -1,0 +1,9 @@
+// Figure 10 — "Running Time v.s. Number of Seeds (TR Model)".
+
+#include "seed_scalability.h"
+
+int main() {
+  return vblock::bench::RunSeedScalability(
+      vblock::bench::ProbModel::kTrivalency, "bench_fig10_seeds_tr",
+      "Figure 10 (ICDE'23 paper)");
+}

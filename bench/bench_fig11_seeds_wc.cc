@@ -1,0 +1,9 @@
+// Figure 11 — "Running Time v.s. Number of Seeds (WC Model)".
+
+#include "seed_scalability.h"
+
+int main() {
+  return vblock::bench::RunSeedScalability(
+      vblock::bench::ProbModel::kWeightedCascade, "bench_fig11_seeds_wc",
+      "Figure 11 (ICDE'23 paper)");
+}

@@ -1,0 +1,60 @@
+// Figure 6 — "Running Time v.s. Number of Sampled Graphs".
+//
+// GreedyReplace runtime on every dataset (TR model, b=20, 10 seeds) for
+// θ ∈ {θ/10, θ, 10θ}: the paper shows time growing roughly linearly in θ.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/solver.h"
+
+namespace vblock::bench {
+namespace {
+
+int Run() {
+  BenchConfig config = LoadConfigFromEnv();
+  PrintBanner("bench_fig6_theta_time", "Figure 6 (ICDE'23 paper)",
+              "GR running time grows ~linearly with theta (10x samples -> "
+              "about 10x time)",
+              config);
+
+  const std::vector<uint32_t> thetas = {config.theta / 10, config.theta,
+                                        config.theta * 10};
+  TablePrinter table({"Dataset", "time@" + std::to_string(thetas[0]),
+                      "time@" + std::to_string(thetas[1]),
+                      "time@" + std::to_string(thetas[2]), "t3/t1"});
+
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    Graph g = PrepareDataset(spec, ProbModel::kTrivalency, config);
+    std::vector<VertexId> seeds = PickSeeds(g, 10, config.seed);
+
+    std::vector<double> times;
+    for (uint32_t theta : thetas) {
+      SolverOptions opts;
+      opts.algorithm = Algorithm::kGreedyReplace;
+      opts.budget = 20;
+      opts.theta = theta;
+      opts.seed = config.seed;
+      opts.threads = config.threads;
+      Timer timer;
+      auto result = SolveImin(g, seeds, opts);
+      times.push_back(timer.ElapsedSeconds());
+      (void)result;
+    }
+    table.AddRow({spec.name, FormatSeconds(times[0]), FormatSeconds(times[1]),
+                  FormatSeconds(times[2]),
+                  FormatDouble(times[2] / std::max(1e-9, times[0]), 3)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace vblock::bench
+
+int main() { return vblock::bench::Run(); }

@@ -1,0 +1,9 @@
+// Figure 7 — "Time Cost of Different Algorithms under TR Model".
+
+#include "algorithm_times.h"
+
+int main() {
+  return vblock::bench::RunAlgorithmTimes(
+      vblock::bench::ProbModel::kTrivalency, "bench_fig7_algorithms_tr",
+      "Figure 7 (ICDE'23 paper)");
+}

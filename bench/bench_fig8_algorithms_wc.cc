@@ -1,0 +1,9 @@
+// Figure 8 — "Time Cost of Different Algorithms under WC Model".
+
+#include "algorithm_times.h"
+
+int main() {
+  return vblock::bench::RunAlgorithmTimes(
+      vblock::bench::ProbModel::kWeightedCascade, "bench_fig8_algorithms_wc",
+      "Figure 8 (ICDE'23 paper)");
+}

@@ -1,0 +1,9 @@
+// Table V — "Exact v.s. GreedyReplace (TR Model)".
+
+#include "exact_vs_gr.h"
+
+int main() {
+  return vblock::bench::RunExactVsGr(vblock::bench::ProbModel::kTrivalency,
+                                     "bench_table5_exact_vs_gr_tr",
+                                     "Table V (ICDE'23 paper)");
+}

@@ -1,0 +1,9 @@
+// Table VI — "Exact v.s. GreedyReplace (WC Model)".
+
+#include "exact_vs_gr.h"
+
+int main() {
+  return vblock::bench::RunExactVsGr(
+      vblock::bench::ProbModel::kWeightedCascade,
+      "bench_table6_exact_vs_gr_wc", "Table VI (ICDE'23 paper)");
+}

@@ -1,0 +1,101 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "prob/probability_models.h"
+
+namespace vblock::bench {
+
+const char* ProbModelName(ProbModel model) {
+  return model == ProbModel::kTrivalency ? "TR" : "WC";
+}
+
+BenchConfig LoadConfigFromEnv() {
+  BenchConfig config;
+  config.scale_name = "tiny";
+  if (const char* env = std::getenv("VBLOCK_BENCH_SCALE")) {
+    config.scale_name = env;
+  }
+  if (config.scale_name == "tiny") {
+    config.dataset_scale = 0.02;
+    config.theta = 2000;
+    config.mc_rounds = 1000;
+    config.eval_rounds = 20000;
+    config.time_limit_seconds = 5.0;
+  } else if (config.scale_name == "small") {
+    config.dataset_scale = 0.05;
+    config.theta = 5000;
+    config.mc_rounds = 2000;
+    config.eval_rounds = 50000;
+    config.time_limit_seconds = 30.0;
+  } else if (config.scale_name == "medium") {
+    config.dataset_scale = 0.2;
+    config.theta = 10000;
+    config.mc_rounds = 10000;
+    config.eval_rounds = 100000;
+    config.time_limit_seconds = 300.0;
+  } else if (config.scale_name == "full") {
+    config.dataset_scale = 1.0;
+    config.theta = 10000;      // the paper's defaults
+    config.mc_rounds = 10000;
+    config.eval_rounds = 100000;
+    config.time_limit_seconds = 24.0 * 3600;
+  } else {
+    std::fprintf(stderr,
+                 "[bench] unknown VBLOCK_BENCH_SCALE '%s' "
+                 "(want tiny|small|medium|full); using tiny\n",
+                 config.scale_name.c_str());
+    config.scale_name = "tiny";
+  }
+  if (const char* env = std::getenv("VBLOCK_BENCH_THREADS")) {
+    config.threads = static_cast<uint32_t>(std::atoi(env));
+    if (config.threads == 0) config.threads = 1;
+  }
+  return config;
+}
+
+Graph PrepareDataset(const DatasetSpec& spec, ProbModel model,
+                     const BenchConfig& config) {
+  Graph base = MakeDataset(spec, config.dataset_scale, config.seed);
+  if (model == ProbModel::kTrivalency) {
+    return WithTrivalency(base, MixSeed(config.seed, 1));
+  }
+  return WithWeightedCascade(base);
+}
+
+std::vector<VertexId> PickSeeds(const Graph& g, uint32_t count,
+                                uint64_t seed) {
+  std::vector<VertexId> pool;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.OutDegree(v) >= 1) pool.push_back(v);
+  }
+  VBLOCK_CHECK_MSG(!pool.empty(), "graph has no vertex with out-degree >= 1");
+  const auto want =
+      std::min<size_t>(count, std::max<size_t>(1, g.NumVertices() / 2));
+  Rng rng(seed);
+  for (size_t i = 0; i < want && i < pool.size(); ++i) {
+    size_t j = i + rng.NextBounded(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(std::min(want, pool.size()));
+  return pool;
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref,
+                 const std::string& expectation, const BenchConfig& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces : %s\n", paper_ref.c_str());
+  std::printf("scale      : %s (dataset x%.3g, theta=%u, r=%u, eval=%u, "
+              "limit=%.0fs, threads=%u)\n",
+              config.scale_name.c_str(), config.dataset_scale, config.theta,
+              config.mc_rounds, config.eval_rounds, config.time_limit_seconds,
+              config.threads);
+  std::printf("paper shape: %s\n", expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace vblock::bench

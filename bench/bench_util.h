@@ -1,0 +1,68 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Shared experiment-harness utilities for the paper-reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper's §VI at a
+// configurable scale. The paper's full runs take up to 24 hours per cell on
+// a 128 GB server; the default scale keeps the whole harness at minutes on a
+// laptop while preserving the qualitative shapes (see DESIGN.md §3/§4).
+//
+// Environment knobs:
+//   VBLOCK_BENCH_SCALE  = tiny | small | medium | full   (default tiny)
+//   VBLOCK_BENCH_THREADS = N                              (default 2)
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/dataset_catalog.h"
+#include "graph/graph.h"
+
+namespace vblock::bench {
+
+/// Propagation model selector (paper §VI-A).
+enum class ProbModel { kTrivalency, kWeightedCascade };
+
+const char* ProbModelName(ProbModel model);
+
+/// Scale-dependent experiment parameters.
+struct BenchConfig {
+  std::string scale_name;
+  /// Dataset scale factor in (0,1]; 1.0 = the paper's sizes.
+  double dataset_scale = 0.02;
+  /// Default θ for AG/GR (paper: 10^4).
+  uint32_t theta = 2000;
+  /// Monte-Carlo rounds r for BG (paper: 10^4).
+  uint32_t mc_rounds = 1000;
+  /// Monte-Carlo rounds for final spread evaluation (paper: 10^5).
+  uint32_t eval_rounds = 20000;
+  /// Per-run time limit in seconds for the slow baselines (paper: 24h).
+  double time_limit_seconds = 5.0;
+  /// Sampling threads.
+  uint32_t threads = 2;
+  /// Base RNG seed for the whole harness.
+  uint64_t seed = 20230227;  // arXiv date of the paper
+};
+
+/// Reads VBLOCK_BENCH_SCALE / VBLOCK_BENCH_THREADS.
+BenchConfig LoadConfigFromEnv();
+
+/// Generates the stand-in for `spec` at the config's scale and assigns the
+/// propagation model. Deterministic in config.seed.
+Graph PrepareDataset(const DatasetSpec& spec, ProbModel model,
+                     const BenchConfig& config);
+
+/// Picks `count` distinct random seed vertices with out-degree ≥ 1
+/// (clamped to half the graph). Matches the paper's "randomly select 10
+/// seed vertices" protocol, deterministically.
+std::vector<VertexId> PickSeeds(const Graph& g, uint32_t count,
+                                uint64_t seed);
+
+/// Prints the standard bench banner: which paper artifact this reproduces,
+/// the configured scale, and the paper-shape expectation.
+void PrintBanner(const std::string& title, const std::string& paper_ref,
+                 const std::string& expectation, const BenchConfig& config);
+
+}  // namespace vblock::bench

@@ -1,0 +1,60 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Shared implementation for Figures 10 and 11: GreedyReplace running time
+// as the seed-set size grows (1 → 1000 at full scale), b=100. The paper
+// shape: time grows with |S| but much more slowly than |S| itself — the
+// sampled-graph size, not the seed count, drives the cost.
+
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/solver.h"
+
+namespace vblock::bench {
+
+inline int RunSeedScalability(ProbModel model, const std::string& binary_name,
+                              const std::string& paper_ref) {
+  BenchConfig config = LoadConfigFromEnv();
+  PrintBanner(binary_name, paper_ref,
+              "GR time grows sublinearly in the number of seeds (1000x "
+              "seeds costs far less than 1000x time)",
+              config);
+
+  const std::vector<uint32_t> seed_counts =
+      config.scale_name == "full" ? std::vector<uint32_t>{1, 10, 100, 1000}
+                                  : std::vector<uint32_t>{1, 4, 16, 64};
+  const uint32_t budget = config.scale_name == "full" ? 100 : 10;
+
+  std::vector<std::string> header = {"Dataset"};
+  for (uint32_t s : seed_counts) header.push_back("|S|=" + std::to_string(s));
+  TablePrinter table(std::move(header));
+
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    Graph g = PrepareDataset(spec, model, config);
+    std::vector<std::string> row = {spec.name};
+    for (uint32_t count : seed_counts) {
+      std::vector<VertexId> seeds =
+          PickSeeds(g, count, MixSeed(config.seed, count));
+      SolverOptions opts;
+      opts.algorithm = Algorithm::kGreedyReplace;
+      opts.budget = budget;
+      opts.theta = config.theta;
+      opts.seed = config.seed;
+      opts.threads = config.threads;
+      auto result = SolveImin(g, seeds, opts);
+      row.push_back(FormatSeconds(result.stats.seconds));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace vblock::bench

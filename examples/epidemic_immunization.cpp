@@ -1,0 +1,70 @@
+// Scenario: targeted immunization on a contact network.
+//
+// Vertex blocking is exactly the immunization problem: an immunized
+// (blocked) person can never be infected, so choosing who to immunize under
+// a vaccine budget is IMIN with the infection sources as seeds (the paper's
+// §I motivates this with anti-vaccination misinformation amplifying
+// outbreaks).
+//
+// A small-world contact network (Watts-Strogatz) carries a disease with a
+// uniform transmission probability; five index cases are known. Compare
+// random immunization, degree-targeted immunization (the classic public-
+// health heuristic), and GreedyReplace.
+//
+//   $ ./examples/epidemic_immunization [transmission_probability]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "vblock.h"
+
+int main(int argc, char** argv) {
+  const double transmission = argc > 1 ? std::atof(argv[1]) : 0.15;
+
+  vblock::Graph contacts = vblock::WithConstantProbability(
+      vblock::GenerateWattsStrogatz(3000, 5, 0.1, /*seed=*/42), transmission);
+  std::printf("contact network: n=%u people, m=%llu contacts, "
+              "transmission p=%.2f\n",
+              contacts.NumVertices(),
+              static_cast<unsigned long long>(contacts.NumEdges()),
+              transmission);
+
+  const std::vector<vblock::VertexId> index_cases = {17, 421, 1033, 1980,
+                                                     2750};
+  vblock::EvaluationOptions eval;
+  eval.mc_rounds = 40000;
+  const double no_action =
+      vblock::EvaluateSpread(contacts, index_cases, {}, eval);
+  std::printf("without intervention: %.1f expected infections\n\n",
+              no_action);
+
+  vblock::TablePrinter table({"vaccine doses", "random", "degree-targeted",
+                              "GreedyReplace", "GR infections prevented"});
+  for (uint32_t doses : {20u, 50u, 100u, 200u}) {
+    auto run = [&](vblock::Algorithm algo) {
+      vblock::SolverOptions opts;
+      opts.algorithm = algo;
+      opts.budget = doses;
+      opts.theta = 4000;
+      opts.seed = 99;
+      opts.threads = 2;
+      auto result = vblock::SolveImin(contacts, index_cases, opts);
+      return vblock::EvaluateSpread(contacts, index_cases, result.blockers,
+                                    eval);
+    };
+    const double random = run(vblock::Algorithm::kRandom);
+    const double degree = run(vblock::Algorithm::kOutDegree);
+    const double gr = run(vblock::Algorithm::kGreedyReplace);
+    table.AddRow({std::to_string(doses), vblock::FormatDouble(random, 5),
+                  vblock::FormatDouble(degree, 5),
+                  vblock::FormatDouble(gr, 5),
+                  vblock::FormatDouble(no_action - gr, 5)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: on a small-world network degree targeting is weak (degrees\n"
+      "are nearly uniform) while GreedyReplace immunizes the contacts that\n"
+      "actually separate the index cases from the rest.\n");
+  return 0;
+}

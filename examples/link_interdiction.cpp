@@ -1,0 +1,86 @@
+// Scenario: link interdiction — removing connections instead of accounts.
+//
+// Platforms sometimes cannot suspend users (legal thresholds, public
+// figures) but can down-rank or sever *connections*. The paper's related
+// work (Kimura et al.) studies exactly this edge-blocking variant; the
+// vblock extension solves it with the same dominator-tree machinery on an
+// edge-split graph. This example contrasts the two intervention types at
+// equal budgets and shows the cascade timeline before/after.
+//
+//   $ ./examples/link_interdiction
+
+#include <cstdio>
+#include <iostream>
+
+#include "vblock.h"
+
+int main() {
+  vblock::Graph g = vblock::WithWeightedCascade(
+      vblock::GenerateBarabasiAlbert(1200, 4, /*seed=*/31));
+  const std::vector<vblock::VertexId> sources = {5, 250, 700};
+  std::printf("network: n=%u, m=%llu, %zu misinformation sources\n",
+              g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()),
+              sources.size());
+
+  vblock::EvaluationOptions eval;
+  eval.mc_rounds = 40000;
+  const double baseline = vblock::EvaluateSpread(g, sources, {}, eval);
+  std::printf("no intervention: %.2f expected reach\n\n", baseline);
+
+  vblock::TablePrinter table({"budget", "block vertices (GR)",
+                              "block edges (greedy)", "edges removed"});
+  std::vector<vblock::Edge> last_edges;
+  for (uint32_t budget : {5u, 10u, 20u, 40u}) {
+    // Vertex blocking: GreedyReplace.
+    vblock::SolverOptions vopts;
+    vopts.algorithm = vblock::Algorithm::kGreedyReplace;
+    vopts.budget = budget;
+    vopts.theta = 3000;
+    vopts.seed = 7;
+    vopts.threads = 2;
+    auto vertex_result = vblock::SolveImin(g, sources, vopts);
+    const double vertex_spread =
+        vblock::EvaluateSpread(g, sources, vertex_result.blockers, eval);
+
+    // Edge blocking: greedy interdiction of single links.
+    vblock::EdgeBlockingOptions eopts;
+    eopts.budget = budget;
+    eopts.theta = 3000;
+    eopts.seed = 7;
+    eopts.threads = 2;
+    auto edge_result = vblock::GreedyEdgeBlocking(g, sources, eopts);
+    vblock::Graph cut = vblock::RemoveEdges(g, edge_result.blocked_edges);
+    const double edge_spread = vblock::EvaluateSpread(cut, sources, {}, eval);
+    last_edges = edge_result.blocked_edges;
+
+    table.AddRow({std::to_string(budget),
+                  vblock::FormatDouble(vertex_spread, 5),
+                  vblock::FormatDouble(edge_spread, 5),
+                  std::to_string(edge_result.blocked_edges.size())});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: one blocked vertex removes ALL its edges, so vertex\n"
+      "blocking dominates at equal budget — the premium the paper's\n"
+      "problem places on choosing vertices well.\n\n");
+
+  // Cascade timeline with and without the last interdiction set.
+  vblock::TimelineOptions topts;
+  topts.rounds = 20000;
+  topts.max_steps = 8;
+  auto before = vblock::ExpectedActivationsPerStep(g, sources, topts);
+  vblock::Graph cut = vblock::RemoveEdges(g, last_edges);
+  auto after = vblock::ExpectedActivationsPerStep(cut, sources, topts);
+  std::printf("cascade timeline (expected new activations per step):\n");
+  std::printf("  step:      ");
+  for (size_t t = 0; t < before.size(); ++t) std::printf("%8zu", t);
+  std::printf("\n  untouched: ");
+  for (double x : before) std::printf("%8.2f", x);
+  std::printf("\n  interdicted:");
+  for (size_t t = 0; t < before.size(); ++t) {
+    std::printf("%8.2f", t < after.size() ? after[t] : 0.0);
+  }
+  std::printf("\n");
+  return 0;
+}

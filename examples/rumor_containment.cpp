@@ -1,0 +1,75 @@
+// Scenario: rumor containment on a social network (the paper's motivating
+// application — §I cites rumor cascades like the White House explosion
+// hoax).
+//
+// A Facebook-like social graph is generated; ten accounts start spreading
+// a rumor; the platform can suspend (block) a limited number of accounts.
+// The example compares all blocker-selection strategies across budgets and
+// reports how much of the cascade each one prevents.
+//
+//   $ ./examples/rumor_containment [n_vertices]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "vblock.h"
+
+int main(int argc, char** argv) {
+  const vblock::VertexId n =
+      argc > 1 ? static_cast<vblock::VertexId>(std::atoi(argv[1])) : 2000;
+
+  // Facebook-like: preferential attachment + weighted-cascade influence.
+  vblock::Graph g = vblock::WithWeightedCascade(
+      vblock::GenerateBarabasiAlbert(n, 5, /*seed=*/2023));
+  std::printf("social network: n=%u accounts, m=%llu follow edges\n",
+              g.NumVertices(),
+              static_cast<unsigned long long>(g.NumEdges()));
+
+  // Ten rumor sources, picked among active accounts.
+  std::vector<vblock::VertexId> sources;
+  for (vblock::VertexId v = 0; sources.size() < 10 && v < n; v += 97) {
+    if (g.OutDegree(v) > 0) sources.push_back(v);
+  }
+
+  vblock::EvaluationOptions eval;
+  eval.mc_rounds = 50000;
+  const double unchecked = vblock::EvaluateSpread(g, sources, {}, eval);
+  std::printf("unchecked rumor reaches %.1f accounts in expectation\n\n",
+              unchecked);
+
+  vblock::TablePrinter table(
+      {"suspensions", "RA", "OD", "PR", "AG", "GR", "GR saves"});
+  for (uint32_t budget : {10u, 20u, 40u, 80u}) {
+    std::vector<std::string> row = {std::to_string(budget)};
+    double gr_spread = unchecked;
+    for (auto algo :
+         {vblock::Algorithm::kRandom, vblock::Algorithm::kOutDegree,
+          vblock::Algorithm::kPageRank, vblock::Algorithm::kAdvancedGreedy,
+          vblock::Algorithm::kGreedyReplace}) {
+      vblock::SolverOptions opts;
+      opts.algorithm = algo;
+      opts.budget = budget;
+      opts.theta = 4000;
+      opts.seed = 11;
+      opts.threads = 2;
+      auto result = vblock::SolveImin(g, sources, opts);
+      double spread = vblock::EvaluateSpread(g, sources, result.blockers, eval);
+      if (algo == vblock::Algorithm::kGreedyReplace) gr_spread = spread;
+      row.push_back(vblock::FormatDouble(spread, 5));
+    }
+    row.push_back(
+        vblock::FormatDouble(100.0 * (unchecked - gr_spread) /
+                                 std::max(1.0, unchecked - 10.0),
+                             4) +
+        "% of preventable");
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: sources themselves always count (floor %zu); GR should\n"
+      "prevent the largest share of the preventable cascade at every "
+      "budget.\n",
+      sources.size());
+  return 0;
+}

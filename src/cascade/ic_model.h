@@ -1,0 +1,45 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Independent-cascade (IC) forward simulation (paper §III-A).
+//
+// One simulation run activates the seeds at timestamp 0 and gives every
+// newly active vertex u one independent chance per out-edge (u,v) to
+// activate v with probability p(u,v). Blocked vertices can never become
+// active (Definition 2). The spread of a run is the number of active
+// vertices at quiescence, seeds included (the paper's E(S,G) sums the
+// activation probability of every vertex; see Example 1 where
+// E({v1},G)=7.66 counts v1).
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+
+/// Reusable IC simulation state: construct once per graph and call Run many
+/// times; per-run work is proportional to the cascade size, not to n
+/// (visit epochs avoid O(n) clearing).
+class IcSimulator {
+ public:
+  explicit IcSimulator(const Graph& g);
+
+  /// One simulation run. Returns the number of active vertices (seeds
+  /// included). Seeds that are blocked are skipped entirely.
+  VertexId Run(const std::vector<VertexId>& seeds, Rng& rng,
+               const VertexMask* blocked = nullptr);
+
+  /// The vertices activated by the most recent Run, in activation order.
+  const std::vector<VertexId>& LastActivated() const { return frontier_; }
+
+ private:
+  const Graph& graph_;
+  std::vector<uint32_t> visited_epoch_;
+  std::vector<VertexId> frontier_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace vblock

@@ -1,0 +1,74 @@
+#include "cascade/monte_carlo.h"
+
+#include <thread>
+
+#include "cascade/ic_model.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace vblock {
+
+double EstimateSpread(const Graph& g, const std::vector<VertexId>& seeds,
+                      const MonteCarloOptions& options,
+                      const VertexMask* blocked) {
+  VBLOCK_CHECK_MSG(options.rounds > 0, "rounds must be positive");
+  const uint32_t threads =
+      std::max<uint32_t>(1, std::min(options.threads, options.rounds));
+
+  auto run_range = [&](uint32_t begin, uint32_t end) -> uint64_t {
+    IcSimulator sim(g);
+    uint64_t total = 0;
+    for (uint32_t i = begin; i < end; ++i) {
+      Rng rng(MixSeed(options.seed, i));
+      total += sim.Run(seeds, rng, blocked);
+    }
+    return total;
+  };
+
+  uint64_t total = 0;
+  if (threads == 1) {
+    total = run_range(0, options.rounds);
+  } else {
+    std::vector<uint64_t> partial(threads, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const uint32_t chunk = (options.rounds + threads - 1) / threads;
+    for (uint32_t t = 0; t < threads; ++t) {
+      uint32_t begin = t * chunk;
+      uint32_t end = std::min(options.rounds, begin + chunk);
+      workers.emplace_back(
+          [&, t, begin, end] { partial[t] = run_range(begin, end); });
+    }
+    for (auto& w : workers) w.join();
+    for (uint64_t p : partial) total += p;
+  }
+  return static_cast<double>(total) / options.rounds;
+}
+
+double EstimateSpreadWithBlockers(const Graph& g,
+                                  const std::vector<VertexId>& seeds,
+                                  const std::vector<VertexId>& blockers,
+                                  const MonteCarloOptions& options) {
+  VertexMask mask = VertexMask::FromVertices(g.NumVertices(), blockers);
+  return EstimateSpread(g, seeds, options, &mask);
+}
+
+std::vector<double> EstimateActivationProbabilities(
+    const Graph& g, const std::vector<VertexId>& seeds,
+    const MonteCarloOptions& options, const VertexMask* blocked) {
+  VBLOCK_CHECK_MSG(options.rounds > 0, "rounds must be positive");
+  std::vector<uint64_t> hits(g.NumVertices(), 0);
+  IcSimulator sim(g);
+  for (uint32_t i = 0; i < options.rounds; ++i) {
+    Rng rng(MixSeed(options.seed, i));
+    sim.Run(seeds, rng, blocked);
+    for (VertexId v : sim.LastActivated()) ++hits[v];
+  }
+  std::vector<double> probs(g.NumVertices(), 0.0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    probs[v] = static_cast<double>(hits[v]) / options.rounds;
+  }
+  return probs;
+}
+
+}  // namespace vblock

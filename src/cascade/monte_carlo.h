@@ -1,0 +1,48 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Monte-Carlo Simulation (MCS) spread estimation (paper §V-B1).
+//
+// This is the estimator the state-of-the-art BaselineGreedy uses: r
+// independent IC runs, averaged. The paper's default is r = 10000 for the
+// greedy loop and r = 100000 for final result evaluation.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+
+/// Parameters for Monte-Carlo spread estimation.
+struct MonteCarloOptions {
+  /// Number of simulation rounds (paper: r).
+  uint32_t rounds = 10000;
+  /// Base RNG seed; round i uses MixSeed(seed, i).
+  uint64_t seed = 1;
+  /// Number of worker threads; 1 = sequential. Results are identical for
+  /// any thread count (per-round seeding).
+  uint32_t threads = 1;
+};
+
+/// Estimates E(S, G[V\B]) — the expected number of active vertices (seeds
+/// included) — by averaging `options.rounds` IC simulations.
+double EstimateSpread(const Graph& g, const std::vector<VertexId>& seeds,
+                      const MonteCarloOptions& options,
+                      const VertexMask* blocked = nullptr);
+
+/// Convenience overload: blockers given as a vertex list.
+double EstimateSpreadWithBlockers(const Graph& g,
+                                  const std::vector<VertexId>& seeds,
+                                  const std::vector<VertexId>& blockers,
+                                  const MonteCarloOptions& options);
+
+/// Per-vertex activation probability estimates P_G(v, S) (Definition 1),
+/// from `options.rounds` simulations. Used by tests against exact values.
+std::vector<double> EstimateActivationProbabilities(
+    const Graph& g, const std::vector<VertexId>& seeds,
+    const MonteCarloOptions& options, const VertexMask* blocked = nullptr);
+
+}  // namespace vblock

@@ -1,0 +1,53 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Reverse Influence Sampling (RIS; Borgs et al., cited as [22] by the
+// paper).
+//
+// An RR (reverse-reachable) set of a uniformly random target v is the set
+// of vertices that reach v in a live-edge sample. Borgs' lemma: for any
+// seed set S, E(S,G) = n · Pr[S ∩ RR ≠ ∅] — which is why RIS powers the
+// best influence-MAXIMIZATION algorithms.
+//
+// The paper's §V-B1 explains why this machinery does NOT transfer to the
+// blocking problem: blockers act as intermediaries between the seed and
+// the rest of the graph, the spread is not supermodular in the blocker set
+// (Theorem 2), and the marginal effect of a blocker combination is not the
+// union of single-blocker effects. This module exists as the substrate for
+// that comparison (and to validate our samplers against Borgs' lemma);
+// the blocking algorithms use forward sampling + dominator trees instead.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// Reusable RR-set generator over a fixed graph.
+class RrSetGenerator {
+ public:
+  explicit RrSetGenerator(const Graph& g);
+
+  /// Samples the RR set of `target`: every vertex with a live path TO
+  /// `target` (target included), flipping one coin per in-edge examined.
+  void Sample(VertexId target, Rng& rng, std::vector<VertexId>* out);
+
+  /// Samples an RR set of a uniformly random target.
+  void SampleRandomTarget(Rng& rng, std::vector<VertexId>* out);
+
+ private:
+  const Graph& graph_;
+  std::vector<uint32_t> visit_epoch_;
+  uint32_t epoch_ = 0;
+};
+
+/// Borgs' estimator: E(S, G) ≈ n · (#RR sets intersecting S) / num_sets.
+/// Deterministic in `seed`. Counts seeds themselves (like E(S,G)).
+double EstimateSpreadViaRrSets(const Graph& g,
+                               const std::vector<VertexId>& seeds,
+                               uint32_t num_sets, uint64_t seed);
+
+}  // namespace vblock

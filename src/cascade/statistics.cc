@@ -1,0 +1,50 @@
+#include "cascade/statistics.h"
+
+#include <cmath>
+
+#include "cascade/ic_model.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace vblock {
+
+double RunningStats::standard_error() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(variance() / static_cast<double>(count_));
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+}
+
+SpreadEstimate EstimateSpreadWithCi(const Graph& g,
+                                    const std::vector<VertexId>& seeds,
+                                    uint32_t rounds, uint64_t seed,
+                                    const VertexMask* blocked) {
+  VBLOCK_CHECK_MSG(rounds > 0, "rounds must be positive");
+  IcSimulator sim(g);
+  RunningStats stats;
+  for (uint32_t i = 0; i < rounds; ++i) {
+    Rng rng(MixSeed(seed, i));
+    stats.Add(static_cast<double>(sim.Run(seeds, rng, blocked)));
+  }
+  SpreadEstimate estimate;
+  estimate.mean = stats.mean();
+  estimate.standard_error = stats.standard_error();
+  estimate.ci95_half_width = stats.ConfidenceHalfWidth();
+  estimate.rounds = rounds;
+  return estimate;
+}
+
+}  // namespace vblock

@@ -1,0 +1,72 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Streaming statistics and confidence intervals for Monte-Carlo estimates.
+//
+// The experiment harness reports spreads as point estimates (like the
+// paper); this module adds the machinery to quantify their uncertainty:
+// a Welford accumulator and a normal-approximation confidence interval for
+// the mean of IC simulation outcomes.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance (0 for fewer than 2 observations).
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  /// Standard error of the mean.
+  double standard_error() const;
+
+  /// Half-width of the normal-approximation CI at the given z value
+  /// (1.96 ≈ 95%, 2.576 ≈ 99%).
+  double ConfidenceHalfWidth(double z = 1.96) const {
+    return z * standard_error();
+  }
+
+  /// Merges another accumulator (parallel reduction).
+  void Merge(const RunningStats& other);
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+/// A Monte-Carlo spread estimate with its uncertainty.
+struct SpreadEstimate {
+  double mean = 0;
+  double standard_error = 0;
+  double ci95_half_width = 0;
+  uint32_t rounds = 0;
+};
+
+/// Like EstimateSpread (monte_carlo.h) but also reports the standard error
+/// and a 95% confidence interval. Deterministic in `seed`.
+SpreadEstimate EstimateSpreadWithCi(const Graph& g,
+                                    const std::vector<VertexId>& seeds,
+                                    uint32_t rounds, uint64_t seed,
+                                    const VertexMask* blocked = nullptr);
+
+}  // namespace vblock

@@ -1,0 +1,66 @@
+#include "cascade/timeline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace vblock {
+
+std::vector<double> ExpectedActivationsPerStep(
+    const Graph& g, const std::vector<VertexId>& seeds,
+    const TimelineOptions& options, const VertexMask* blocked) {
+  VBLOCK_CHECK_MSG(options.rounds > 0, "rounds must be positive");
+
+  std::vector<double> totals;
+  std::vector<uint32_t> visited_epoch(g.NumVertices(), 0);
+  uint32_t epoch = 0;
+  std::vector<VertexId> frontier, next;
+
+  auto bucket_of = [&](uint32_t step) {
+    return options.max_steps == 0
+               ? step
+               : std::min(step, options.max_steps - 1);
+  };
+
+  for (uint32_t round = 0; round < options.rounds; ++round) {
+    Rng rng(MixSeed(options.seed, round));
+    ++epoch;
+    frontier.clear();
+    for (VertexId s : seeds) {
+      if (blocked && blocked->Test(s)) continue;
+      if (visited_epoch[s] == epoch) continue;
+      visited_epoch[s] = epoch;
+      frontier.push_back(s);
+    }
+    uint32_t step = 0;
+    while (!frontier.empty()) {
+      const uint32_t bucket = bucket_of(step);
+      if (bucket >= totals.size()) totals.resize(bucket + 1, 0.0);
+      totals[bucket] += static_cast<double>(frontier.size());
+
+      // Timestamp semantics matter here (unlike for final counts): the
+      // whole frontier fires before any newly activated vertex does.
+      next.clear();
+      for (VertexId u : frontier) {
+        auto targets = g.OutNeighbors(u);
+        auto probs = g.OutProbabilities(u);
+        for (size_t k = 0; k < targets.size(); ++k) {
+          VertexId v = targets[k];
+          if (visited_epoch[v] == epoch) continue;
+          if (blocked && blocked->Test(v)) continue;
+          if (!rng.NextBernoulli(probs[k])) continue;
+          visited_epoch[v] = epoch;
+          next.push_back(v);
+        }
+      }
+      frontier.swap(next);
+      ++step;
+    }
+  }
+
+  for (double& x : totals) x /= options.rounds;
+  return totals;
+}
+
+}  // namespace vblock

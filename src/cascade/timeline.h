@@ -1,0 +1,37 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Cascade timelines: expected number of newly activated vertices per IC
+// timestamp. The IC process (paper §III-A) activates seeds at timestamp 0
+// and gives each newly active vertex one chance per out-edge at the next
+// timestamp; the timeline shows how interventions slow a cascade down, not
+// just its final size.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+
+/// Parameters for timeline estimation.
+struct TimelineOptions {
+  /// Monte-Carlo rounds.
+  uint32_t rounds = 10000;
+  /// Base RNG seed (round i uses MixSeed(seed, i)).
+  uint64_t seed = 1;
+  /// Timeline length cap; steps beyond it are accumulated into the last
+  /// bucket. 0 means "no cap" (the timeline grows to the longest cascade).
+  uint32_t max_steps = 0;
+};
+
+/// result[t] = expected number of vertices first activated at timestamp t
+/// (t=0 counts the unblocked seeds). The sum over all t equals the
+/// expected spread E(S, G[V\B]).
+std::vector<double> ExpectedActivationsPerStep(
+    const Graph& g, const std::vector<VertexId>& seeds,
+    const TimelineOptions& options, const VertexMask* blocked = nullptr);
+
+}  // namespace vblock

@@ -1,0 +1,41 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Assertion macros for programming errors (not for recoverable failures —
+// those use Status). VBLOCK_CHECK is always on; VBLOCK_DCHECK compiles out
+// in NDEBUG builds.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vblock::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "[vblock] CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg && msg[0]) ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace vblock::internal
+
+#define VBLOCK_CHECK(cond)                                             \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::vblock::internal::CheckFailed(__FILE__, __LINE__, #cond, "");  \
+  } while (false)
+
+#define VBLOCK_CHECK_MSG(cond, msg)                                    \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::vblock::internal::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+  } while (false)
+
+#ifdef NDEBUG
+#define VBLOCK_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define VBLOCK_DCHECK(cond) VBLOCK_CHECK(cond)
+#endif

@@ -1,0 +1,119 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Minimal Status / Result<T> error-propagation types.
+//
+// The library follows the Google C++ style guide: no exceptions. Fallible
+// operations (IO, parsing, resource limits) return Status or Result<T>;
+// programming errors are caught by the VBLOCK_CHECK macros in check.h.
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vblock {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kIoError,
+  kFailedPrecondition,
+};
+
+/// Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error result of a fallible operation. Cheap to copy on the
+/// success path (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error: holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (failure). Aborts if the status is OK,
+  /// because an OK Result must carry a value.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      // Constructing Result<T> from an OK status is a programming error.
+      std::get<Status>(data_) =
+          Status::FailedPrecondition("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  /// The held value. Must only be called when ok().
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status to the caller: `VBLOCK_RETURN_IF_ERROR(DoIo());`
+#define VBLOCK_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::vblock::Status vblock_status_ = (expr);        \
+    if (!vblock_status_.ok()) return vblock_status_; \
+  } while (false)
+
+}  // namespace vblock

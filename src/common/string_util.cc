@@ -1,0 +1,78 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vblock {
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> SplitFields(std::string_view s,
+                                          std::string_view delims) {
+  std::vector<std::string_view> fields;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t start = s.find_first_not_of(delims, pos);
+    if (start == std::string_view::npos) break;
+    size_t end = s.find_first_of(delims, start);
+    if (end == std::string_view::npos) end = s.size();
+    fields.push_back(s.substr(start, end - start));
+    pos = end;
+  }
+  return fields;
+}
+
+bool IsCommentLine(std::string_view line) {
+  std::string_view t = TrimWhitespace(line);
+  return t.empty() || t.front() == '#' || t.front() == '%';
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return false;
+  // std::from_chars<double> is available in GCC >= 11.
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", seconds / 60.0);
+  }
+  return buf;
+}
+
+}  // namespace vblock

@@ -1,0 +1,35 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Small string helpers used by graph IO and the bench harness.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vblock {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits on any of the delimiter characters; empty fields are dropped.
+std::vector<std::string_view> SplitFields(std::string_view s,
+                                          std::string_view delims = " \t,");
+
+/// True if the line is empty or a comment ('#' or '%' prefix, SNAP style).
+bool IsCommentLine(std::string_view line);
+
+/// Parses a non-negative integer. Returns false on malformed input.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Parses a double. Returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats `value` with `digits` significant digits (bench table output).
+std::string FormatDouble(double value, int digits = 5);
+
+/// Human-friendly "1.23s" / "45.6ms" duration formatting.
+std::string FormatSeconds(double seconds);
+
+}  // namespace vblock

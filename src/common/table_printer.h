@@ -1,0 +1,40 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Fixed-width console table output: the bench harness prints the same rows
+// the paper's tables/figures report, in a diffable plain-text layout.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vblock {
+
+/// Accumulates rows of string cells and renders them as an aligned table.
+///
+/// Usage:
+///   TablePrinter t({"Dataset", "b", "AG", "GR"});
+///   t.AddRow({"EmailCore", "20", "220.59", "219.69"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; the cell count should match the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the header, a separator, and all rows.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string (for tests).
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vblock

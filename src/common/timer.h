@@ -1,0 +1,55 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Wall-clock timing utilities used by the experiment harness.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace vblock {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Cooperative deadline: algorithms that may run long (e.g. BaselineGreedy,
+/// ExactBlockerSearch) poll Expired() and return their best-so-far result.
+/// A non-positive budget means "no deadline".
+class Deadline {
+ public:
+  /// No deadline.
+  Deadline() : seconds_(0) {}
+
+  /// Deadline `seconds` from now (<= 0 disables).
+  explicit Deadline(double seconds) : seconds_(seconds) {}
+
+  bool Expired() const {
+    return seconds_ > 0 && timer_.ElapsedSeconds() >= seconds_;
+  }
+
+  double budget_seconds() const { return seconds_; }
+
+ private:
+  Timer timer_;
+  double seconds_;
+};
+
+}  // namespace vblock

@@ -1,0 +1,26 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Fundamental scalar types shared across the library.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace vblock {
+
+/// Vertex identifier. 32 bits cover every graph in the paper's evaluation
+/// (largest: Youtube, 1.13M vertices) with room to spare.
+using VertexId = uint32_t;
+
+/// Edge index into the CSR arrays.
+using EdgeId = uint64_t;
+
+/// Sentinel for "no vertex" (e.g. the root's immediate dominator).
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+}  // namespace vblock

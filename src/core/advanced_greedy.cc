@@ -1,0 +1,54 @@
+#include "core/advanced_greedy.h"
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+
+BlockerSelection AdvancedGreedy(const Graph& g, VertexId root,
+                                const AdvancedGreedyOptions& options) {
+  VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
+  Timer timer;
+  Deadline deadline(options.time_limit_seconds);
+
+  BlockerSelection result;
+  VertexMask blocked(g.NumVertices());
+
+  for (uint32_t round = 0; round < options.budget; ++round) {
+    if (deadline.Expired()) {
+      result.stats.timed_out = true;
+      break;
+    }
+    SpreadDecreaseOptions sd;
+    sd.theta = options.theta;
+    sd.seed = MixSeed(options.seed, round);
+    sd.threads = options.threads;
+    SpreadDecreaseResult scores =
+        options.triggering_model
+            ? ComputeSpreadDecreaseTriggering(g, *options.triggering_model,
+                                              root, sd, &blocked)
+            : ComputeSpreadDecrease(g, root, sd, &blocked);
+
+    VertexId best = kInvalidVertex;
+    double best_delta = -1.0;
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      if (u == root || blocked.Test(u)) continue;
+      if (scores.delta[u] > best_delta) {
+        best = u;
+        best_delta = scores.delta[u];
+      }
+    }
+    if (best == kInvalidVertex) break;  // no candidates left
+
+    blocked.Set(best);
+    result.blockers.push_back(best);
+    result.stats.round_best_delta.push_back(best_delta);
+    ++result.stats.rounds_completed;
+  }
+
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace vblock

@@ -1,0 +1,39 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Algorithm 3 — AdvancedGreedy: the same greedy framework as Algorithm 1,
+// but each round scores *all* candidates at once with Algorithm 2 (sampled
+// graphs + dominator trees), giving O(b·θ·m·α(m,n)) instead of O(b·n·r·m)
+// without sacrificing effectiveness.
+
+#pragma once
+
+#include "core/blocker_result.h"
+#include "core/spread_decrease.h"
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// Parameters for Algorithm 3.
+struct AdvancedGreedyOptions {
+  /// Budget b.
+  uint32_t budget = 10;
+  /// Sampled graphs θ per round (paper default 10^4).
+  uint32_t theta = 10000;
+  /// Base RNG seed.
+  uint64_t seed = 1;
+  /// Worker threads for the sampling pass.
+  uint32_t threads = 1;
+  /// Cooperative deadline in seconds (0 = none).
+  double time_limit_seconds = 0;
+  /// Optional triggering model (paper §V-E): when set, live-edge samples
+  /// are drawn from this model (e.g. LtTriggeringModel) instead of the IC
+  /// per-edge coins. Not owned; must outlive the call.
+  const TriggeringModel* triggering_model = nullptr;
+};
+
+/// Runs Algorithm 3 on a unified single-seed instance. Ties in Δ are broken
+/// toward the smaller vertex id (deterministic).
+BlockerSelection AdvancedGreedy(const Graph& g, VertexId root,
+                                const AdvancedGreedyOptions& options);
+
+}  // namespace vblock

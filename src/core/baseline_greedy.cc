@@ -1,0 +1,85 @@
+#include "core/baseline_greedy.h"
+
+#include "cascade/monte_carlo.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/traversal.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+
+BlockerSelection BaselineGreedy(const Graph& g, VertexId root,
+                                const BaselineGreedyOptions& options) {
+  VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
+  Timer timer;
+  Deadline deadline(options.time_limit_seconds);
+
+  BlockerSelection result;
+  VertexMask blocked(g.NumVertices());
+
+  for (uint32_t round = 0; round < options.budget; ++round) {
+    if (deadline.Expired()) {
+      result.stats.timed_out = true;
+      break;
+    }
+    // Candidate pool for this round.
+    std::vector<VertexId> candidates;
+    if (options.restrict_to_reachable) {
+      for (VertexId v : ReachableFrom(g, root, &blocked)) {
+        if (v != root) candidates.push_back(v);
+      }
+    } else {
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (v != root && !blocked.Test(v)) candidates.push_back(v);
+      }
+    }
+    if (candidates.empty()) break;
+
+    const uint64_t round_seed =
+        options.common_random_numbers ? MixSeed(options.seed, round)
+                                      : options.seed;
+
+    MonteCarloOptions base_mc;
+    base_mc.rounds = options.mc_rounds;
+    base_mc.seed = options.common_random_numbers
+                       ? round_seed
+                       : MixSeed(options.seed, round * 1000003ULL);
+    const double base_spread = EstimateSpread(g, {root}, base_mc, &blocked);
+
+    VertexId best = kInvalidVertex;
+    double best_delta = 0;
+    bool have_best = false;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (deadline.Expired()) break;
+      VertexId u = candidates[c];
+      blocked.Set(u);
+      MonteCarloOptions mc;
+      mc.rounds = options.mc_rounds;
+      mc.seed = options.common_random_numbers
+                    ? round_seed
+                    : MixSeed(options.seed, round * 1000003ULL + c + 1);
+      const double spread = EstimateSpread(g, {root}, mc, &blocked);
+      blocked.Clear(u);
+      const double delta = base_spread - spread;
+      if (!have_best || delta > best_delta) {
+        have_best = true;
+        best = u;
+        best_delta = delta;
+      }
+    }
+    if (!have_best || deadline.Expired()) {
+      result.stats.timed_out = deadline.Expired();
+      break;
+    }
+    blocked.Set(best);
+    result.blockers.push_back(best);
+    result.stats.round_best_delta.push_back(best_delta);
+    ++result.stats.rounds_completed;
+  }
+
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace vblock

@@ -1,0 +1,119 @@
+#include "core/betweenness.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace vblock {
+
+namespace {
+
+// One Brandes source iteration: BFS shortest-path DAG + dependency
+// accumulation. Scratch buffers are owned by the caller and reused.
+struct BrandesScratch {
+  std::vector<int64_t> distance;
+  std::vector<double> sigma;       // shortest-path counts
+  std::vector<double> dependency;  // δ accumulation
+  std::vector<VertexId> order;     // BFS order
+  std::vector<std::vector<VertexId>> predecessors;
+
+  explicit BrandesScratch(VertexId n)
+      : distance(n), sigma(n), dependency(n), predecessors(n) {
+    order.reserve(n);
+  }
+};
+
+void AccumulateFromSource(const Graph& g, VertexId s, double weight,
+                          BrandesScratch& scratch,
+                          std::vector<double>* centrality) {
+  const VertexId n = g.NumVertices();
+  std::fill(scratch.distance.begin(), scratch.distance.end(), -1);
+  std::fill(scratch.sigma.begin(), scratch.sigma.end(), 0.0);
+  std::fill(scratch.dependency.begin(), scratch.dependency.end(), 0.0);
+  for (auto& preds : scratch.predecessors) preds.clear();
+  scratch.order.clear();
+
+  scratch.distance[s] = 0;
+  scratch.sigma[s] = 1.0;
+  scratch.order.push_back(s);
+  for (size_t head = 0; head < scratch.order.size(); ++head) {
+    VertexId u = scratch.order[head];
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (scratch.distance[v] < 0) {
+        scratch.distance[v] = scratch.distance[u] + 1;
+        scratch.order.push_back(v);
+      }
+      if (scratch.distance[v] == scratch.distance[u] + 1) {
+        scratch.sigma[v] += scratch.sigma[u];
+        scratch.predecessors[v].push_back(u);
+      }
+    }
+  }
+  // Dependency accumulation in reverse BFS order.
+  for (auto it = scratch.order.rbegin(); it != scratch.order.rend(); ++it) {
+    VertexId w = *it;
+    for (VertexId u : scratch.predecessors[w]) {
+      scratch.dependency[u] += scratch.sigma[u] / scratch.sigma[w] *
+                               (1.0 + scratch.dependency[w]);
+    }
+    if (w != s) (*centrality)[w] += weight * scratch.dependency[w];
+  }
+  (void)n;
+}
+
+}  // namespace
+
+std::vector<double> ComputeBetweenness(const Graph& g,
+                                       const BetweennessOptions& options) {
+  const VertexId n = g.NumVertices();
+  std::vector<double> centrality(n, 0.0);
+  if (n == 0) return centrality;
+  BrandesScratch scratch(n);
+
+  if (options.pivots == 0 || options.pivots >= n) {
+    for (VertexId s = 0; s < n; ++s) {
+      AccumulateFromSource(g, s, 1.0, scratch, &centrality);
+    }
+  } else {
+    // Uniform pivot sample without replacement, scaled by n/pivots.
+    std::vector<VertexId> pool(n);
+    for (VertexId v = 0; v < n; ++v) pool[v] = v;
+    Rng rng(options.seed);
+    const double weight =
+        static_cast<double>(n) / static_cast<double>(options.pivots);
+    for (uint32_t i = 0; i < options.pivots; ++i) {
+      size_t j = i + rng.NextBounded(pool.size() - i);
+      std::swap(pool[i], pool[j]);
+      AccumulateFromSource(g, pool[i], weight, scratch, &centrality);
+    }
+  }
+  return centrality;
+}
+
+std::vector<VertexId> BetweennessBlockers(const Graph& g,
+                                          const std::vector<VertexId>& seeds,
+                                          uint32_t budget,
+                                          const BetweennessOptions& options) {
+  std::vector<double> score = ComputeBetweenness(g, options);
+  std::vector<uint8_t> is_seed(g.NumVertices(), 0);
+  for (VertexId s : seeds) {
+    VBLOCK_CHECK_MSG(s < g.NumVertices(), "seed id out of range");
+    is_seed[s] = 1;
+  }
+  std::vector<VertexId> pool;
+  pool.reserve(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (!is_seed[v]) pool.push_back(v);
+  }
+  const size_t k = std::min<size_t>(budget, pool.size());
+  std::partial_sort(pool.begin(), pool.begin() + static_cast<ptrdiff_t>(k),
+                    pool.end(), [&](VertexId a, VertexId b) {
+                      return score[a] != score[b] ? score[a] > score[b]
+                                                  : a < b;
+                    });
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace vblock

@@ -1,0 +1,35 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Shared result/statistics types for the blocker-selection algorithms.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace vblock {
+
+/// Run statistics shared by the greedy-family algorithms.
+struct GreedyRunStats {
+  /// Selection rounds completed (budget rounds unless the deadline fired).
+  uint32_t rounds_completed = 0;
+  /// Replacement swaps performed (GreedyReplace only).
+  uint32_t replacements = 0;
+  /// True if the cooperative deadline ended the run early.
+  bool timed_out = false;
+  /// Wall-clock seconds.
+  double seconds = 0;
+  /// Best Δ chosen in each completed selection round (diagnostics).
+  std::vector<double> round_best_delta;
+};
+
+/// A selected blocker set over *unified* vertex ids, plus run statistics.
+/// The solver facade (core/solver.h) maps ids back to the original graph.
+struct BlockerSelection {
+  std::vector<VertexId> blockers;
+  GreedyRunStats stats;
+};
+
+}  // namespace vblock

@@ -1,0 +1,27 @@
+#include "core/evaluator.h"
+
+#include "cascade/exact_spread.h"
+#include "cascade/monte_carlo.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+
+double EvaluateSpread(const Graph& g, const std::vector<VertexId>& seeds,
+                      const std::vector<VertexId>& blockers,
+                      const EvaluationOptions& options) {
+  VertexMask blocked = VertexMask::FromVertices(g.NumVertices(), blockers);
+  if (options.prefer_exact) {
+    ExactSpreadOptions exact;
+    exact.max_uncertain_edges = options.max_uncertain_edges;
+    auto result = ComputeExactSpread(g, seeds, &blocked, exact);
+    if (result.ok()) return result.value();
+    // Too many uncertain edges: fall through to Monte-Carlo.
+  }
+  MonteCarloOptions mc;
+  mc.rounds = options.mc_rounds;
+  mc.seed = options.seed;
+  mc.threads = options.threads;
+  return EstimateSpread(g, seeds, mc, &blocked);
+}
+
+}  // namespace vblock

@@ -1,0 +1,83 @@
+#include "core/exact_blocker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "graph/traversal.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+
+ExactSearchResult ExactBlockerSearch(const Graph& g,
+                                     const std::vector<VertexId>& seeds,
+                                     const ExactSearchOptions& options) {
+  Timer timer;
+  Deadline deadline(options.time_limit_seconds);
+  ExactSearchResult result;
+
+  std::vector<uint8_t> is_seed(g.NumVertices(), 0);
+  for (VertexId s : seeds) {
+    VBLOCK_CHECK_MSG(s < g.NumVertices(), "seed id out of range");
+    is_seed[s] = 1;
+  }
+
+  std::vector<VertexId> pool;
+  if (options.restrict_to_reachable) {
+    for (VertexId v : ReachableFromSet(g, seeds)) {
+      if (!is_seed[v]) pool.push_back(v);
+    }
+    std::sort(pool.begin(), pool.end());
+  } else {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (!is_seed[v]) pool.push_back(v);
+    }
+  }
+
+  const uint32_t k =
+      std::min<uint32_t>(options.budget, static_cast<uint32_t>(pool.size()));
+  if (k == 0) {
+    result.spread = EvaluateSpread(g, seeds, {}, options.evaluation);
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  // Lexicographic combination walk over indices into `pool`.
+  std::vector<uint32_t> idx(k);
+  for (uint32_t i = 0; i < k; ++i) idx[i] = i;
+
+  std::vector<VertexId> candidate(k);
+  bool have_best = false;
+  while (true) {
+    if (deadline.Expired()) {
+      result.timed_out = true;
+      break;
+    }
+    for (uint32_t i = 0; i < k; ++i) candidate[i] = pool[idx[i]];
+    const double spread = EvaluateSpread(g, seeds, candidate,
+                                         options.evaluation);
+    ++result.combinations_evaluated;
+    if (!have_best || spread < result.spread) {
+      have_best = true;
+      result.spread = spread;
+      result.blockers = candidate;
+    }
+
+    // Advance to the next combination.
+    int32_t pos = static_cast<int32_t>(k) - 1;
+    while (pos >= 0 &&
+           idx[pos] == pool.size() - k + static_cast<uint32_t>(pos)) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++idx[pos];
+    for (uint32_t i = static_cast<uint32_t>(pos) + 1; i < k; ++i) {
+      idx[i] = idx[i - 1] + 1;
+    }
+  }
+
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace vblock

@@ -1,0 +1,51 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Exact (optimal) blocker search by combination enumeration — the paper's
+// "Exact" competitor in Tables V/VI. Exponential in b; only feasible on
+// small extracts, which is precisely the point of those tables.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// Parameters for the exhaustive search.
+struct ExactSearchOptions {
+  /// Budget b — every candidate set of exactly min(b, pool size) vertices
+  /// is evaluated (the spread is monotone in B, so the optimum never needs
+  /// fewer than b blockers).
+  uint32_t budget = 1;
+  /// Spread evaluation used per candidate set. The paper's Exact uses
+  /// 10^4-round Monte-Carlo during the search and exact values in the
+  /// comparison; prefer_exact=true matches the latter on small extracts.
+  EvaluationOptions evaluation;
+  /// Restrict the candidate pool to non-seed vertices reachable from the
+  /// seeds: blocking an unreachable vertex can never change the spread, so
+  /// an optimum with the same value survives the restriction.
+  bool restrict_to_reachable = true;
+  /// Cooperative deadline in seconds (0 = none). On expiry the best set
+  /// found so far is returned with timed_out = true.
+  double time_limit_seconds = 0;
+};
+
+/// Result of ExactBlockerSearch.
+struct ExactSearchResult {
+  std::vector<VertexId> blockers;  // original ids
+  double spread = 0;               // spread of `blockers` per the evaluator
+  uint64_t combinations_evaluated = 0;
+  bool timed_out = false;
+  double seconds = 0;
+};
+
+/// Enumerates all blocker combinations on the original instance and returns
+/// the spread-minimizing one.
+ExactSearchResult ExactBlockerSearch(const Graph& g,
+                                     const std::vector<VertexId>& seeds,
+                                     const ExactSearchOptions& options);
+
+}  // namespace vblock

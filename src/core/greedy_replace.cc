@@ -1,0 +1,99 @@
+#include "core/greedy_replace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+
+BlockerSelection GreedyReplace(const Graph& g, VertexId root,
+                               const GreedyReplaceOptions& options) {
+  VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
+  Timer timer;
+  Deadline deadline(options.time_limit_seconds);
+
+  BlockerSelection result;
+  VertexMask blocked(g.NumVertices());
+  uint64_t invocation = 0;  // distinct RNG stream per Algorithm-2 call
+
+  auto compute_delta = [&]() {
+    SpreadDecreaseOptions sd;
+    sd.theta = options.theta;
+    sd.seed = MixSeed(options.seed, invocation++);
+    sd.threads = options.threads;
+    return options.triggering_model
+               ? ComputeSpreadDecreaseTriggering(
+                     g, *options.triggering_model, root, sd, &blocked)
+               : ComputeSpreadDecrease(g, root, sd, &blocked);
+  };
+
+  // Phase 1 (lines 1-10): greedily pick out-neighbors of the seed.
+  std::vector<VertexId> cb(g.OutNeighbors(root).begin(),
+                           g.OutNeighbors(root).end());
+  // Parallel seed edges were merged at construction; cb has no duplicates.
+  const uint32_t initial_rounds =
+      std::min<uint32_t>(options.budget, static_cast<uint32_t>(cb.size()));
+
+  for (uint32_t round = 0; round < initial_rounds; ++round) {
+    if (deadline.Expired()) {
+      result.stats.timed_out = true;
+      result.stats.seconds = timer.ElapsedSeconds();
+      return result;
+    }
+    SpreadDecreaseResult scores = compute_delta();
+    size_t best_idx = 0;
+    bool have_best = false;
+    double best_delta = -1.0;
+    for (size_t i = 0; i < cb.size(); ++i) {
+      if (blocked.Test(cb[i])) continue;
+      if (!have_best || scores.delta[cb[i]] > best_delta) {
+        have_best = true;
+        best_idx = i;
+        best_delta = scores.delta[cb[i]];
+      }
+    }
+    if (!have_best) break;
+    VertexId x = cb[best_idx];
+    cb.erase(cb.begin() + static_cast<ptrdiff_t>(best_idx));
+    blocked.Set(x);
+    result.blockers.push_back(x);
+    result.stats.round_best_delta.push_back(best_delta);
+    ++result.stats.rounds_completed;
+  }
+
+  // Phase 2 (lines 11-20): replacement in reverse insertion order with
+  // early termination.
+  for (auto it = result.blockers.rbegin(); it != result.blockers.rend();
+       ++it) {
+    if (deadline.Expired()) {
+      result.stats.timed_out = true;
+      break;
+    }
+    VertexId u = *it;
+    blocked.Clear(u);
+    SpreadDecreaseResult scores = compute_delta();
+
+    VertexId x = kInvalidVertex;
+    double best_delta = -1.0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (v == root || blocked.Test(v)) continue;
+      if (scores.delta[v] > best_delta) {
+        x = v;
+        best_delta = scores.delta[v];
+      }
+    }
+    VBLOCK_CHECK_MSG(x != kInvalidVertex, "candidate pool cannot be empty");
+
+    blocked.Set(x);
+    *it = x;
+    if (x == u) break;  // the removed blocker is still the best: stop
+    ++result.stats.replacements;
+  }
+
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace vblock

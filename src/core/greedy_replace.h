@@ -1,0 +1,48 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Algorithm 4 — GreedyReplace: the paper's highest-quality heuristic.
+//
+// Motivation (paper §V-D): with an unlimited budget the optimal blockers are
+// exactly the seed's out-neighbors, yet plain greedy may spend budget
+// elsewhere. GreedyReplace therefore (1) greedily picks min(dout(s), b)
+// out-neighbors of the seed as initial blockers, then (2) walks them in
+// reverse insertion order, tentatively un-blocks each one and re-runs
+// Algorithm 2 to find the globally best replacement; it early-terminates as
+// soon as a removed blocker is re-selected (no vertex beats it).
+
+#pragma once
+
+#include "core/blocker_result.h"
+#include "core/spread_decrease.h"
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// Parameters for Algorithm 4.
+struct GreedyReplaceOptions {
+  /// Budget b.
+  uint32_t budget = 10;
+  /// Sampled graphs θ per Algorithm-2 invocation (paper default 10^4).
+  uint32_t theta = 10000;
+  /// Base RNG seed.
+  uint64_t seed = 1;
+  /// Worker threads for the sampling passes.
+  uint32_t threads = 1;
+  /// Cooperative deadline in seconds (0 = none).
+  double time_limit_seconds = 0;
+  /// Optional triggering model (paper §V-E): when set, live-edge samples
+  /// are drawn from this model (e.g. LtTriggeringModel) instead of the IC
+  /// per-edge coins. Not owned; must outlive the call.
+  const TriggeringModel* triggering_model = nullptr;
+};
+
+/// Runs Algorithm 4 on a unified single-seed instance. Returns at most
+/// min(dout(root), budget) blockers — when the budget exceeds the root's
+/// out-degree, blocking every out-neighbor already reduces the spread to its
+/// minimum (only the root active) and extra blockers would be no-ops, so the
+/// surplus budget is intentionally left unused (the problem asks for *at
+/// most* b blockers).
+BlockerSelection GreedyReplace(const Graph& g, VertexId root,
+                               const GreedyReplaceOptions& options);
+
+}  // namespace vblock

@@ -1,0 +1,108 @@
+#include "core/heuristics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace vblock {
+
+namespace {
+
+std::vector<uint8_t> SeedFlags(const Graph& g,
+                               const std::vector<VertexId>& seeds) {
+  std::vector<uint8_t> is_seed(g.NumVertices(), 0);
+  for (VertexId s : seeds) {
+    VBLOCK_CHECK_MSG(s < g.NumVertices(), "seed id out of range");
+    is_seed[s] = 1;
+  }
+  return is_seed;
+}
+
+// Picks the `budget` highest-scoring non-seed vertices (ties toward the
+// smaller id).
+std::vector<VertexId> TopKByScore(const Graph& g,
+                                  const std::vector<VertexId>& seeds,
+                                  uint32_t budget,
+                                  const std::vector<double>& score) {
+  std::vector<uint8_t> is_seed = SeedFlags(g, seeds);
+  std::vector<VertexId> pool;
+  pool.reserve(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (!is_seed[v]) pool.push_back(v);
+  }
+  const size_t k = std::min<size_t>(budget, pool.size());
+  std::partial_sort(pool.begin(), pool.begin() + static_cast<ptrdiff_t>(k),
+                    pool.end(), [&](VertexId a, VertexId b) {
+                      return score[a] != score[b] ? score[a] > score[b]
+                                                  : a < b;
+                    });
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace
+
+std::vector<VertexId> RandomBlockers(const Graph& g,
+                                     const std::vector<VertexId>& seeds,
+                                     uint32_t budget, uint64_t seed) {
+  std::vector<uint8_t> is_seed = SeedFlags(g, seeds);
+  std::vector<VertexId> pool;
+  pool.reserve(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (!is_seed[v]) pool.push_back(v);
+  }
+  Rng rng(seed);
+  const size_t k = std::min<size_t>(budget, pool.size());
+  // Partial Fisher-Yates: the first k slots end up a uniform sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + rng.NextBounded(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::vector<VertexId> OutDegreeBlockers(const Graph& g,
+                                        const std::vector<VertexId>& seeds,
+                                        uint32_t budget) {
+  std::vector<double> score(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    score[v] = static_cast<double>(g.OutDegree(v));
+  }
+  return TopKByScore(g, seeds, budget, score);
+}
+
+std::vector<double> ComputePageRank(const Graph& g, double damping,
+                                    uint32_t iterations) {
+  const VertexId n = g.NumVertices();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / n);
+  std::vector<double> next(n);
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    double dangling = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (g.OutDegree(v) == 0) dangling += rank[v];
+    }
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    std::fill(next.begin(), next.end(), base);
+    for (VertexId u = 0; u < n; ++u) {
+      if (g.OutDegree(u) == 0) continue;
+      const double share = damping * rank[u] / g.OutDegree(u);
+      for (VertexId v : g.OutNeighbors(u)) next[v] += share;
+    }
+    std::swap(rank, next);
+  }
+  return rank;
+}
+
+std::vector<VertexId> PageRankBlockers(const Graph& g,
+                                       const std::vector<VertexId>& seeds,
+                                       uint32_t budget, double damping,
+                                       uint32_t iterations) {
+  return TopKByScore(g, seeds, budget,
+                     ComputePageRank(g, damping, iterations));
+}
+
+}  // namespace vblock

@@ -1,0 +1,42 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Non-greedy baseline heuristics from the paper's experiments (§VI-A
+// "Algorithms": Rand, OutDegree) plus a PageRank-based blocker as an extra
+// reference point (degree/centrality heuristics are the classic pre-greedy
+// approaches the paper cites [11], [12], [31]).
+//
+// All three operate on the *original* graph (no seed unification needed)
+// and simply exclude the seeds from the candidate pool.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// Rand (RA): b uniform random non-seed vertices (without replacement).
+std::vector<VertexId> RandomBlockers(const Graph& g,
+                                     const std::vector<VertexId>& seeds,
+                                     uint32_t budget, uint64_t seed);
+
+/// OutDegree (OD): the b non-seed vertices with the highest out-degree
+/// (ties toward the smaller id — deterministic).
+std::vector<VertexId> OutDegreeBlockers(const Graph& g,
+                                        const std::vector<VertexId>& seeds,
+                                        uint32_t budget);
+
+/// PageRank blocker: the b non-seed vertices with the highest PageRank
+/// (power iteration on the unweighted structure, damping d).
+std::vector<VertexId> PageRankBlockers(const Graph& g,
+                                       const std::vector<VertexId>& seeds,
+                                       uint32_t budget, double damping = 0.85,
+                                       uint32_t iterations = 50);
+
+/// PageRank scores themselves (exposed for tests and diagnostics).
+std::vector<double> ComputePageRank(const Graph& g, double damping = 0.85,
+                                    uint32_t iterations = 50);
+
+}  // namespace vblock

@@ -1,0 +1,35 @@
+#include "core/sample_size.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace vblock {
+
+uint64_t RequiredSampleCount(VertexId n, const EstimationGuarantee& g) {
+  VBLOCK_CHECK_MSG(n >= 2, "need at least 2 vertices");
+  VBLOCK_CHECK_MSG(g.epsilon > 0 && g.epsilon < 1, "epsilon must be in (0,1)");
+  VBLOCK_CHECK_MSG(g.l > 0, "l must be positive");
+  VBLOCK_CHECK_MSG(g.opt_lower_bound > 0, "OPT bound must be positive");
+  const double numerator = g.l * (2.0 + g.epsilon) *
+                           static_cast<double>(n) *
+                           std::log(static_cast<double>(n));
+  const double theta =
+      numerator / (g.epsilon * g.epsilon * g.opt_lower_bound);
+  return theta < 1.0 ? 1 : static_cast<uint64_t>(std::ceil(theta));
+}
+
+double GuaranteedEpsilon(VertexId n, uint64_t theta, double l,
+                         double opt_lower_bound) {
+  VBLOCK_CHECK_MSG(n >= 2, "need at least 2 vertices");
+  VBLOCK_CHECK_MSG(theta > 0, "theta must be positive");
+  VBLOCK_CHECK_MSG(l > 0 && opt_lower_bound > 0, "invalid parameters");
+  // Solve ε²·OPT·θ − l·n·ln n·ε − 2·l·n·ln n = 0 for ε > 0.
+  const double c = l * static_cast<double>(n) *
+                   std::log(static_cast<double>(n));
+  const double a = opt_lower_bound * static_cast<double>(theta);
+  // aε² − cε − 2c = 0  →  ε = (c + sqrt(c² + 8ac)) / (2a).
+  return (c + std::sqrt(c * c + 8.0 * a * c)) / (2.0 * a);
+}
+
+}  // namespace vblock

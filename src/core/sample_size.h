@@ -1,0 +1,44 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Theorem 5's sample-size bound, as a usable calculator.
+//
+// The paper proves (via Chernoff bounds) that the Algorithm-2 estimator
+// satisfies |ξ→u(s,G) − OPT| < ε·OPT with probability ≥ 1 − n^−l whenever
+//
+//     θ ≥ l·(2+ε)·n·ln n / (ε²·OPT)
+//
+// where OPT is the true spread decrease of the blocked vertex. OPT is
+// unknown a priori; callers substitute a lower bound (any blocker of a
+// reachable vertex has OPT ≥ 1, which gives the worst-case bound the
+// experiments' θ=10⁴ default is calibrated against).
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// Parameters of the Theorem-5 guarantee.
+struct EstimationGuarantee {
+  /// Relative error ε ∈ (0, 1).
+  double epsilon = 0.1;
+  /// Failure probability exponent l (failure prob ≤ n^−l).
+  double l = 1.0;
+  /// Lower bound on OPT, the spread decrease of the vertex being
+  /// estimated. 1.0 is always valid for reachable candidates.
+  double opt_lower_bound = 1.0;
+};
+
+/// The θ required by Theorem 5 for the guarantee on an n-vertex instance.
+/// Returns at least 1. Aborts (CHECK) on invalid parameters.
+uint64_t RequiredSampleCount(VertexId n, const EstimationGuarantee& g);
+
+/// Inverse view: the relative error ε guaranteed (with probability
+/// ≥ 1 − n^−l) by a given θ on an n-vertex instance — the positive root of
+/// ε²·OPT·θ = l·(2+ε)·n·ln n. Useful for reporting the precision of a run.
+double GuaranteedEpsilon(VertexId n, uint64_t theta, double l,
+                         double opt_lower_bound);
+
+}  // namespace vblock

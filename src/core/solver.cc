@@ -1,0 +1,104 @@
+#include "core/solver.h"
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/advanced_greedy.h"
+#include "core/baseline_greedy.h"
+#include "core/betweenness.h"
+#include "core/greedy_replace.h"
+#include "core/heuristics.h"
+#include "core/unified_instance.h"
+
+namespace vblock {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kRandom:
+      return "RA";
+    case Algorithm::kOutDegree:
+      return "OD";
+    case Algorithm::kPageRank:
+      return "PR";
+    case Algorithm::kBetweenness:
+      return "BC";
+    case Algorithm::kBaselineGreedy:
+      return "BG";
+    case Algorithm::kAdvancedGreedy:
+      return "AG";
+    case Algorithm::kGreedyReplace:
+      return "GR";
+  }
+  return "?";
+}
+
+SolverResult SolveImin(const Graph& g, const std::vector<VertexId>& seeds,
+                       const SolverOptions& options) {
+  SolverResult result;
+  Timer timer;
+
+  switch (options.algorithm) {
+    case Algorithm::kRandom:
+      result.blockers = RandomBlockers(g, seeds, options.budget, options.seed);
+      break;
+    case Algorithm::kOutDegree:
+      result.blockers = OutDegreeBlockers(g, seeds, options.budget);
+      break;
+    case Algorithm::kPageRank:
+      result.blockers = PageRankBlockers(g, seeds, options.budget);
+      break;
+    case Algorithm::kBetweenness: {
+      // Exact Brandes up to ~2k vertices, then pivot-sampled (O(n·m) would
+      // dominate the solve otherwise).
+      BetweennessOptions bc;
+      if (g.NumVertices() > 2048) {
+        bc.pivots = 512;
+        bc.seed = options.seed;
+      }
+      result.blockers = BetweennessBlockers(g, seeds, options.budget, bc);
+      break;
+    }
+    case Algorithm::kBaselineGreedy: {
+      UnifiedInstance inst = UnifySeeds(g, seeds);
+      BaselineGreedyOptions bg;
+      bg.budget = options.budget;
+      bg.mc_rounds = options.mc_rounds;
+      bg.seed = options.seed;
+      bg.time_limit_seconds = options.time_limit_seconds;
+      BlockerSelection sel = BaselineGreedy(inst.graph, inst.root, bg);
+      result.blockers = inst.BlockersToOriginal(sel.blockers);
+      result.stats = sel.stats;
+      break;
+    }
+    case Algorithm::kAdvancedGreedy: {
+      UnifiedInstance inst = UnifySeeds(g, seeds);
+      AdvancedGreedyOptions ag;
+      ag.budget = options.budget;
+      ag.theta = options.theta;
+      ag.seed = options.seed;
+      ag.threads = options.threads;
+      ag.time_limit_seconds = options.time_limit_seconds;
+      BlockerSelection sel = AdvancedGreedy(inst.graph, inst.root, ag);
+      result.blockers = inst.BlockersToOriginal(sel.blockers);
+      result.stats = sel.stats;
+      break;
+    }
+    case Algorithm::kGreedyReplace: {
+      UnifiedInstance inst = UnifySeeds(g, seeds);
+      GreedyReplaceOptions gr;
+      gr.budget = options.budget;
+      gr.theta = options.theta;
+      gr.seed = options.seed;
+      gr.threads = options.threads;
+      gr.time_limit_seconds = options.time_limit_seconds;
+      BlockerSelection sel = GreedyReplace(inst.graph, inst.root, gr);
+      result.blockers = inst.BlockersToOriginal(sel.blockers);
+      result.stats = sel.stats;
+      break;
+    }
+  }
+
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace vblock

@@ -1,0 +1,66 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// High-level IMIN solver facade — the library's primary entry point.
+//
+// Callers hand over the original instance (graph, seed set, budget) and an
+// algorithm choice; the facade performs the multi-seed unification, runs the
+// selected algorithm, and maps the blockers back to original vertex ids.
+//
+//   SolverOptions opts;
+//   opts.algorithm = Algorithm::kGreedyReplace;
+//   opts.budget = 20;
+//   SolverResult r = SolveImin(graph, seeds, opts);
+//   double spread = EvaluateSpread(graph, seeds, r.blockers);
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/blocker_result.h"
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// Blocker-selection algorithms available through the facade.
+enum class Algorithm {
+  kRandom,          // RA   — random non-seeds
+  kOutDegree,       // OD   — highest out-degree
+  kPageRank,        // PR   — highest PageRank (extra baseline, ours)
+  kBetweenness,     // BC   — highest betweenness (cited baseline [31])
+  kBaselineGreedy,  // BG   — Algorithm 1 (greedy + Monte-Carlo)
+  kAdvancedGreedy,  // AG   — Algorithm 3 (greedy + sampled dominator trees)
+  kGreedyReplace,   // GR   — Algorithm 4 (out-neighbors first + replacement)
+};
+
+/// Short display name ("RA", "OD", "PR", "BC", "BG", "AG", "GR").
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Unified knobs; each algorithm reads the subset it understands.
+struct SolverOptions {
+  Algorithm algorithm = Algorithm::kGreedyReplace;
+  /// Budget b (maximum number of blockers).
+  uint32_t budget = 10;
+  /// Sampled graphs θ per Algorithm-2 call (AG / GR).
+  uint32_t theta = 10000;
+  /// Monte-Carlo rounds r per estimate (BG).
+  uint32_t mc_rounds = 10000;
+  /// Base RNG seed (all stochastic algorithms).
+  uint64_t seed = 1;
+  /// Worker threads for sampling passes (AG / GR).
+  uint32_t threads = 1;
+  /// Cooperative deadline in seconds, 0 = none (BG / AG / GR).
+  double time_limit_seconds = 0;
+};
+
+/// Facade result: blockers in *original* vertex ids.
+struct SolverResult {
+  std::vector<VertexId> blockers;
+  GreedyRunStats stats;
+};
+
+/// Solves the IMIN instance (G, S, b) with the chosen algorithm.
+SolverResult SolveImin(const Graph& g, const std::vector<VertexId>& seeds,
+                       const SolverOptions& options);
+
+}  // namespace vblock

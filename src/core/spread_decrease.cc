@@ -1,0 +1,208 @@
+#include "core/spread_decrease.h"
+
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "domtree/dominator_tree.h"
+#include "sampling/reachable_sampler.h"
+#include "sampling/triggering_sampler.h"
+#include "sampling/world_enumerator.h"
+
+namespace vblock {
+
+namespace {
+
+// Accumulates one sample's dominator-subtree sizes into `delta`
+// (parent-graph ids) and returns the sample's (weighted) vertex count.
+// `weights` may be null (all ones); `weight_scratch` is reused storage for
+// the weighted path.
+double AccumulateSample(const SampledGraph& sample,
+                        const std::vector<double>* weights,
+                        std::vector<double>* weight_scratch,
+                        std::vector<double>* delta) {
+  if (!weights) {
+    if (sample.NumVertices() > 1) {
+      DominatorTree tree = ComputeDominatorTree(sample.View(), 0);
+      std::vector<VertexId> sizes = ComputeSubtreeSizes(tree);
+      for (VertexId local = 1; local < sample.NumVertices(); ++local) {
+        (*delta)[sample.to_parent[local]] +=
+            static_cast<double>(sizes[local]);
+      }
+    }
+    return static_cast<double>(sample.NumVertices());
+  }
+
+  weight_scratch->clear();
+  double total = 0;
+  for (VertexId parent : sample.to_parent) {
+    weight_scratch->push_back((*weights)[parent]);
+    total += (*weights)[parent];
+  }
+  if (sample.NumVertices() > 1) {
+    DominatorTree tree = ComputeDominatorTree(sample.View(), 0);
+    std::vector<double> sizes =
+        ComputeWeightedSubtreeSizes(tree, *weight_scratch);
+    for (VertexId local = 1; local < sample.NumVertices(); ++local) {
+      (*delta)[sample.to_parent[local]] += sizes[local];
+    }
+  }
+  return total;
+}
+
+// Shared driver for the IC, triggering and weighted variants:
+// `make_sampler()` returns a callable `void(Rng&, SampledGraph*)`.
+template <typename MakeSampler>
+SpreadDecreaseResult RunSampling(const Graph& g,
+                                 const SpreadDecreaseOptions& options,
+                                 const std::vector<double>* weights,
+                                 MakeSampler&& make_sampler) {
+  VBLOCK_CHECK_MSG(options.theta > 0, "theta must be positive");
+  VBLOCK_CHECK_MSG(!weights || weights->size() == g.NumVertices(),
+                   "weight vector size must match vertex count");
+  const uint32_t threads =
+      std::max<uint32_t>(1, std::min(options.threads, options.theta));
+
+  auto run_range = [&](uint32_t begin, uint32_t end,
+                       std::vector<double>* delta) -> double {
+    auto sampler = make_sampler();
+    SampledGraph sample;
+    std::vector<double> weight_scratch;
+    double total_size = 0;
+    for (uint32_t i = begin; i < end; ++i) {
+      Rng rng(MixSeed(options.seed, i));
+      sampler(rng, &sample);
+      total_size += AccumulateSample(sample, weights, &weight_scratch, delta);
+    }
+    return total_size;
+  };
+
+  SpreadDecreaseResult result;
+  result.delta.assign(g.NumVertices(), 0.0);
+  double total_size = 0;
+
+  if (threads == 1) {
+    total_size = run_range(0, options.theta, &result.delta);
+  } else {
+    std::vector<std::vector<double>> partial(
+        threads, std::vector<double>(g.NumVertices(), 0.0));
+    std::vector<double> sizes(threads, 0);
+    std::vector<std::thread> workers;
+    const uint32_t chunk = (options.theta + threads - 1) / threads;
+    for (uint32_t t = 0; t < threads; ++t) {
+      uint32_t begin = t * chunk;
+      uint32_t end = std::min(options.theta, begin + chunk);
+      workers.emplace_back([&, t, begin, end] {
+        sizes[t] = run_range(begin, end, &partial[t]);
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (uint32_t t = 0; t < threads; ++t) {
+      total_size += sizes[t];
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        result.delta[v] += partial[t][v];
+      }
+    }
+  }
+
+  const double inv_theta = 1.0 / static_cast<double>(options.theta);
+  for (double& d : result.delta) d *= inv_theta;
+  result.expected_spread = total_size * inv_theta;
+  return result;
+}
+
+}  // namespace
+
+SpreadDecreaseResult ComputeSpreadDecrease(const Graph& g, VertexId root,
+                                           const SpreadDecreaseOptions& options,
+                                           const VertexMask* blocked) {
+  return RunSampling(g, options, /*weights=*/nullptr, [&] {
+    // One sampler per worker thread; shares the graph, owns scratch space.
+    return [sampler = ReachableSampler(g, root, blocked)](
+               Rng& rng, SampledGraph* out) mutable {
+      sampler.Sample(rng, out);
+    };
+  });
+}
+
+SpreadDecreaseResult ComputeSpreadDecreaseTriggering(
+    const Graph& g, const TriggeringModel& model, VertexId root,
+    const SpreadDecreaseOptions& options, const VertexMask* blocked) {
+  return RunSampling(g, options, /*weights=*/nullptr, [&] {
+    return [sampler = TriggeringSampler(g, model, root, blocked)](
+               Rng& rng, SampledGraph* out) mutable {
+      sampler.Sample(rng, out);
+    };
+  });
+}
+
+SpreadDecreaseResult ComputeSpreadDecreaseWeighted(
+    const Graph& g, VertexId root, const std::vector<double>& vertex_weight,
+    const SpreadDecreaseOptions& options, const VertexMask* blocked) {
+  return RunSampling(g, options, &vertex_weight, [&] {
+    return [sampler = ReachableSampler(g, root, blocked)](
+               Rng& rng, SampledGraph* out) mutable {
+      sampler.Sample(rng, out);
+    };
+  });
+}
+
+Result<SpreadDecreaseResult> ComputeSpreadDecreaseExactWeighted(
+    const Graph& g, VertexId root, const std::vector<double>& vertex_weight,
+    const VertexMask* blocked, int max_uncertain_edges) {
+  VBLOCK_CHECK_MSG(vertex_weight.size() == g.NumVertices(),
+                   "weight vector size must match vertex count");
+  WorldEnumerator enumerator(g, root, blocked);
+  SpreadDecreaseResult result;
+  result.delta.assign(g.NumVertices(), 0.0);
+  double spread = 0;
+  std::vector<double> weight_scratch;
+  Status status = enumerator.ForEachWorld(
+      [&](double world_weight, const SampledGraph& sample) {
+        weight_scratch.clear();
+        double total = 0;
+        for (VertexId parent : sample.to_parent) {
+          weight_scratch.push_back(vertex_weight[parent]);
+          total += vertex_weight[parent];
+        }
+        spread += world_weight * total;
+        if (sample.NumVertices() <= 1) return;
+        DominatorTree tree = ComputeDominatorTree(sample.View(), 0);
+        std::vector<double> sizes =
+            ComputeWeightedSubtreeSizes(tree, weight_scratch);
+        for (VertexId local = 1; local < sample.NumVertices(); ++local) {
+          result.delta[sample.to_parent[local]] +=
+              world_weight * sizes[local];
+        }
+      },
+      max_uncertain_edges);
+  if (!status.ok()) return status;
+  result.expected_spread = spread;
+  return result;
+}
+
+Result<SpreadDecreaseResult> ComputeSpreadDecreaseExact(
+    const Graph& g, VertexId root, const VertexMask* blocked,
+    int max_uncertain_edges) {
+  WorldEnumerator enumerator(g, root, blocked);
+  SpreadDecreaseResult result;
+  result.delta.assign(g.NumVertices(), 0.0);
+  double spread = 0;
+  Status status = enumerator.ForEachWorld(
+      [&](double weight, const SampledGraph& sample) {
+        spread += weight * static_cast<double>(sample.NumVertices());
+        if (sample.NumVertices() <= 1) return;
+        DominatorTree tree = ComputeDominatorTree(sample.View(), 0);
+        std::vector<VertexId> sizes = ComputeSubtreeSizes(tree);
+        for (VertexId local = 1; local < sample.NumVertices(); ++local) {
+          result.delta[sample.to_parent[local]] +=
+              weight * static_cast<double>(sizes[local]);
+        }
+      },
+      max_uncertain_edges);
+  if (!status.ok()) return status;
+  result.expected_spread = spread;
+  return result;
+}
+
+}  // namespace vblock

@@ -1,0 +1,82 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Algorithm 2 — DecreaseESComputation: the paper's key technical
+// contribution. One pass over θ sampled graphs and their dominator trees
+// yields, for *every* candidate blocker u at once, an estimate of the
+// decrease of expected spread if u were blocked:
+//
+//   Δ[u] = (1/θ) Σ_samples |subtree of u in the dominator tree|   (Thm. 4+6)
+//
+// versus the Monte-Carlo baseline which re-simulates per candidate.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cascade/triggering.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+
+/// Sampling parameters for Algorithm 2.
+struct SpreadDecreaseOptions {
+  /// Number of sampled graphs θ (paper default 10^4).
+  uint32_t theta = 10000;
+  /// Base RNG seed; sample i uses MixSeed(seed, i), so results do not
+  /// depend on the thread count.
+  uint64_t seed = 1;
+  /// Worker threads (1 = sequential).
+  uint32_t threads = 1;
+};
+
+/// Output of Algorithm 2.
+struct SpreadDecreaseResult {
+  /// Δ[u] for every vertex of the (unified) graph; Δ[root] and Δ of blocked
+  /// or unreachable vertices are 0.
+  std::vector<double> delta;
+  /// Estimate of the current expected spread E({root}, G[V\B]) — the average
+  /// sample size. Falls out of the same pass for free (Lemma 1).
+  double expected_spread = 0;
+};
+
+/// Runs Algorithm 2 on the IC model: θ live-edge samples rooted at `root`
+/// (skipping `blocked`), one Lengauer-Tarjan dominator tree per sample, one
+/// subtree-size DFS per tree.
+SpreadDecreaseResult ComputeSpreadDecrease(
+    const Graph& g, VertexId root, const SpreadDecreaseOptions& options,
+    const VertexMask* blocked = nullptr);
+
+/// Exact Δ by exhaustive world enumeration (Definition 4 enumerated instead
+/// of sampled) — zero sampling error; used by tests against the paper's
+/// Example 2 numbers, and feasible only for ≤ max_uncertain_edges uncertain
+/// edges in the root-reachable region.
+Result<SpreadDecreaseResult> ComputeSpreadDecreaseExact(
+    const Graph& g, VertexId root, const VertexMask* blocked = nullptr,
+    int max_uncertain_edges = 25);
+
+/// Algorithm 2 under a general triggering model (paper §V-E): identical
+/// dominator-tree machinery over triggering-set samples.
+SpreadDecreaseResult ComputeSpreadDecreaseTriggering(
+    const Graph& g, const TriggeringModel& model, VertexId root,
+    const SpreadDecreaseOptions& options, const VertexMask* blocked = nullptr);
+
+/// Weighted variant of Algorithm 2: Δ[u] estimates the decrease of the
+/// *weighted* spread Σ_{reached w} weight[w] when u is blocked, and
+/// expected_spread is the weighted spread estimate. With all-ones weights
+/// this equals ComputeSpreadDecrease. The edge-blocking extension assigns
+/// weight 0 to its auxiliary edge-split vertices so that only real
+/// vertices count.
+SpreadDecreaseResult ComputeSpreadDecreaseWeighted(
+    const Graph& g, VertexId root, const std::vector<double>& vertex_weight,
+    const SpreadDecreaseOptions& options, const VertexMask* blocked = nullptr);
+
+/// Exact weighted variant by exhaustive world enumeration (tests / small
+/// graphs).
+Result<SpreadDecreaseResult> ComputeSpreadDecreaseExactWeighted(
+    const Graph& g, VertexId root, const std::vector<double>& vertex_weight,
+    const VertexMask* blocked = nullptr, int max_uncertain_edges = 25);
+
+}  // namespace vblock

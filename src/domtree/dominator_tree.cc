@@ -1,0 +1,140 @@
+#include "domtree/dominator_tree.h"
+
+#include <algorithm>
+
+namespace vblock {
+
+bool DominatorTree::Dominates(VertexId u, VertexId v) const {
+  if (!Reachable(u) || !Reachable(v)) return false;
+  // Walk v's idom chain up to the root; depth is at most the tree height.
+  while (true) {
+    if (v == u) return true;
+    if (v == root) return false;
+    v = idom[v];
+  }
+}
+
+DominatorTree ComputeDominatorTreeNaive(const FlatGraphView& g,
+                                        VertexId root) {
+  VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
+  const VertexId n = g.NumVertices();
+
+  // Reverse postorder of the reachable subgraph (root first).
+  std::vector<VertexId> postorder;
+  {
+    std::vector<uint8_t> visited(n, 0);
+    std::vector<std::pair<VertexId, uint32_t>> stack;
+    visited[root] = 1;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [u, k] = stack.back();
+      auto targets = g.OutNeighbors(u);
+      if (k >= targets.size()) {
+        postorder.push_back(u);
+        stack.pop_back();
+        continue;
+      }
+      VertexId v = targets[k++];
+      if (!visited[v]) {
+        visited[v] = 1;
+        stack.emplace_back(v, 0);
+      }
+    }
+  }
+  std::vector<VertexId> rpo(postorder.rbegin(), postorder.rend());
+  std::vector<uint32_t> po_number(n, 0);
+  for (uint32_t i = 0; i < postorder.size(); ++i) {
+    po_number[postorder[i]] = i + 1;  // 0 = unreachable
+  }
+
+  // Predecessor lists restricted to reachable vertices.
+  std::vector<std::vector<VertexId>> preds(n);
+  for (VertexId u : rpo) {
+    for (VertexId v : g.OutNeighbors(u)) preds[v].push_back(u);
+  }
+
+  // Cooper–Harvey–Kennedy iteration. idom in vertex space; root's idom is
+  // itself during the fixpoint (simplifies Intersect).
+  std::vector<VertexId> idom(n, kInvalidVertex);
+  idom[root] = root;
+  auto intersect = [&](VertexId a, VertexId b) {
+    while (a != b) {
+      while (po_number[a] < po_number[b]) a = idom[a];
+      while (po_number[b] < po_number[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v : rpo) {
+      if (v == root) continue;
+      VertexId new_idom = kInvalidVertex;
+      for (VertexId p : preds[v]) {
+        if (idom[p] == kInvalidVertex) continue;  // not yet processed
+        new_idom = (new_idom == kInvalidVertex) ? p : intersect(p, new_idom);
+      }
+      if (new_idom != idom[v]) {
+        idom[v] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  DominatorTree tree;
+  tree.root = root;
+  tree.idom = std::move(idom);
+  tree.idom[root] = kInvalidVertex;  // public convention
+  return tree;
+}
+
+namespace {
+
+// Top-down BFS order of the dominator tree (root first); reverse iteration
+// folds every vertex into its idom after all its descendants.
+std::vector<VertexId> DomTreeBfsOrder(const DominatorTree& tree) {
+  const auto n = static_cast<VertexId>(tree.idom.size());
+  std::vector<std::vector<VertexId>> children(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (v != tree.root && tree.idom[v] != kInvalidVertex) {
+      children[tree.idom[v]].push_back(v);
+    }
+  }
+  std::vector<VertexId> order;
+  order.reserve(n);
+  if (tree.root < n) order.push_back(tree.root);
+  for (size_t head = 0; head < order.size(); ++head) {
+    for (VertexId c : children[order[head]]) order.push_back(c);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<VertexId> ComputeSubtreeSizes(const DominatorTree& tree) {
+  std::vector<VertexId> sizes(tree.idom.size(), 0);
+  std::vector<VertexId> order = DomTreeBfsOrder(tree);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    VertexId v = *it;
+    sizes[v] += 1;
+    if (v != tree.root) sizes[tree.idom[v]] += sizes[v];
+  }
+  return sizes;
+}
+
+std::vector<double> ComputeWeightedSubtreeSizes(
+    const DominatorTree& tree, const std::vector<double>& weight) {
+  VBLOCK_CHECK_MSG(weight.size() == tree.idom.size(),
+                   "weight vector size must match vertex count");
+  std::vector<double> sizes(tree.idom.size(), 0.0);
+  std::vector<VertexId> order = DomTreeBfsOrder(tree);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    VertexId v = *it;
+    sizes[v] += weight[v];
+    if (v != tree.root) sizes[tree.idom[v]] += sizes[v];
+  }
+  return sizes;
+}
+
+}  // namespace vblock

@@ -1,0 +1,34 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Non-owning CSR view used by the dominator algorithms.
+//
+// Dominator trees are computed on sampled live-edge subgraphs thousands of
+// times per query; the view decouples the algorithms from the heavyweight
+// Graph class so samplers can hand over their compact scratch arrays
+// without copying.
+
+#pragma once
+
+#include <span>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace vblock {
+
+/// Borrowed CSR adjacency: offsets has n+1 entries, targets has m.
+struct FlatGraphView {
+  std::span<const uint32_t> offsets;
+  std::span<const VertexId> targets;
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(offsets.size() - 1);
+  }
+
+  std::span<const VertexId> OutNeighbors(VertexId u) const {
+    VBLOCK_DCHECK(u + 1 < offsets.size());
+    return targets.subspan(offsets[u], offsets[u + 1] - offsets[u]);
+  }
+};
+
+}  // namespace vblock

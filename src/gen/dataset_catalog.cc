@@ -1,0 +1,88 @@
+#include "gen/dataset_catalog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/check.h"
+#include "gen/generators.h"
+
+namespace vblock {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& PaperDatasets() {
+  // Structural families: Email/Wiki/Twitter/Stanford are skewed directed
+  // graphs -> R-MAT (Stanford gets more skew: its dmax is 38k); Facebook and
+  // Youtube are undirected social networks -> Barabási–Albert; DBLP is a
+  // co-authorship network with strong local clustering -> Watts–Strogatz.
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"EmailCore", "EC", 1005, 25571, true, GeneratorKind::kRmat,
+       0.45, 0.22, 0.22, 0.1},
+      {"Facebook", "F", 4039, 88234, false, GeneratorKind::kBarabasiAlbert},
+      {"Wiki-Vote", "W", 7115, 103689, true, GeneratorKind::kRmat,
+       0.52, 0.21, 0.21, 0.1},
+      {"EmailAll", "EA", 265214, 420045, true, GeneratorKind::kRmat,
+       0.57, 0.19, 0.19, 0.1},
+      {"DBLP", "D", 317080, 1049866, false, GeneratorKind::kWattsStrogatz,
+       0.57, 0.19, 0.19, 0.15},
+      {"Twitter", "T", 81306, 1768149, true, GeneratorKind::kRmat,
+       0.55, 0.2, 0.2, 0.1},
+      {"Stanford", "S", 281903, 2312497, true, GeneratorKind::kRmat,
+       0.62, 0.17, 0.17, 0.1},
+      {"Youtube", "Y", 1134890, 2987624, false,
+       GeneratorKind::kBarabasiAlbert},
+  };
+  return kSpecs;
+}
+
+const DatasetSpec* FindDataset(const std::string& name) {
+  std::string needle = ToLower(name);
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (ToLower(spec.name) == needle || ToLower(spec.short_name) == needle) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+Graph MakeDataset(const DatasetSpec& spec, double scale, uint64_t seed) {
+  VBLOCK_CHECK_MSG(scale > 0 && scale <= 1.0, "scale must be in (0,1]");
+  const auto n =
+      static_cast<VertexId>(std::max(64.0, std::round(spec.paper_n * scale)));
+  const auto m =
+      static_cast<EdgeId>(std::max<double>(n, std::round(spec.paper_m * scale)));
+  switch (spec.kind) {
+    case GeneratorKind::kErdosRenyi:
+      return GenerateErdosRenyi(n, m, seed);
+    case GeneratorKind::kBarabasiAlbert: {
+      // BA adds `epv` undirected links per vertex: 2*epv directed edges.
+      auto epv = static_cast<VertexId>(
+          std::max<EdgeId>(1, m / (2 * static_cast<EdgeId>(n))));
+      return GenerateBarabasiAlbert(n, epv, seed);
+    }
+    case GeneratorKind::kWattsStrogatz: {
+      auto k = static_cast<VertexId>(
+          std::max<EdgeId>(1, m / (2 * static_cast<EdgeId>(n))));
+      return GenerateWattsStrogatz(n, k, spec.ws_beta, seed);
+    }
+    case GeneratorKind::kRmat: {
+      int scale_bits = 1;
+      while ((VertexId{1} << scale_bits) < n) ++scale_bits;
+      return GenerateRmat(scale_bits, m, spec.rmat_a, spec.rmat_b, spec.rmat_c,
+                          seed);
+    }
+  }
+  VBLOCK_CHECK_MSG(false, "unreachable generator kind");
+  return Graph();
+}
+
+}  // namespace vblock

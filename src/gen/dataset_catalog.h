@@ -1,0 +1,55 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Named stand-ins for the paper's 8 SNAP datasets (Table IV).
+//
+// Each catalog entry records the real dataset's statistics (n, m,
+// directedness) and a generator recipe whose output matches the dataset's
+// structural family. `MakeDataset(spec, scale, seed)` produces a scaled
+// version: scale=1.0 matches the paper's sizes; benches default to smaller
+// scales so that the whole harness runs in minutes on a laptop (the paper's
+// own runs take up to 24h per cell). See DESIGN.md §4 for the substitution
+// rationale.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// Structural family used for a dataset stand-in.
+enum class GeneratorKind {
+  kErdosRenyi,      // uniform random
+  kBarabasiAlbert,  // power-law social network (undirected)
+  kWattsStrogatz,   // small-world contact network (undirected)
+  kRmat,            // skewed directed web/social graph
+};
+
+/// One dataset stand-in: paper statistics + generator recipe.
+struct DatasetSpec {
+  std::string name;        // paper's dataset name, e.g. "EmailCore"
+  std::string short_name;  // paper's x-axis label, e.g. "EC"
+  VertexId paper_n;        // Table IV vertex count
+  EdgeId paper_m;          // Table IV edge count
+  bool directed;           // Table IV "Type"
+  GeneratorKind kind;
+  double rmat_a = 0.57, rmat_b = 0.19, rmat_c = 0.19;  // R-MAT quadrants
+  double ws_beta = 0.1;                                // WS rewiring prob
+};
+
+/// The 8 Table-IV datasets in the paper's order
+/// (EmailCore, Facebook, Wiki-Vote, EmailAll, DBLP, Twitter, Stanford,
+/// Youtube).
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// Looks up a spec by (case-insensitive) name or short name; nullptr if
+/// unknown.
+const DatasetSpec* FindDataset(const std::string& name);
+
+/// Instantiates a stand-in graph at `scale` ∈ (0, 1]: n' ≈ scale·paper_n,
+/// m' ≈ scale·paper_m (average degree preserved). Deterministic in `seed`.
+Graph MakeDataset(const DatasetSpec& spec, double scale, uint64_t seed);
+
+}  // namespace vblock

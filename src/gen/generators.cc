@@ -1,0 +1,156 @@
+#include "gen/generators.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace vblock {
+
+namespace {
+
+// Packs an edge into one word for dedup sets.
+uint64_t PackEdge(VertexId u, VertexId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph GenerateErdosRenyi(VertexId n, EdgeId m, uint64_t seed) {
+  VBLOCK_CHECK_MSG(n >= 2, "ErdosRenyi needs at least 2 vertices");
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1);
+  VBLOCK_CHECK_MSG(m <= max_edges, "more edges requested than n*(n-1)");
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.ReserveVertices(n);
+  std::unordered_set<uint64_t> used;
+  used.reserve(m * 2);
+  while (used.size() < m) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (!used.insert(PackEdge(u, v)).second) continue;
+    builder.AddEdge(u, v, 1.0);
+  }
+  auto g = builder.Build();
+  VBLOCK_CHECK(g.ok());
+  return std::move(g.value());
+}
+
+Graph GenerateBarabasiAlbert(VertexId n, VertexId edges_per_vertex,
+                             uint64_t seed) {
+  VBLOCK_CHECK_MSG(edges_per_vertex >= 1, "need at least one edge per vertex");
+  VBLOCK_CHECK_MSG(n > edges_per_vertex, "n must exceed edges_per_vertex");
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.ReserveVertices(n);
+
+  // `endpoints` holds one entry per half-edge: sampling uniformly from it is
+  // sampling proportional to degree (the standard BA implementation trick).
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * static_cast<size_t>(n) * edges_per_vertex);
+
+  // Seed clique-ish core: a ring over the first m0 = edges_per_vertex + 1
+  // vertices, so every early vertex has nonzero degree.
+  const VertexId m0 = edges_per_vertex + 1;
+  for (VertexId v = 0; v < m0; ++v) {
+    VertexId w = (v + 1) % m0;
+    builder.AddUndirectedEdge(v, w, 1.0);
+    endpoints.push_back(v);
+    endpoints.push_back(w);
+  }
+
+  std::vector<VertexId> chosen;
+  for (VertexId v = m0; v < n; ++v) {
+    chosen.clear();
+    // Rejection-sample `edges_per_vertex` distinct targets.
+    while (chosen.size() < edges_per_vertex) {
+      VertexId t = endpoints[rng.NextBounded(endpoints.size())];
+      bool dup = false;
+      for (VertexId c : chosen) dup = dup || (c == t);
+      if (!dup && t != v) chosen.push_back(t);
+    }
+    for (VertexId t : chosen) {
+      builder.AddUndirectedEdge(v, t, 1.0);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  auto g = builder.Build();
+  VBLOCK_CHECK(g.ok());
+  return std::move(g.value());
+}
+
+Graph GenerateWattsStrogatz(VertexId n, VertexId k, double beta,
+                            uint64_t seed) {
+  VBLOCK_CHECK_MSG(k >= 1 && n > 2 * k, "WattsStrogatz needs n > 2k");
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.ReserveVertices(n);
+  std::unordered_set<uint64_t> used;
+  auto add_undirected = [&](VertexId u, VertexId v) {
+    if (u == v) return false;
+    VertexId a = std::min(u, v), b = std::max(u, v);
+    if (!used.insert(PackEdge(a, b)).second) return false;
+    builder.AddUndirectedEdge(u, v, 1.0);
+    return true;
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId j = 1; j <= k; ++j) {
+      VertexId v = (u + j) % n;
+      if (rng.NextBernoulli(beta)) {
+        // Rewire: pick a random non-duplicate partner; fall back to the
+        // lattice edge if a few attempts fail (dense corner case).
+        bool placed = false;
+        for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+          VertexId w = static_cast<VertexId>(rng.NextBounded(n));
+          placed = add_undirected(u, w);
+        }
+        if (!placed) add_undirected(u, v);
+      } else {
+        add_undirected(u, v);
+      }
+    }
+  }
+  auto g = builder.Build();
+  VBLOCK_CHECK(g.ok());
+  return std::move(g.value());
+}
+
+Graph GenerateRmat(int scale, EdgeId m, double a, double b, double c,
+                   uint64_t seed) {
+  VBLOCK_CHECK_MSG(scale >= 1 && scale < 31, "scale out of range");
+  const double d = 1.0 - a - b - c;
+  VBLOCK_CHECK_MSG(a > 0 && b >= 0 && c >= 0 && d > 0,
+                   "invalid RMAT quadrant probabilities");
+  const VertexId n = static_cast<VertexId>(1) << scale;
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.ReserveVertices(n);
+  for (EdgeId e = 0; e < m; ++e) {
+    VertexId u = 0, v = 0;
+    for (int level = 0; level < scale; ++level) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) builder.AddEdge(u, v, 1.0);
+  }
+  auto g = builder.Build();
+  VBLOCK_CHECK(g.ok());
+  return std::move(g.value());
+}
+
+}  // namespace vblock

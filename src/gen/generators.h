@@ -1,0 +1,42 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Synthetic graph generators.
+//
+// The paper evaluates on 8 SNAP datasets; this sandbox has no network access,
+// so the experiment harness substitutes structurally similar synthetic
+// graphs (see DESIGN.md §4). The generators cover the structural families of
+// those datasets: Erdős–Rényi (baseline), Barabási–Albert (social,
+// power-law), Watts–Strogatz (small world), and R-MAT (skewed web/social
+// graphs à la Twitter/Stanford).
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// G(n, m) Erdős–Rényi digraph: m distinct directed edges chosen uniformly
+/// (no self-loops). All probabilities 1.0 (assign a model from prob/ after).
+Graph GenerateErdosRenyi(VertexId n, EdgeId m, uint64_t seed);
+
+/// Barabási–Albert preferential attachment with `edges_per_vertex` links per
+/// arriving vertex. Undirected: each link is materialized as two directed
+/// edges, matching the paper's treatment of undirected datasets.
+Graph GenerateBarabasiAlbert(VertexId n, VertexId edges_per_vertex,
+                             uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per side,
+/// each edge rewired with probability `beta`. Undirected (bi-directional).
+Graph GenerateWattsStrogatz(VertexId n, VertexId k, double beta,
+                            uint64_t seed);
+
+/// R-MAT / Kronecker generator (Chakrabarti et al.): 2^scale vertices,
+/// `m` directed edges placed by recursive quadrant selection with
+/// probabilities (a, b, c, 1-a-b-c). Duplicate edges are merged by the
+/// builder, so the final edge count can be slightly below m.
+Graph GenerateRmat(int scale, EdgeId m, double a, double b, double c,
+                   uint64_t seed);
+
+}  // namespace vblock

@@ -1,0 +1,39 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace vblock {
+
+std::vector<Edge> Graph::CollectEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(NumEdges());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    auto targets = OutNeighbors(u);
+    auto probs = OutProbabilities(u);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      edges.push_back(Edge{u, targets[k], probs[k]});
+    }
+  }
+  return edges;
+}
+
+double Graph::TotalProbabilityMass() const {
+  double sum = 0;
+  for (double p : out_probs_) sum += p;
+  return sum;
+}
+
+VertexId Graph::MaxTotalDegree() const {
+  VertexId best = 0;
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    best = std::max(best, static_cast<VertexId>(OutDegree(u) + InDegree(u)));
+  }
+  return best;
+}
+
+double Graph::AverageTotalDegree() const {
+  if (NumVertices() == 0) return 0;
+  return 2.0 * static_cast<double>(NumEdges()) / NumVertices();
+}
+
+}  // namespace vblock

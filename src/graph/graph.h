@@ -1,0 +1,114 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Immutable directed graph in CSR (compressed sparse row) form with a
+// propagation probability on every edge — the substrate every algorithm in
+// the paper operates on.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace vblock {
+
+/// A directed edge with an IC-model propagation probability.
+struct Edge {
+  VertexId source = 0;
+  VertexId target = 0;
+  double probability = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Immutable directed graph with per-edge propagation probabilities.
+///
+/// Both out- and in-adjacency are materialized: the diffusion algorithms scan
+/// out-edges, while the weighted-cascade probability model and the seed
+/// unification step need in-edges. Construct via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of vertices n.
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(out_offsets_.size() - 1);
+  }
+
+  /// Number of directed edges m.
+  EdgeId NumEdges() const { return static_cast<EdgeId>(out_targets_.size()); }
+
+  /// Out-degree of u.
+  VertexId OutDegree(VertexId u) const {
+    VBLOCK_DCHECK(u < NumVertices());
+    return static_cast<VertexId>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+
+  /// In-degree of u.
+  VertexId InDegree(VertexId u) const {
+    VBLOCK_DCHECK(u < NumVertices());
+    return static_cast<VertexId>(in_offsets_[u + 1] - in_offsets_[u]);
+  }
+
+  /// Targets of u's out-edges.
+  std::span<const VertexId> OutNeighbors(VertexId u) const {
+    VBLOCK_DCHECK(u < NumVertices());
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Probabilities aligned with OutNeighbors(u).
+  std::span<const double> OutProbabilities(VertexId u) const {
+    VBLOCK_DCHECK(u < NumVertices());
+    return {out_probs_.data() + out_offsets_[u],
+            out_probs_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Sources of u's in-edges.
+  std::span<const VertexId> InNeighbors(VertexId u) const {
+    VBLOCK_DCHECK(u < NumVertices());
+    return {in_sources_.data() + in_offsets_[u],
+            in_sources_.data() + in_offsets_[u + 1]};
+  }
+
+  /// Probabilities aligned with InNeighbors(u).
+  std::span<const double> InProbabilities(VertexId u) const {
+    VBLOCK_DCHECK(u < NumVertices());
+    return {in_probs_.data() + in_offsets_[u],
+            in_probs_.data() + in_offsets_[u + 1]};
+  }
+
+  /// Global edge index of u's k-th out-edge (stable across the graph's
+  /// lifetime; used to index per-edge scratch arrays).
+  EdgeId OutEdgeId(VertexId u, VertexId k) const {
+    VBLOCK_DCHECK(u < NumVertices() && k < OutDegree(u));
+    return out_offsets_[u] + k;
+  }
+
+  /// All edges, materialized (test/IO convenience; O(m) allocation).
+  std::vector<Edge> CollectEdges() const;
+
+  /// Sum of all edge probabilities (diagnostic).
+  double TotalProbabilityMass() const;
+
+  /// Maximum of (in-degree + out-degree) over all vertices — the paper's
+  /// Table IV "dmax" statistic.
+  VertexId MaxTotalDegree() const;
+
+  /// Average total degree (in+out)/n — the paper's "davg".
+  double AverageTotalDegree() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<EdgeId> out_offsets_{0};  // size n+1
+  std::vector<VertexId> out_targets_;   // size m
+  std::vector<double> out_probs_;       // size m
+  std::vector<EdgeId> in_offsets_{0};   // size n+1
+  std::vector<VertexId> in_sources_;    // size m
+  std::vector<double> in_probs_;        // size m
+};
+
+}  // namespace vblock

@@ -1,0 +1,141 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace vblock {
+
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x56424c4b47523031ULL;  // "VBLKGR01"
+
+Result<Graph> ParseEdgeListStream(std::istream& in,
+                                  const EdgeListReadOptions& options,
+                                  const std::string& origin) {
+  GraphBuilder builder;
+  std::unordered_map<uint64_t, VertexId> remap;
+  auto map_id = [&](uint64_t raw) -> VertexId {
+    if (!options.compact_ids) return static_cast<VertexId>(raw);
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<VertexId>(remap.size()));
+    return it->second;
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentLine(line)) continue;
+    auto fields = SplitFields(line);
+    if (fields.size() < 2) {
+      return Status::IoError(origin + ":" + std::to_string(line_no) +
+                             ": expected 'u v [p]', got '" + line + "'");
+    }
+    uint64_t raw_u = 0, raw_v = 0;
+    if (!ParseUint64(fields[0], &raw_u) || !ParseUint64(fields[1], &raw_v)) {
+      return Status::IoError(origin + ":" + std::to_string(line_no) +
+                             ": malformed vertex id in '" + line + "'");
+    }
+    double p = options.default_probability;
+    if (fields.size() >= 3 && !ParseDouble(fields[2], &p)) {
+      return Status::IoError(origin + ":" + std::to_string(line_no) +
+                             ": malformed probability in '" + line + "'");
+    }
+    VertexId u = map_id(raw_u);
+    VertexId v = map_id(raw_v);
+    if (options.undirected) {
+      builder.AddUndirectedEdge(u, v, p);
+    } else {
+      builder.AddEdge(u, v, p);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<Graph> ReadEdgeList(const std::string& path,
+                           const EdgeListReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  return ParseEdgeListStream(in, options, path);
+}
+
+Result<Graph> ReadEdgeListFromString(const std::string& text,
+                                     const EdgeListReadOptions& options) {
+  std::istringstream in(text);
+  return ParseEdgeListStream(in, options, "<string>");
+}
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << "# vblock edge list: n=" << g.NumVertices() << " m=" << g.NumEdges()
+      << "\n# source target probability\n";
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto targets = g.OutNeighbors(u);
+    auto probs = g.OutProbabilities(u);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      out << u << '\t' << targets[k] << '\t' << FormatDouble(probs[k], 17)
+          << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Status WriteBinary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  auto put = [&](const void* data, size_t bytes) {
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  };
+  uint64_t magic = kBinaryMagic;
+  uint64_t n = g.NumVertices();
+  uint64_t m = g.NumEdges();
+  put(&magic, sizeof magic);
+  put(&n, sizeof n);
+  put(&m, sizeof m);
+  auto edges = g.CollectEdges();
+  for (const Edge& e : edges) {
+    put(&e.source, sizeof e.source);
+    put(&e.target, sizeof e.target);
+    put(&e.probability, sizeof e.probability);
+  }
+  if (!out) return Status::IoError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+Result<Graph> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  auto get = [&](void* data, size_t bytes) -> bool {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    return static_cast<bool>(in);
+  };
+  uint64_t magic = 0, n = 0, m = 0;
+  if (!get(&magic, sizeof magic) || magic != kBinaryMagic) {
+    return Status::IoError("'" + path + "' is not a vblock binary graph");
+  }
+  if (!get(&n, sizeof n) || !get(&m, sizeof m)) {
+    return Status::IoError("'" + path + "': truncated header");
+  }
+  GraphBuilder builder;
+  builder.ReserveVertices(static_cast<VertexId>(n));
+  for (uint64_t i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    double p = 0;
+    if (!get(&u, sizeof u) || !get(&v, sizeof v) || !get(&p, sizeof p)) {
+      return Status::IoError("'" + path + "': truncated edge section");
+    }
+    builder.AddEdge(u, v, p);
+  }
+  return builder.Build();
+}
+
+}  // namespace vblock

@@ -1,0 +1,49 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Graph serialization: SNAP-style edge-list text files (the paper's dataset
+// format, http://snap.stanford.edu) and a compact binary format for caching
+// generated datasets between bench runs.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// Options for reading SNAP edge lists.
+struct EdgeListReadOptions {
+  /// Treat every line "u v" as two directed edges u→v and v→u (the paper
+  /// treats undirected datasets as bi-directional).
+  bool undirected = false;
+  /// Probability assigned when a line has no third column. Lines of the form
+  /// "u v p" override it. Probabilities are usually (re)assigned later by a
+  /// prob/ model, so the default 1.0 is a placeholder.
+  double default_probability = 1.0;
+  /// Renumber vertex ids densely in first-appearance order. SNAP files often
+  /// have sparse ids; without compaction the CSR wastes memory on isolated
+  /// ids. Off keeps the file's ids.
+  bool compact_ids = true;
+};
+
+/// Parses a SNAP-style edge list ('#'/'%' comments, "u v" or "u v p" lines).
+Result<Graph> ReadEdgeList(const std::string& path,
+                           const EdgeListReadOptions& options = {});
+
+/// Parses an edge list from an in-memory string (tests).
+Result<Graph> ReadEdgeListFromString(const std::string& text,
+                                     const EdgeListReadOptions& options = {});
+
+/// Writes "u v p" lines with a '#' header. Round-trips through ReadEdgeList
+/// with compact_ids=false.
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+/// Writes the compact binary format (magic + counts + CSR arrays).
+Status WriteBinary(const Graph& g, const std::string& path);
+
+/// Reads the compact binary format.
+Result<Graph> ReadBinary(const std::string& path);
+
+}  // namespace vblock

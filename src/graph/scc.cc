@@ -1,0 +1,92 @@
+#include "graph/scc.h"
+
+#include "common/check.h"
+#include "graph/graph_builder.h"
+
+namespace vblock {
+
+std::vector<std::vector<VertexId>> SccResult::Members() const {
+  std::vector<std::vector<VertexId>> members(count);
+  for (VertexId v = 0; v < component.size(); ++v) {
+    members[component[v]].push_back(v);
+  }
+  return members;
+}
+
+SccResult ComputeScc(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  SccResult result;
+  result.component.assign(n, kInvalidVertex);
+
+  // Iterative Tarjan with an explicit DFS stack.
+  constexpr VertexId kUnvisited = kInvalidVertex;
+  std::vector<VertexId> index(n, kUnvisited);
+  std::vector<VertexId> lowlink(n, 0);
+  std::vector<uint8_t> on_stack(n, 0);
+  std::vector<VertexId> scc_stack;
+  std::vector<std::pair<VertexId, uint32_t>> dfs;  // (vertex, next child)
+  VertexId next_index = 0;
+
+  for (VertexId start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    dfs.emplace_back(start, 0);
+    index[start] = lowlink[start] = next_index++;
+    scc_stack.push_back(start);
+    on_stack[start] = 1;
+
+    while (!dfs.empty()) {
+      const VertexId u = dfs.back().first;
+      const uint32_t k = dfs.back().second;
+      auto targets = g.OutNeighbors(u);
+      if (k < targets.size()) {
+        dfs.back().second = k + 1;
+        VertexId v = targets[k];
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          scc_stack.push_back(v);
+          on_stack[v] = 1;
+          dfs.emplace_back(v, 0);
+        } else if (on_stack[v] && index[v] < lowlink[u]) {
+          lowlink[u] = index[v];
+        }
+        continue;
+      }
+      // u is finished: close its component if it is a root.
+      if (lowlink[u] == index[u]) {
+        while (true) {
+          VertexId w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = 0;
+          result.component[w] = result.count;
+          if (w == u) break;
+        }
+        ++result.count;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        VertexId parent = dfs.back().first;
+        if (lowlink[u] < lowlink[parent]) lowlink[parent] = lowlink[u];
+      }
+    }
+  }
+  return result;
+}
+
+Graph Condense(const Graph& g, const SccResult& scc) {
+  GraphBuilder builder;  // merges parallel cross edges with noisy-or
+  builder.ReserveVertices(scc.count);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto targets = g.OutNeighbors(u);
+    auto probs = g.OutProbabilities(u);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      VertexId cu = scc.component[u];
+      VertexId cv = scc.component[targets[k]];
+      if (cu != cv) builder.AddEdge(cu, cv, probs[k]);
+    }
+  }
+  auto built = builder.Build();
+  VBLOCK_CHECK(built.ok());
+  return std::move(built.value());
+}
+
+}  // namespace vblock

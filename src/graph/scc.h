@@ -1,0 +1,42 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Strongly connected components (Tarjan) and graph condensation.
+//
+// Analysis utilities for influence graphs: vertices in one SCC whose
+// internal edges all have probability 1 activate together, and the
+// condensation exposes the DAG skeleton along which influence flows.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// SCC decomposition result.
+struct SccResult {
+  /// component[v] — the SCC id of v, in reverse topological order of the
+  /// condensation (an edge u→v across components implies
+  /// component[u] >= component[v]... see ComputeScc for the guarantee).
+  std::vector<VertexId> component;
+  /// Number of components.
+  VertexId count = 0;
+
+  /// Component members, grouped (computed lazily by Members()).
+  std::vector<std::vector<VertexId>> Members() const;
+};
+
+/// Tarjan's algorithm, iterative. Component ids are assigned in the order
+/// components are completed, which is reverse topological order of the
+/// condensation: for any edge u→v with component[u] != component[v],
+/// component[u] > component[v].
+SccResult ComputeScc(const Graph& g);
+
+/// Condensation: one vertex per SCC, one edge per cross-component edge
+/// pair, probabilities merged with noisy-or (parallel cross edges are
+/// independent activation chances). Returned graph's vertex ids are the
+/// SCC ids of `scc`.
+Graph Condense(const Graph& g, const SccResult& scc);
+
+}  // namespace vblock

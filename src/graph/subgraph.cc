@@ -1,0 +1,81 @@
+#include "graph/subgraph.h"
+
+#include "graph/graph_builder.h"
+
+namespace vblock {
+
+namespace {
+
+Subgraph BuildFromMembership(const Graph& g,
+                             const std::vector<VertexId>& members) {
+  Subgraph sub;
+  sub.to_local.assign(g.NumVertices(), kInvalidVertex);
+  sub.to_parent.reserve(members.size());
+  for (VertexId p : members) {
+    if (sub.to_local[p] != kInvalidVertex) continue;  // dedup
+    sub.to_local[p] = static_cast<VertexId>(sub.to_parent.size());
+    sub.to_parent.push_back(p);
+  }
+
+  GraphBuilder builder;
+  builder.ReserveVertices(static_cast<VertexId>(sub.to_parent.size()));
+  for (VertexId local_u = 0; local_u < sub.to_parent.size(); ++local_u) {
+    VertexId parent_u = sub.to_parent[local_u];
+    auto targets = g.OutNeighbors(parent_u);
+    auto probs = g.OutProbabilities(parent_u);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      VertexId local_v = sub.to_local[targets[k]];
+      if (local_v == kInvalidVertex) continue;
+      builder.AddEdge(local_u, local_v, probs[k]);
+    }
+  }
+  auto built = builder.Build();
+  VBLOCK_CHECK_MSG(built.ok(), "induced subgraph build cannot fail");
+  sub.graph = std::move(built.value());
+  return sub;
+}
+
+}  // namespace
+
+Subgraph InducedSubgraph(const Graph& g,
+                         const std::vector<VertexId>& vertices) {
+  return BuildFromMembership(g, vertices);
+}
+
+Subgraph RemoveVertices(const Graph& g, const VertexMask& blocked) {
+  std::vector<VertexId> keep;
+  keep.reserve(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (!blocked.Test(v)) keep.push_back(v);
+  }
+  return BuildFromMembership(g, keep);
+}
+
+Subgraph ExtractNeighborhood(const Graph& g, VertexId start,
+                             VertexId target_size) {
+  std::vector<VertexId> members;
+  std::vector<uint8_t> in_set(g.NumVertices(), 0);
+  std::vector<VertexId> queue;
+  auto add = [&](VertexId v) {
+    if (in_set[v]) return;
+    in_set[v] = 1;
+    members.push_back(v);
+    queue.push_back(v);
+  };
+  add(start);
+  size_t head = 0;
+  while (head < queue.size() && members.size() < target_size) {
+    VertexId u = queue[head++];
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (members.size() >= target_size) break;
+      add(v);
+    }
+    for (VertexId v : g.InNeighbors(u)) {
+      if (members.size() >= target_size) break;
+      add(v);
+    }
+  }
+  return BuildFromMembership(g, members);
+}
+
+}  // namespace vblock

@@ -1,0 +1,39 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Induced-subgraph extraction with id remapping — used by the Exact-vs-GR
+// experiments (Tables V/VI extract ~100-vertex neighborhoods) and by tests.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+
+/// A subgraph plus the mapping between its local ids and the parent's ids.
+struct Subgraph {
+  Graph graph;
+  /// local id -> parent id (size = graph.NumVertices()).
+  std::vector<VertexId> to_parent;
+  /// parent id -> local id, or kInvalidVertex if absent.
+  std::vector<VertexId> to_local;
+};
+
+/// G[V'] — the subgraph induced by `vertices` (paper notation G[V']).
+/// Edge probabilities are preserved. Duplicate ids in `vertices` are allowed
+/// and ignored.
+Subgraph InducedSubgraph(const Graph& g, const std::vector<VertexId>& vertices);
+
+/// G[V\B] materialized: the induced subgraph on the complement of `blocked`.
+Subgraph RemoveVertices(const Graph& g, const VertexMask& blocked);
+
+/// The paper's small-dataset extraction procedure (§VI-B, "iteratively
+/// extracting a vertex and all its neighbors until the number of extracted
+/// vertices reaches `target_size`"): starting from `start`, repeatedly pull a
+/// frontier vertex and add all its out- and in-neighbors.
+Subgraph ExtractNeighborhood(const Graph& g, VertexId start,
+                             VertexId target_size);
+
+}  // namespace vblock

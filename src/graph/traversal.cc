@@ -1,0 +1,71 @@
+#include "graph/traversal.h"
+
+#include <deque>
+
+namespace vblock {
+
+std::vector<VertexId> ReachableFromSet(const Graph& g,
+                                       const std::vector<VertexId>& sources,
+                                       const VertexMask* blocked) {
+  std::vector<VertexId> order;
+  if (g.NumVertices() == 0) return order;
+  std::vector<uint8_t> visited(g.NumVertices(), 0);
+  std::vector<VertexId> frontier;
+  for (VertexId s : sources) {
+    if (blocked && blocked->Test(s)) continue;
+    if (visited[s]) continue;
+    visited[s] = 1;
+    frontier.push_back(s);
+    order.push_back(s);
+  }
+  size_t head = 0;
+  while (head < order.size()) {
+    VertexId u = order[head++];
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (visited[v]) continue;
+      if (blocked && blocked->Test(v)) continue;
+      visited[v] = 1;
+      order.push_back(v);
+    }
+  }
+  return order;
+}
+
+std::vector<VertexId> ReachableFrom(const Graph& g, VertexId source,
+                                    const VertexMask* blocked) {
+  return ReachableFromSet(g, {source}, blocked);
+}
+
+VertexId CountReachable(const Graph& g, VertexId source,
+                        const VertexMask* blocked) {
+  return static_cast<VertexId>(ReachableFrom(g, source, blocked).size());
+}
+
+std::vector<VertexId> DfsPreorder(const Graph& g, VertexId source) {
+  std::vector<VertexId> order;
+  if (source >= g.NumVertices()) return order;
+  std::vector<uint8_t> visited(g.NumVertices(), 0);
+  // Explicit stack of (vertex, next-child-index) to avoid recursion depth
+  // limits on path-shaped graphs.
+  std::vector<std::pair<VertexId, VertexId>> stack;
+  visited[source] = 1;
+  order.push_back(source);
+  stack.emplace_back(source, 0);
+  while (!stack.empty()) {
+    auto& [u, k] = stack.back();
+    auto neighbors = g.OutNeighbors(u);
+    if (k >= neighbors.size()) {
+      stack.pop_back();
+      continue;
+    }
+    VertexId v = neighbors[k++];
+    if (!visited[v]) {
+      visited[v] = 1;
+      order.push_back(v);
+      stack.emplace_back(v, 0);
+    }
+  }
+  return order;
+}
+
+}  // namespace vblock

@@ -1,0 +1,58 @@
+#include "prob/probability_models.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace vblock {
+
+namespace {
+
+// Rebuilds `g` with per-edge probabilities produced by `assign(u, v, old_p)`.
+template <typename Fn>
+Graph Reassign(const Graph& g, Fn&& assign) {
+  GraphBuilder builder;
+  builder.ReserveVertices(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto targets = g.OutNeighbors(u);
+    auto probs = g.OutProbabilities(u);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      builder.AddEdge(u, targets[k], assign(u, targets[k], probs[k]));
+    }
+  }
+  auto built = builder.Build();
+  VBLOCK_CHECK(built.ok());
+  return std::move(built.value());
+}
+
+}  // namespace
+
+Graph WithTrivalency(const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  static constexpr double kLevels[3] = {0.1, 0.01, 0.001};
+  return Reassign(g, [&rng](VertexId, VertexId, double) {
+    return kLevels[rng.NextBounded(3)];
+  });
+}
+
+Graph WithWeightedCascade(const Graph& g) {
+  return Reassign(g, [&g](VertexId, VertexId v, double) {
+    return 1.0 / static_cast<double>(g.InDegree(v));
+  });
+}
+
+Graph WithConstantProbability(const Graph& g, double p) {
+  VBLOCK_CHECK_MSG(p >= 0.0 && p <= 1.0, "probability out of range");
+  return Reassign(g, [p](VertexId, VertexId, double) { return p; });
+}
+
+Graph WithUniformProbability(const Graph& g, double lo, double hi,
+                             uint64_t seed) {
+  VBLOCK_CHECK_MSG(0.0 <= lo && lo <= hi && hi <= 1.0, "bad [lo,hi] range");
+  Rng rng(seed);
+  return Reassign(g, [&](VertexId, VertexId, double) {
+    return lo + (hi - lo) * rng.NextDouble();
+  });
+}
+
+}  // namespace vblock

@@ -1,0 +1,34 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Edge propagation-probability models (paper §VI-A "Propagation Models").
+//
+// Generators emit probability-1 edges; these functions re-assign the IC
+// probability of every edge and return the rebuilt graph:
+//   * Trivalency (TR): p(u,v) drawn uniformly from {0.1, 0.01, 0.001}.
+//   * Weighted cascade (WC): p(u,v) = 1 / din(v).
+
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// Trivalency model: each edge gets 0.1, 0.01 or 0.001 uniformly at random
+/// (deterministic in `seed`).
+Graph WithTrivalency(const Graph& g, uint64_t seed);
+
+/// Weighted-cascade model: p(u,v) = 1/din(v). Every vertex's incoming
+/// probabilities sum to exactly 1, which also makes WC graphs valid
+/// linear-threshold (LT) weight assignments.
+Graph WithWeightedCascade(const Graph& g);
+
+/// Constant model: every edge gets probability `p` (tests, worked examples).
+Graph WithConstantProbability(const Graph& g, double p);
+
+/// Uniform model: each edge probability drawn uniformly from [lo, hi].
+Graph WithUniformProbability(const Graph& g, double lo, double hi,
+                             uint64_t seed);
+
+}  // namespace vblock

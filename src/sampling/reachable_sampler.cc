@@ -1,0 +1,50 @@
+#include "sampling/reachable_sampler.h"
+
+#include "common/check.h"
+
+namespace vblock {
+
+ReachableSampler::ReachableSampler(const Graph& g, VertexId root,
+                                   const VertexMask* blocked)
+    : graph_(g),
+      root_(root),
+      blocked_(blocked),
+      local_id_(g.NumVertices(), 0),
+      visit_epoch_(g.NumVertices(), 0) {
+  VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
+}
+
+void ReachableSampler::Sample(Rng& rng, SampledGraph* out) {
+  VBLOCK_DCHECK(!(blocked_ && blocked_->Test(root_)));
+  ++epoch_;
+  out->Clear();
+
+  auto visit = [&](VertexId v) -> VertexId {
+    visit_epoch_[v] = epoch_;
+    auto local = static_cast<VertexId>(out->to_parent.size());
+    local_id_[v] = local;
+    out->to_parent.push_back(v);
+    return local;
+  };
+  visit(root_);
+
+  // BFS pops vertices in local-id order and appends each vertex's live
+  // out-edges consecutively, so `targets` is already grouped by source and
+  // the CSR offsets can be emitted on the fly.
+  for (VertexId local_u = 0; local_u < out->to_parent.size(); ++local_u) {
+    VertexId u = out->to_parent[local_u];
+    auto targets = graph_.OutNeighbors(u);
+    auto probs = graph_.OutProbabilities(u);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      VertexId v = targets[k];
+      if (blocked_ && blocked_->Test(v)) continue;
+      if (!rng.NextBernoulli(probs[k])) continue;
+      VertexId local_v =
+          visit_epoch_[v] == epoch_ ? local_id_[v] : visit(v);
+      out->targets.push_back(local_v);
+    }
+    out->offsets.push_back(static_cast<uint32_t>(out->targets.size()));
+  }
+}
+
+}  // namespace vblock

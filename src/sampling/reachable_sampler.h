@@ -1,0 +1,45 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Seed-rooted live-edge graph sampler for the IC model.
+//
+// Each Sample() call draws one random sampled graph (Definition 4): every
+// out-edge of every reached vertex flips an independent coin, and the
+// root-reachable live region is emitted in compact local-id form. Blocked
+// vertices are treated as absent (Definition 2). Scratch state is reused
+// across calls, with epoch-stamped visitation so per-sample cost is
+// proportional to the sample, not to n.
+
+#pragma once
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/vertex_mask.h"
+#include "sampling/sampled_graph.h"
+
+namespace vblock {
+
+/// Reusable IC live-edge sampler rooted at a fixed vertex.
+class ReachableSampler {
+ public:
+  /// `blocked` may be nullptr; it is captured by pointer and may be updated
+  /// between samples via set_blocked (the greedy algorithms grow the blocker
+  /// set between rounds). The root must never be blocked.
+  ReachableSampler(const Graph& g, VertexId root,
+                   const VertexMask* blocked = nullptr);
+
+  /// Swaps the active blocker mask (nullptr = none).
+  void set_blocked(const VertexMask* blocked) { blocked_ = blocked; }
+
+  /// Draws one sample into `out` (previous contents discarded).
+  void Sample(Rng& rng, SampledGraph* out);
+
+ private:
+  const Graph& graph_;
+  VertexId root_;
+  const VertexMask* blocked_;
+  std::vector<uint32_t> local_id_;
+  std::vector<uint32_t> visit_epoch_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace vblock

@@ -1,0 +1,46 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Compact live-edge sample (paper §V-B2, Definition 4 restricted to the
+// seed-reachable part).
+//
+// A random sampled graph g keeps each edge (u,v) with probability p(u,v).
+// Only the portion reachable from the root matters to Algorithm 2 — every
+// dominator-tree computation starts at the root — so samples store just that
+// region with dense local ids (root = 0).
+
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "domtree/flat_graph_view.h"
+
+namespace vblock {
+
+/// One live-edge sample, restricted to the root-reachable region.
+struct SampledGraph {
+  /// Local CSR over reachable vertices; edges are the live edges among them.
+  std::vector<uint32_t> offsets;
+  std::vector<VertexId> targets;
+  /// local id -> id in the parent graph (to_parent[0] is the root).
+  std::vector<VertexId> to_parent;
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(to_parent.size());
+  }
+  EdgeId NumEdges() const { return static_cast<EdgeId>(targets.size()); }
+
+  /// Borrowed CSR view for the dominator algorithms.
+  FlatGraphView View() const {
+    return FlatGraphView{{offsets.data(), offsets.size()},
+                         {targets.data(), targets.size()}};
+  }
+
+  void Clear() {
+    offsets.assign(1, 0);
+    targets.clear();
+    to_parent.clear();
+  }
+};
+
+}  // namespace vblock

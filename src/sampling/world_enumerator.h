@@ -1,0 +1,57 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Exhaustive live-edge world enumeration.
+//
+// For graphs whose seed-reachable region has few edges with 0 < p < 1, the
+// distribution of Definition 4 can be enumerated exactly: every "world"
+// fixes each uncertain edge live/dead and carries the product probability.
+// Tests use this to validate Algorithm 2 against the paper's worked
+// Example 2 with zero sampling error, and the exact expected-spread module
+// uses the same decomposition (see cascade/exact_spread.h).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/vertex_mask.h"
+#include "sampling/sampled_graph.h"
+
+namespace vblock {
+
+/// Enumerates every live-edge world of the root-reachable region.
+class WorldEnumerator {
+ public:
+  /// Restricts to vertices reachable from `root` through p>0 edges, skipping
+  /// blocked vertices. The root must not be blocked.
+  WorldEnumerator(const Graph& g, VertexId root,
+                  const VertexMask* blocked = nullptr);
+
+  /// Number of uncertain edges k; enumeration visits 2^k worlds.
+  int NumUncertainEdges() const { return static_cast<int>(uncertain_.size()); }
+
+  /// Invokes `fn(weight, sample)` once per world. `sample` is the
+  /// root-reachable live region of that world in SampledGraph form; weights
+  /// over all calls sum to 1. Returns ResourceExhausted without invoking
+  /// `fn` when k exceeds `max_uncertain_edges`.
+  Status ForEachWorld(
+      const std::function<void(double, const SampledGraph&)>& fn,
+      int max_uncertain_edges = 25) const;
+
+ private:
+  struct UncertainEdge {
+    VertexId source;  // universe-local ids
+    VertexId target;
+    double probability;
+  };
+
+  // Universe = root-reachable (p>0) unblocked region, local ids, root = 0.
+  std::vector<VertexId> members_;          // local -> parent
+  std::vector<uint32_t> certain_offsets_;  // CSR of p==1 edges
+  std::vector<VertexId> certain_targets_;
+  std::vector<UncertainEdge> uncertain_;
+};
+
+}  // namespace vblock

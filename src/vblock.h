@@ -1,0 +1,80 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Umbrella header: the full public API of the vblock library, a C++20
+// implementation of "Minimizing the Influence of Misinformation via Vertex
+// Blocking" (ICDE 2023).
+//
+// Typical usage:
+//
+//   #include "vblock.h"
+//
+//   vblock::Graph g = vblock::WithWeightedCascade(
+//       vblock::GenerateBarabasiAlbert(10000, 5, /*seed=*/7));
+//   std::vector<vblock::VertexId> seeds = {0, 1, 2};
+//
+//   vblock::SolverOptions opts;
+//   opts.algorithm = vblock::Algorithm::kGreedyReplace;
+//   opts.budget = 20;
+//   auto result = vblock::SolveImin(g, seeds, opts);
+//   double spread = vblock::EvaluateSpread(g, seeds, result.blockers);
+
+#pragma once
+
+// common
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "common/types.h"
+
+// graph substrate
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/scc.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "graph/vertex_mask.h"
+
+// synthetic datasets
+#include "gen/dataset_catalog.h"
+#include "gen/generators.h"
+
+// probability models
+#include "prob/probability_models.h"
+
+// diffusion
+#include "cascade/exact_spread.h"
+#include "cascade/ic_model.h"
+#include "cascade/monte_carlo.h"
+#include "cascade/rr_sets.h"
+#include "cascade/statistics.h"
+#include "cascade/timeline.h"
+#include "cascade/triggering.h"
+
+// dominator trees
+#include "domtree/dominator_tree.h"
+#include "domtree/flat_graph_view.h"
+
+// sampling
+#include "sampling/reachable_sampler.h"
+#include "sampling/sampled_graph.h"
+#include "sampling/triggering_sampler.h"
+#include "sampling/world_enumerator.h"
+
+// core algorithms
+#include "core/advanced_greedy.h"
+#include "core/baseline_greedy.h"
+#include "core/betweenness.h"
+#include "core/blocker_result.h"
+#include "core/edge_blocking.h"
+#include "core/evaluator.h"
+#include "core/exact_blocker.h"
+#include "core/greedy_replace.h"
+#include "core/heuristics.h"
+#include "core/sample_size.h"
+#include "core/solver.h"
+#include "core/spread_decrease.h"
+#include "core/unified_instance.h"

@@ -1,0 +1,140 @@
+// Tests for Brandes betweenness centrality and the betweenness blocker.
+
+#include <gtest/gtest.h>
+
+#include "core/betweenness.h"
+#include "core/solver.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+TEST(BetweennessTest, DirectedPathClosedForm) {
+  // Path 0→1→2→3→4: B(v) = (#sources before v) * (#targets after v).
+  Graph g = testing::PathGraph(5);
+  auto bc = ComputeBetweenness(g);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[1], 1.0 * 3.0);
+  EXPECT_DOUBLE_EQ(bc[2], 2.0 * 2.0);
+  EXPECT_DOUBLE_EQ(bc[3], 3.0 * 1.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+}
+
+TEST(BetweennessTest, UndirectedStarCenter) {
+  // Bidirectional star with n-1 leaves: every ordered leaf pair routes
+  // through the center → B(center) = (n-1)(n-2).
+  GraphBuilder b;
+  const VertexId n = 8;
+  for (VertexId v = 1; v < n; ++v) b.AddUndirectedEdge(0, v, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto bc = ComputeBetweenness(*g);
+  EXPECT_DOUBLE_EQ(bc[0], 7.0 * 6.0);
+  for (VertexId v = 1; v < n; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(BetweennessTest, DiamondSplitsShortestPaths) {
+  // 0→1→3, 0→2→3: two shortest paths; each middle vertex carries 1/2 of
+  // the (0,3) pair.
+  Graph g = testing::DiamondGraph();
+  auto bc = ComputeBetweenness(g);
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+  EXPECT_DOUBLE_EQ(bc[2], 0.5);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+TEST(BetweennessTest, DisconnectedGraphIsAllZero) {
+  GraphBuilder b;
+  b.ReserveVertices(6);  // no edges at all
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto bc = ComputeBetweenness(*g);
+  for (double x : bc) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(BetweennessTest, PivotSamplingApproximatesExact) {
+  Graph g = GenerateBarabasiAlbert(300, 3, 17);
+  auto exact = ComputeBetweenness(g);
+  BetweennessOptions opts;
+  opts.pivots = 150;
+  opts.seed = 3;
+  auto sampled = ComputeBetweenness(g, opts);
+  // Rank agreement on the top vertex; magnitudes roughly match.
+  VertexId exact_top = 0, sampled_top = 0;
+  for (VertexId v = 1; v < g.NumVertices(); ++v) {
+    if (exact[v] > exact[exact_top]) exact_top = v;
+    if (sampled[v] > sampled[sampled_top]) sampled_top = v;
+  }
+  EXPECT_GT(sampled[exact_top], 0.3 * exact[exact_top]);
+  EXPECT_NEAR(sampled[exact_top], exact[exact_top],
+              0.6 * exact[exact_top] + 1.0);
+}
+
+TEST(BetweennessTest, PivotSamplingDeterministicInSeed) {
+  Graph g = GenerateErdosRenyi(100, 600, 5);
+  BetweennessOptions opts;
+  opts.pivots = 20;
+  opts.seed = 9;
+  EXPECT_EQ(ComputeBetweenness(g, opts), ComputeBetweenness(g, opts));
+}
+
+TEST(BetweennessBlockersTest, PicksBridgeVertex) {
+  // Two bidirectional cliques joined by a single bridge vertex: the bridge
+  // has the maximum betweenness by far.
+  GraphBuilder b;
+  auto clique = [&](VertexId base) {
+    for (VertexId i = 0; i < 4; ++i) {
+      for (VertexId j = i + 1; j < 4; ++j) {
+        b.AddUndirectedEdge(base + i, base + j, 1.0);
+      }
+    }
+  };
+  clique(0);
+  clique(5);
+  const VertexId bridge = 9;
+  b.AddUndirectedEdge(0, bridge, 1.0);
+  b.AddUndirectedEdge(5, bridge, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto blockers = BetweennessBlockers(*g, {}, 1);
+  ASSERT_EQ(blockers.size(), 1u);
+  EXPECT_EQ(blockers[0], bridge);
+}
+
+TEST(BetweennessBlockersTest, ExcludesSeeds) {
+  Graph g = testing::PathGraph(6);
+  // Vertex 2 and 3 have the top scores; exclude 2.
+  auto blockers = BetweennessBlockers(g, {2}, 1);
+  ASSERT_EQ(blockers.size(), 1u);
+  EXPECT_EQ(blockers[0], 3u);
+}
+
+TEST(BetweennessSolverTest, FacadeRunsBc) {
+  Graph g = GenerateBarabasiAlbert(200, 3, 21);
+  SolverOptions opts;
+  opts.algorithm = Algorithm::kBetweenness;
+  opts.budget = 5;
+  auto result = SolveImin(g, {0}, opts);
+  EXPECT_EQ(result.blockers.size(), 5u);
+  for (VertexId b : result.blockers) EXPECT_NE(b, 0u);
+  EXPECT_STREQ(AlgorithmName(Algorithm::kBetweenness), "BC");
+}
+
+TEST(BetweennessSolverTest, FacadeUsesPivotsOnLargeGraphs) {
+  // > 2048 vertices triggers the pivot-sampled path; it must still return
+  // a full, seed-free blocker set.
+  Graph g = GenerateBarabasiAlbert(3000, 2, 23);
+  SolverOptions opts;
+  opts.algorithm = Algorithm::kBetweenness;
+  opts.budget = 10;
+  opts.seed = 4;
+  auto result = SolveImin(g, {1, 2}, opts);
+  EXPECT_EQ(result.blockers.size(), 10u);
+  for (VertexId b : result.blockers) EXPECT_TRUE(b != 1 && b != 2);
+}
+
+}  // namespace
+}  // namespace vblock

@@ -1,0 +1,187 @@
+// Unit tests for IC simulation and Monte-Carlo spread estimation, validated
+// against the paper's Example-1 golden numbers.
+
+#include <gtest/gtest.h>
+
+#include "cascade/ic_model.h"
+#include "cascade/monte_carlo.h"
+#include "common/rng.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::PathGraph;
+using testing::StarGraph;
+
+TEST(IcSimulatorTest, CertainEdgesAlwaysPropagate) {
+  Graph g = PathGraph(10, 1.0);
+  IcSimulator sim(g);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sim.Run({0}, rng), 10u);
+  }
+}
+
+TEST(IcSimulatorTest, ZeroProbabilityNeverPropagates) {
+  Graph g = PathGraph(10, 0.0);
+  IcSimulator sim(g);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sim.Run({0}, rng), 1u);
+  }
+}
+
+TEST(IcSimulatorTest, SeedsAlwaysCounted) {
+  Graph g = PathGraph(5, 0.0);
+  IcSimulator sim(g);
+  Rng rng(3);
+  EXPECT_EQ(sim.Run({0, 2, 4}, rng), 3u);
+}
+
+TEST(IcSimulatorTest, DuplicateSeedsCountOnce) {
+  Graph g = PathGraph(5, 0.0);
+  IcSimulator sim(g);
+  Rng rng(4);
+  EXPECT_EQ(sim.Run({1, 1, 1}, rng), 1u);
+}
+
+TEST(IcSimulatorTest, BlockedVertexNeverActivates) {
+  Graph g = PathGraph(6, 1.0);
+  IcSimulator sim(g);
+  Rng rng(5);
+  VertexMask blocked(6);
+  blocked.Set(2);
+  EXPECT_EQ(sim.Run({0}, rng, &blocked), 2u);  // 0 and 1
+}
+
+TEST(IcSimulatorTest, BlockedSeedIsSkipped) {
+  Graph g = PathGraph(6, 1.0);
+  IcSimulator sim(g);
+  Rng rng(6);
+  VertexMask blocked(6);
+  blocked.Set(0);
+  EXPECT_EQ(sim.Run({0}, rng, &blocked), 0u);
+}
+
+TEST(IcSimulatorTest, LastActivatedMatchesCount) {
+  Graph g = PaperFigure1Graph();
+  IcSimulator sim(g);
+  Rng rng(7);
+  VertexId count = sim.Run({testing::kV1}, rng);
+  EXPECT_EQ(count, sim.LastActivated().size());
+  EXPECT_EQ(sim.LastActivated()[0], testing::kV1);
+}
+
+TEST(IcSimulatorTest, ReuseAcrossRunsIsClean) {
+  // The epoch mechanism must fully isolate runs: run with everything
+  // blocked after a full-propagation run.
+  Graph g = PathGraph(4, 1.0);
+  IcSimulator sim(g);
+  Rng rng(8);
+  EXPECT_EQ(sim.Run({0}, rng), 4u);
+  VertexMask blocked(4);
+  blocked.Set(1);
+  EXPECT_EQ(sim.Run({0}, rng, &blocked), 1u);
+  EXPECT_EQ(sim.Run({0}, rng), 4u);
+}
+
+// ------------------------------------------------------------ MonteCarlo --
+
+TEST(MonteCarloTest, MatchesPaperExample1Spread) {
+  // E({v1}, G) = 7.66 (Example 1).
+  Graph g = PaperFigure1Graph();
+  MonteCarloOptions mc;
+  mc.rounds = 200000;
+  mc.seed = 42;
+  double spread = EstimateSpread(g, {testing::kV1}, mc);
+  EXPECT_NEAR(spread, 7.66, 0.02);
+}
+
+TEST(MonteCarloTest, MatchesPaperExample1BlockingV5) {
+  // E({v1}, G[V \ {v5}]) = 3 (Example 1).
+  Graph g = PaperFigure1Graph();
+  MonteCarloOptions mc;
+  mc.rounds = 50000;
+  mc.seed = 43;
+  double spread =
+      EstimateSpreadWithBlockers(g, {testing::kV1}, {testing::kV5}, mc);
+  EXPECT_NEAR(spread, 3.0, 1e-9);  // deterministic: all remaining edges p=1
+}
+
+TEST(MonteCarloTest, MatchesPaperExample1BlockingV2) {
+  // E({v1}, G[V \ {v2}]) = 6.66 (Example 1); same for v4.
+  Graph g = PaperFigure1Graph();
+  MonteCarloOptions mc;
+  mc.rounds = 200000;
+  mc.seed = 44;
+  EXPECT_NEAR(
+      EstimateSpreadWithBlockers(g, {testing::kV1}, {testing::kV2}, mc), 6.66,
+      0.02);
+  EXPECT_NEAR(
+      EstimateSpreadWithBlockers(g, {testing::kV1}, {testing::kV4}, mc), 6.66,
+      0.02);
+}
+
+TEST(MonteCarloTest, DeterministicForSameSeed) {
+  Graph g = PaperFigure1Graph();
+  MonteCarloOptions mc;
+  mc.rounds = 1000;
+  mc.seed = 7;
+  EXPECT_DOUBLE_EQ(EstimateSpread(g, {testing::kV1}, mc),
+                   EstimateSpread(g, {testing::kV1}, mc));
+}
+
+TEST(MonteCarloTest, ThreadCountDoesNotChangeResult) {
+  Graph g = PaperFigure1Graph();
+  MonteCarloOptions mc1;
+  mc1.rounds = 4000;
+  mc1.seed = 11;
+  mc1.threads = 1;
+  MonteCarloOptions mc4 = mc1;
+  mc4.threads = 4;
+  EXPECT_DOUBLE_EQ(EstimateSpread(g, {testing::kV1}, mc1),
+                   EstimateSpread(g, {testing::kV1}, mc4));
+}
+
+TEST(MonteCarloTest, StarSpreadIsOnePlusNp) {
+  // Star 0→{1..n-1} with p: E = 1 + (n-1)p.
+  const VertexId n = 101;
+  Graph g = StarGraph(n, 0.3);
+  MonteCarloOptions mc;
+  mc.rounds = 50000;
+  mc.seed = 3;
+  EXPECT_NEAR(EstimateSpread(g, {0}, mc), 1 + 100 * 0.3, 0.3);
+}
+
+TEST(MonteCarloTest, ActivationProbabilitiesMatchExample1) {
+  // P(v8) = 0.6, P(v7) = 0.06 (Example 1).
+  Graph g = PaperFigure1Graph();
+  MonteCarloOptions mc;
+  mc.rounds = 200000;
+  mc.seed = 21;
+  auto probs = EstimateActivationProbabilities(g, {testing::kV1}, mc);
+  EXPECT_NEAR(probs[testing::kV8], 0.6, 0.01);
+  EXPECT_NEAR(probs[testing::kV7], 0.06, 0.005);
+  EXPECT_DOUBLE_EQ(probs[testing::kV1], 1.0);
+  EXPECT_DOUBLE_EQ(probs[testing::kV5], 1.0);
+}
+
+TEST(MonteCarloTest, MonotoneInBlockers) {
+  // Theorem 2 (monotonicity): adding blockers cannot increase the spread.
+  Graph g = PaperFigure1Graph();
+  MonteCarloOptions mc;
+  mc.rounds = 20000;
+  mc.seed = 5;
+  double none = EstimateSpread(g, {testing::kV1}, mc);
+  double one =
+      EstimateSpreadWithBlockers(g, {testing::kV1}, {testing::kV9}, mc);
+  double two = EstimateSpreadWithBlockers(g, {testing::kV1},
+                                          {testing::kV9, testing::kV8}, mc);
+  EXPECT_LE(one, none + 1e-9);
+  EXPECT_LE(two, one + 1e-9);
+}
+
+}  // namespace
+}  // namespace vblock

@@ -1,0 +1,249 @@
+// Unit tests for src/common: Status/Result, RNG, string utils, timers,
+// table printer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+
+namespace vblock {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad probability");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad probability");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad probability");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ConstructingFromOkStatusBecomesError) {
+  Result<int> r(Status::OK());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ------------------------------------------------------------------- RNG --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) differing += (a() != b());
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(9);
+  const int kN = 100000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, MixSeedSeparatesStreams) {
+  // Streams i and i+1 from the same base must differ.
+  EXPECT_NE(MixSeed(1, 0), MixSeed(1, 1));
+  EXPECT_NE(MixSeed(1, 0), MixSeed(2, 0));
+}
+
+TEST(RngTest, SplitMix64KnownVector) {
+  // Reference: first output of SplitMix64 with state 0 is 0xE220A8397B1DCDAF.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64Next(state), 0xE220A8397B1DCDAFULL);
+}
+
+// ---------------------------------------------------------------- String --
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  hello \t\n"), "hello");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(StringUtilTest, SplitFields) {
+  auto fields = SplitFields("1\t2  3,4");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "1");
+  EXPECT_EQ(fields[3], "4");
+  EXPECT_TRUE(SplitFields("   ").empty());
+}
+
+TEST(StringUtilTest, CommentLines) {
+  EXPECT_TRUE(IsCommentLine("# snap header"));
+  EXPECT_TRUE(IsCommentLine("  % matrix market"));
+  EXPECT_TRUE(IsCommentLine(""));
+  EXPECT_TRUE(IsCommentLine("   "));
+  EXPECT_FALSE(IsCommentLine("0 1"));
+}
+
+TEST(StringUtilTest, ParseUint64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_TRUE(ParseUint64("  7 ", &v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("-3", &v));
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.5", &v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(ParseDouble("1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, 1e-3);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+TEST(StringUtilTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(0.5e-6 * 3), "1.5us");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.3ms");
+  EXPECT_EQ(FormatSeconds(2.5), "2.50s");
+  EXPECT_EQ(FormatSeconds(600), "10.0min");
+}
+
+// ----------------------------------------------------------------- Timer --
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.ElapsedSeconds(), 0.015);
+  EXPECT_LT(t.ElapsedSeconds(), 5.0);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.Reset();
+  EXPECT_LT(t.ElapsedSeconds(), 0.010);
+}
+
+TEST(DeadlineTest, NoBudgetNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterBudget) {
+  Deadline d(0.01);
+  EXPECT_FALSE(d.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(d.Expired());
+}
+
+// --------------------------------------------------------- TablePrinter --
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, HandlesRaggedRows) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"only-one"});
+  t.AddRow({"1", "2", "3-extra"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+  EXPECT_NE(out.find("3-extra"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vblock

@@ -1,0 +1,228 @@
+// Tests for the edge-blocking extension: the edge-split reduction, exact
+// per-edge spread decreases on the paper's toy graph, and the greedy edge
+// blocker.
+
+#include <gtest/gtest.h>
+
+#include "cascade/exact_spread.h"
+#include "cascade/monte_carlo.h"
+#include "core/edge_blocking.h"
+#include "gen/generators.h"
+#include "prob/probability_models.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+using testing::PaperFigure1Graph;
+
+// Finds the index of edge (u,v) in the split instance's edge order.
+size_t EdgeIndex(const EdgeSplitInstance& split, VertexId u, VertexId v) {
+  for (size_t i = 0; i < split.edges.size(); ++i) {
+    if (split.edges[i].source == u && split.edges[i].target == v) return i;
+  }
+  ADD_FAILURE() << "edge " << u << "->" << v << " not found";
+  return 0;
+}
+
+TEST(SplitEdgesTest, StructureOfSplitGraph) {
+  Graph g = PaperFigure1Graph();
+  EdgeSplitInstance split = SplitEdges(g);
+  EXPECT_EQ(split.first_aux, 9u);
+  EXPECT_EQ(split.edges.size(), 10u);
+  EXPECT_EQ(split.graph.NumVertices(), 19u);
+  EXPECT_EQ(split.graph.NumEdges(), 20u);
+  // Every auxiliary has exactly one in- and one out-edge; the out-edge has
+  // probability 1.
+  for (VertexId aux = split.first_aux; aux < split.graph.NumVertices();
+       ++aux) {
+    EXPECT_EQ(split.graph.InDegree(aux), 1u);
+    EXPECT_EQ(split.graph.OutDegree(aux), 1u);
+    EXPECT_DOUBLE_EQ(split.graph.OutProbabilities(aux)[0], 1.0);
+    EXPECT_DOUBLE_EQ(split.weights[aux], 0.0);
+  }
+  for (VertexId v = 0; v < split.first_aux; ++v) {
+    EXPECT_DOUBLE_EQ(split.weights[v], 1.0);
+  }
+}
+
+TEST(SplitEdgesTest, SplitPreservesWeightedSpread) {
+  // The weighted spread of the split graph (auxiliaries weight 0) equals
+  // the original expected spread.
+  Graph g = PaperFigure1Graph();
+  EdgeSplitInstance split = SplitEdges(g);
+  auto exact = ComputeSpreadDecreaseExactWeighted(split.graph, testing::kV1,
+                                                  split.weights);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(exact->expected_spread, 7.66, 1e-12);
+}
+
+TEST(EdgeSpreadDecreaseTest, ExactValuesOnToyGraph) {
+  // Derived from Example 1's activation probabilities:
+  //   removing v1->v2: lose v2 only (v5 lives via v4)      -> 1.0
+  //   removing v2->v5: nothing lost (v5 lives via v4)      -> 0.0
+  //   removing v5->v8: P(v8) 0.6->0.2, P(v7) 0.06->0.02    -> 0.44
+  //   removing v9->v8: P(v8) 0.6->0.5, P(v7) 0.06->0.05    -> 0.11
+  //   removing v8->v7: lose P(v7)                          -> 0.06
+  //   removing v5->v9: lose v9 + 0.1 of v8 + 0.01 of v7    -> 1.11
+  Graph g = PaperFigure1Graph();
+  EdgeSplitInstance split = SplitEdges(g);
+  auto deltas = ComputeEdgeSpreadDecreaseExact(g, {testing::kV1});
+  ASSERT_TRUE(deltas.ok());
+  auto delta_of = [&](VertexId u, VertexId v) {
+    return (*deltas)[EdgeIndex(split, u, v)];
+  };
+  EXPECT_NEAR(delta_of(testing::kV1, testing::kV2), 1.0, 1e-12);
+  EXPECT_NEAR(delta_of(testing::kV2, testing::kV5), 0.0, 1e-12);
+  EXPECT_NEAR(delta_of(testing::kV4, testing::kV5), 0.0, 1e-12);
+  EXPECT_NEAR(delta_of(testing::kV5, testing::kV8), 0.44, 1e-12);
+  EXPECT_NEAR(delta_of(testing::kV9, testing::kV8), 0.11, 1e-12);
+  EXPECT_NEAR(delta_of(testing::kV8, testing::kV7), 0.06, 1e-12);
+  EXPECT_NEAR(delta_of(testing::kV5, testing::kV9), 1.11, 1e-12);
+  EXPECT_NEAR(delta_of(testing::kV5, testing::kV3), 1.0, 1e-12);
+}
+
+TEST(EdgeSpreadDecreaseTest, SampledConvergesToExact) {
+  Graph g = PaperFigure1Graph();
+  EdgeSplitInstance split = SplitEdges(g);
+  SpreadDecreaseOptions opts;
+  opts.theta = 150000;
+  opts.seed = 3;
+  auto sampled = ComputeEdgeSpreadDecrease(g, {testing::kV1}, opts);
+  auto exact = ComputeEdgeSpreadDecreaseExact(g, {testing::kV1});
+  ASSERT_TRUE(exact.ok());
+  ASSERT_EQ(sampled.size(), exact->size());
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    EXPECT_NEAR(sampled[i], (*exact)[i], 0.02)
+        << split.edges[i].source << "->" << split.edges[i].target;
+  }
+}
+
+TEST(EdgeSpreadDecreaseTest, EdgeDeltaMatchesGraphWithEdgeRemoved) {
+  // Cross-check against first principles: Δ_edge = E(G) − E(G without e).
+  Graph g = PaperFigure1Graph();
+  EdgeSplitInstance split = SplitEdges(g);
+  auto deltas = ComputeEdgeSpreadDecreaseExact(g, {testing::kV1});
+  ASSERT_TRUE(deltas.ok());
+  auto base = ComputeExactSpread(g, {testing::kV1});
+  ASSERT_TRUE(base.ok());
+  for (size_t i = 0; i < split.edges.size(); ++i) {
+    Graph without = RemoveEdges(g, {split.edges[i]});
+    auto spread = ComputeExactSpread(without, {testing::kV1});
+    ASSERT_TRUE(spread.ok());
+    EXPECT_NEAR((*deltas)[i], *base - *spread, 1e-9)
+        << split.edges[i].source << "->" << split.edges[i].target;
+  }
+}
+
+TEST(GreedyEdgeBlockingTest, FirstPickIsBestSingleEdge) {
+  // On the toy graph the best single edge removal is v5->v9 (Δ = 1.11).
+  Graph g = PaperFigure1Graph();
+  EdgeBlockingOptions opts;
+  opts.budget = 1;
+  opts.theta = 30000;
+  opts.seed = 9;
+  auto result = GreedyEdgeBlocking(g, {testing::kV1}, opts);
+  ASSERT_EQ(result.blocked_edges.size(), 1u);
+  EXPECT_EQ(result.blocked_edges[0].source, testing::kV5);
+  EXPECT_EQ(result.blocked_edges[0].target, testing::kV9);
+}
+
+TEST(GreedyEdgeBlockingTest, SpreadDropsMonotonically) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(200, 3, 5));
+  std::vector<VertexId> seeds = {0, 1};
+  EdgeBlockingOptions opts;
+  opts.budget = 8;
+  opts.theta = 2000;
+  opts.seed = 5;
+  auto result = GreedyEdgeBlocking(g, seeds, opts);
+  EXPECT_EQ(result.blocked_edges.size(), 8u);
+  // Evaluate cumulative prefixes: spread must be non-increasing.
+  double prev = 1e18;
+  for (size_t k = 0; k <= result.blocked_edges.size(); k += 4) {
+    std::vector<Edge> prefix(result.blocked_edges.begin(),
+                             result.blocked_edges.begin() +
+                                 static_cast<ptrdiff_t>(k));
+    Graph cut = RemoveEdges(g, prefix);
+    MonteCarloOptions mc;
+    mc.rounds = 20000;
+    mc.seed = 11;
+    double spread = EstimateSpread(cut, seeds, mc);
+    EXPECT_LE(spread, prev + 0.1);
+    prev = spread;
+  }
+}
+
+TEST(GreedyEdgeBlockingTest, BudgetBeyondEdgeCountBlocksEverythingUseful) {
+  Graph g = testing::PathGraph(4, 1.0);
+  EdgeBlockingOptions opts;
+  opts.budget = 100;
+  opts.theta = 100;
+  auto result = GreedyEdgeBlocking(g, {0}, opts);
+  EXPECT_LE(result.blocked_edges.size(), 3u);
+  // Removing the first path edge already isolates the seed; remaining
+  // rounds pick zero-delta edges.
+  Graph cut = RemoveEdges(g, result.blocked_edges);
+  auto spread = ComputeExactSpread(cut, {0});
+  ASSERT_TRUE(spread.ok());
+  EXPECT_DOUBLE_EQ(*spread, 1.0);
+}
+
+TEST(GreedyEdgeBlockingTest, MultiSeedEdgeBlocking) {
+  // Two seeds on a path: only the edges downstream of each seed matter.
+  Graph g = testing::PathGraph(6, 1.0);
+  EdgeBlockingOptions opts;
+  opts.budget = 2;
+  opts.theta = 200;
+  opts.seed = 2;
+  auto result = GreedyEdgeBlocking(g, {0, 3}, opts);
+  ASSERT_EQ(result.blocked_edges.size(), 2u);
+  Graph cut = RemoveEdges(g, result.blocked_edges);
+  auto spread = ComputeExactSpread(cut, {0, 3});
+  ASSERT_TRUE(spread.ok());
+  // Best 2 removals: (0,1) and (3,4) -> only the seeds remain.
+  EXPECT_DOUBLE_EQ(*spread, 2.0);
+}
+
+TEST(EdgeSpreadDecreaseTest, EdgeDeltaBoundedByTargetVertexDelta) {
+  // Blocking vertex v removes every in-edge of v (and more), so for any
+  // edge e = (u,v): Δ_edge(e) ≤ Δ_vertex(v). Exact check on random small
+  // graphs.
+  for (uint64_t seed : {3ull, 4ull, 5ull}) {
+    Graph base = GenerateErdosRenyi(12, 24, seed);
+    // Make a few edges probabilistic so worlds stay enumerable.
+    GraphBuilder b;
+    b.ReserveVertices(base.NumVertices());
+    size_t i = 0;
+    for (const Edge& e : base.CollectEdges()) {
+      b.AddEdge(e.source, e.target, (i++ % 4 == 0) ? 0.5 : 1.0);
+    }
+    auto built = b.Build();
+    ASSERT_TRUE(built.ok());
+    Graph g = std::move(built.value());
+
+    auto edge_deltas = ComputeEdgeSpreadDecreaseExact(g, {0});
+    ASSERT_TRUE(edge_deltas.ok());
+    auto vertex_deltas = ComputeSpreadDecreaseExact(g, 0);
+    ASSERT_TRUE(vertex_deltas.ok());
+    EdgeSplitInstance split = SplitEdges(g);
+    for (size_t e = 0; e < split.edges.size(); ++e) {
+      const VertexId target = split.edges[e].target;
+      if (target == 0) continue;  // edges into the seed are irrelevant
+      EXPECT_LE((*edge_deltas)[e], vertex_deltas->delta[target] + 1e-9)
+          << "seed " << seed << " edge " << split.edges[e].source << "->"
+          << target;
+    }
+  }
+}
+
+TEST(RemoveEdgesTest, RemovesExactlyTheGivenEdges) {
+  Graph g = PaperFigure1Graph();
+  auto edges = g.CollectEdges();
+  Graph cut = RemoveEdges(g, {edges[0], edges[3]});
+  EXPECT_EQ(cut.NumEdges(), g.NumEdges() - 2);
+  EXPECT_EQ(cut.NumVertices(), g.NumVertices());
+}
+
+}  // namespace
+}  // namespace vblock

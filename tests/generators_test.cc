@@ -1,0 +1,160 @@
+// Unit tests for synthetic generators and the dataset catalog.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/dataset_catalog.h"
+#include "gen/generators.h"
+#include "graph/traversal.h"
+
+namespace vblock {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Graph g = GenerateErdosRenyi(100, 500, 1);
+  EXPECT_EQ(g.NumVertices(), 100u);
+  EXPECT_EQ(g.NumEdges(), 500u);
+}
+
+TEST(ErdosRenyiTest, DeterministicInSeed) {
+  Graph a = GenerateErdosRenyi(50, 200, 7);
+  Graph b = GenerateErdosRenyi(50, 200, 7);
+  EXPECT_EQ(a.CollectEdges(), b.CollectEdges());
+  Graph c = GenerateErdosRenyi(50, 200, 8);
+  EXPECT_NE(a.CollectEdges(), c.CollectEdges());
+}
+
+TEST(ErdosRenyiTest, NoSelfLoopsNoDuplicates) {
+  Graph g = GenerateErdosRenyi(30, 400, 3);
+  auto edges = g.CollectEdges();
+  for (const Edge& e : edges) EXPECT_NE(e.source, e.target);
+  auto key = [](const Edge& e) {
+    return (static_cast<uint64_t>(e.source) << 32) | e.target;
+  };
+  std::vector<uint64_t> keys;
+  for (const Edge& e : edges) keys.push_back(key(e));
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(BarabasiAlbertTest, SizeAndSymmetry) {
+  Graph g = GenerateBarabasiAlbert(200, 3, 11);
+  EXPECT_EQ(g.NumVertices(), 200u);
+  // Undirected: in-degree equals out-degree for every vertex.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), g.InDegree(v));
+  }
+}
+
+TEST(BarabasiAlbertTest, PowerLawSkew) {
+  Graph g = GenerateBarabasiAlbert(2000, 2, 5);
+  // Hubs exist: max degree far above the mean (mean ≈ 2*epv = 4).
+  EXPECT_GT(g.MaxTotalDegree(), 40u);
+}
+
+TEST(BarabasiAlbertTest, Connected) {
+  Graph g = GenerateBarabasiAlbert(500, 2, 9);
+  EXPECT_EQ(CountReachable(g, 0), 500u);
+}
+
+TEST(WattsStrogatzTest, SizeAndDegreeConcentration) {
+  Graph g = GenerateWattsStrogatz(400, 3, 0.1, 13);
+  EXPECT_EQ(g.NumVertices(), 400u);
+  // Each vertex initiates k=3 undirected links → average total degree ≈ 12
+  // (in+out, both directions), modulo rewiring collisions.
+  EXPECT_NEAR(g.AverageTotalDegree(), 12.0, 1.5);
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  Graph g = GenerateWattsStrogatz(20, 2, 0.0, 1);
+  // Deterministic lattice: every vertex has exactly 4 undirected neighbors.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), 4u);
+  }
+}
+
+TEST(RmatTest, RespectsVertexBound) {
+  Graph g = GenerateRmat(8, 1000, 0.57, 0.19, 0.19, 17);
+  EXPECT_LE(g.NumVertices(), 256u);
+  EXPECT_GT(g.NumEdges(), 500u);  // some dedup/self-loop loss allowed
+}
+
+TEST(RmatTest, SkewedDegreeDistribution) {
+  Graph g = GenerateRmat(12, 40000, 0.62, 0.17, 0.17, 19);
+  // R-MAT with a-heavy quadrants concentrates edges on low ids.
+  EXPECT_GT(g.MaxTotalDegree(), 12 * g.AverageTotalDegree());
+}
+
+TEST(RmatTest, DeterministicInSeed) {
+  Graph a = GenerateRmat(8, 500, 0.57, 0.19, 0.19, 23);
+  Graph b = GenerateRmat(8, 500, 0.57, 0.19, 0.19, 23);
+  EXPECT_EQ(a.CollectEdges(), b.CollectEdges());
+}
+
+TEST(WattsStrogatzTest, FullRewiringStillWellFormed) {
+  Graph g = GenerateWattsStrogatz(200, 2, 1.0, 29);
+  EXPECT_EQ(g.NumVertices(), 200u);
+  EXPECT_GT(g.NumEdges(), 300u);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), g.InDegree(v));  // still undirected
+  }
+}
+
+TEST(WattsStrogatzTest, DeterministicInSeed) {
+  Graph a = GenerateWattsStrogatz(100, 3, 0.3, 31);
+  Graph b = GenerateWattsStrogatz(100, 3, 0.3, 31);
+  EXPECT_EQ(a.CollectEdges(), b.CollectEdges());
+}
+
+// --------------------------------------------------------------- Catalog --
+
+TEST(DatasetCatalogTest, HasAllEightPaperDatasets) {
+  const auto& specs = PaperDatasets();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "EmailCore");
+  EXPECT_EQ(specs[7].name, "Youtube");
+  // Table IV statistics spot-check.
+  EXPECT_EQ(specs[1].paper_n, 4039u);     // Facebook
+  EXPECT_EQ(specs[5].paper_m, 1768149u);  // Twitter
+  EXPECT_FALSE(specs[4].directed);        // DBLP undirected
+  EXPECT_TRUE(specs[6].directed);         // Stanford directed
+}
+
+TEST(DatasetCatalogTest, FindByNameAndShortName) {
+  EXPECT_NE(FindDataset("EmailCore"), nullptr);
+  EXPECT_NE(FindDataset("emailcore"), nullptr);
+  EXPECT_NE(FindDataset("EC"), nullptr);
+  EXPECT_EQ(FindDataset("EC")->name, "EmailCore");
+  EXPECT_EQ(FindDataset("NoSuchDataset"), nullptr);
+}
+
+TEST(DatasetCatalogTest, ScaledInstanceApproximatesShape) {
+  const DatasetSpec* spec = FindDataset("Facebook");
+  ASSERT_NE(spec, nullptr);
+  Graph g = MakeDataset(*spec, 0.05, 1);
+  // ~5% of 4039 vertices.
+  EXPECT_NEAR(static_cast<double>(g.NumVertices()), 0.05 * spec->paper_n,
+              0.25 * 0.05 * spec->paper_n + 64);
+  EXPECT_GT(g.NumEdges(), 100u);
+}
+
+TEST(DatasetCatalogTest, UndirectedStandInsAreSymmetric) {
+  const DatasetSpec* spec = FindDataset("Youtube");
+  ASSERT_NE(spec, nullptr);
+  Graph g = MakeDataset(*spec, 0.002, 3);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), g.InDegree(v));
+  }
+}
+
+TEST(DatasetCatalogTest, AllSpecsInstantiateAtTinyScale) {
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    Graph g = MakeDataset(spec, 0.01, 42);
+    EXPECT_GE(g.NumVertices(), 64u) << spec.name;
+    EXPECT_GT(g.NumEdges(), 0u) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace vblock

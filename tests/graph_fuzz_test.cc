@@ -1,0 +1,142 @@
+// Deterministic pseudo-fuzzing: random graphs through the whole substrate,
+// asserting structural invariants that must hold for ANY input.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "sampling/reachable_sampler.h"
+
+namespace vblock {
+namespace {
+
+Graph RandomGraph(uint64_t seed) {
+  Rng rng(seed);
+  const VertexId n = 2 + static_cast<VertexId>(rng.NextBounded(60));
+  const uint64_t m = rng.NextBounded(4 * n);
+  GraphBuilder b;
+  b.ReserveVertices(n);
+  for (uint64_t i = 0; i < m; ++i) {
+    auto u = static_cast<VertexId>(rng.NextBounded(n));
+    auto v = static_cast<VertexId>(rng.NextBounded(n));
+    b.AddEdge(u, v, rng.NextDouble());
+  }
+  auto g = b.Build();
+  VBLOCK_CHECK(g.ok());
+  return std::move(g.value());
+}
+
+class GraphFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphFuzz, CsrInvariants) {
+  Graph g = RandomGraph(GetParam());
+  uint64_t out_total = 0, in_total = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    out_total += g.OutDegree(v);
+    in_total += g.InDegree(v);
+    auto targets = g.OutNeighbors(v);
+    // Sorted by target and duplicate-free (builder merges).
+    for (size_t k = 1; k < targets.size(); ++k) {
+      EXPECT_LT(targets[k - 1], targets[k]);
+    }
+    for (VertexId t : targets) EXPECT_LT(t, g.NumVertices());
+    for (double p : g.OutProbabilities(v)) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+  EXPECT_EQ(out_total, g.NumEdges());
+  EXPECT_EQ(in_total, g.NumEdges());
+}
+
+TEST_P(GraphFuzz, InOutAdjacencyBijection) {
+  Graph g = RandomGraph(GetParam());
+  std::multiset<std::pair<VertexId, VertexId>> out_edges, in_edges;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId t : g.OutNeighbors(v)) out_edges.insert({v, t});
+    for (VertexId s : g.InNeighbors(v)) in_edges.insert({s, v});
+  }
+  EXPECT_EQ(out_edges, in_edges);
+}
+
+TEST_P(GraphFuzz, EdgeListRoundTrip) {
+  Graph g = RandomGraph(GetParam());
+  auto edges = g.CollectEdges();
+  GraphBuilder b;
+  b.ReserveVertices(g.NumVertices());
+  for (const Edge& e : edges) b.AddEdge(e.source, e.target, e.probability);
+  auto g2 = b.Build();
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->CollectEdges(), edges);
+}
+
+TEST_P(GraphFuzz, InducedSubgraphIsSubsetOfEdges) {
+  Graph g = RandomGraph(GetParam());
+  Rng rng(GetParam() + 1000);
+  std::vector<VertexId> keep;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (rng.NextBernoulli(0.5)) keep.push_back(v);
+  }
+  Subgraph sub = InducedSubgraph(g, keep);
+  EXPECT_EQ(sub.graph.NumVertices(), keep.size());
+  // Every subgraph edge maps to a parent edge with equal probability.
+  for (VertexId lu = 0; lu < sub.graph.NumVertices(); ++lu) {
+    auto targets = sub.graph.OutNeighbors(lu);
+    auto probs = sub.graph.OutProbabilities(lu);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      VertexId pu = sub.to_parent[lu];
+      VertexId pv = sub.to_parent[targets[k]];
+      auto parent_targets = g.OutNeighbors(pu);
+      auto parent_probs = g.OutProbabilities(pu);
+      bool found = false;
+      for (size_t j = 0; j < parent_targets.size(); ++j) {
+        if (parent_targets[j] == pv && parent_probs[j] == probs[k]) {
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST_P(GraphFuzz, SamplerSubsetOfReachable) {
+  Graph g = RandomGraph(GetParam());
+  ReachableSampler sampler(g, 0);
+  SampledGraph sample;
+  Rng rng(GetParam() + 5);
+  std::vector<uint8_t> reachable(g.NumVertices(), 0);
+  for (VertexId v : ReachableFrom(g, 0)) reachable[v] = 1;
+  for (int round = 0; round < 10; ++round) {
+    sampler.Sample(rng, &sample);
+    // Sampled vertices are unique and reachable in the full graph.
+    std::set<VertexId> seen;
+    for (VertexId p : sample.to_parent) {
+      EXPECT_TRUE(seen.insert(p).second) << "duplicate vertex in sample";
+      EXPECT_TRUE(reachable[p]);
+    }
+    EXPECT_EQ(sample.to_parent[0], 0u);
+  }
+}
+
+TEST_P(GraphFuzz, BinaryRoundTrip) {
+  Graph g = RandomGraph(GetParam());
+  const std::string path =
+      ::testing::TempDir() + "/fuzz_" + std::to_string(GetParam()) + ".bin";
+  ASSERT_TRUE(WriteBinary(g, path).ok());
+  auto g2 = ReadBinary(path);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->CollectEdges(), g.CollectEdges());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzz,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace vblock

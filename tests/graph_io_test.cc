@@ -1,0 +1,141 @@
+// Unit tests for graph IO: SNAP edge lists (text) and the binary format.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "graph/graph_io.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(EdgeListTest, ParsesBasicSnapFormat) {
+  const std::string text =
+      "# Directed graph: example\n"
+      "# FromNodeId ToNodeId\n"
+      "0\t1\n"
+      "1\t2\n"
+      "0\t2\n";
+  auto g = ReadEdgeListFromString(text);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+  EXPECT_DOUBLE_EQ(g->OutProbabilities(0)[0], 1.0);
+}
+
+TEST(EdgeListTest, ParsesProbabilityColumn) {
+  auto g = ReadEdgeListFromString("0 1 0.25\n1 2 0.5\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->OutProbabilities(0)[0], 0.25);
+  EXPECT_DOUBLE_EQ(g->OutProbabilities(1)[0], 0.5);
+}
+
+TEST(EdgeListTest, UndirectedOptionDoublesEdges) {
+  EdgeListReadOptions opts;
+  opts.undirected = true;
+  auto g = ReadEdgeListFromString("0 1\n", opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(EdgeListTest, CompactIdsRenumbersSparseIds) {
+  auto g = ReadEdgeListFromString("1000000 2000000\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 2u);  // not 2000001
+}
+
+TEST(EdgeListTest, NonCompactKeepsRawIds) {
+  EdgeListReadOptions opts;
+  opts.compact_ids = false;
+  auto g = ReadEdgeListFromString("5 7\n", opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 8u);
+}
+
+TEST(EdgeListTest, PercentCommentsAccepted) {
+  auto g = ReadEdgeListFromString("% matrix market style\n0 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(EdgeListTest, MalformedLineReportsLineNumber) {
+  auto g = ReadEdgeListFromString("0 1\nnot numbers here\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+  EXPECT_NE(g.status().message().find(":2"), std::string::npos);
+}
+
+TEST(EdgeListTest, SingleFieldLineIsError) {
+  auto g = ReadEdgeListFromString("42\n");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(EdgeListTest, MalformedProbabilityIsError) {
+  auto g = ReadEdgeListFromString("0 1 huh\n");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(EdgeListTest, MissingFileIsIoError) {
+  auto g = ReadEdgeList("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST(EdgeListTest, WriteReadRoundTrip) {
+  Graph g = testing::PaperFigure1Graph();
+  const std::string path = TempPath("vblock_roundtrip.txt");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  EdgeListReadOptions opts;
+  opts.compact_ids = false;
+  auto g2 = ReadEdgeList(path, opts);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->CollectEdges(), g.CollectEdges());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTrip) {
+  Graph g = testing::PaperFigure1Graph();
+  const std::string path = TempPath("vblock_roundtrip.bin");
+  ASSERT_TRUE(WriteBinary(g, path).ok());
+  auto g2 = ReadBinary(path);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->CollectEdges(), g.CollectEdges());
+  EXPECT_EQ(g2->NumVertices(), g.NumVertices());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsWrongMagic) {
+  const std::string path = TempPath("vblock_bad_magic.bin");
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[32] = "this is not a graph file";
+    fwrite(junk, 1, sizeof junk, f);
+    fclose(f);
+  }
+  auto g = ReadBinary(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("not a vblock binary"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RejectsTruncatedFile) {
+  Graph g = testing::PaperFigure1Graph();
+  const std::string path = TempPath("vblock_truncated.bin");
+  ASSERT_TRUE(WriteBinary(g, path).ok());
+  std::filesystem::resize_file(path, 30);  // cut mid-header/edges
+  auto g2 = ReadBinary(path);
+  EXPECT_FALSE(g2.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vblock

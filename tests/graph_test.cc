@@ -1,0 +1,305 @@
+// Unit tests for src/graph: builder, CSR accessors, vertex mask, traversal,
+// induced subgraphs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "graph/vertex_mask.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+using testing::DiamondGraph;
+using testing::PaperFigure1Graph;
+using testing::PathGraph;
+
+// --------------------------------------------------------------- Builder --
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 0u);
+  EXPECT_EQ(g->NumEdges(), 0u);
+}
+
+TEST(GraphBuilderTest, IsolatedVerticesViaReserve) {
+  GraphBuilder b;
+  b.ReserveVertices(5);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 5u);
+  EXPECT_EQ(g->NumEdges(), 0u);
+  EXPECT_EQ(g->OutDegree(4), 0u);
+}
+
+TEST(GraphBuilderTest, BasicAdjacency) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(0, 2, 0.25);
+  b.AddEdge(2, 1, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 3u);
+  EXPECT_EQ(g->NumEdges(), 3u);
+  EXPECT_EQ(g->OutDegree(0), 2u);
+  EXPECT_EQ(g->InDegree(1), 2u);
+  auto n0 = g->OutNeighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  auto p0 = g->OutProbabilities(0);
+  EXPECT_DOUBLE_EQ(p0[0], 0.5);
+  EXPECT_DOUBLE_EQ(p0[1], 0.25);
+}
+
+TEST(GraphBuilderTest, InAdjacencyMatchesOutAdjacency) {
+  Graph g = PaperFigure1Graph();
+  // Every out-edge (u,v,p) must appear as an in-edge of v with the same p.
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto targets = g.OutNeighbors(u);
+    auto probs = g.OutProbabilities(u);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      auto in = g.InNeighbors(targets[k]);
+      auto in_p = g.InProbabilities(targets[k]);
+      bool found = false;
+      for (size_t j = 0; j < in.size(); ++j) {
+        if (in[j] == u && in_p[j] == probs[k]) found = true;
+      }
+      EXPECT_TRUE(found) << "edge " << u << "->" << targets[k];
+    }
+  }
+}
+
+TEST(GraphBuilderTest, SelfLoopsDroppedByDefault) {
+  GraphBuilder b;
+  b.AddEdge(0, 0, 1.0);
+  b.AddEdge(0, 1, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, SelfLoopsKeptWhenConfigured) {
+  GraphBuilder::Options opts;
+  opts.drop_self_loops = false;
+  GraphBuilder b(opts);
+  b.AddEdge(0, 0, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(GraphBuilderTest, ParallelEdgesMergeWithNoisyOr) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 0.5);
+  b.AddEdge(0, 1, 0.5);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1u);
+  // 1 - 0.5*0.5 = 0.75.
+  EXPECT_DOUBLE_EQ(g->OutProbabilities(0)[0], 0.75);
+}
+
+TEST(GraphBuilderTest, UndirectedEdgeAddsBothDirections) {
+  GraphBuilder b;
+  b.AddUndirectedEdge(0, 1, 0.3);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2u);
+  EXPECT_EQ(g->OutNeighbors(0)[0], 1u);
+  EXPECT_EQ(g->OutNeighbors(1)[0], 0u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeProbability) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 1.5);
+  auto g = b.Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, NegativeProbabilityRejected) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, -0.1);
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(GraphTest, CollectEdgesRoundTrip) {
+  Graph g = PaperFigure1Graph();
+  auto edges = g.CollectEdges();
+  EXPECT_EQ(edges.size(), g.NumEdges());
+  GraphBuilder b;
+  b.ReserveVertices(g.NumVertices());
+  for (const Edge& e : edges) b.AddEdge(e.source, e.target, e.probability);
+  auto g2 = b.Build();
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->CollectEdges(), edges);
+}
+
+TEST(GraphTest, DegreeStatistics) {
+  Graph g = PaperFigure1Graph();
+  EXPECT_EQ(g.NumVertices(), 9u);
+  EXPECT_EQ(g.NumEdges(), 10u);
+  // v5 has out-degree 4 (v3,v6,v9,v8) and in-degree 2 (v2,v4).
+  EXPECT_EQ(g.OutDegree(testing::kV5), 4u);
+  EXPECT_EQ(g.InDegree(testing::kV5), 2u);
+  EXPECT_EQ(g.MaxTotalDegree(), 6u);  // v5
+  EXPECT_DOUBLE_EQ(g.AverageTotalDegree(), 20.0 / 9.0);
+}
+
+TEST(GraphTest, TotalProbabilityMass) {
+  Graph g = PaperFigure1Graph();
+  // 7 edges of p=1 plus 0.5 + 0.2 + 0.1.
+  EXPECT_NEAR(g.TotalProbabilityMass(), 7.8, 1e-12);
+}
+
+// ------------------------------------------------------------ VertexMask --
+
+TEST(VertexMaskTest, SetTestClear) {
+  VertexMask m(100);
+  EXPECT_FALSE(m.Test(63));
+  m.Set(63);
+  m.Set(64);
+  EXPECT_TRUE(m.Test(63));
+  EXPECT_TRUE(m.Test(64));
+  EXPECT_FALSE(m.Test(65));
+  m.Clear(63);
+  EXPECT_FALSE(m.Test(63));
+  EXPECT_EQ(m.Count(), 1u);
+}
+
+TEST(VertexMaskTest, CountAndToVector) {
+  VertexMask m(10);
+  m.Set(1);
+  m.Set(5);
+  m.Set(9);
+  EXPECT_EQ(m.Count(), 3u);
+  EXPECT_EQ(m.ToVector(), (std::vector<VertexId>{1, 5, 9}));
+  m.Reset();
+  EXPECT_EQ(m.Count(), 0u);
+}
+
+TEST(VertexMaskTest, FromVertices) {
+  auto m = VertexMask::FromVertices(8, {2, 4});
+  EXPECT_TRUE(m.Test(2));
+  EXPECT_TRUE(m.Test(4));
+  EXPECT_FALSE(m.Test(3));
+}
+
+// ------------------------------------------------------------- Traversal --
+
+TEST(TraversalTest, ReachableFromPath) {
+  Graph g = PathGraph(6);
+  EXPECT_EQ(CountReachable(g, 0), 6u);
+  EXPECT_EQ(CountReachable(g, 3), 3u);
+}
+
+TEST(TraversalTest, BlockedVertexCutsPath) {
+  Graph g = PathGraph(6);
+  VertexMask blocked(6);
+  blocked.Set(3);
+  EXPECT_EQ(CountReachable(g, 0, &blocked), 3u);  // 0,1,2
+}
+
+TEST(TraversalTest, BlockedSourceIsEmpty) {
+  Graph g = PathGraph(4);
+  VertexMask blocked(4);
+  blocked.Set(0);
+  EXPECT_EQ(CountReachable(g, 0, &blocked), 0u);
+}
+
+TEST(TraversalTest, MultiSourceUnion) {
+  // Two disjoint paths: 0->1, 2->3.
+  GraphBuilder b;
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(2, 3, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto reach = ReachableFromSet(*g, {0, 2});
+  EXPECT_EQ(reach.size(), 4u);
+}
+
+TEST(TraversalTest, DfsPreorderVisitsAllReachable) {
+  Graph g = PaperFigure1Graph();
+  auto order = DfsPreorder(g, testing::kV1);
+  EXPECT_EQ(order.size(), 9u);
+  EXPECT_EQ(order[0], testing::kV1);
+  // Every vertex appears exactly once.
+  auto sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (VertexId v = 0; v < 9; ++v) EXPECT_EQ(sorted[v], v);
+}
+
+TEST(TraversalTest, ReachabilityIgnoresProbabilities) {
+  // Traversal is deterministic: p=0.001 edges still count as present.
+  Graph g = PathGraph(5, 0.001);
+  EXPECT_EQ(CountReachable(g, 0), 5u);
+}
+
+// -------------------------------------------------------------- Subgraph --
+
+TEST(SubgraphTest, InducedKeepsInternalEdgesOnly) {
+  Graph g = PaperFigure1Graph();
+  Subgraph sub = InducedSubgraph(g, {testing::kV1, testing::kV2, testing::kV5});
+  EXPECT_EQ(sub.graph.NumVertices(), 3u);
+  // Internal edges: v1->v2, v2->v5 (v4->v5 and v5->... leave the set).
+  EXPECT_EQ(sub.graph.NumEdges(), 2u);
+  // Mappings are mutually inverse.
+  for (VertexId local = 0; local < sub.graph.NumVertices(); ++local) {
+    EXPECT_EQ(sub.to_local[sub.to_parent[local]], local);
+  }
+}
+
+TEST(SubgraphTest, InducedPreservesProbabilities) {
+  Graph g = PaperFigure1Graph();
+  Subgraph sub =
+      InducedSubgraph(g, {testing::kV5, testing::kV8, testing::kV9});
+  // Edges v5->v8 (0.5), v5->v9 (1.0), v9->v8 (0.2).
+  EXPECT_EQ(sub.graph.NumEdges(), 3u);
+  double mass = sub.graph.TotalProbabilityMass();
+  EXPECT_NEAR(mass, 1.7, 1e-12);
+}
+
+TEST(SubgraphTest, DuplicateInputIdsIgnored) {
+  Graph g = PaperFigure1Graph();
+  Subgraph sub = InducedSubgraph(g, {testing::kV1, testing::kV1, testing::kV2});
+  EXPECT_EQ(sub.graph.NumVertices(), 2u);
+}
+
+TEST(SubgraphTest, RemoveVerticesComplement) {
+  Graph g = PathGraph(5);
+  VertexMask blocked(5);
+  blocked.Set(2);
+  Subgraph sub = RemoveVertices(g, blocked);
+  EXPECT_EQ(sub.graph.NumVertices(), 4u);
+  EXPECT_EQ(sub.graph.NumEdges(), 2u);  // 0->1 and 3->4 survive
+  EXPECT_EQ(sub.to_local[2], kInvalidVertex);
+}
+
+TEST(SubgraphTest, ExtractNeighborhoodRespectsTargetSize) {
+  Graph g = PaperFigure1Graph();
+  Subgraph sub = ExtractNeighborhood(g, testing::kV1, 4);
+  EXPECT_EQ(sub.graph.NumVertices(), 4u);
+  // Start vertex is always a member.
+  EXPECT_NE(sub.to_local[testing::kV1], kInvalidVertex);
+}
+
+TEST(SubgraphTest, ExtractNeighborhoodUsesInAndOutEdges) {
+  // 1 -> 0 only; starting from 0 must still pull 1 via the in-edge.
+  GraphBuilder b;
+  b.AddEdge(1, 0, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Subgraph sub = ExtractNeighborhood(*g, 0, 2);
+  EXPECT_EQ(sub.graph.NumVertices(), 2u);
+}
+
+}  // namespace
+}  // namespace vblock

@@ -1,0 +1,150 @@
+// Encodes the paper's Theorem-1 reduction (Densest-k-Subgraph → IMIN) and
+// verifies the claimed correspondence on small instances: blocking the
+// C-vertices of a vertex set A decreases the expected spread by exactly
+// |A| + (number of edges induced by A).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cascade/exact_spread.h"
+#include "core/exact_blocker.h"
+#include "graph/graph_builder.h"
+#include "graph/vertex_mask.h"
+
+namespace vblock {
+namespace {
+
+// An undirected DKS instance.
+struct DksInstance {
+  VertexId n;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+};
+
+// The paper's construction: seed S (id 0), C-part c_i (ids 1..n), D-part
+// d_j (ids n+1..n+m). Edges: S→c_i for all i; c_x→d_j and c_y→d_j for each
+// DKS edge e_j=(x,y). All probabilities 1.
+struct ImimReduction {
+  Graph graph;
+  VertexId seed = 0;
+  VertexId c_base = 1;
+  VertexId d_base;
+};
+
+ImimReduction BuildReduction(const DksInstance& inst) {
+  ImimReduction red;
+  red.d_base = 1 + inst.n;
+  GraphBuilder b;
+  b.ReserveVertices(1 + inst.n + static_cast<VertexId>(inst.edges.size()));
+  for (VertexId i = 0; i < inst.n; ++i) b.AddEdge(0, red.c_base + i, 1.0);
+  for (size_t j = 0; j < inst.edges.size(); ++j) {
+    auto [x, y] = inst.edges[j];
+    b.AddEdge(red.c_base + x, red.d_base + static_cast<VertexId>(j), 1.0);
+    b.AddEdge(red.c_base + y, red.d_base + static_cast<VertexId>(j), 1.0);
+  }
+  auto g = b.Build();
+  VBLOCK_CHECK(g.ok());
+  red.graph = std::move(g.value());
+  return red;
+}
+
+int InducedEdgeCount(const DksInstance& inst, const std::vector<VertexId>& a) {
+  std::vector<uint8_t> in_a(inst.n, 0);
+  for (VertexId v : a) in_a[v] = 1;
+  int count = 0;
+  for (auto [x, y] : inst.edges) count += (in_a[x] && in_a[y]);
+  return count;
+}
+
+// The paper's Figure-2 example: 4 vertices, 4 edges.
+DksInstance Figure2Instance() {
+  return DksInstance{4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}};
+}
+
+TEST(HardnessReductionTest, BaseSpreadIsWholeGraph) {
+  // All probabilities 1: the seed reaches everything.
+  ImimReduction red = BuildReduction(Figure2Instance());
+  auto spread = ComputeExactSpread(red.graph, {red.seed});
+  ASSERT_TRUE(spread.ok());
+  EXPECT_DOUBLE_EQ(*spread, 9.0);  // 1 + 4 + 4
+}
+
+TEST(HardnessReductionTest, BlockingAMatchesClaimedDecrease) {
+  // Decrease from blocking {c_i : i ∈ A} must equal |A| + g where g is the
+  // number of DKS edges induced by A (proof of Theorem 1).
+  DksInstance inst = Figure2Instance();
+  ImimReduction red = BuildReduction(inst);
+  const double base = 9.0;
+  // Every subset A of the 4 DKS vertices.
+  for (uint32_t bits = 1; bits < 16; ++bits) {
+    std::vector<VertexId> a;
+    VertexMask mask(red.graph.NumVertices());
+    for (VertexId i = 0; i < 4; ++i) {
+      if ((bits >> i) & 1) {
+        a.push_back(i);
+        mask.Set(red.c_base + i);
+      }
+    }
+    auto spread = ComputeExactSpread(red.graph, {red.seed}, &mask);
+    ASSERT_TRUE(spread.ok());
+    const double decrease = base - *spread;
+    EXPECT_DOUBLE_EQ(decrease, a.size() + InducedEdgeCount(inst, a))
+        << "A bits=" << bits;
+  }
+}
+
+TEST(HardnessReductionTest, OptimalImimBlockersSolveDks) {
+  // For k=2, the densest 2-subgraph of the 4-cycle has 1 edge; the IMIN
+  // optimum on the reduction must block two C-vertices that are adjacent in
+  // the cycle.
+  DksInstance inst = Figure2Instance();
+  ImimReduction red = BuildReduction(inst);
+  ExactSearchOptions opts;
+  opts.budget = 2;
+  opts.evaluation.prefer_exact = true;
+  auto result = ExactBlockerSearch(red.graph, {red.seed}, opts);
+  ASSERT_EQ(result.blockers.size(), 2u);
+  // Optimal spread = 9 − (2 + 1) = 6.
+  EXPECT_DOUBLE_EQ(result.spread, 6.0);
+  // The blocked pair corresponds to adjacent DKS vertices.
+  std::vector<VertexId> a;
+  for (VertexId b : result.blockers) {
+    ASSERT_GE(b, red.c_base);
+    ASSERT_LT(b, red.d_base);
+    a.push_back(b - red.c_base);
+  }
+  EXPECT_EQ(InducedEdgeCount(inst, a), 1);
+}
+
+TEST(HardnessReductionTest, TriangleInstanceOptimum) {
+  // Triangle + isolated vertex, k=3: best A is the triangle (3 edges);
+  // optimal decrease = 3 + 3 = 6.
+  DksInstance inst{4, {{0, 1}, {1, 2}, {2, 0}}};
+  ImimReduction red = BuildReduction(inst);
+  ExactSearchOptions opts;
+  opts.budget = 3;
+  opts.evaluation.prefer_exact = true;
+  auto result = ExactBlockerSearch(red.graph, {red.seed}, opts);
+  // Base spread: 1 + 4 + 3 = 8; optimum 8 − 6 = 2.
+  EXPECT_DOUBLE_EQ(result.spread, 2.0);
+  std::vector<VertexId> a;
+  for (VertexId b : result.blockers) a.push_back(b - red.c_base);
+  EXPECT_EQ(InducedEdgeCount(inst, a), 3);
+}
+
+TEST(HardnessReductionTest, BlockingDVerticesIsNeverBetter) {
+  // The proof notes blocking d-vertices only removes themselves; verify a
+  // d-blocker decreases the spread by exactly 1.
+  DksInstance inst = Figure2Instance();
+  ImimReduction red = BuildReduction(inst);
+  for (VertexId j = 0; j < 4; ++j) {
+    VertexMask mask(red.graph.NumVertices());
+    mask.Set(red.d_base + j);
+    auto spread = ComputeExactSpread(red.graph, {red.seed}, &mask);
+    ASSERT_TRUE(spread.ok());
+    EXPECT_DOUBLE_EQ(9.0 - *spread, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace vblock

@@ -1,0 +1,114 @@
+// Tests for the RA / OD / PageRank baseline heuristics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/heuristics.h"
+#include "gen/generators.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+TEST(RandomBlockersTest, RespectsBudgetAndExcludesSeeds) {
+  Graph g = GenerateErdosRenyi(100, 500, 1);
+  std::vector<VertexId> seeds = {3, 4, 5};
+  auto blockers = RandomBlockers(g, seeds, 10, 7);
+  EXPECT_EQ(blockers.size(), 10u);
+  for (VertexId b : blockers) {
+    EXPECT_TRUE(b != 3 && b != 4 && b != 5);
+  }
+  std::set<VertexId> unique(blockers.begin(), blockers.end());
+  EXPECT_EQ(unique.size(), blockers.size()) << "no duplicates";
+}
+
+TEST(RandomBlockersTest, DeterministicInSeed) {
+  Graph g = GenerateErdosRenyi(100, 500, 2);
+  EXPECT_EQ(RandomBlockers(g, {0}, 5, 42), RandomBlockers(g, {0}, 5, 42));
+  EXPECT_NE(RandomBlockers(g, {0}, 5, 42), RandomBlockers(g, {0}, 5, 43));
+}
+
+TEST(RandomBlockersTest, BudgetLargerThanPoolReturnsAll) {
+  Graph g = testing::PathGraph(5);
+  auto blockers = RandomBlockers(g, {0}, 100, 1);
+  EXPECT_EQ(blockers.size(), 4u);
+}
+
+TEST(RandomBlockersTest, UniformCoverage) {
+  // Over many draws of 1 blocker from 9 candidates, each appears ~1/9.
+  Graph g = testing::PathGraph(10);
+  std::vector<int> hits(10, 0);
+  const int kRounds = 9000;
+  for (int i = 0; i < kRounds; ++i) {
+    auto b = RandomBlockers(g, {0}, 1, 1000 + i);
+    ASSERT_EQ(b.size(), 1u);
+    ++hits[b[0]];
+  }
+  EXPECT_EQ(hits[0], 0);
+  for (VertexId v = 1; v < 10; ++v) {
+    EXPECT_NEAR(hits[v], kRounds / 9.0, 150) << "vertex " << v;
+  }
+}
+
+TEST(OutDegreeBlockersTest, PicksHighestOutDegrees) {
+  Graph g = testing::PaperFigure1Graph();
+  // Out-degrees: v5:4, v1:2, others ≤ 1. Seed v1 excluded.
+  auto blockers = OutDegreeBlockers(g, {testing::kV1}, 1);
+  ASSERT_EQ(blockers.size(), 1u);
+  EXPECT_EQ(blockers[0], testing::kV5);
+}
+
+TEST(OutDegreeBlockersTest, TieBreaksTowardSmallerId) {
+  Graph g = testing::StarGraph(6, 1.0);  // all leaves have out-degree 0
+  auto blockers = OutDegreeBlockers(g, {0}, 3);
+  EXPECT_EQ(blockers, (std::vector<VertexId>{1, 2, 3}));
+}
+
+TEST(OutDegreeBlockersTest, DeterministicOrderIsDescending) {
+  Graph g = GenerateRmat(7, 600, 0.6, 0.18, 0.18, 5);
+  auto blockers = OutDegreeBlockers(g, {}, 10);
+  for (size_t i = 1; i < blockers.size(); ++i) {
+    EXPECT_GE(g.OutDegree(blockers[i - 1]), g.OutDegree(blockers[i]));
+  }
+}
+
+TEST(PageRankTest, SumsToOne) {
+  Graph g = GenerateErdosRenyi(80, 400, 3);
+  auto pr = ComputePageRank(g);
+  double sum = 0;
+  for (double x : pr) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, UniformOnSymmetricCycle) {
+  // Directed cycle: perfectly symmetric → uniform PageRank.
+  GraphBuilder b;
+  const VertexId n = 10;
+  for (VertexId v = 0; v < n; ++v) b.AddEdge(v, (v + 1) % n, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto pr = ComputePageRank(*g);
+  for (double x : pr) EXPECT_NEAR(x, 0.1, 1e-9);
+}
+
+TEST(PageRankTest, HubReceivesHighestRank) {
+  // Everyone points to vertex 0.
+  GraphBuilder b;
+  for (VertexId v = 1; v < 20; ++v) b.AddEdge(v, 0, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  auto pr = ComputePageRank(*g);
+  for (VertexId v = 1; v < 20; ++v) EXPECT_GT(pr[0], pr[v]);
+}
+
+TEST(PageRankBlockersTest, ExcludesSeedsAndRespectsBudget) {
+  Graph g = GenerateBarabasiAlbert(200, 3, 9);
+  auto blockers = PageRankBlockers(g, {0, 1}, 7);
+  EXPECT_EQ(blockers.size(), 7u);
+  for (VertexId b : blockers) EXPECT_TRUE(b != 0 && b != 1);
+}
+
+}  // namespace
+}  // namespace vblock

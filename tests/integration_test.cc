@@ -1,0 +1,164 @@
+// End-to-end integration tests: full pipeline (generate → assign model →
+// solve → evaluate) across algorithms and dataset stand-ins, checking the
+// paper's qualitative orderings.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/solver.h"
+#include "gen/dataset_catalog.h"
+#include "gen/generators.h"
+#include "prob/probability_models.h"
+
+namespace vblock {
+namespace {
+
+// Shared tiny-but-nontrivial instance for the ordering tests.
+struct Instance {
+  Graph graph;
+  std::vector<VertexId> seeds;
+};
+
+Instance TrInstance(uint64_t seed) {
+  // TR probabilities are tiny; use a denser RMAT so cascades exist.
+  Graph g = WithTrivalency(GenerateRmat(9, 6000, 0.5, 0.2, 0.2, seed), seed);
+  return {std::move(g), {1, 2, 3, 5, 8}};
+}
+
+Instance WcInstance(uint64_t seed) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(800, 4, seed));
+  return {std::move(g), {1, 2, 3, 5, 8}};
+}
+
+double RunAndEvaluate(const Instance& inst, Algorithm algo, uint32_t budget,
+                      uint64_t seed) {
+  SolverOptions opts;
+  opts.algorithm = algo;
+  opts.budget = budget;
+  opts.theta = 3000;
+  opts.mc_rounds = 300;
+  opts.seed = seed;
+  auto result = SolveImin(inst.graph, inst.seeds, opts);
+  EvaluationOptions eval;
+  eval.mc_rounds = 30000;
+  eval.seed = 999;
+  return EvaluateSpread(inst.graph, inst.seeds, result.blockers, eval);
+}
+
+TEST(IntegrationTest, GreedyFamilyBeatsRandomUnderWc) {
+  Instance inst = WcInstance(7);
+  double ra = RunAndEvaluate(inst, Algorithm::kRandom, 20, 1);
+  double ag = RunAndEvaluate(inst, Algorithm::kAdvancedGreedy, 20, 1);
+  double gr = RunAndEvaluate(inst, Algorithm::kGreedyReplace, 20, 1);
+  // Paper Table VII ordering: GR ≤ AG ≪ RA.
+  EXPECT_LT(ag, ra);
+  EXPECT_LT(gr, ra);
+  EXPECT_LE(gr, ag * 1.05 + 0.5);  // GR at least about as good as AG
+}
+
+TEST(IntegrationTest, GreedyFamilyBeatsOutDegreeUnderWc) {
+  Instance inst = WcInstance(8);
+  double od = RunAndEvaluate(inst, Algorithm::kOutDegree, 20, 2);
+  double ag = RunAndEvaluate(inst, Algorithm::kAdvancedGreedy, 20, 2);
+  EXPECT_LT(ag, od);
+}
+
+TEST(IntegrationTest, BiggerBudgetNeverHurts) {
+  Instance inst = WcInstance(9);
+  double b10 = RunAndEvaluate(inst, Algorithm::kGreedyReplace, 10, 3);
+  double b40 = RunAndEvaluate(inst, Algorithm::kGreedyReplace, 40, 3);
+  EXPECT_LE(b40, b10 + 0.5);  // MC tolerance
+}
+
+TEST(IntegrationTest, SpreadLowerBoundIsSeedCount) {
+  Instance inst = WcInstance(10);
+  for (Algorithm algo : {Algorithm::kRandom, Algorithm::kOutDegree,
+                         Algorithm::kGreedyReplace}) {
+    double spread = RunAndEvaluate(inst, algo, 30, 4);
+    EXPECT_GE(spread, static_cast<double>(inst.seeds.size()) - 1e-9)
+        << AlgorithmName(algo);
+  }
+}
+
+TEST(IntegrationTest, TrModelPipelineRuns) {
+  Instance inst = TrInstance(11);
+  double gr = RunAndEvaluate(inst, Algorithm::kGreedyReplace, 10, 5);
+  double base = EvaluateSpread(inst.graph, inst.seeds, {});
+  EXPECT_LE(gr, base + 1e-9);
+  EXPECT_GE(gr, static_cast<double>(inst.seeds.size()) - 1e-9);
+}
+
+TEST(IntegrationTest, BaselineGreedyMatchesAdvancedGreedyQuality) {
+  // Paper §V-C: AG does not sacrifice effectiveness vs BG. Compare final
+  // spreads on a small instance where BG is affordable.
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(150, 3, 13));
+  std::vector<VertexId> seeds = {0, 1};
+  SolverOptions bg_opts;
+  bg_opts.algorithm = Algorithm::kBaselineGreedy;
+  bg_opts.budget = 5;
+  bg_opts.mc_rounds = 2000;
+  bg_opts.seed = 6;
+  auto bg = SolveImin(g, seeds, bg_opts);
+
+  SolverOptions ag_opts;
+  ag_opts.algorithm = Algorithm::kAdvancedGreedy;
+  ag_opts.budget = 5;
+  ag_opts.theta = 5000;
+  ag_opts.seed = 6;
+  auto ag = SolveImin(g, seeds, ag_opts);
+
+  EvaluationOptions eval;
+  eval.mc_rounds = 50000;
+  double bg_spread = EvaluateSpread(g, seeds, bg.blockers, eval);
+  double ag_spread = EvaluateSpread(g, seeds, ag.blockers, eval);
+  // Equal effectiveness up to sampling noise.
+  EXPECT_NEAR(ag_spread, bg_spread, 0.25 * bg_spread + 0.5);
+}
+
+TEST(IntegrationTest, AllCatalogDatasetsSolveAtTinyScale) {
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    Graph base = MakeDataset(spec, 0.01, 99);
+    Graph g = spec.directed ? WithTrivalency(base, 7)
+                            : WithWeightedCascade(base);
+    std::vector<VertexId> seeds = {0, 1, 2};
+    SolverOptions opts;
+    opts.algorithm = Algorithm::kGreedyReplace;
+    opts.budget = 5;
+    opts.theta = 300;
+    opts.seed = 3;
+    auto result = SolveImin(g, seeds, opts);
+    EXPECT_LE(result.blockers.size(), 5u) << spec.name;
+    double spread = EvaluateSpread(g, seeds, result.blockers,
+                                   {.mc_rounds = 2000});
+    EXPECT_GE(spread, 3.0 - 1e-9) << spec.name;
+  }
+}
+
+TEST(IntegrationTest, SolverIsDeterministicInSeed) {
+  Instance inst = WcInstance(15);
+  SolverOptions opts;
+  opts.algorithm = Algorithm::kGreedyReplace;
+  opts.budget = 10;
+  opts.theta = 1000;
+  opts.seed = 77;
+  auto a = SolveImin(inst.graph, inst.seeds, opts);
+  auto b = SolveImin(inst.graph, inst.seeds, opts);
+  EXPECT_EQ(a.blockers, b.blockers);
+}
+
+TEST(IntegrationTest, ThreadedSolverMatchesSequential) {
+  Instance inst = WcInstance(16);
+  SolverOptions opts;
+  opts.algorithm = Algorithm::kAdvancedGreedy;
+  opts.budget = 8;
+  opts.theta = 1000;
+  opts.seed = 5;
+  opts.threads = 1;
+  auto seq = SolveImin(inst.graph, inst.seeds, opts);
+  opts.threads = 4;
+  auto par = SolveImin(inst.graph, inst.seeds, opts);
+  EXPECT_EQ(seq.blockers, par.blockers);
+}
+
+}  // namespace
+}  // namespace vblock

@@ -1,0 +1,84 @@
+// Unit tests for the edge-probability models (TR / WC / constant / uniform).
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "prob/probability_models.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+TEST(TrivalencyTest, UsesOnlyThreeLevels) {
+  Graph g = WithTrivalency(GenerateErdosRenyi(100, 1000, 1), 7);
+  int counts[3] = {0, 0, 0};
+  for (const Edge& e : g.CollectEdges()) {
+    if (e.probability == 0.1) {
+      ++counts[0];
+    } else if (e.probability == 0.01) {
+      ++counts[1];
+    } else if (e.probability == 0.001) {
+      ++counts[2];
+    } else {
+      FAIL() << "unexpected TR probability " << e.probability;
+    }
+  }
+  // Uniform selection: each level gets roughly a third.
+  for (int c : counts) EXPECT_NEAR(c, 1000 / 3.0, 120);
+}
+
+TEST(TrivalencyTest, DeterministicInSeed) {
+  Graph base = GenerateErdosRenyi(50, 300, 2);
+  EXPECT_EQ(WithTrivalency(base, 9).CollectEdges(),
+            WithTrivalency(base, 9).CollectEdges());
+}
+
+TEST(TrivalencyTest, PreservesStructure) {
+  Graph base = testing::PaperFigure1Graph();
+  Graph g = WithTrivalency(base, 5);
+  EXPECT_EQ(g.NumVertices(), base.NumVertices());
+  EXPECT_EQ(g.NumEdges(), base.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g.OutDegree(v), base.OutDegree(v));
+  }
+}
+
+TEST(WeightedCascadeTest, ProbabilityIsInverseInDegree) {
+  Graph g = WithWeightedCascade(testing::PaperFigure1Graph());
+  for (const Edge& e : g.CollectEdges()) {
+    EXPECT_DOUBLE_EQ(e.probability, 1.0 / g.InDegree(e.target));
+  }
+}
+
+TEST(WeightedCascadeTest, IncomingMassSumsToOne) {
+  Graph g = WithWeightedCascade(GenerateErdosRenyi(80, 600, 3));
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.InDegree(v) == 0) continue;
+    double sum = 0;
+    for (double p : g.InProbabilities(v)) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(ConstantTest, AssignsExactly) {
+  Graph g = WithConstantProbability(testing::PaperFigure1Graph(), 0.42);
+  for (const Edge& e : g.CollectEdges()) {
+    EXPECT_DOUBLE_EQ(e.probability, 0.42);
+  }
+}
+
+TEST(UniformTest, StaysWithinRange) {
+  Graph g = WithUniformProbability(GenerateErdosRenyi(60, 500, 4), 0.2, 0.7, 5);
+  for (const Edge& e : g.CollectEdges()) {
+    EXPECT_GE(e.probability, 0.2);
+    EXPECT_LE(e.probability, 0.7);
+  }
+}
+
+TEST(UniformTest, MeanNearMidpoint) {
+  Graph g = WithUniformProbability(GenerateErdosRenyi(100, 3000, 6), 0.0, 1.0, 7);
+  EXPECT_NEAR(g.TotalProbabilityMass() / g.NumEdges(), 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace vblock

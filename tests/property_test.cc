@@ -1,0 +1,204 @@
+// Property-based sweeps (parameterized gtest): invariants that must hold on
+// randomly generated instances across generator families, probability
+// models, and algorithms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "cascade/exact_spread.h"
+#include "cascade/monte_carlo.h"
+#include "core/solver.h"
+#include "core/spread_decrease.h"
+#include "core/unified_instance.h"
+#include "gen/generators.h"
+#include "graph/traversal.h"
+#include "prob/probability_models.h"
+
+namespace vblock {
+namespace {
+
+enum class Family { kErdosRenyi, kBarabasiAlbert, kWattsStrogatz, kRmat };
+enum class Model { kTrivalency, kWeightedCascade, kUniform };
+
+Graph MakeGraph(Family family, uint64_t seed) {
+  switch (family) {
+    case Family::kErdosRenyi:
+      return GenerateErdosRenyi(120, 700, seed);
+    case Family::kBarabasiAlbert:
+      return GenerateBarabasiAlbert(120, 3, seed);
+    case Family::kWattsStrogatz:
+      return GenerateWattsStrogatz(120, 3, 0.2, seed);
+    case Family::kRmat:
+      return GenerateRmat(7, 700, 0.55, 0.2, 0.2, seed);
+  }
+  return Graph();
+}
+
+Graph ApplyModel(const Graph& g, Model model, uint64_t seed) {
+  switch (model) {
+    case Model::kTrivalency:
+      return WithTrivalency(g, seed);
+    case Model::kWeightedCascade:
+      return WithWeightedCascade(g);
+    case Model::kUniform:
+      return WithUniformProbability(g, 0.05, 0.6, seed);
+  }
+  return Graph();
+}
+
+using SweepParam = std::tuple<Family, Model, uint64_t>;
+
+class InstanceSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  Graph MakeInstance() const {
+    auto [family, model, seed] = GetParam();
+    return ApplyModel(MakeGraph(family, seed), model, seed + 1);
+  }
+};
+
+// Invariant 1 (Lemma 1): the Algorithm-2 expected-spread estimate agrees
+// with the Monte-Carlo estimate.
+TEST_P(InstanceSweep, SampledSpreadMatchesMonteCarlo) {
+  Graph g = MakeInstance();
+  UnifiedInstance inst = UnifySeeds(g, {0, 1});
+  SpreadDecreaseOptions sd;
+  sd.theta = 20000;
+  sd.seed = 11;
+  auto alg2 = ComputeSpreadDecrease(inst.graph, inst.root, sd);
+  MonteCarloOptions mc;
+  mc.rounds = 20000;
+  mc.seed = 12;
+  double mcs = EstimateSpread(inst.graph, {inst.root}, mc);
+  const double tol = 0.05 * std::max(1.0, mcs) + 0.1;
+  EXPECT_NEAR(alg2.expected_spread, mcs, tol);
+}
+
+// Invariant 2 (Theorem 4): Δ[u] equals the Monte-Carlo spread difference
+// for the top-scoring candidate.
+TEST_P(InstanceSweep, TopDeltaMatchesSpreadDifference) {
+  Graph g = MakeInstance();
+  UnifiedInstance inst = UnifySeeds(g, {0});
+  SpreadDecreaseOptions sd;
+  sd.theta = 30000;
+  sd.seed = 21;
+  auto alg2 = ComputeSpreadDecrease(inst.graph, inst.root, sd);
+  VertexId best = kInvalidVertex;
+  double best_delta = -1;
+  for (VertexId v = 0; v < inst.graph.NumVertices(); ++v) {
+    if (v == inst.root) continue;
+    if (alg2.delta[v] > best_delta) {
+      best = v;
+      best_delta = alg2.delta[v];
+    }
+  }
+  ASSERT_NE(best, kInvalidVertex);
+  MonteCarloOptions mc;
+  mc.rounds = 30000;
+  mc.seed = 22;
+  double base = EstimateSpread(inst.graph, {inst.root}, mc);
+  VertexMask mask(inst.graph.NumVertices());
+  mask.Set(best);
+  double without = EstimateSpread(inst.graph, {inst.root}, mc, &mask);
+  const double tol = 0.08 * std::max(1.0, base) + 0.15;
+  EXPECT_NEAR(best_delta, base - without, tol);
+}
+
+// Invariant 3: Δ is bounded by the expected spread (blocking one vertex
+// cannot remove more than everything downstream of the root).
+TEST_P(InstanceSweep, DeltaBoundedBySpread) {
+  Graph g = MakeInstance();
+  UnifiedInstance inst = UnifySeeds(g, {0, 1, 2});
+  SpreadDecreaseOptions sd;
+  sd.theta = 3000;
+  sd.seed = 31;
+  auto alg2 = ComputeSpreadDecrease(inst.graph, inst.root, sd);
+  for (VertexId v = 0; v < inst.graph.NumVertices(); ++v) {
+    EXPECT_GE(alg2.delta[v], 0.0);
+    EXPECT_LE(alg2.delta[v], alg2.expected_spread);
+  }
+}
+
+// Invariant 4: unreachable vertices always score Δ = 0.
+TEST_P(InstanceSweep, UnreachableVerticesScoreZero) {
+  Graph g = MakeInstance();
+  UnifiedInstance inst = UnifySeeds(g, {0});
+  SpreadDecreaseOptions sd;
+  sd.theta = 500;
+  sd.seed = 41;
+  auto alg2 = ComputeSpreadDecrease(inst.graph, inst.root, sd);
+  std::vector<uint8_t> reachable(inst.graph.NumVertices(), 0);
+  for (VertexId v : ReachableFrom(inst.graph, inst.root)) reachable[v] = 1;
+  for (VertexId v = 0; v < inst.graph.NumVertices(); ++v) {
+    if (!reachable[v]) {
+      EXPECT_DOUBLE_EQ(alg2.delta[v], 0.0) << v;
+    }
+  }
+}
+
+// Invariant 5 (monotonicity, Theorem 2): growing the blocker set never
+// increases the spread.
+TEST_P(InstanceSweep, SpreadMonotoneInBlockers) {
+  Graph g = MakeInstance();
+  std::vector<VertexId> seeds = {0, 1};
+  SolverOptions opts;
+  opts.algorithm = Algorithm::kOutDegree;
+  opts.budget = 12;
+  auto od = SolveImin(g, seeds, opts);
+  MonteCarloOptions mc;
+  mc.rounds = 15000;
+  mc.seed = 51;
+  double prev = EstimateSpread(g, seeds, mc);
+  for (size_t k = 4; k <= od.blockers.size(); k += 4) {
+    std::vector<VertexId> prefix(od.blockers.begin(),
+                                 od.blockers.begin() + static_cast<ptrdiff_t>(k));
+    VertexMask mask = VertexMask::FromVertices(g.NumVertices(), prefix);
+    double spread = EstimateSpread(g, seeds, mc, &mask);
+    EXPECT_LE(spread, prev + 0.05 * prev + 0.2);
+    prev = spread;
+  }
+}
+
+// Invariant 6: the greedy algorithms return distinct non-seed blockers
+// within budget.
+TEST_P(InstanceSweep, GreedyOutputWellFormed) {
+  Graph g = MakeInstance();
+  std::vector<VertexId> seeds = {0, 5};
+  SolverOptions opts;
+  opts.algorithm = Algorithm::kAdvancedGreedy;
+  opts.budget = 8;
+  opts.theta = 400;
+  opts.seed = 61;
+  auto result = SolveImin(g, seeds, opts);
+  EXPECT_LE(result.blockers.size(), 8u);
+  std::vector<uint8_t> seen(g.NumVertices(), 0);
+  for (VertexId b : result.blockers) {
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(b, 5u);
+    EXPECT_FALSE(seen[b]) << "duplicate blocker " << b;
+    seen[b] = 1;
+  }
+}
+
+std::string SweepName(const ::testing::TestParamInfo<SweepParam>& info) {
+  static const char* kFamilies[] = {"ER", "BA", "WS", "RMAT"};
+  static const char* kModels[] = {"TR", "WC", "UNI"};
+  return std::string(kFamilies[static_cast<int>(std::get<0>(info.param))]) +
+         "_" + kModels[static_cast<int>(std::get<1>(info.param))] + "_s" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InstanceSweep,
+    ::testing::Combine(::testing::Values(Family::kErdosRenyi,
+                                         Family::kBarabasiAlbert,
+                                         Family::kWattsStrogatz, Family::kRmat),
+                       ::testing::Values(Model::kTrivalency,
+                                         Model::kWeightedCascade,
+                                         Model::kUniform),
+                       ::testing::Values(101ull, 202ull)),
+    SweepName);
+
+}  // namespace
+}  // namespace vblock

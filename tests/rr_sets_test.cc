@@ -1,0 +1,99 @@
+// Tests for the RIS substrate: Borgs' lemma on the golden fixture, and the
+// paper's §V-B1 argument that RR sets score seeds, not blockers.
+
+#include <gtest/gtest.h>
+
+#include "cascade/monte_carlo.h"
+#include "cascade/rr_sets.h"
+#include "core/spread_decrease.h"
+#include "gen/generators.h"
+#include "prob/probability_models.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+using testing::PaperFigure1Graph;
+
+TEST(RrSetTest, MembershipProbabilityEqualsActivationProbability) {
+  // Borgs: Pr[s ∈ RR(v)] = P_G(v, {s}). On the toy graph
+  // P(v8|{v1}) = 0.6 and P(v7|{v1}) = 0.06.
+  Graph g = PaperFigure1Graph();
+  RrSetGenerator gen(g);
+  std::vector<VertexId> rr;
+  int v8_hits = 0, v7_hits = 0;
+  const int kRounds = 100000;
+  for (int i = 0; i < kRounds; ++i) {
+    Rng rng(MixSeed(3, i));
+    gen.Sample(testing::kV8, rng, &rr);
+    for (VertexId v : rr) v8_hits += (v == testing::kV1);
+    gen.Sample(testing::kV7, rng, &rr);
+    for (VertexId v : rr) v7_hits += (v == testing::kV1);
+  }
+  EXPECT_NEAR(static_cast<double>(v8_hits) / kRounds, 0.6, 0.01);
+  EXPECT_NEAR(static_cast<double>(v7_hits) / kRounds, 0.06, 0.005);
+}
+
+TEST(RrSetTest, SpreadEstimateMatchesExample1) {
+  Graph g = PaperFigure1Graph();
+  double estimate = EstimateSpreadViaRrSets(g, {testing::kV1}, 200000, 7);
+  EXPECT_NEAR(estimate, 7.66, 0.05);
+}
+
+TEST(RrSetTest, CertainChainRrSetIsPrefix) {
+  Graph g = testing::PathGraph(6, 1.0);
+  RrSetGenerator gen(g);
+  std::vector<VertexId> rr;
+  Rng rng(5);
+  gen.Sample(3, rng, &rr);
+  // All of 0..3 reach 3 with certainty.
+  EXPECT_EQ(rr.size(), 4u);
+}
+
+TEST(RrSetTest, MultiSeedSpreadEstimate) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(300, 3, 9));
+  std::vector<VertexId> seeds = {0, 5, 10};
+  double ris = EstimateSpreadViaRrSets(g, seeds, 200000, 11);
+  MonteCarloOptions mc;
+  mc.rounds = 50000;
+  mc.seed = 13;
+  double mcs = EstimateSpread(g, seeds, mc);
+  EXPECT_NEAR(ris, mcs, 0.05 * mcs + 0.3);
+}
+
+TEST(RrSetTest, WhyRisCannotScoreBlockers) {
+  // §V-B1, demonstrated concretely: RR-membership frequency of a vertex u
+  // equals E({u},G)/n — its value AS A SEED — which can be arbitrarily far
+  // from its value as a blocker. On the toy graph v2 and v3 are EQUAL
+  // blockers (Δ = 1 each, exactly), yet as seeds v2 is worth 6.66 and v3
+  // only 1.0: an RIS-style ranking would wrongly prefer v2 by >4x.
+  Graph g = PaperFigure1Graph();
+
+  // Equal blocker value (exact).
+  auto deltas = ComputeSpreadDecreaseExact(g, testing::kV1);
+  ASSERT_TRUE(deltas.ok());
+  EXPECT_DOUBLE_EQ(deltas->delta[testing::kV2], deltas->delta[testing::kV3]);
+
+  // Very different RR-membership mass.
+  RrSetGenerator gen(g);
+  std::vector<VertexId> rr;
+  std::vector<int> membership(g.NumVertices(), 0);
+  const int kRounds = 60000;
+  for (int i = 0; i < kRounds; ++i) {
+    Rng rng(MixSeed(17, i));
+    gen.SampleRandomTarget(rng, &rr);
+    for (VertexId v : rr) ++membership[v];
+  }
+  // Seed-value ranking puts v1 on top (reaches everything)…
+  for (VertexId v = 1; v < g.NumVertices(); ++v) {
+    EXPECT_GE(membership[testing::kV1], membership[v]);
+  }
+  // …and separates the equal-as-blockers v2/v3 by the seed-value factor
+  // E({v2}) / E({v3}) = 6.66.
+  const double ratio = static_cast<double>(membership[testing::kV2]) /
+                       std::max(1, membership[testing::kV3]);
+  EXPECT_GT(ratio, 4.0);
+}
+
+}  // namespace
+}  // namespace vblock

@@ -1,0 +1,234 @@
+// Unit tests for the live-edge samplers and the world enumerator.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cascade/triggering.h"
+#include "gen/generators.h"
+#include "graph/traversal.h"
+#include "prob/probability_models.h"
+#include "sampling/reachable_sampler.h"
+#include "sampling/triggering_sampler.h"
+#include "sampling/world_enumerator.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::PathGraph;
+
+TEST(ReachableSamplerTest, CertainGraphAlwaysFullReachableRegion) {
+  Graph g = PathGraph(6, 1.0);
+  ReachableSampler sampler(g, 0);
+  SampledGraph s;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    sampler.Sample(rng, &s);
+    EXPECT_EQ(s.NumVertices(), 6u);
+    EXPECT_EQ(s.NumEdges(), 5u);
+    EXPECT_EQ(s.to_parent[0], 0u);  // root is local 0
+  }
+}
+
+TEST(ReachableSamplerTest, ZeroProbabilityGivesSingleton) {
+  Graph g = PathGraph(6, 0.0);
+  ReachableSampler sampler(g, 0);
+  SampledGraph s;
+  Rng rng(2);
+  sampler.Sample(rng, &s);
+  EXPECT_EQ(s.NumVertices(), 1u);
+  EXPECT_EQ(s.NumEdges(), 0u);
+}
+
+TEST(ReachableSamplerTest, CsrIsWellFormed) {
+  Graph g = WithUniformProbability(GenerateErdosRenyi(100, 800, 3), 0.2, 0.9, 4);
+  ReachableSampler sampler(g, 0);
+  SampledGraph s;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    sampler.Sample(rng, &s);
+    ASSERT_EQ(s.offsets.size(), s.NumVertices() + 1u);
+    EXPECT_EQ(s.offsets.front(), 0u);
+    EXPECT_EQ(s.offsets.back(), s.NumEdges());
+    for (size_t j = 1; j < s.offsets.size(); ++j) {
+      EXPECT_LE(s.offsets[j - 1], s.offsets[j]);
+    }
+    for (VertexId t : s.targets) EXPECT_LT(t, s.NumVertices());
+    // Every sampled vertex must be reachable from local 0 inside the sample
+    // (the sampler only keeps the root-reachable live region).
+    auto view = s.View();
+    std::vector<uint8_t> seen(s.NumVertices(), 0);
+    std::vector<VertexId> stack{0};
+    seen[0] = 1;
+    while (!stack.empty()) {
+      VertexId u = stack.back();
+      stack.pop_back();
+      for (VertexId v : view.OutNeighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+    for (VertexId v = 0; v < s.NumVertices(); ++v) EXPECT_TRUE(seen[v]);
+  }
+}
+
+TEST(ReachableSamplerTest, BlockedVerticesNeverSampled) {
+  Graph g = PaperFigure1Graph();
+  VertexMask blocked(g.NumVertices());
+  blocked.Set(testing::kV5);
+  ReachableSampler sampler(g, testing::kV1, &blocked);
+  SampledGraph s;
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    sampler.Sample(rng, &s);
+    EXPECT_EQ(s.NumVertices(), 3u);  // v1, v2, v4
+    for (VertexId p : s.to_parent) EXPECT_NE(p, testing::kV5);
+  }
+}
+
+TEST(ReachableSamplerTest, EdgeInclusionFrequencyMatchesProbability) {
+  // Count how often the sampled graph contains 8 vertices (i.e. v8 reached,
+  // v7 not) etc. Simpler: frequency of v8 ∈ sample should be P(v8)=0.6.
+  Graph g = PaperFigure1Graph();
+  ReachableSampler sampler(g, testing::kV1);
+  SampledGraph s;
+  Rng rng(11);
+  int v8_present = 0;
+  const int kRounds = 50000;
+  for (int i = 0; i < kRounds; ++i) {
+    sampler.Sample(rng, &s);
+    for (VertexId p : s.to_parent) v8_present += (p == testing::kV8);
+  }
+  EXPECT_NEAR(static_cast<double>(v8_present) / kRounds, 0.6, 0.01);
+}
+
+TEST(ReachableSamplerTest, AverageSizeEstimatesSpread) {
+  // Lemma 1: E[σ(s,g)] = E({s},G) = 7.66 on the toy graph.
+  Graph g = PaperFigure1Graph();
+  ReachableSampler sampler(g, testing::kV1);
+  SampledGraph s;
+  Rng rng(13);
+  double total = 0;
+  const int kRounds = 100000;
+  for (int i = 0; i < kRounds; ++i) {
+    sampler.Sample(rng, &s);
+    total += s.NumVertices();
+  }
+  EXPECT_NEAR(total / kRounds, 7.66, 0.03);
+}
+
+// ---------------------------------------------------- TriggeringSampler --
+
+TEST(TriggeringSamplerTest, IcTriggeringMatchesIcSampler) {
+  // Average sample size under IC-triggering equals the IC expected spread.
+  Graph g = PaperFigure1Graph();
+  IcTriggeringModel model;
+  TriggeringSampler sampler(g, model, testing::kV1);
+  SampledGraph s;
+  Rng rng(17);
+  double total = 0;
+  const int kRounds = 60000;
+  for (int i = 0; i < kRounds; ++i) {
+    sampler.Sample(rng, &s);
+    total += s.NumVertices();
+  }
+  EXPECT_NEAR(total / kRounds, 7.66, 0.05);
+}
+
+TEST(TriggeringSamplerTest, LtSampleIsFunctionalGraphRestriction) {
+  // Under LT every vertex has in-degree ≤ 1 in the live sample.
+  Graph g = WithWeightedCascade(GenerateErdosRenyi(60, 500, 19));
+  LtTriggeringModel model(g);
+  TriggeringSampler sampler(g, model, 0);
+  SampledGraph s;
+  Rng rng(19);
+  for (int round = 0; round < 50; ++round) {
+    sampler.Sample(rng, &s);
+    std::vector<int> indeg(s.NumVertices(), 0);
+    for (VertexId t : s.targets) ++indeg[t];
+    for (VertexId v = 1; v < s.NumVertices(); ++v) {
+      EXPECT_LE(indeg[v], 1) << "LT live in-degree must be <= 1";
+    }
+  }
+}
+
+// ----------------------------------------------------- WorldEnumerator --
+
+TEST(WorldEnumeratorTest, ToyGraphHasThreeUncertainEdges) {
+  Graph g = PaperFigure1Graph();
+  WorldEnumerator we(g, testing::kV1);
+  EXPECT_EQ(we.NumUncertainEdges(), 3);
+}
+
+TEST(WorldEnumeratorTest, WeightsSumToOne) {
+  Graph g = PaperFigure1Graph();
+  WorldEnumerator we(g, testing::kV1);
+  double total = 0;
+  ASSERT_TRUE(we.ForEachWorld([&](double w, const SampledGraph&) {
+    total += w;
+  }).ok());
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(WorldEnumeratorTest, ReproducesPaperFigure3Worlds) {
+  // Figure 3 (with the v8→v7 edge marginalized): the four sampled graphs
+  // {both v5→v8 and v9→v8}, {only v5→v8}, {only v9→v8}, {neither} occur
+  // with probabilities 0.1, 0.4, 0.1, 0.4.
+  Graph g = PaperFigure1Graph();
+  WorldEnumerator we(g, testing::kV1);
+  std::map<std::pair<bool, bool>, double> mass;  // (v8 in sample, 9-vertex?)
+  // Aggregate by (has v8, has both edges into v8): identify worlds by the
+  // number of live in-edges of v8.
+  std::map<int, double> by_v8_indegree;
+  ASSERT_TRUE(we.ForEachWorld([&](double w, const SampledGraph& s) {
+    int v8_local = -1;
+    for (VertexId i = 0; i < s.NumVertices(); ++i) {
+      if (s.to_parent[i] == testing::kV8) v8_local = static_cast<int>(i);
+    }
+    int indeg = 0;
+    for (VertexId t : s.targets) indeg += (v8_local >= 0 && t == static_cast<VertexId>(v8_local));
+    by_v8_indegree[v8_local < 0 ? -1 : indeg] += w;
+  }).ok());
+  EXPECT_NEAR(by_v8_indegree[2], 0.1, 1e-12);   // both edges live
+  EXPECT_NEAR(by_v8_indegree[1], 0.5, 1e-12);   // exactly one (0.4 + 0.1)
+  EXPECT_NEAR(by_v8_indegree[-1], 0.4, 1e-12);  // v8 absent
+  (void)mass;
+}
+
+TEST(WorldEnumeratorTest, ExpectedSizeIsSpread) {
+  Graph g = PaperFigure1Graph();
+  WorldEnumerator we(g, testing::kV1);
+  double spread = 0;
+  ASSERT_TRUE(we.ForEachWorld([&](double w, const SampledGraph& s) {
+    spread += w * s.NumVertices();
+  }).ok());
+  EXPECT_NEAR(spread, 7.66, 1e-12);
+}
+
+TEST(WorldEnumeratorTest, RefusesTooManyUncertainEdges) {
+  Graph g = WithConstantProbability(GenerateErdosRenyi(40, 200, 1), 0.5);
+  WorldEnumerator we(g, 0);
+  Status s = we.ForEachWorld([](double, const SampledGraph&) {}, 5);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(WorldEnumeratorTest, BlockedMaskRestrictsUniverse) {
+  Graph g = PaperFigure1Graph();
+  VertexMask blocked(g.NumVertices());
+  blocked.Set(testing::kV5);
+  WorldEnumerator we(g, testing::kV1, &blocked);
+  // Without v5 nothing stochastic is reachable.
+  EXPECT_EQ(we.NumUncertainEdges(), 0);
+  double spread = 0;
+  ASSERT_TRUE(we.ForEachWorld([&](double w, const SampledGraph& s) {
+    spread += w * s.NumVertices();
+  }).ok());
+  EXPECT_NEAR(spread, 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vblock

@@ -1,0 +1,135 @@
+// Tests for Tarjan SCC and graph condensation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/scc.h"
+#include "graph/traversal.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+TEST(SccTest, DagIsAllSingletons) {
+  Graph g = testing::PaperFigure1Graph();  // a DAG
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.count, g.NumVertices());
+  std::set<VertexId> ids(scc.component.begin(), scc.component.end());
+  EXPECT_EQ(ids.size(), g.NumVertices());
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  GraphBuilder b;
+  for (VertexId v = 0; v < 5; ++v) b.AddEdge(v, (v + 1) % 5, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  SccResult scc = ComputeScc(*g);
+  EXPECT_EQ(scc.count, 1u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(scc.component[v], 0u);
+}
+
+TEST(SccTest, TwoCyclesWithBridge) {
+  // Cycle {0,1,2} -> bridge -> cycle {3,4}.
+  GraphBuilder b;
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(2, 0, 1.0);
+  b.AddEdge(2, 3, 1.0);
+  b.AddEdge(3, 4, 1.0);
+  b.AddEdge(4, 3, 1.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  SccResult scc = ComputeScc(*g);
+  EXPECT_EQ(scc.count, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[1], scc.component[2]);
+  EXPECT_EQ(scc.component[3], scc.component[4]);
+  EXPECT_NE(scc.component[0], scc.component[3]);
+  // Reverse topological order: the downstream cycle closes first.
+  EXPECT_GT(scc.component[0], scc.component[3]);
+}
+
+TEST(SccTest, ReverseTopologicalOrderProperty) {
+  Graph g = GenerateRmat(7, 400, 0.5, 0.2, 0.2, 7);
+  SccResult scc = ComputeScc(g);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (scc.component[u] != scc.component[v]) {
+        EXPECT_GT(scc.component[u], scc.component[v])
+            << "cross edge " << u << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(SccTest, MembersPartitionVertices) {
+  Graph g = GenerateErdosRenyi(80, 400, 9);
+  SccResult scc = ComputeScc(g);
+  auto members = scc.Members();
+  size_t total = 0;
+  for (const auto& m : members) total += m.size();
+  EXPECT_EQ(total, g.NumVertices());
+}
+
+TEST(SccTest, MutualReachabilityDefinesComponents) {
+  // Brute-force validation on small random graphs: u,v share a component
+  // iff they reach each other.
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    Graph g = GenerateErdosRenyi(24, 70, seed);
+    SccResult scc = ComputeScc(g);
+    std::vector<std::vector<uint8_t>> reach(24, std::vector<uint8_t>(24, 0));
+    for (VertexId u = 0; u < 24; ++u) {
+      for (VertexId v : ReachableFrom(g, u)) reach[u][v] = 1;
+    }
+    for (VertexId u = 0; u < 24; ++u) {
+      for (VertexId v = 0; v < 24; ++v) {
+        const bool same = scc.component[u] == scc.component[v];
+        EXPECT_EQ(same, reach[u][v] && reach[v][u])
+            << "seed " << seed << " pair " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(CondenseTest, CondensationIsAcyclic) {
+  Graph g = GenerateRmat(7, 500, 0.45, 0.22, 0.22, 11);
+  SccResult scc = ComputeScc(g);
+  Graph dag = Condense(g, scc);
+  EXPECT_EQ(dag.NumVertices(), scc.count);
+  SccResult again = ComputeScc(dag);
+  EXPECT_EQ(again.count, dag.NumVertices()) << "condensation must be a DAG";
+}
+
+TEST(CondenseTest, MergesParallelCrossEdgesWithNoisyOr) {
+  // Two edges from the {0,1} cycle to vertex 2 with p=0.5 each.
+  GraphBuilder b;
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 0, 1.0);
+  b.AddEdge(0, 2, 0.5);
+  b.AddEdge(1, 2, 0.5);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  SccResult scc = ComputeScc(*g);
+  ASSERT_EQ(scc.count, 2u);
+  Graph dag = Condense(*g, scc);
+  EXPECT_EQ(dag.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(dag.OutProbabilities(scc.component[0])[0], 0.75);
+}
+
+TEST(CondenseTest, EmptyGraph) {
+  GraphBuilder b;
+  b.ReserveVertices(3);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  SccResult scc = ComputeScc(*g);
+  EXPECT_EQ(scc.count, 3u);
+  Graph dag = Condense(*g, scc);
+  EXPECT_EQ(dag.NumEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace vblock

@@ -1,0 +1,135 @@
+// Tests for RunningStats / confidence intervals and the Theorem-5 sample-
+// size calculator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cascade/statistics.h"
+#include "common/rng.h"
+#include "core/sample_size.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+TEST(RunningStatsTest, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.standard_error(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(7);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble() * 10;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.Merge(a);  // copy
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SpreadCiTest, DeterministicGraphHasZeroWidth) {
+  Graph g = testing::PathGraph(6, 1.0);
+  auto est = EstimateSpreadWithCi(g, {0}, 500, 3);
+  EXPECT_DOUBLE_EQ(est.mean, 6.0);
+  EXPECT_DOUBLE_EQ(est.ci95_half_width, 0.0);
+}
+
+TEST(SpreadCiTest, CiCoversTrueSpread) {
+  // E({v1},G)=7.66 on the toy graph; the 95% CI from 20k rounds must cover
+  // it (this is a probabilistic statement, but with a fixed seed it is a
+  // deterministic regression test).
+  Graph g = testing::PaperFigure1Graph();
+  auto est = EstimateSpreadWithCi(g, {testing::kV1}, 20000, 11);
+  EXPECT_GT(est.ci95_half_width, 0.0);
+  EXPECT_NEAR(est.mean, 7.66, est.ci95_half_width);
+  EXPECT_LT(est.ci95_half_width, 0.05);
+}
+
+TEST(SpreadCiTest, WidthShrinksAsSqrtRounds) {
+  Graph g = testing::PaperFigure1Graph();
+  auto small = EstimateSpreadWithCi(g, {testing::kV1}, 1000, 5);
+  auto large = EstimateSpreadWithCi(g, {testing::kV1}, 100000, 5);
+  EXPECT_NEAR(small.ci95_half_width / large.ci95_half_width, 10.0, 3.0);
+}
+
+// --------------------------------------------------------- sample size --
+
+TEST(SampleSizeTest, MatchesFormula) {
+  EstimationGuarantee g;
+  g.epsilon = 0.1;
+  g.l = 1.0;
+  g.opt_lower_bound = 1.0;
+  const VertexId n = 1000;
+  const double expected = 1.0 * 2.1 * 1000.0 * std::log(1000.0) / 0.01;
+  EXPECT_EQ(RequiredSampleCount(n, g),
+            static_cast<uint64_t>(std::ceil(expected)));
+}
+
+TEST(SampleSizeTest, MonotoneInParameters) {
+  EstimationGuarantee base;
+  base.epsilon = 0.2;
+  base.l = 1.0;
+  base.opt_lower_bound = 5.0;
+  const uint64_t theta = RequiredSampleCount(500, base);
+
+  EstimationGuarantee tighter = base;
+  tighter.epsilon = 0.1;
+  EXPECT_GT(RequiredSampleCount(500, tighter), theta);
+
+  EstimationGuarantee safer = base;
+  safer.l = 2.0;
+  EXPECT_GT(RequiredSampleCount(500, safer), theta);
+
+  EstimationGuarantee easier = base;
+  easier.opt_lower_bound = 50.0;
+  EXPECT_LT(RequiredSampleCount(500, easier), theta);
+
+  EXPECT_GT(RequiredSampleCount(5000, base), theta);
+}
+
+TEST(SampleSizeTest, EpsilonInverseIsConsistent) {
+  // GuaranteedEpsilon(θ(ε)) ≈ ε.
+  EstimationGuarantee g;
+  g.epsilon = 0.15;
+  g.l = 1.5;
+  g.opt_lower_bound = 3.0;
+  const VertexId n = 2000;
+  const uint64_t theta = RequiredSampleCount(n, g);
+  const double eps = GuaranteedEpsilon(n, theta, g.l, g.opt_lower_bound);
+  EXPECT_NEAR(eps, g.epsilon, 0.01);
+}
+
+TEST(SampleSizeTest, EpsilonDecreasesWithTheta) {
+  const double e1 = GuaranteedEpsilon(1000, 10000, 1.0, 1.0);
+  const double e2 = GuaranteedEpsilon(1000, 1000000, 1.0, 1.0);
+  EXPECT_LT(e2, e1);
+}
+
+}  // namespace
+}  // namespace vblock

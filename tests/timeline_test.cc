@@ -1,0 +1,97 @@
+// Tests for cascade timelines.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cascade/timeline.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+TEST(TimelineTest, DeterministicPathOneStepPerVertex) {
+  Graph g = testing::PathGraph(5, 1.0);
+  TimelineOptions opts;
+  opts.rounds = 50;
+  auto timeline = ExpectedActivationsPerStep(g, {0}, opts);
+  ASSERT_EQ(timeline.size(), 5u);
+  for (double x : timeline) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(TimelineTest, StarActivatesInOneWave) {
+  Graph g = testing::StarGraph(11, 0.5);
+  TimelineOptions opts;
+  opts.rounds = 40000;
+  opts.seed = 3;
+  auto timeline = ExpectedActivationsPerStep(g, {0}, opts);
+  ASSERT_GE(timeline.size(), 1u);
+  EXPECT_DOUBLE_EQ(timeline[0], 1.0);
+  if (timeline.size() > 1) {
+    EXPECT_NEAR(timeline[1], 5.0, 0.1);  // 10 leaves x 0.5
+  }
+}
+
+TEST(TimelineTest, SumEqualsExpectedSpread) {
+  Graph g = testing::PaperFigure1Graph();
+  TimelineOptions opts;
+  opts.rounds = 100000;
+  opts.seed = 7;
+  auto timeline = ExpectedActivationsPerStep(g, {testing::kV1}, opts);
+  const double total =
+      std::accumulate(timeline.begin(), timeline.end(), 0.0);
+  EXPECT_NEAR(total, 7.66, 0.03);
+}
+
+TEST(TimelineTest, ToyGraphWaveStructure) {
+  // Wave 0: v1. Wave 1: v2,v4 (2). Wave 2: v5 (1). Wave 3: v3,v6,v9 + 0.5
+  // of v8 = 3.5 expected.
+  Graph g = testing::PaperFigure1Graph();
+  TimelineOptions opts;
+  opts.rounds = 100000;
+  opts.seed = 9;
+  auto timeline = ExpectedActivationsPerStep(g, {testing::kV1}, opts);
+  ASSERT_GE(timeline.size(), 4u);
+  EXPECT_DOUBLE_EQ(timeline[0], 1.0);
+  EXPECT_DOUBLE_EQ(timeline[1], 2.0);
+  EXPECT_DOUBLE_EQ(timeline[2], 1.0);
+  EXPECT_NEAR(timeline[3], 3.5, 0.02);
+}
+
+TEST(TimelineTest, BlockedVertexFlattensTimeline) {
+  Graph g = testing::PaperFigure1Graph();
+  VertexMask blocked(g.NumVertices());
+  blocked.Set(testing::kV5);
+  TimelineOptions opts;
+  opts.rounds = 200;
+  auto timeline =
+      ExpectedActivationsPerStep(g, {testing::kV1}, opts, &blocked);
+  ASSERT_EQ(timeline.size(), 2u);  // v1, then {v2,v4}; nothing after
+  EXPECT_DOUBLE_EQ(timeline[0], 1.0);
+  EXPECT_DOUBLE_EQ(timeline[1], 2.0);
+}
+
+TEST(TimelineTest, MaxStepsBucketsTail) {
+  Graph g = testing::PathGraph(8, 1.0);
+  TimelineOptions opts;
+  opts.rounds = 10;
+  opts.max_steps = 3;
+  auto timeline = ExpectedActivationsPerStep(g, {0}, opts);
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_DOUBLE_EQ(timeline[0], 1.0);
+  EXPECT_DOUBLE_EQ(timeline[1], 1.0);
+  EXPECT_DOUBLE_EQ(timeline[2], 6.0);  // remaining 6 vertices folded in
+}
+
+TEST(TimelineTest, AllSeedsBlockedGivesEmptyTimeline) {
+  Graph g = testing::PathGraph(4, 1.0);
+  VertexMask blocked(4);
+  blocked.Set(0);
+  TimelineOptions opts;
+  opts.rounds = 10;
+  auto timeline = ExpectedActivationsPerStep(g, {0}, opts, &blocked);
+  EXPECT_TRUE(timeline.empty());
+}
+
+}  // namespace
+}  // namespace vblock

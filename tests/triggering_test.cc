@@ -1,0 +1,123 @@
+// Unit tests for the triggering-model framework (paper §V-E): IC-as-
+// triggering equivalence and LT semantics.
+
+#include <gtest/gtest.h>
+
+#include "cascade/monte_carlo.h"
+#include "cascade/triggering.h"
+#include "gen/generators.h"
+#include "prob/probability_models.h"
+#include "testing/toy_graphs.h"
+
+namespace vblock {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::PathGraph;
+
+TEST(IcTriggeringTest, TriggerSetFrequencyMatchesEdgeProbability) {
+  Graph g = PaperFigure1Graph();
+  IcTriggeringModel model;
+  Rng rng(1);
+  std::vector<uint32_t> set;
+  // v8 has in-edges from v5 (0.5) and v9 (0.2).
+  int v5_hits = 0, v9_hits = 0;
+  const int kRounds = 50000;
+  auto in = g.InNeighbors(testing::kV8);
+  ASSERT_EQ(in.size(), 2u);
+  for (int i = 0; i < kRounds; ++i) {
+    set.clear();
+    model.SampleTriggerSet(g, testing::kV8, rng, &set);
+    for (uint32_t idx : set) {
+      if (in[idx] == testing::kV5) ++v5_hits;
+      if (in[idx] == testing::kV9) ++v9_hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(v5_hits) / kRounds, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(v9_hits) / kRounds, 0.2, 0.01);
+}
+
+TEST(IcTriggeringTest, CascadeMatchesDirectIcSimulation) {
+  // The IC triggering model must reproduce the IC expected spread.
+  Graph g = PaperFigure1Graph();
+  IcTriggeringModel model;
+  double spread =
+      EstimateTriggeringSpread(g, model, {testing::kV1}, 100000, 17);
+  EXPECT_NEAR(spread, 7.66, 0.03);
+}
+
+TEST(IcTriggeringTest, RespectsBlockers) {
+  Graph g = PaperFigure1Graph();
+  IcTriggeringModel model;
+  VertexMask blocked(g.NumVertices());
+  blocked.Set(testing::kV5);
+  double spread =
+      EstimateTriggeringSpread(g, model, {testing::kV1}, 5000, 3, &blocked);
+  EXPECT_NEAR(spread, 3.0, 1e-9);
+}
+
+TEST(LtTriggeringTest, RejectsOverweightedGraph) {
+  // All-probability-1 graph with in-degree 2 violates Σw ≤ 1.
+  Graph g = testing::DiamondGraph();
+  EXPECT_DEATH(LtTriggeringModel model(g), "LT weights");
+}
+
+TEST(LtTriggeringTest, AcceptsWeightedCascade) {
+  Graph g = WithWeightedCascade(testing::DiamondGraph());
+  LtTriggeringModel model(g);  // must not abort
+  SUCCEED();
+}
+
+TEST(LtTriggeringTest, AtMostOneTrigger) {
+  Graph g = WithWeightedCascade(GenerateErdosRenyi(50, 400, 1));
+  LtTriggeringModel model(g);
+  Rng rng(5);
+  std::vector<uint32_t> set;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (int i = 0; i < 20; ++i) {
+      set.clear();
+      model.SampleTriggerSet(g, v, rng, &set);
+      EXPECT_LE(set.size(), 1u);
+    }
+  }
+}
+
+TEST(LtTriggeringTest, SelectionFrequencyMatchesWeights) {
+  // Vertex with two in-edges of WC weight 0.5 each: either chosen ~50%.
+  Graph g = WithWeightedCascade(testing::DiamondGraph());
+  LtTriggeringModel model(g);
+  Rng rng(6);
+  std::vector<uint32_t> set;
+  int chose[2] = {0, 0}, empty = 0;
+  const int kRounds = 40000;
+  for (int i = 0; i < kRounds; ++i) {
+    set.clear();
+    model.SampleTriggerSet(g, 3, rng, &set);  // vertex 3 has preds 1 and 2
+    if (set.empty()) {
+      ++empty;
+    } else {
+      ++chose[set[0]];
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(chose[0]) / kRounds, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(chose[1]) / kRounds, 0.5, 0.01);
+  EXPECT_EQ(empty, 0);  // weights sum to exactly 1
+}
+
+TEST(LtTriggeringTest, PathSpreadUnderLt) {
+  // On a path, WC gives every edge weight 1 → LT always propagates.
+  Graph g = WithWeightedCascade(PathGraph(7, 0.123));
+  LtTriggeringModel model(g);
+  double spread = EstimateTriggeringSpread(g, model, {0}, 200, 9);
+  EXPECT_DOUBLE_EQ(spread, 7.0);
+}
+
+TEST(TriggeringCascadeTest, SeedsCounted) {
+  Graph g = WithWeightedCascade(PathGraph(5, 1.0));
+  LtTriggeringModel model(g);
+  Rng rng(11);
+  EXPECT_EQ(RunTriggeringCascade(g, model, {4}, rng), 1u);
+}
+
+}  // namespace
+}  // namespace vblock
