@@ -1,7 +1,7 @@
 // Ablation (google-benchmark): Lengauer-Tarjan vs the naive iterative
 // dominator algorithm on live-edge samples of increasing size.
 //
-// DESIGN.md calls out the dominator-tree construction as the inner loop of
+// docs/DESIGN.md §1 calls out the dominator-tree construction as the inner loop of
 // Algorithm 2 (it runs θ times per greedy round); this ablation justifies
 // the near-linear algorithm: the naive iterative dataflow version falls
 // behind as samples grow.

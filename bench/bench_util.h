@@ -5,7 +5,7 @@
 // Every bench binary reproduces one table or figure of the paper's §VI at a
 // configurable scale. The paper's full runs take up to 24 hours per cell on
 // a 128 GB server; the default scale keeps the whole harness at minutes on a
-// laptop while preserving the qualitative shapes (see DESIGN.md §3/§4).
+// laptop while preserving the qualitative shapes (see docs/DESIGN.md §3/§4).
 //
 // Environment knobs:
 //   VBLOCK_BENCH_SCALE  = tiny | small | medium | full   (default tiny)

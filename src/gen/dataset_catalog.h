@@ -7,7 +7,7 @@
 // structural family. `MakeDataset(spec, scale, seed)` produces a scaled
 // version: scale=1.0 matches the paper's sizes; benches default to smaller
 // scales so that the whole harness runs in minutes on a laptop (the paper's
-// own runs take up to 24h per cell). See DESIGN.md §4 for the substitution
+// own runs take up to 24h per cell). See docs/DESIGN.md §4 for the substitution
 // rationale.
 
 #pragma once

@@ -4,7 +4,7 @@
 //
 // The paper evaluates on 8 SNAP datasets; this sandbox has no network access,
 // so the experiment harness substitutes structurally similar synthetic
-// graphs (see DESIGN.md §4). The generators cover the structural families of
+// graphs (see docs/DESIGN.md §4). The generators cover the structural families of
 // those datasets: Erdős–Rényi (baseline), Barabási–Albert (social,
 // power-law), Watts–Strogatz (small world), and R-MAT (skewed web/social
 // graphs à la Twitter/Stanford).

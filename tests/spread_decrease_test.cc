@@ -22,7 +22,7 @@ using testing::StarGraph;
 // Example 2 golden Δ values for the Figure-1 graph, seed v1.
 // (The paper's prose lists "v7, v8, v9 → 0.66, 0.06, 1.11"; the
 // self-consistent assignment — confirmed by Example 1's spreads — is
-// Δ(v7)=0.06, Δ(v8)=0.66, Δ(v9)=1.11; see DESIGN.md.)
+// Δ(v7)=0.06, Δ(v8)=0.66, Δ(v9)=1.11; see docs/DESIGN.md §2.)
 const std::vector<std::pair<VertexId, double>> kExample2Deltas = {
     {testing::kV2, 1.0},  {testing::kV3, 1.0},  {testing::kV4, 1.0},
     {testing::kV5, 4.66}, {testing::kV6, 1.0},  {testing::kV7, 0.06},

@@ -16,7 +16,7 @@ inline constexpr VertexId kV1 = 0, kV2 = 1, kV3 = 2, kV4 = 3, kV5 = 4,
 
 /// The paper's Figure-1 toy graph, reconstructed from Examples 1-4 and the
 /// Theorem-2 counterexample (all published numbers check out against this
-/// edge set — see DESIGN.md §2):
+/// edge set — see docs/DESIGN.md §2):
 ///   v1→v2(1) v1→v4(1) v2→v5(1) v4→v5(1)
 ///   v5→v3(1) v5→v6(1) v5→v9(1) v5→v8(0.5) v9→v8(0.2) v8→v7(0.1)
 /// Seed: v1. Golden values: E({v1},G)=7.66, P(v8)=0.6, P(v7)=0.06,

@@ -1,0 +1,34 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Smoke test: including the umbrella header alone must compile in a fresh
+// translation unit (catches umbrella-header rot), and the APIs named in its
+// usage example must exist with the documented signatures.
+
+#include "vblock.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace vblock {
+namespace {
+
+TEST(UmbrellaHeaderTest, UsageExampleFromHeaderCommentCompilesAndRuns) {
+  // Mirrors the "Typical usage" block at the top of src/vblock.h, scaled
+  // down so the test stays fast.
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(200, 3, /*seed=*/7));
+  std::vector<VertexId> seeds = {0, 1, 2};
+
+  SolverOptions opts;
+  opts.algorithm = Algorithm::kGreedyReplace;
+  opts.budget = 5;
+  auto result = SolveImin(g, seeds, opts);
+  EXPECT_LE(result.blockers.size(), 5u);
+
+  double spread = EvaluateSpread(g, seeds, result.blockers);
+  EXPECT_GE(spread, 0.0);
+  EXPECT_LE(spread, static_cast<double>(g.NumVertices()));
+}
+
+}  // namespace
+}  // namespace vblock
