@@ -1,0 +1,70 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace vblock {
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(std::max<uint32_t>(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::RunChunk(uint32_t thread_index) {
+  const uint32_t chunk = (job_count_ + num_threads_ - 1) / num_threads_;
+  const uint32_t begin = std::min(job_count_, thread_index * chunk);
+  const uint32_t end = std::min(job_count_, begin + chunk);
+  if (begin < end) (*job_)(thread_index, begin, end);
+}
+
+void ThreadPool::WorkerLoop(uint32_t thread_index) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    RunChunk(thread_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--outstanding_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(uint32_t count, const RangeFn& fn) {
+  if (count == 0) return;
+  if (num_threads_ == 1) {
+    fn(0, 0, count);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    outstanding_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  RunChunk(0);  // the calling thread takes chunk 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [&] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace vblock

@@ -1,0 +1,66 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Persistent worker-thread pool for the sampling/scoring hot path.
+//
+// The greedy algorithms call into Algorithm 2 once per round; spawning
+// std::thread workers per call costs tens of microseconds each and shows up
+// prominently at small θ. A ThreadPool is created once per solve and reused
+// across every round: workers park on a condition variable between jobs.
+//
+// Work is distributed as static contiguous chunks (thread t gets the t-th
+// chunk of [0, count)), which keeps results bit-identical for a fixed
+// thread count and lets callers maintain per-thread scratch state.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vblock {
+
+/// Fixed-size pool of worker threads executing range jobs.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread executes the
+  /// remaining chunk itself); `num_threads <= 1` spawns nothing and runs
+  /// every job inline.
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Range job: fn(thread_index, begin, end) with thread_index in
+  /// [0, num_threads) and [begin, end) ⊆ [0, count).
+  using RangeFn = std::function<void(uint32_t, uint32_t, uint32_t)>;
+
+  /// Partitions [0, count) into num_threads static chunks and runs one per
+  /// thread (chunk 0 on the calling thread). Blocks until every chunk is
+  /// done. Chunking depends only on (count, num_threads), never on
+  /// scheduling.
+  void ParallelFor(uint32_t count, const RangeFn& fn);
+
+ private:
+  void WorkerLoop(uint32_t thread_index);
+  void RunChunk(uint32_t thread_index);
+
+  const uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const RangeFn* job_ = nullptr;  // borrowed for the duration of one job
+  uint32_t job_count_ = 0;
+  uint64_t generation_ = 0;   // bumped per job; workers wait for a new value
+  uint32_t outstanding_ = 0;  // workers still running the current job
+  bool shutdown_ = false;
+};
+
+}  // namespace vblock

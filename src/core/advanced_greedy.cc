@@ -2,7 +2,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
-#include "graph/vertex_mask.h"
+#include "core/spread_decrease_engine.h"
 
 namespace vblock {
 
@@ -13,38 +13,41 @@ BlockerSelection AdvancedGreedy(const Graph& g, VertexId root,
   Deadline deadline(options.time_limit_seconds);
 
   BlockerSelection result;
-  VertexMask blocked(g.NumVertices());
+  if (options.budget == 0) {
+    result.stats.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  SpreadDecreaseOptions sd;
+  sd.theta = options.theta;
+  sd.seed = options.seed;
+  sd.threads = options.threads;
+  sd.sample_reuse = options.sample_reuse;
+  SpreadDecreaseEngine engine(g, root, sd, options.triggering_model);
+  if (!engine.Build(deadline)) {
+    result.stats.timed_out = true;
+    result.stats.seconds = timer.ElapsedSeconds();
+    return result;
+  }
 
   for (uint32_t round = 0; round < options.budget; ++round) {
     if (deadline.Expired()) {
       result.stats.timed_out = true;
       break;
     }
-    SpreadDecreaseOptions sd;
-    sd.theta = options.theta;
-    sd.seed = MixSeed(options.seed, round);
-    sd.threads = options.threads;
-    SpreadDecreaseResult scores =
-        options.triggering_model
-            ? ComputeSpreadDecreaseTriggering(g, *options.triggering_model,
-                                              root, sd, &blocked)
-            : ComputeSpreadDecrease(g, root, sd, &blocked);
-
-    VertexId best = kInvalidVertex;
-    double best_delta = -1.0;
-    for (VertexId u = 0; u < g.NumVertices(); ++u) {
-      if (u == root || blocked.Test(u)) continue;
-      if (scores.delta[u] > best_delta) {
-        best = u;
-        best_delta = scores.delta[u];
-      }
-    }
+    double best_delta = 0;
+    VertexId best = engine.BestUnblocked(&best_delta);
     if (best == kInvalidVertex) break;  // no candidates left
 
-    blocked.Set(best);
     result.blockers.push_back(best);
     result.stats.round_best_delta.push_back(best_delta);
     ++result.stats.rounds_completed;
+
+    // Re-score only when another round will read the scores.
+    if (round + 1 < options.budget && !engine.Block(best, deadline)) {
+      result.stats.timed_out = true;
+      break;
+    }
   }
 
   result.stats.seconds = timer.ElapsedSeconds();

@@ -4,7 +4,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
-#include "graph/vertex_mask.h"
+#include "core/spread_decrease_engine.h"
 
 namespace vblock {
 
@@ -15,26 +15,30 @@ BlockerSelection GreedyReplace(const Graph& g, VertexId root,
   Deadline deadline(options.time_limit_seconds);
 
   BlockerSelection result;
-  VertexMask blocked(g.NumVertices());
-  uint64_t invocation = 0;  // distinct RNG stream per Algorithm-2 call
 
-  auto compute_delta = [&]() {
-    SpreadDecreaseOptions sd;
-    sd.theta = options.theta;
-    sd.seed = MixSeed(options.seed, invocation++);
-    sd.threads = options.threads;
-    return options.triggering_model
-               ? ComputeSpreadDecreaseTriggering(
-                     g, *options.triggering_model, root, sd, &blocked)
-               : ComputeSpreadDecrease(g, root, sd, &blocked);
-  };
-
-  // Phase 1 (lines 1-10): greedily pick out-neighbors of the seed.
+  // Phase 1 (lines 1-10) candidates: out-neighbors of the seed.
   std::vector<VertexId> cb(g.OutNeighbors(root).begin(),
                            g.OutNeighbors(root).end());
-  // Parallel seed edges were merged at construction; cb has no duplicates.
   const uint32_t initial_rounds =
       std::min<uint32_t>(options.budget, static_cast<uint32_t>(cb.size()));
+  if (initial_rounds == 0) {
+    // Nothing to block (zero budget or a sink seed): skip building the
+    // θ-sample pool entirely.
+    result.stats.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  SpreadDecreaseOptions sd;
+  sd.theta = options.theta;
+  sd.seed = options.seed;
+  sd.threads = options.threads;
+  sd.sample_reuse = options.sample_reuse;
+  SpreadDecreaseEngine engine(g, root, sd, options.triggering_model);
+  if (!engine.Build(deadline)) {
+    result.stats.timed_out = true;
+    result.stats.seconds = timer.ElapsedSeconds();
+    return result;
+  }
 
   for (uint32_t round = 0; round < initial_rounds; ++round) {
     if (deadline.Expired()) {
@@ -42,25 +46,37 @@ BlockerSelection GreedyReplace(const Graph& g, VertexId root,
       result.stats.seconds = timer.ElapsedSeconds();
       return result;
     }
-    SpreadDecreaseResult scores = compute_delta();
     size_t best_idx = 0;
     bool have_best = false;
     double best_delta = -1.0;
     for (size_t i = 0; i < cb.size(); ++i) {
-      if (blocked.Test(cb[i])) continue;
-      if (!have_best || scores.delta[cb[i]] > best_delta) {
+      // cb may hold duplicates or the root itself when the graph was built
+      // with merge_parallel_edges / drop_self_loops disabled; blocking
+      // either would violate the engine's preconditions.
+      if (cb[i] == root || engine.blocked().Test(cb[i])) continue;
+      const double delta = engine.Delta(cb[i]);
+      if (!have_best || delta > best_delta ||
+          (delta == best_delta && cb[i] < cb[best_idx])) {
         have_best = true;
         best_idx = i;
-        best_delta = scores.delta[cb[i]];
+        best_delta = delta;
       }
     }
     if (!have_best) break;
     VertexId x = cb[best_idx];
-    cb.erase(cb.begin() + static_cast<ptrdiff_t>(best_idx));
-    blocked.Set(x);
+    // Swap-and-pop: cb's order carries no meaning — ties in Δ break toward
+    // the smaller vertex id (matching AdvancedGreedy and phase 2), so the
+    // pick is independent of candidate order and removal can be O(1).
+    cb[best_idx] = cb.back();
+    cb.pop_back();
     result.blockers.push_back(x);
     result.stats.round_best_delta.push_back(best_delta);
     ++result.stats.rounds_completed;
+    if (!engine.Block(x, deadline)) {
+      result.stats.timed_out = true;
+      result.stats.seconds = timer.ElapsedSeconds();
+      return result;
+    }
   }
 
   // Phase 2 (lines 11-20): replacement in reverse insertion order with
@@ -72,24 +88,22 @@ BlockerSelection GreedyReplace(const Graph& g, VertexId root,
       break;
     }
     VertexId u = *it;
-    blocked.Clear(u);
-    SpreadDecreaseResult scores = compute_delta();
-
-    VertexId x = kInvalidVertex;
-    double best_delta = -1.0;
-    for (VertexId v = 0; v < g.NumVertices(); ++v) {
-      if (v == root || blocked.Test(v)) continue;
-      if (scores.delta[v] > best_delta) {
-        x = v;
-        best_delta = scores.delta[v];
-      }
+    if (!engine.Unblock(u, deadline)) {
+      result.stats.timed_out = true;
+      break;
     }
+
+    double best_delta = 0;
+    VertexId x = engine.BestUnblocked(&best_delta);
     VBLOCK_CHECK_MSG(x != kInvalidVertex, "candidate pool cannot be empty");
 
-    blocked.Set(x);
     *it = x;
     if (x == u) break;  // the removed blocker is still the best: stop
     ++result.stats.replacements;
+    if (!engine.Block(x, deadline)) {
+      result.stats.timed_out = true;
+      break;
+    }
   }
 
   result.stats.seconds = timer.ElapsedSeconds();

@@ -28,8 +28,13 @@ struct GreedyReplaceOptions {
   uint64_t seed = 1;
   /// Worker threads for the sampling passes.
   uint32_t threads = 1;
-  /// Cooperative deadline in seconds (0 = none).
+  /// Cooperative deadline in seconds (0 = none). Honored inside the
+  /// Algorithm-2 θ-loop, not just between rounds.
   double time_limit_seconds = 0;
+  /// Sample-pool maintenance policy across rounds (see
+  /// sampling/sample_pool.h): kResample re-draws affected samples with
+  /// fresh coins, kPrune re-prunes fixed live-edge worlds (fastest).
+  SampleReuse sample_reuse = SampleReuse::kResample;
   /// Optional triggering model (paper §V-E): when set, live-edge samples
   /// are drawn from this model (e.g. LtTriggeringModel) instead of the IC
   /// per-edge coins. Not owned; must outlive the call.

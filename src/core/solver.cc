@@ -77,6 +77,7 @@ SolverResult SolveImin(const Graph& g, const std::vector<VertexId>& seeds,
       ag.seed = options.seed;
       ag.threads = options.threads;
       ag.time_limit_seconds = options.time_limit_seconds;
+      ag.sample_reuse = options.sample_reuse;
       BlockerSelection sel = AdvancedGreedy(inst.graph, inst.root, ag);
       result.blockers = inst.BlockersToOriginal(sel.blockers);
       result.stats = sel.stats;
@@ -90,6 +91,7 @@ SolverResult SolveImin(const Graph& g, const std::vector<VertexId>& seeds,
       gr.seed = options.seed;
       gr.threads = options.threads;
       gr.time_limit_seconds = options.time_limit_seconds;
+      gr.sample_reuse = options.sample_reuse;
       BlockerSelection sel = GreedyReplace(inst.graph, inst.root, gr);
       result.blockers = inst.BlockersToOriginal(sel.blockers);
       result.stats = sel.stats;

@@ -19,6 +19,7 @@
 
 #include "core/blocker_result.h"
 #include "graph/graph.h"
+#include "sampling/sample_reuse.h"
 
 namespace vblock {
 
@@ -51,6 +52,11 @@ struct SolverOptions {
   uint32_t threads = 1;
   /// Cooperative deadline in seconds, 0 = none (BG / AG / GR).
   double time_limit_seconds = 0;
+  /// Sample-pool reuse policy across greedy rounds (AG / GR): kResample
+  /// re-draws affected samples with fresh coins (paper-faithful), kPrune
+  /// keeps the θ live-edge worlds fixed and re-prunes them (fastest). See
+  /// docs/DESIGN.md §5.
+  SampleReuse sample_reuse = SampleReuse::kResample;
 };
 
 /// Facade result: blockers in *original* vertex ids.

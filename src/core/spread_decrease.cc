@@ -1,9 +1,8 @@
 #include "core/spread_decrease.h"
 
-#include <thread>
-
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "domtree/dominator_tree.h"
 #include "sampling/reachable_sampler.h"
 #include "sampling/triggering_sampler.h"
@@ -13,38 +12,50 @@ namespace vblock {
 
 namespace {
 
+// Per-worker scratch shared by every sample the worker scores: dominator
+// workspace, tree, and size buffers are reused so the θ-loop performs no
+// per-sample heap allocations in steady state.
+struct ScoringScratch {
+  DominatorWorkspace workspace;
+  DominatorTree tree;
+  std::vector<VertexId> sizes;
+  std::vector<double> weighted_sizes;
+  std::vector<double> weights;
+};
+
 // Accumulates one sample's dominator-subtree sizes into `delta`
 // (parent-graph ids) and returns the sample's (weighted) vertex count.
-// `weights` may be null (all ones); `weight_scratch` is reused storage for
-// the weighted path.
+// `weights` may be null (all ones).
 double AccumulateSample(const SampledGraph& sample,
                         const std::vector<double>* weights,
-                        std::vector<double>* weight_scratch,
-                        std::vector<double>* delta) {
+                        ScoringScratch* scratch, std::vector<double>* delta) {
   if (!weights) {
     if (sample.NumVertices() > 1) {
-      DominatorTree tree = ComputeDominatorTree(sample.View(), 0);
-      std::vector<VertexId> sizes = ComputeSubtreeSizes(tree);
+      scratch->workspace.ComputeDominatorTreeInto(sample.View(), 0,
+                                                  &scratch->tree);
+      scratch->workspace.ComputeSubtreeSizesInto(scratch->tree,
+                                                 &scratch->sizes);
       for (VertexId local = 1; local < sample.NumVertices(); ++local) {
         (*delta)[sample.to_parent[local]] +=
-            static_cast<double>(sizes[local]);
+            static_cast<double>(scratch->sizes[local]);
       }
     }
     return static_cast<double>(sample.NumVertices());
   }
 
-  weight_scratch->clear();
+  scratch->weights.clear();
   double total = 0;
   for (VertexId parent : sample.to_parent) {
-    weight_scratch->push_back((*weights)[parent]);
+    scratch->weights.push_back((*weights)[parent]);
     total += (*weights)[parent];
   }
   if (sample.NumVertices() > 1) {
-    DominatorTree tree = ComputeDominatorTree(sample.View(), 0);
-    std::vector<double> sizes =
-        ComputeWeightedSubtreeSizes(tree, *weight_scratch);
+    scratch->workspace.ComputeDominatorTreeInto(sample.View(), 0,
+                                                &scratch->tree);
+    scratch->workspace.ComputeWeightedSubtreeSizesInto(
+        scratch->tree, scratch->weights, &scratch->weighted_sizes);
     for (VertexId local = 1; local < sample.NumVertices(); ++local) {
-      (*delta)[sample.to_parent[local]] += sizes[local];
+      (*delta)[sample.to_parent[local]] += scratch->weighted_sizes[local];
     }
   }
   return total;
@@ -67,12 +78,12 @@ SpreadDecreaseResult RunSampling(const Graph& g,
                        std::vector<double>* delta) -> double {
     auto sampler = make_sampler();
     SampledGraph sample;
-    std::vector<double> weight_scratch;
+    ScoringScratch scratch;
     double total_size = 0;
     for (uint32_t i = begin; i < end; ++i) {
       Rng rng(MixSeed(options.seed, i));
       sampler(rng, &sample);
-      total_size += AccumulateSample(sample, weights, &weight_scratch, delta);
+      total_size += AccumulateSample(sample, weights, &scratch, delta);
     }
     return total_size;
   };
@@ -84,19 +95,17 @@ SpreadDecreaseResult RunSampling(const Graph& g,
   if (threads == 1) {
     total_size = run_range(0, options.theta, &result.delta);
   } else {
+    // One persistent pool per call; its static chunking matches the seed
+    // scheme (sample i always draws stream MixSeed(seed, i)), so results
+    // are identical for every thread count.
     std::vector<std::vector<double>> partial(
         threads, std::vector<double>(g.NumVertices(), 0.0));
     std::vector<double> sizes(threads, 0);
-    std::vector<std::thread> workers;
-    const uint32_t chunk = (options.theta + threads - 1) / threads;
-    for (uint32_t t = 0; t < threads; ++t) {
-      uint32_t begin = t * chunk;
-      uint32_t end = std::min(options.theta, begin + chunk);
-      workers.emplace_back([&, t, begin, end] {
-        sizes[t] = run_range(begin, end, &partial[t]);
-      });
-    }
-    for (auto& w : workers) w.join();
+    ThreadPool pool(threads);
+    pool.ParallelFor(options.theta,
+                     [&](uint32_t t, uint32_t begin, uint32_t end) {
+                       sizes[t] = run_range(begin, end, &partial[t]);
+                     });
     for (uint32_t t = 0; t < threads; ++t) {
       total_size += sizes[t];
       for (VertexId v = 0; v < g.NumVertices(); ++v) {
@@ -156,23 +165,24 @@ Result<SpreadDecreaseResult> ComputeSpreadDecreaseExactWeighted(
   SpreadDecreaseResult result;
   result.delta.assign(g.NumVertices(), 0.0);
   double spread = 0;
-  std::vector<double> weight_scratch;
+  ScoringScratch scratch;
   Status status = enumerator.ForEachWorld(
       [&](double world_weight, const SampledGraph& sample) {
-        weight_scratch.clear();
+        scratch.weights.clear();
         double total = 0;
         for (VertexId parent : sample.to_parent) {
-          weight_scratch.push_back(vertex_weight[parent]);
+          scratch.weights.push_back(vertex_weight[parent]);
           total += vertex_weight[parent];
         }
         spread += world_weight * total;
         if (sample.NumVertices() <= 1) return;
-        DominatorTree tree = ComputeDominatorTree(sample.View(), 0);
-        std::vector<double> sizes =
-            ComputeWeightedSubtreeSizes(tree, weight_scratch);
+        scratch.workspace.ComputeDominatorTreeInto(sample.View(), 0,
+                                                   &scratch.tree);
+        scratch.workspace.ComputeWeightedSubtreeSizesInto(
+            scratch.tree, scratch.weights, &scratch.weighted_sizes);
         for (VertexId local = 1; local < sample.NumVertices(); ++local) {
           result.delta[sample.to_parent[local]] +=
-              world_weight * sizes[local];
+              world_weight * scratch.weighted_sizes[local];
         }
       },
       max_uncertain_edges);
@@ -188,15 +198,18 @@ Result<SpreadDecreaseResult> ComputeSpreadDecreaseExact(
   SpreadDecreaseResult result;
   result.delta.assign(g.NumVertices(), 0.0);
   double spread = 0;
+  ScoringScratch scratch;
   Status status = enumerator.ForEachWorld(
       [&](double weight, const SampledGraph& sample) {
         spread += weight * static_cast<double>(sample.NumVertices());
         if (sample.NumVertices() <= 1) return;
-        DominatorTree tree = ComputeDominatorTree(sample.View(), 0);
-        std::vector<VertexId> sizes = ComputeSubtreeSizes(tree);
+        scratch.workspace.ComputeDominatorTreeInto(sample.View(), 0,
+                                                   &scratch.tree);
+        scratch.workspace.ComputeSubtreeSizesInto(scratch.tree,
+                                                  &scratch.sizes);
         for (VertexId local = 1; local < sample.NumVertices(); ++local) {
           result.delta[sample.to_parent[local]] +=
-              weight * static_cast<double>(sizes[local]);
+              weight * static_cast<double>(scratch.sizes[local]);
         }
       },
       max_uncertain_edges);

@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "graph/graph.h"
 #include "graph/vertex_mask.h"
+#include "sampling/sample_reuse.h"
 
 namespace vblock {
 
@@ -30,6 +31,12 @@ struct SpreadDecreaseOptions {
   uint64_t seed = 1;
   /// Worker threads (1 = sequential).
   uint32_t threads = 1;
+  /// How SpreadDecreaseEngine maintains its sample pool across blocker
+  /// rounds (ignored by the one-shot Compute* functions): kResample
+  /// re-draws affected samples with fresh coins (paper-faithful);
+  /// kPrune re-prunes fixed live-edge worlds (fastest). See
+  /// sampling/sample_pool.h and docs/DESIGN.md §5.
+  SampleReuse sample_reuse = SampleReuse::kResample;
 };
 
 /// Output of Algorithm 2.

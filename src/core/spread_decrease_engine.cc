@@ -1,0 +1,151 @@
+#include "core/spread_decrease_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace vblock {
+
+SpreadDecreaseEngine::SpreadDecreaseEngine(const Graph& g, VertexId root,
+                                           const SpreadDecreaseOptions& options,
+                                           const TriggeringModel* model)
+    : graph_(g),
+      root_(root),
+      pool_(g, root,
+            SamplePool::Options{options.theta, options.seed,
+                                options.sample_reuse},
+            model) {
+  const uint32_t num_threads =
+      std::max<uint32_t>(1, std::min(options.threads, options.theta));
+  if (num_threads > 1) threads_ = std::make_unique<ThreadPool>(num_threads);
+  workers_.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    workers_.push_back(Worker{pool_.MakeScratch(), {}, {}});
+  }
+}
+
+bool SpreadDecreaseEngine::RecomputeDirty(const Deadline& deadline,
+                                          bool initial) {
+  // Retire pass (sequential): subtract the dirty samples' cached
+  // contributions and unpublish them from the inverted index while their
+  // old regions are still stored.
+  if (!initial) {
+    for (uint32_t i : dirty_) {
+      const auto& to_parent = pool_.sample(i).to_parent;
+      const auto& sizes = sizes_[i];
+      spread_raw_ -= static_cast<double>(to_parent.size());
+      for (uint32_t k = 1; k < to_parent.size(); ++k) {
+        delta_raw_[to_parent[k]] -= static_cast<double>(sizes[k]);
+      }
+      pool_.RemoveFromIndex(i);
+    }
+  }
+
+  // Re-derive + re-score pass (parallel): each dirty sample is rebuilt
+  // under the current mask and its dominator subtree sizes recomputed into
+  // its cache slot. Per-sample deadline checks let huge θ-loops abort.
+  std::atomic<bool> expired{false};
+  RunParallel(
+      static_cast<uint32_t>(dirty_.size()),
+      [&](uint32_t t, uint32_t begin, uint32_t end) {
+        Worker& w = workers_[t];
+        for (uint32_t d = begin; d < end; ++d) {
+          if (expired.load(std::memory_order_relaxed)) return;
+          if (deadline.Expired()) {
+            expired.store(true, std::memory_order_relaxed);
+            return;
+          }
+          const uint32_t i = dirty_[d];
+          pool_.DeriveSample(i, &w.scratch);
+          const SampledGraph& sample = pool_.sample(i);
+          if (sample.NumVertices() > 1) {
+            w.domtree.ComputeDominatorTreeInto(sample.View(), 0, &w.tree);
+            w.domtree.ComputeSubtreeSizesInto(w.tree, &sizes_[i]);
+          } else {
+            sizes_[i].assign(sample.NumVertices(), 0);
+          }
+        }
+      });
+  if (expired.load()) {
+    timed_out_ = true;
+    return false;
+  }
+
+  if (initial) pool_.FinalizeBuild();
+
+  // Publish pass (sequential, ascending sample id — deterministic for any
+  // thread count): add the new contributions and index entries.
+  for (uint32_t i : dirty_) {
+    const auto& to_parent = pool_.sample(i).to_parent;
+    const auto& sizes = sizes_[i];
+    spread_raw_ += static_cast<double>(to_parent.size());
+    for (uint32_t k = 1; k < to_parent.size(); ++k) {
+      delta_raw_[to_parent[k]] += static_cast<double>(sizes[k]);
+    }
+    pool_.AddToIndex(i);
+  }
+  return true;
+}
+
+bool SpreadDecreaseEngine::Build(const Deadline& deadline) {
+  VBLOCK_CHECK_MSG(!built_, "Build() must be called exactly once");
+  delta_raw_.assign(graph_.NumVertices(), 0.0);
+  spread_raw_ = 0;
+  sizes_.resize(pool_.theta());
+  dirty_.resize(pool_.theta());
+  std::iota(dirty_.begin(), dirty_.end(), 0u);
+  if (!RecomputeDirty(deadline, /*initial=*/true)) return false;
+  built_ = true;
+  return true;
+}
+
+bool SpreadDecreaseEngine::Block(VertexId v, const Deadline& deadline) {
+  VBLOCK_CHECK_MSG(built_ && !timed_out_, "engine not in a scorable state");
+  VBLOCK_CHECK_MSG(v != root_ && !pool_.blocked_mask().Test(v),
+                   "vertex is the root or already blocked");
+  dirty_.clear();
+  pool_.BeginBlock(v, &dirty_);
+  return RecomputeDirty(deadline, /*initial=*/false);
+}
+
+bool SpreadDecreaseEngine::Unblock(VertexId v, const Deadline& deadline) {
+  VBLOCK_CHECK_MSG(built_ && !timed_out_, "engine not in a scorable state");
+  VBLOCK_CHECK_MSG(pool_.blocked_mask().Test(v), "vertex is not blocked");
+  dirty_.clear();
+  pool_.BeginUnblock(v, &dirty_);
+  return RecomputeDirty(deadline, /*initial=*/false);
+}
+
+VertexId SpreadDecreaseEngine::BestUnblocked(double* best_delta) const {
+  const VertexMask& blocked = pool_.blocked_mask();
+  VertexId best = kInvalidVertex;
+  double best_raw = -1.0;
+  for (VertexId u = 0; u < graph_.NumVertices(); ++u) {
+    if (u == root_ || blocked.Test(u)) continue;
+    if (delta_raw_[u] > best_raw) {
+      best = u;
+      best_raw = delta_raw_[u];
+    }
+  }
+  if (best_delta) {
+    *best_delta =
+        best == kInvalidVertex ? -1.0
+                               : best_raw / static_cast<double>(pool_.theta());
+  }
+  return best;
+}
+
+SpreadDecreaseResult SpreadDecreaseEngine::Scores() const {
+  SpreadDecreaseResult result;
+  const double inv_theta = 1.0 / static_cast<double>(pool_.theta());
+  result.delta.resize(delta_raw_.size());
+  for (size_t v = 0; v < delta_raw_.size(); ++v) {
+    result.delta[v] = delta_raw_[v] * inv_theta;
+  }
+  result.expected_spread = spread_raw_ * inv_theta;
+  return result;
+}
+
+}  // namespace vblock

@@ -1,0 +1,131 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Stateful Algorithm-2 scoring engine over a persistent SamplePool.
+//
+// Where ComputeSpreadDecrease re-draws θ samples and re-builds θ dominator
+// trees on every call, the engine keeps the samples, the per-sample
+// dominator subtree sizes, and the aggregate Δ alive across greedy rounds.
+// Block(v) touches only the samples whose region actually contains v:
+// their cached contributions are retired, the regions re-derived under the
+// new mask (pruned or re-drawn per SampleReuse), re-scored, and re-added.
+// Every number involved is an integer stored in a double, so incremental
+// subtract/add is exact and results are bit-identical for any thread
+// count.
+//
+// Scoring state after Build()/Block()/Unblock() is always consistent:
+// Delta(v) equals what a from-scratch pass over the pool's current samples
+// would produce (tests/sample_pool_test.cc cross-checks this).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/spread_decrease.h"
+#include "domtree/dominator_tree.h"
+#include "sampling/sample_pool.h"
+
+namespace vblock {
+
+/// Incremental Δ estimator consumed by AdvancedGreedy / GreedyReplace.
+/// Lifecycle: construct → Build() → interleave Block()/Unblock() with
+/// Delta()/BestUnblocked() queries. All mutators return false (and latch
+/// timed_out()) when the deadline expires mid-update; the engine must not
+/// be used further after that.
+class SpreadDecreaseEngine {
+ public:
+  /// `model` switches sampling to the triggering model (§V-E); not owned.
+  SpreadDecreaseEngine(const Graph& g, VertexId root,
+                       const SpreadDecreaseOptions& options,
+                       const TriggeringModel* model = nullptr);
+
+  /// Draws the θ-sample pool and scores it (the one big θ-loop; checks the
+  /// deadline per sample).
+  bool Build(const Deadline& deadline = Deadline());
+
+  /// Marks v blocked and incrementally re-scores the affected samples.
+  bool Block(VertexId v, const Deadline& deadline = Deadline());
+
+  /// Removes v from the blocked mask (GreedyReplace phase 2) and
+  /// re-derives every sample that may regain vertices through v.
+  bool Unblock(VertexId v, const Deadline& deadline = Deadline());
+
+  /// Current Δ estimate for v (normalized by θ), reflecting the current
+  /// blocked mask.
+  double Delta(VertexId v) const {
+    return delta_raw_[v] / static_cast<double>(pool_.theta());
+  }
+
+  /// Argmax of Δ over unblocked non-root vertices; ties break toward the
+  /// smaller vertex id. Returns kInvalidVertex when no candidate is left.
+  /// `best_delta` (optional) receives the winner's normalized Δ.
+  VertexId BestUnblocked(double* best_delta = nullptr) const;
+
+  /// Estimate of the current expected spread E({root}, G[V\B]) — the mean
+  /// sample-region size (Lemma 1).
+  double ExpectedSpread() const {
+    return spread_raw_ / static_cast<double>(pool_.theta());
+  }
+
+  const VertexMask& blocked() const { return pool_.blocked_mask(); }
+  uint32_t theta() const { return pool_.theta(); }
+  bool timed_out() const { return timed_out_; }
+
+  /// Materializes the full score vector in ComputeSpreadDecrease's output
+  /// form (allocates; meant for tests and diagnostics, not the hot loop).
+  SpreadDecreaseResult Scores() const;
+
+  /// Read access to the pool's current samples (tests cross-check the
+  /// incremental aggregate against from-scratch scoring of these).
+  const SampledGraph& PoolSample(uint32_t i) const { return pool_.sample(i); }
+
+ private:
+  // Per-thread state: pool scratch plus dominator workspace/tree.
+  struct Worker {
+    SamplePool::Scratch scratch;
+    DominatorWorkspace domtree;
+    DominatorTree tree;
+  };
+
+  // Re-derives and re-scores dirty_ (sorted sample ids). `initial` skips
+  // the retire pass (nothing is cached yet) and finalizes the pool arena.
+  bool RecomputeDirty(const Deadline& deadline, bool initial);
+
+  // The inline branch is not redundant with ThreadPool's own threads==1
+  // path: ParallelFor takes a std::function, whose construction from a
+  // capturing lambda heap-allocates per call — the template keeps the
+  // single-threaded hot path allocation-free (asserted by
+  // tests/sample_pool_test.cc).
+  template <typename Fn>
+  void RunParallel(uint32_t count, Fn&& fn) {
+    if (threads_) {
+      threads_->ParallelFor(count, fn);
+    } else if (count > 0) {
+      fn(0, 0, count);
+    }
+  }
+
+  const Graph& graph_;
+  VertexId root_;
+  SamplePool pool_;
+  std::unique_ptr<ThreadPool> threads_;  // null when running single-threaded
+  std::vector<Worker> workers_;
+
+  // sizes_[i][slot] — dominator subtree size of sample i's local vertex
+  // `slot` at the sample's current revision; the cached contribution that
+  // lets Block() subtract a sample's old scores without recomputing them.
+  std::vector<std::vector<VertexId>> sizes_;
+
+  // Σ over samples of subtree sizes / region sizes (unnormalized; exact —
+  // all summands are integers).
+  std::vector<double> delta_raw_;
+  double spread_raw_ = 0;
+
+  std::vector<uint32_t> dirty_;
+  bool built_ = false;
+  bool timed_out_ = false;
+};
+
+}  // namespace vblock

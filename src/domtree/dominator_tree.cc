@@ -89,51 +89,73 @@ DominatorTree ComputeDominatorTreeNaive(const FlatGraphView& g,
   return tree;
 }
 
-namespace {
-
-// Top-down BFS order of the dominator tree (root first); reverse iteration
-// folds every vertex into its idom after all its descendants.
-std::vector<VertexId> DomTreeBfsOrder(const DominatorTree& tree) {
+// Top-down BFS order of the dominator tree (root first) into order_;
+// reverse iteration folds every vertex into its idom after all its
+// descendants. Children are laid out as a CSR over reused buffers so
+// repeated calls do not allocate.
+void DominatorWorkspace::BuildDomTreeOrder(const DominatorTree& tree) {
   const auto n = static_cast<VertexId>(tree.idom.size());
-  std::vector<std::vector<VertexId>> children(n);
+  kid_begin_.assign(n + 1, 0);
   for (VertexId v = 0; v < n; ++v) {
     if (v != tree.root && tree.idom[v] != kInvalidVertex) {
-      children[tree.idom[v]].push_back(v);
+      ++kid_begin_[tree.idom[v] + 1];
     }
   }
-  std::vector<VertexId> order;
-  order.reserve(n);
-  if (tree.root < n) order.push_back(tree.root);
-  for (size_t head = 0; head < order.size(); ++head) {
-    for (VertexId c : children[order[head]]) order.push_back(c);
+  for (VertexId v = 0; v < n; ++v) kid_begin_[v + 1] += kid_begin_[v];
+  kid_.resize(kid_begin_[n]);
+  kid_cursor_.assign(kid_begin_.begin(), kid_begin_.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (v != tree.root && tree.idom[v] != kInvalidVertex) {
+      kid_[kid_cursor_[tree.idom[v]]++] = v;
+    }
   }
-  return order;
+  order_.clear();
+  if (tree.root < n) order_.push_back(tree.root);
+  for (size_t head = 0; head < order_.size(); ++head) {
+    const VertexId u = order_[head];
+    for (uint32_t k = kid_begin_[u]; k < kid_begin_[u + 1]; ++k) {
+      order_.push_back(kid_[k]);
+    }
+  }
 }
 
-}  // namespace
+void DominatorWorkspace::ComputeSubtreeSizesInto(const DominatorTree& tree,
+                                                 std::vector<VertexId>* sizes) {
+  sizes->assign(tree.idom.size(), 0);
+  BuildDomTreeOrder(tree);
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    VertexId v = *it;
+    (*sizes)[v] += 1;
+    if (v != tree.root) (*sizes)[tree.idom[v]] += (*sizes)[v];
+  }
+}
+
+void DominatorWorkspace::ComputeWeightedSubtreeSizesInto(
+    const DominatorTree& tree, const std::vector<double>& weight,
+    std::vector<double>* sizes) {
+  VBLOCK_CHECK_MSG(weight.size() == tree.idom.size(),
+                   "weight vector size must match vertex count");
+  sizes->assign(tree.idom.size(), 0.0);
+  BuildDomTreeOrder(tree);
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    VertexId v = *it;
+    (*sizes)[v] += weight[v];
+    if (v != tree.root) (*sizes)[tree.idom[v]] += (*sizes)[v];
+  }
+}
 
 std::vector<VertexId> ComputeSubtreeSizes(const DominatorTree& tree) {
-  std::vector<VertexId> sizes(tree.idom.size(), 0);
-  std::vector<VertexId> order = DomTreeBfsOrder(tree);
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    VertexId v = *it;
-    sizes[v] += 1;
-    if (v != tree.root) sizes[tree.idom[v]] += sizes[v];
-  }
+  DominatorWorkspace workspace;
+  std::vector<VertexId> sizes;
+  workspace.ComputeSubtreeSizesInto(tree, &sizes);
   return sizes;
 }
 
 std::vector<double> ComputeWeightedSubtreeSizes(
     const DominatorTree& tree, const std::vector<double>& weight) {
-  VBLOCK_CHECK_MSG(weight.size() == tree.idom.size(),
-                   "weight vector size must match vertex count");
-  std::vector<double> sizes(tree.idom.size(), 0.0);
-  std::vector<VertexId> order = DomTreeBfsOrder(tree);
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    VertexId v = *it;
-    sizes[v] += weight[v];
-    if (v != tree.root) sizes[tree.idom[v]] += sizes[v];
-  }
+  DominatorWorkspace workspace;
+  std::vector<double> sizes;
+  workspace.ComputeWeightedSubtreeSizesInto(tree, weight, &sizes);
   return sizes;
 }
 

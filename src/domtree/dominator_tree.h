@@ -34,10 +34,61 @@ struct DominatorTree {
   bool Dominates(VertexId u, VertexId v) const;
 };
 
+/// Reusable scratch space for repeated dominator-tree computations.
+///
+/// Algorithm 2 builds one dominator tree per sampled graph — θ per greedy
+/// round. The free functions below allocate a dozen working arrays per
+/// call; a DominatorWorkspace keeps them alive between calls (grow-only,
+/// so steady state performs zero heap allocations) and is the form the
+/// scoring engine uses. One workspace per thread; not thread-safe.
+class DominatorWorkspace {
+ public:
+  /// Lengauer–Tarjan into `tree` (resized/overwritten; its capacity is
+  /// reused too). Same output as ComputeDominatorTree.
+  void ComputeDominatorTreeInto(const FlatGraphView& g, VertexId root,
+                                DominatorTree* tree);
+
+  /// Subtree sizes into `sizes` (resized/overwritten). Same output as
+  /// ComputeSubtreeSizes / ComputeWeightedSubtreeSizes.
+  void ComputeSubtreeSizesInto(const DominatorTree& tree,
+                               std::vector<VertexId>* sizes);
+  void ComputeWeightedSubtreeSizesInto(const DominatorTree& tree,
+                                       const std::vector<double>& weight,
+                                       std::vector<double>* sizes);
+
+ private:
+  // Top-down BFS order of the dominator tree via a CSR children layout;
+  // fills order_. Implemented in dominator_tree.cc.
+  void BuildDomTreeOrder(const DominatorTree& tree);
+
+  // Lengauer–Tarjan state, indexed by 1-based DFS number (0 = null /
+  // unreachable). Implemented in lengauer_tarjan.cc.
+  void Dfs(const FlatGraphView& g, VertexId root);
+  void BuildPredCsr(const FlatGraphView& g);
+  uint32_t Eval(uint32_t v);
+  void Compress(uint32_t v);
+  void ComputeSemiAndDom();
+
+  uint32_t count_ = 0;
+  std::vector<uint32_t> dfn_;     // vertex -> DFS number (0 = unreachable)
+  std::vector<VertexId> vertex_;  // DFS number -> vertex
+  std::vector<uint32_t> parent_, semi_, label_, ancestor_, dom_;
+  // Buckets as intrusive singly linked lists in DFS-number space.
+  std::vector<uint32_t> bucket_head_, bucket_next_;
+  // Predecessor lists as CSR (counting sort over the live edges).
+  std::vector<uint32_t> pred_begin_, pred_cursor_, pred_;
+  std::vector<uint32_t> dfs_stack_v_, dfs_stack_k_, compress_stack_;
+
+  // Subtree-size state (vertex space).
+  std::vector<uint32_t> kid_begin_, kid_cursor_;
+  std::vector<VertexId> kid_, order_;
+};
+
 /// Computes the dominator tree of `g` from `root` with the Lengauer–Tarjan
 /// algorithm (path-compression eval-link, O(m log n); the paper cites the
 /// O(m α(m,n)) variant — the simple version's log factor is negligible at
 /// sampled-subgraph sizes and it is the variant LT recommend in practice).
+/// One-shot convenience wrapper over DominatorWorkspace.
 DominatorTree ComputeDominatorTree(const FlatGraphView& g, VertexId root);
 
 /// Reference implementation: iterative dataflow dominators

@@ -1,10 +1,15 @@
 // Lengauer–Tarjan dominator-tree construction ("A fast algorithm for finding
 // dominators in a flowgraph", TOPLAS 1979) — the simple eval-link variant
-// with path compression.
+// with path compression, implemented as the reusable DominatorWorkspace so
+// the per-sample hot loop of Algorithm 2 performs no heap allocations in
+// steady state (every working array is grow-only and reused across calls).
 //
 // All internal arrays are indexed by DFS number (1-based; 0 = unreachable /
 // null), matching the paper's presentation: semidominators are minima over
-// DFS numbers, which is why the id-space switch matters.
+// DFS numbers, which is why the id-space switch matters. The per-vertex
+// bucket and predecessor lists of the textbook version are replaced by an
+// intrusive linked list and a counting-sort CSR respectively — same
+// asymptotics, no per-vertex vectors.
 
 #include <vector>
 
@@ -12,136 +17,142 @@
 
 namespace vblock {
 
-namespace {
+// Iterative DFS assigning 1-based numbers and recording tree parents (in
+// DFS-number space).
+void DominatorWorkspace::Dfs(const FlatGraphView& g, VertexId root) {
+  count_ = 0;
+  dfn_.assign(g.NumVertices(), 0);
+  vertex_.assign(g.NumVertices() + 1, kInvalidVertex);
+  parent_.assign(g.NumVertices() + 1, 0);
+  dfs_stack_v_.clear();
+  dfs_stack_k_.clear();
 
-class LengauerTarjan {
- public:
-  LengauerTarjan(const FlatGraphView& g, VertexId root) : g_(g), root_(root) {
-    const VertexId n = g.NumVertices();
-    dfn_.assign(n, 0);
-    vertex_.assign(n + 1, kInvalidVertex);
-    parent_.assign(n + 1, 0);
-    semi_.assign(n + 1, 0);
-    label_.assign(n + 1, 0);
-    ancestor_.assign(n + 1, 0);
-    dom_.assign(n + 1, 0);
-    bucket_.assign(n + 1, {});
-    pred_.assign(n + 1, {});
-  }
-
-  DominatorTree Run() {
-    Dfs();
-    ComputeSemiAndDom();
-
-    DominatorTree tree;
-    tree.root = root_;
-    tree.idom.assign(g_.NumVertices(), kInvalidVertex);
-    for (uint32_t w = 2; w <= count_; ++w) {
-      tree.idom[vertex_[w]] = vertex_[dom_[w]];
+  dfn_[root] = ++count_;
+  vertex_[count_] = root;
+  dfs_stack_v_.push_back(root);
+  dfs_stack_k_.push_back(0);
+  while (!dfs_stack_v_.empty()) {
+    const VertexId u = dfs_stack_v_.back();
+    const uint32_t k = dfs_stack_k_.back();
+    auto targets = g.OutNeighbors(u);
+    if (k >= targets.size()) {
+      dfs_stack_v_.pop_back();
+      dfs_stack_k_.pop_back();
+      continue;
     }
-    return tree;
-  }
-
- private:
-  // Iterative DFS assigning 1-based numbers and recording tree parents and
-  // predecessor lists (in DFS-number space).
-  void Dfs() {
-    std::vector<std::pair<VertexId, uint32_t>> stack;  // (vertex, next child)
-    dfn_[root_] = ++count_;
-    vertex_[count_] = root_;
-    stack.emplace_back(root_, 0);
-    while (!stack.empty()) {
-      // Copy out of the stack frame: emplace_back below may reallocate.
-      const VertexId u = stack.back().first;
-      const uint32_t k = stack.back().second;
-      auto targets = g_.OutNeighbors(u);
-      if (k >= targets.size()) {
-        stack.pop_back();
-        continue;
-      }
-      stack.back().second = k + 1;
-      const VertexId v = targets[k];
-      const uint32_t dfn_u = dfn_[u];
-      if (dfn_[v] == 0) {
-        dfn_[v] = ++count_;
-        vertex_[count_] = v;
-        parent_[dfn_[v]] = dfn_u;
-        stack.emplace_back(v, 0);
-      }
-      pred_[dfn_[v]].push_back(dfn_u);
+    dfs_stack_k_.back() = k + 1;
+    const VertexId v = targets[k];
+    if (dfn_[v] == 0) {
+      dfn_[v] = ++count_;
+      vertex_[count_] = v;
+      parent_[dfn_[v]] = dfn_[u];
+      dfs_stack_v_.push_back(v);
+      dfs_stack_k_.push_back(0);
     }
   }
+}
 
-  // Path-compression EVAL: returns the vertex x with minimum semi_[x] on the
-  // linked path from v up to (excluding) the forest root.
-  uint32_t Eval(uint32_t v) {
-    if (ancestor_[v] == 0) return label_[v];
-    Compress(v);
-    return label_[v];
-  }
-
-  void Compress(uint32_t v) {
-    // Collect the ancestor chain, then fold it top-down (iterative to keep
-    // the stack flat on path graphs).
-    compress_stack_.clear();
-    while (ancestor_[ancestor_[v]] != 0) {
-      compress_stack_.push_back(v);
-      v = ancestor_[v];
-    }
-    while (!compress_stack_.empty()) {
-      uint32_t w = compress_stack_.back();
-      compress_stack_.pop_back();
-      uint32_t a = ancestor_[w];
-      if (semi_[label_[a]] < semi_[label_[w]]) label_[w] = label_[a];
-      ancestor_[w] = ancestor_[a];
+// Predecessor lists in DFS-number space as a CSR built by counting sort:
+// every edge whose source is reachable contributes one entry (its target is
+// then reachable too, by DFS).
+void DominatorWorkspace::BuildPredCsr(const FlatGraphView& g) {
+  pred_begin_.assign(count_ + 2, 0);
+  for (uint32_t w = 1; w <= count_; ++w) {
+    for (VertexId v : g.OutNeighbors(vertex_[w])) {
+      ++pred_begin_[dfn_[v] + 1];
     }
   }
-
-  void ComputeSemiAndDom() {
-    for (uint32_t i = 1; i <= count_; ++i) {
-      semi_[i] = i;
-      label_[i] = i;
+  for (uint32_t w = 1; w <= count_ + 1; ++w) pred_begin_[w] += pred_begin_[w - 1];
+  pred_.resize(pred_begin_[count_ + 1]);
+  pred_cursor_.assign(pred_begin_.begin(), pred_begin_.end() - 1);
+  for (uint32_t w = 1; w <= count_; ++w) {
+    for (VertexId v : g.OutNeighbors(vertex_[w])) {
+      pred_[pred_cursor_[dfn_[v]]++] = w;
     }
-    for (uint32_t w = count_; w >= 2; --w) {
-      // Step 2: semidominators.
-      for (uint32_t v : pred_[w]) {
-        uint32_t u = Eval(v);
-        if (semi_[u] < semi_[w]) semi_[w] = semi_[u];
-      }
-      bucket_[semi_[w]].push_back(w);
-      ancestor_[w] = parent_[w];  // LINK(parent[w], w)
-
-      // Step 3: implicit idoms for parent[w]'s bucket.
-      auto& bucket = bucket_[parent_[w]];
-      for (uint32_t v : bucket) {
-        uint32_t u = Eval(v);
-        dom_[v] = semi_[u] < semi_[v] ? u : parent_[w];
-      }
-      bucket.clear();
-    }
-    // Step 4: explicit idoms in DFS order.
-    for (uint32_t w = 2; w <= count_; ++w) {
-      if (dom_[w] != semi_[w]) dom_[w] = dom_[dom_[w]];
-    }
-    dom_[1] = 0;
   }
+}
 
-  const FlatGraphView& g_;
-  VertexId root_;
-  uint32_t count_ = 0;
+// Path-compression EVAL: returns the vertex x with minimum semi_[x] on the
+// linked path from v up to (excluding) the forest root.
+uint32_t DominatorWorkspace::Eval(uint32_t v) {
+  if (ancestor_[v] == 0) return label_[v];
+  Compress(v);
+  return label_[v];
+}
 
-  std::vector<uint32_t> dfn_;        // vertex -> DFS number (0 = unreachable)
-  std::vector<VertexId> vertex_;     // DFS number -> vertex
-  std::vector<uint32_t> parent_, semi_, label_, ancestor_, dom_;
-  std::vector<std::vector<uint32_t>> bucket_, pred_;
-  std::vector<uint32_t> compress_stack_;
-};
+void DominatorWorkspace::Compress(uint32_t v) {
+  // Collect the ancestor chain, then fold it top-down (iterative to keep
+  // the stack flat on path graphs).
+  compress_stack_.clear();
+  while (ancestor_[ancestor_[v]] != 0) {
+    compress_stack_.push_back(v);
+    v = ancestor_[v];
+  }
+  while (!compress_stack_.empty()) {
+    uint32_t w = compress_stack_.back();
+    compress_stack_.pop_back();
+    uint32_t a = ancestor_[w];
+    if (semi_[label_[a]] < semi_[label_[w]]) label_[w] = label_[a];
+    ancestor_[w] = ancestor_[a];
+  }
+}
 
-}  // namespace
+void DominatorWorkspace::ComputeSemiAndDom() {
+  semi_.resize(count_ + 1);
+  label_.resize(count_ + 1);
+  ancestor_.assign(count_ + 1, 0);
+  dom_.assign(count_ + 1, 0);
+  bucket_head_.assign(count_ + 1, 0);
+  bucket_next_.assign(count_ + 1, 0);
+  for (uint32_t i = 1; i <= count_; ++i) {
+    semi_[i] = i;
+    label_[i] = i;
+  }
+  for (uint32_t w = count_; w >= 2; --w) {
+    // Step 2: semidominators.
+    for (uint32_t e = pred_begin_[w]; e < pred_begin_[w + 1]; ++e) {
+      uint32_t u = Eval(pred_[e]);
+      if (semi_[u] < semi_[w]) semi_[w] = semi_[u];
+    }
+    bucket_next_[w] = bucket_head_[semi_[w]];
+    bucket_head_[semi_[w]] = w;
+    ancestor_[w] = parent_[w];  // LINK(parent[w], w)
+
+    // Step 3: implicit idoms for parent[w]'s bucket.
+    const uint32_t p = parent_[w];
+    for (uint32_t v = bucket_head_[p]; v != 0; v = bucket_next_[v]) {
+      uint32_t u = Eval(v);
+      dom_[v] = semi_[u] < semi_[v] ? u : p;
+    }
+    bucket_head_[p] = 0;
+  }
+  // Step 4: explicit idoms in DFS order.
+  for (uint32_t w = 2; w <= count_; ++w) {
+    if (dom_[w] != semi_[w]) dom_[w] = dom_[dom_[w]];
+  }
+  dom_[1] = 0;
+}
+
+void DominatorWorkspace::ComputeDominatorTreeInto(const FlatGraphView& g,
+                                                  VertexId root,
+                                                  DominatorTree* tree) {
+  VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
+  Dfs(g, root);
+  BuildPredCsr(g);
+  ComputeSemiAndDom();
+
+  tree->root = root;
+  tree->idom.assign(g.NumVertices(), kInvalidVertex);
+  for (uint32_t w = 2; w <= count_; ++w) {
+    tree->idom[vertex_[w]] = vertex_[dom_[w]];
+  }
+}
 
 DominatorTree ComputeDominatorTree(const FlatGraphView& g, VertexId root) {
-  VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
-  return LengauerTarjan(g, root).Run();
+  DominatorWorkspace workspace;
+  DominatorTree tree;
+  workspace.ComputeDominatorTreeInto(g, root, &tree);
+  return tree;
 }
 
 }  // namespace vblock

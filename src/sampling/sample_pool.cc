@@ -1,0 +1,206 @@
+#include "sampling/sample_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace vblock {
+
+SamplePool::SamplePool(const Graph& g, VertexId root, const Options& options,
+                       const TriggeringModel* model)
+    : graph_(g),
+      root_(root),
+      options_(options),
+      model_(model),
+      blocked_(g.NumVertices()),
+      samples_(options.theta),
+      revision_(options.theta, 0) {
+  VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
+  VBLOCK_CHECK_MSG(options.theta > 0, "theta must be positive");
+}
+
+SamplePool::Scratch SamplePool::MakeScratch() const {
+  Scratch scratch;
+  if (model_) {
+    scratch.triggering_sampler = std::make_unique<TriggeringSampler>(
+        graph_, *model_, root_, &blocked_);
+  } else {
+    scratch.ic_sampler =
+        std::make_unique<ReachableSampler>(graph_, root_, &blocked_);
+  }
+  return scratch;
+}
+
+void SamplePool::DrawFresh(uint32_t i, Scratch* scratch) {
+  const uint64_t stream = MixSeed(options_.seed, i);
+  Rng rng(revision_[i] == 0 ? stream : MixSeed(stream, revision_[i]));
+  if (model_) {
+    scratch->triggering_sampler->Sample(rng, &samples_[i]);
+  } else {
+    scratch->ic_sampler->Sample(rng, &samples_[i]);
+  }
+}
+
+void SamplePool::PruneFromPristine(uint32_t i, Scratch* scratch) {
+  const auto nv = static_cast<uint32_t>(ext_par_[i + 1] - ext_par_[i]);
+  const uint32_t* offsets = arena_offsets_.data() + ext_off_[i];
+  const VertexId* targets = arena_targets_.data() + ext_tgt_[i];
+  const VertexId* parents = arena_parents_.data() + ext_par_[i];
+
+  if (scratch->visit_epoch.size() < nv) {
+    scratch->visit_epoch.resize(nv, 0);
+    scratch->local_id.resize(nv);
+  }
+  const uint32_t epoch = ++scratch->epoch;
+
+  SampledGraph& out = samples_[i];
+  out.Clear();
+  scratch->pristine_of.clear();
+
+  // BFS over the stored live edges in pristine-local id space, skipping
+  // blocked vertices; local ids are re-densified so the output is a
+  // self-contained SampledGraph like a fresh draw.
+  scratch->visit_epoch[0] = epoch;
+  scratch->local_id[0] = 0;
+  out.to_parent.push_back(parents[0]);
+  scratch->pristine_of.push_back(0);
+  for (uint32_t new_u = 0; new_u < scratch->pristine_of.size(); ++new_u) {
+    const uint32_t pu = scratch->pristine_of[new_u];
+    for (uint32_t e = offsets[pu]; e < offsets[pu + 1]; ++e) {
+      const uint32_t pv = targets[e];
+      if (blocked_.Test(parents[pv])) continue;
+      uint32_t new_v;
+      if (scratch->visit_epoch[pv] == epoch) {
+        new_v = scratch->local_id[pv];
+      } else {
+        scratch->visit_epoch[pv] = epoch;
+        new_v = static_cast<uint32_t>(out.to_parent.size());
+        scratch->local_id[pv] = new_v;
+        out.to_parent.push_back(parents[pv]);
+        scratch->pristine_of.push_back(pv);
+      }
+      out.targets.push_back(new_v);
+    }
+    out.offsets.push_back(static_cast<uint32_t>(out.targets.size()));
+  }
+}
+
+void SamplePool::DeriveSample(uint32_t i, Scratch* scratch) {
+  if (revision_[i] == 0) {
+    DrawFresh(i, scratch);  // initial draw, identical in both modes
+  } else if (options_.reuse == SampleReuse::kPrune) {
+    PruneFromPristine(i, scratch);
+  } else {
+    DrawFresh(i, scratch);
+  }
+  ++revision_[i];
+}
+
+void SamplePool::FinalizeBuild() {
+  const uint32_t theta = options_.theta;
+  if (options_.reuse == SampleReuse::kPrune) {
+    uint64_t total_vertices = 0, total_edges = 0;
+    for (const SampledGraph& s : samples_) {
+      total_vertices += s.to_parent.size();
+      total_edges += s.targets.size();
+    }
+    arena_offsets_.reserve(total_vertices + theta);
+    arena_targets_.reserve(total_edges);
+    arena_parents_.reserve(total_vertices);
+    ext_off_.reserve(theta + 1);
+    ext_tgt_.reserve(theta + 1);
+    ext_par_.reserve(theta + 1);
+    ext_off_.push_back(0);
+    ext_tgt_.push_back(0);
+    ext_par_.push_back(0);
+    for (const SampledGraph& s : samples_) {
+      arena_offsets_.insert(arena_offsets_.end(), s.offsets.begin(),
+                            s.offsets.end());
+      arena_targets_.insert(arena_targets_.end(), s.targets.begin(),
+                            s.targets.end());
+      arena_parents_.insert(arena_parents_.end(), s.to_parent.begin(),
+                            s.to_parent.end());
+      ext_off_.push_back(arena_offsets_.size());
+      ext_tgt_.push_back(arena_targets_.size());
+      ext_par_.push_back(arena_parents_.size());
+    }
+
+    // Static pristine inverted index (counting sort; sample ids end up
+    // ascending within each vertex's slice). Slot 0 (the root) is skipped —
+    // the root is in every sample and can never be blocked.
+    pristine_begin_.assign(graph_.NumVertices() + 1, 0);
+    for (uint32_t i = 0; i < theta; ++i) {
+      for (uint64_t k = ext_par_[i] + 1; k < ext_par_[i + 1]; ++k) {
+        ++pristine_begin_[arena_parents_[k] + 1];
+      }
+    }
+    for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+      pristine_begin_[v + 1] += pristine_begin_[v];
+    }
+    pristine_index_.resize(pristine_begin_[graph_.NumVertices()]);
+    std::vector<uint64_t> cursor(pristine_begin_.begin(),
+                                 pristine_begin_.end() - 1);
+    for (uint32_t i = 0; i < theta; ++i) {
+      for (uint64_t k = ext_par_[i] + 1; k < ext_par_[i + 1]; ++k) {
+        pristine_index_[cursor[arena_parents_[k]]++] = i;
+      }
+    }
+  }
+
+  index_.assign(graph_.NumVertices(), {});
+  index_pos_.assign(theta, {});
+}
+
+void SamplePool::AddToIndex(uint32_t i) {
+  const auto& to_parent = samples_[i].to_parent;
+  auto& pos = index_pos_[i];
+  pos.resize(to_parent.size());
+  for (uint32_t slot = 1; slot < to_parent.size(); ++slot) {
+    auto& list = index_[to_parent[slot]];
+    pos[slot] = static_cast<uint32_t>(list.size());
+    list.push_back({i, slot});
+  }
+}
+
+void SamplePool::RemoveFromIndex(uint32_t i) {
+  const auto& to_parent = samples_[i].to_parent;
+  auto& pos = index_pos_[i];
+  for (uint32_t slot = 1; slot < to_parent.size(); ++slot) {
+    auto& list = index_[to_parent[slot]];
+    const uint32_t p = pos[slot];
+    const IndexEntry moved = list.back();
+    list[p] = moved;
+    list.pop_back();
+    if (moved.sample != i || moved.slot != slot) {
+      index_pos_[moved.sample][moved.slot] = p;
+    }
+  }
+}
+
+void SamplePool::BeginBlock(VertexId v, std::vector<uint32_t>* dirty) {
+  VBLOCK_DCHECK(v != root_ && !blocked_.Test(v));
+  for (const IndexEntry& entry : index_[v]) dirty->push_back(entry.sample);
+  std::sort(dirty->begin(), dirty->end());
+  blocked_.Set(v);
+}
+
+void SamplePool::BeginUnblock(VertexId v, std::vector<uint32_t>* dirty) {
+  VBLOCK_DCHECK(blocked_.Test(v));
+  blocked_.Clear(v);
+  if (options_.reuse == SampleReuse::kPrune) {
+    for (uint64_t k = pristine_begin_[v]; k < pristine_begin_[v + 1]; ++k) {
+      dirty->push_back(pristine_index_[k]);
+    }
+  } else {
+    for (uint32_t i = 0; i < options_.theta; ++i) dirty->push_back(i);
+  }
+}
+
+uint64_t SamplePool::TotalRegionVertices() const {
+  uint64_t total = 0;
+  for (const SampledGraph& s : samples_) total += s.to_parent.size();
+  return total;
+}
+
+}  // namespace vblock

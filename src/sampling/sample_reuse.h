@@ -1,0 +1,28 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// SampleReuse lives in its own header so the core facade headers
+// (core/spread_decrease.h, core/solver.h) can expose the knob without
+// pulling the samplers and the full SamplePool machinery into every TU.
+
+#pragma once
+
+#include <cstdint>
+
+namespace vblock {
+
+/// How a SamplePool reacts when the blocked mask changes.
+enum class SampleReuse : uint8_t {
+  /// Paper-faithful randomness: samples whose region contains a newly
+  /// blocked vertex are re-*drawn* with fresh coins under the new mask
+  /// (targeted re-draw); unblocking refreshes the whole pool, matching the
+  /// paper's per-invocation re-sampling.
+  kResample = 0,
+  /// Fixed-pool mode: the θ live-edge worlds are drawn once and kept for
+  /// the whole run. A mask change re-*prunes* the affected samples — a BFS
+  /// over the stored live edges, no RNG — which couples every round to the
+  /// same worlds (CELF-style common random numbers) and is the fastest
+  /// mode by a wide margin.
+  kPrune = 1,
+};
+
+}  // namespace vblock

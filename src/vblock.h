@@ -26,6 +26,7 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "common/types.h"
 
@@ -60,6 +61,8 @@
 
 // sampling
 #include "sampling/reachable_sampler.h"
+#include "sampling/sample_pool.h"
+#include "sampling/sample_reuse.h"
 #include "sampling/sampled_graph.h"
 #include "sampling/triggering_sampler.h"
 #include "sampling/world_enumerator.h"
@@ -77,4 +80,5 @@
 #include "core/sample_size.h"
 #include "core/solver.h"
 #include "core/spread_decrease.h"
+#include "core/spread_decrease_engine.h"
 #include "core/unified_instance.h"

@@ -94,11 +94,13 @@ TEST(AdvancedGreedyTest, BudgetExceedingCandidatesStops) {
 }
 
 TEST(AdvancedGreedyTest, DeadlineReturnsPartialResult) {
-  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(2000, 4, 3));
+  // Large enough that even the pooled engine cannot finish the budget in
+  // 0.2s (the pre-pool implementation timed out on a tenth of this size).
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(50000, 4, 3));
   UnifiedInstance inst = UnifySeeds(g, {0});
   AdvancedGreedyOptions opts;
   opts.budget = 100000;  // far more than feasible
-  opts.theta = 2000;
+  opts.theta = 20000;
   opts.time_limit_seconds = 0.2;
   auto sel = AdvancedGreedy(inst.graph, inst.root, opts);
   EXPECT_TRUE(sel.stats.timed_out);

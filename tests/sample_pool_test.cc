@@ -1,0 +1,296 @@
+// Tests for the persistent SamplePool and the incremental
+// SpreadDecreaseEngine built on it: determinism across thread counts and
+// reuse modes, exact agreement with from-scratch Algorithm-2 scoring on the
+// same fixed sample set, prune-mode exactness on deterministic graphs,
+// deadline handling inside the θ-loop, and allocation-free steady-state
+// scoring rounds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/advanced_greedy.h"
+#include "core/greedy_replace.h"
+#include "core/spread_decrease.h"
+#include "core/spread_decrease_engine.h"
+#include "domtree/dominator_tree.h"
+#include "gen/generators.h"
+#include "prob/probability_models.h"
+#include "testing/toy_graphs.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: replacing ::operator new/delete lets the
+// steady-state test assert that scoring rounds perform no heap allocations
+// (the workspace-reuse acceptance criterion). Counting is cheap and the
+// override is active for this whole test binary.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_allocation_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vblock {
+namespace {
+
+using testing::PaperFigure1Graph;
+using testing::PathGraph;
+
+SpreadDecreaseOptions EngineOptions(uint32_t theta, uint64_t seed,
+                                    SampleReuse reuse, uint32_t threads = 1) {
+  SpreadDecreaseOptions opts;
+  opts.theta = theta;
+  opts.seed = seed;
+  opts.threads = threads;
+  opts.sample_reuse = reuse;
+  return opts;
+}
+
+// From-scratch Algorithm-2 scoring over the engine's *current* samples:
+// one dominator tree + subtree-size pass per sample, summed with the free
+// functions. The incremental aggregate must match this exactly (every
+// summand is an integer).
+SpreadDecreaseResult RescoreEnginePool(const SpreadDecreaseEngine& engine,
+                                       VertexId num_vertices) {
+  SpreadDecreaseResult reference;
+  reference.delta.assign(num_vertices, 0.0);
+  double total_size = 0;
+  for (uint32_t i = 0; i < engine.theta(); ++i) {
+    const SampledGraph& sample = engine.PoolSample(i);
+    total_size += static_cast<double>(sample.NumVertices());
+    if (sample.NumVertices() <= 1) continue;
+    DominatorTree tree = ComputeDominatorTree(sample.View(), 0);
+    std::vector<VertexId> sizes = ComputeSubtreeSizes(tree);
+    for (VertexId local = 1; local < sample.NumVertices(); ++local) {
+      reference.delta[sample.to_parent[local]] +=
+          static_cast<double>(sizes[local]);
+    }
+  }
+  const double inv_theta = 1.0 / static_cast<double>(engine.theta());
+  for (double& d : reference.delta) d *= inv_theta;
+  reference.expected_spread = total_size * inv_theta;
+  return reference;
+}
+
+TEST(SamplePoolEngineTest, FreshBuildMatchesComputeSpreadDecreaseExactly) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(300, 3, 5));
+  for (SampleReuse reuse : {SampleReuse::kResample, SampleReuse::kPrune}) {
+    SpreadDecreaseEngine engine(g, 0, EngineOptions(1500, 13, reuse));
+    ASSERT_TRUE(engine.Build());
+    SpreadDecreaseResult pooled = engine.Scores();
+
+    SpreadDecreaseOptions sd;
+    sd.theta = 1500;
+    sd.seed = 13;
+    SpreadDecreaseResult reference = ComputeSpreadDecrease(g, 0, sd);
+
+    ASSERT_EQ(pooled.delta.size(), reference.delta.size());
+    for (size_t v = 0; v < reference.delta.size(); ++v) {
+      EXPECT_DOUBLE_EQ(pooled.delta[v], reference.delta[v]) << "v=" << v;
+    }
+    EXPECT_DOUBLE_EQ(pooled.expected_spread, reference.expected_spread);
+  }
+}
+
+TEST(SamplePoolEngineTest, IncrementalScoresMatchFromScratchRescoring) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(250, 3, 7));
+  for (SampleReuse reuse : {SampleReuse::kResample, SampleReuse::kPrune}) {
+    SpreadDecreaseEngine engine(g, 0, EngineOptions(800, 29, reuse));
+    ASSERT_TRUE(engine.Build());
+
+    // Block a few rounds' worth of best candidates, then unblock one —
+    // the full Block/Unblock surface GreedyReplace exercises.
+    std::vector<VertexId> picked;
+    for (int round = 0; round < 4; ++round) {
+      VertexId best = engine.BestUnblocked();
+      ASSERT_NE(best, kInvalidVertex);
+      ASSERT_TRUE(engine.Block(best));
+      picked.push_back(best);
+    }
+    ASSERT_TRUE(engine.Unblock(picked[1]));
+
+    SpreadDecreaseResult pooled = engine.Scores();
+    SpreadDecreaseResult reference = RescoreEnginePool(engine, g.NumVertices());
+    for (size_t v = 0; v < reference.delta.size(); ++v) {
+      EXPECT_DOUBLE_EQ(pooled.delta[v], reference.delta[v])
+          << "v=" << v << " reuse=" << static_cast<int>(reuse);
+    }
+    EXPECT_DOUBLE_EQ(pooled.expected_spread, reference.expected_spread);
+  }
+}
+
+TEST(SamplePoolEngineTest, PruneModeBlockMatchesExactReachability) {
+  // Figure-1 graph with v5 blocked: only v2 and v4 stay reachable, in every
+  // world — prune mode must produce the exact restricted scores.
+  Graph g = PaperFigure1Graph();
+  SpreadDecreaseEngine engine(
+      g, testing::kV1, EngineOptions(2000, 3, SampleReuse::kPrune));
+  ASSERT_TRUE(engine.Build());
+  ASSERT_TRUE(engine.Block(testing::kV5));
+  EXPECT_DOUBLE_EQ(engine.Delta(testing::kV2), 1.0);
+  EXPECT_DOUBLE_EQ(engine.Delta(testing::kV4), 1.0);
+  EXPECT_DOUBLE_EQ(engine.Delta(testing::kV3), 0.0);
+  EXPECT_DOUBLE_EQ(engine.Delta(testing::kV5), 0.0);
+  EXPECT_DOUBLE_EQ(engine.Delta(testing::kV8), 0.0);
+  EXPECT_DOUBLE_EQ(engine.ExpectedSpread(), 3.0);
+}
+
+TEST(SamplePoolEngineTest, PruneModeUnblockRestoresInitialScoresExactly) {
+  // kPrune keeps the θ worlds fixed, so Block(v); Unblock(v) must take the
+  // scores back to the freshly built state bit-for-bit.
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(200, 3, 11));
+  SpreadDecreaseEngine engine(g, 0, EngineOptions(600, 17, SampleReuse::kPrune));
+  ASSERT_TRUE(engine.Build());
+  SpreadDecreaseResult before = engine.Scores();
+
+  VertexId best = engine.BestUnblocked();
+  ASSERT_NE(best, kInvalidVertex);
+  ASSERT_TRUE(engine.Block(best));
+  ASSERT_TRUE(engine.Unblock(best));
+
+  SpreadDecreaseResult after = engine.Scores();
+  EXPECT_EQ(before.delta, after.delta);
+  EXPECT_DOUBLE_EQ(before.expected_spread, after.expected_spread);
+}
+
+// Same seed ⇒ identical blocker sequences for every thread count, for both
+// algorithms in both reuse modes (the satellite determinism matrix).
+TEST(SamplePoolEngineTest, GreedyBlockersInvariantAcrossThreadCounts) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(300, 3, 5));
+  for (SampleReuse reuse : {SampleReuse::kResample, SampleReuse::kPrune}) {
+    AdvancedGreedyOptions ag;
+    ag.budget = 6;
+    ag.theta = 800;
+    ag.seed = 41;
+    ag.sample_reuse = reuse;
+    GreedyReplaceOptions gr;
+    gr.budget = 4;
+    gr.theta = 600;
+    gr.seed = 43;
+    gr.sample_reuse = reuse;
+
+    ag.threads = gr.threads = 1;
+    const BlockerSelection ag_ref = AdvancedGreedy(g, 0, ag);
+    const BlockerSelection gr_ref = GreedyReplace(g, 0, gr);
+    ASSERT_FALSE(ag_ref.blockers.empty());
+    ASSERT_FALSE(gr_ref.blockers.empty());
+
+    for (uint32_t threads : {2u, 8u}) {
+      ag.threads = gr.threads = threads;
+      EXPECT_EQ(AdvancedGreedy(g, 0, ag).blockers, ag_ref.blockers)
+          << "AG threads=" << threads << " reuse=" << static_cast<int>(reuse);
+      EXPECT_EQ(GreedyReplace(g, 0, gr).blockers, gr_ref.blockers)
+          << "GR threads=" << threads << " reuse=" << static_cast<int>(reuse);
+    }
+  }
+}
+
+TEST(SamplePoolEngineTest, TriggeringBlockersInvariantAcrossThreadCounts) {
+  Graph g = WithWeightedCascade(GenerateErdosRenyi(150, 900, 13));
+  IcTriggeringModel ic;
+  AdvancedGreedyOptions ag;
+  ag.budget = 4;
+  ag.theta = 500;
+  ag.seed = 47;
+  ag.triggering_model = &ic;
+  for (SampleReuse reuse : {SampleReuse::kResample, SampleReuse::kPrune}) {
+    ag.sample_reuse = reuse;
+    ag.threads = 1;
+    const BlockerSelection ref = AdvancedGreedy(g, 0, ag);
+    ag.threads = 8;
+    EXPECT_EQ(AdvancedGreedy(g, 0, ag).blockers, ref.blockers)
+        << "reuse=" << static_cast<int>(reuse);
+  }
+}
+
+TEST(SamplePoolEngineTest, DeadlineExpiresInsideBuildThetaLoop) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(2000, 4, 3));
+  SpreadDecreaseEngine engine(
+      g, 0, EngineOptions(500000, 1, SampleReuse::kPrune));
+  EXPECT_FALSE(engine.Build(Deadline(0.02)));
+  EXPECT_TRUE(engine.timed_out());
+
+  AdvancedGreedyOptions ag;
+  ag.budget = 5;
+  ag.theta = 500000;  // a θ-loop far beyond the deadline
+  ag.time_limit_seconds = 0.02;
+  BlockerSelection sel = AdvancedGreedy(g, 0, ag);
+  EXPECT_TRUE(sel.stats.timed_out);
+  EXPECT_TRUE(sel.blockers.empty());
+}
+
+TEST(SamplePoolEngineTest, GreedyReplaceSkipsRootSelfLoopCandidate) {
+  // With drop_self_loops disabled the root appears in its own out-neighbor
+  // list; phase 1 must skip it rather than hand it to the engine (whose
+  // Block() forbids the root).
+  GraphBuilder builder(GraphBuilder::Options{true, /*drop_self_loops=*/false});
+  builder.AddEdge(0, 0, 1.0);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(1, 2, 0.5);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  GreedyReplaceOptions opts;
+  opts.budget = 3;
+  opts.theta = 200;
+  opts.seed = 2;
+  BlockerSelection sel = GreedyReplace(*g, 0, opts);
+  ASSERT_EQ(sel.blockers.size(), 1u);
+  EXPECT_EQ(sel.blockers[0], 1u);
+}
+
+TEST(SamplePoolEngineTest, ZeroBudgetAndSinkSeedSkipPoolBuild) {
+  Graph g = PathGraph(8, 1.0);
+  AdvancedGreedyOptions ag;
+  ag.budget = 0;
+  ag.theta = 1000000;  // would take noticeable time if the pool were built
+  EXPECT_TRUE(AdvancedGreedy(g, 0, ag).blockers.empty());
+
+  GreedyReplaceOptions gr;
+  gr.budget = 5;
+  gr.theta = 1000000;
+  // Vertex 7 is a sink: no out-neighbors, phase 1 has no candidates.
+  EXPECT_TRUE(GreedyReplace(g, 7, gr).blockers.empty());
+}
+
+TEST(SamplePoolEngineTest, SteadyStateScoringRoundsDoNotAllocate) {
+  // Deterministic path (p=1): every sample is the full path, so after the
+  // first Block every buffer — prune scratch, dominator workspace, index
+  // lists, cached sizes — is at its high-water mark and later rounds must
+  // be allocation-free. threads=1 keeps the engine on its inline path.
+  Graph g = PathGraph(60, 1.0);
+  SpreadDecreaseEngine engine(g, 0, EngineOptions(64, 9, SampleReuse::kPrune));
+  ASSERT_TRUE(engine.Build());
+  ASSERT_TRUE(engine.Block(50));  // warm-up: grows every reusable buffer
+
+  uint64_t before = g_allocation_count.load();
+  bool ok = true;
+  VertexId picked = kInvalidVertex;
+  for (VertexId v : {VertexId{40}, VertexId{30}, VertexId{20}}) {
+    picked = engine.BestUnblocked();
+    ok = ok && picked != kInvalidVertex;
+    ok = ok && engine.Block(v);
+  }
+  uint64_t after = g_allocation_count.load();
+
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(picked, 1u);  // suffix deltas: vertex 1 always dominates
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state Block/BestUnblocked rounds allocated";
+}
+
+}  // namespace
+}  // namespace vblock
