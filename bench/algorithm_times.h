@@ -61,20 +61,20 @@ inline int RunAlgorithmTimes(ProbModel model, const std::string& binary_name,
     EvaluationOptions eval;
     eval.mc_rounds = config.eval_rounds;
     eval.threads = config.threads;
-    const double ag_spread = EvaluateSpread(g, seeds, ag_result.blockers, eval);
-    const double gr_spread = EvaluateSpread(g, seeds, gr_result.blockers, eval);
+    const double ag_spread = EvaluateSpread(g, seeds, ag_result->blockers, eval);
+    const double gr_spread = EvaluateSpread(g, seeds, gr_result->blockers, eval);
 
     const std::string bg_time =
-        FormatSeconds(bg_result.stats.seconds) +
-        (bg_result.stats.timed_out ? " (TL)" : "");
+        FormatSeconds(bg_result->stats.seconds) +
+        (bg_result->stats.timed_out ? " (TL)" : "");
     table.AddRow(
         {spec.name, std::to_string(g.NumVertices()),
          std::to_string(g.NumEdges()), bg_time,
-         FormatSeconds(ag_result.stats.seconds),
-         FormatSeconds(gr_result.stats.seconds),
-         FormatDouble(bg_result.stats.seconds /
-                          std::max(1e-9, ag_result.stats.seconds),
-                      4) + (bg_result.stats.timed_out ? "x+" : "x"),
+         FormatSeconds(ag_result->stats.seconds),
+         FormatSeconds(gr_result->stats.seconds),
+         FormatDouble(bg_result->stats.seconds /
+                          std::max(1e-9, ag_result->stats.seconds),
+                      4) + (bg_result->stats.timed_out ? "x+" : "x"),
          FormatDouble(ag_spread), FormatDouble(gr_spread)});
   }
   table.Print(std::cout);

@@ -1,0 +1,114 @@
+// Micro-benchmark for the BatchSolver: a 16-query budget sweep (budgets
+// 1..Q over one seed set) answered by SolveIminBatch versus the same
+// queries issued as Q sequential SolveImin calls. The batch path runs the
+// greedy once at the maximum budget and slices its selection trace, so the
+// expected win is roughly the per-query pool build + scoring rounds
+// amortized away. Emits a single JSON object on stdout for CI to archive.
+//
+// Acceptance target (ISSUE 3): ≥ 3× wall-clock speedup for the 16-query
+// sweep at θ = 2000 with bit-exact identical blocker sets.
+//
+// Environment knobs (defaults are the tiny synthetic config):
+//   VBLOCK_BATCH_BENCH_N        vertices               (default 3000)
+//   VBLOCK_BATCH_BENCH_QUERIES  sweep size Q           (default 16)
+//   VBLOCK_BATCH_BENCH_THETA    samples θ              (default 2000)
+//   VBLOCK_BATCH_BENCH_THREADS  batch worker threads   (default 1 — the
+//                               speedup must come from amortization alone)
+//   VBLOCK_BATCH_BENCH_REUSE    prune | resample       (default resample)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/batch_solver.h"
+#include "core/solver.h"
+#include "gen/generators.h"
+#include "prob/probability_models.h"
+
+using namespace vblock;
+using vblock::bench::EnvOr;
+
+int main() {
+  const uint32_t n = EnvOr("VBLOCK_BATCH_BENCH_N", 3000);
+  const uint32_t num_queries = EnvOr("VBLOCK_BATCH_BENCH_QUERIES", 16);
+  const uint32_t theta = EnvOr("VBLOCK_BATCH_BENCH_THETA", 2000);
+  const uint32_t threads = EnvOr("VBLOCK_BATCH_BENCH_THREADS", 1);
+  const char* reuse_env = std::getenv("VBLOCK_BATCH_BENCH_REUSE");
+  const SampleReuse reuse = (reuse_env && std::strcmp(reuse_env, "prune") == 0)
+                                ? SampleReuse::kPrune
+                                : SampleReuse::kResample;
+  const uint64_t seed = 20230227;
+
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(n, 4, seed));
+  const std::vector<VertexId> seeds = {0};
+
+  BatchOptions options;
+  options.defaults.theta = theta;
+  options.defaults.seed = seed;
+  options.defaults.sample_reuse = reuse;
+  options.num_threads = threads;
+
+  std::vector<IminQuery> queries;
+  for (uint32_t budget = 1; budget <= num_queries; ++budget) {
+    IminQuery q;
+    q.seeds = seeds;
+    q.budget = budget;
+    q.algorithm = Algorithm::kAdvancedGreedy;
+    queries.push_back(std::move(q));
+  }
+
+  // Sequential arm: one standalone facade call per query.
+  Timer sequential_timer;
+  std::vector<std::vector<VertexId>> sequential_blockers;
+  for (const IminQuery& q : queries) {
+    SolverOptions opts = options.defaults;
+    opts.algorithm = q.algorithm;
+    opts.budget = q.budget;
+    auto result = SolveImin(g, q.seeds, opts);
+    VBLOCK_CHECK(result.ok());
+    sequential_blockers.push_back(result->blockers);
+  }
+  const double sequential_seconds = sequential_timer.ElapsedSeconds();
+
+  // Batch arm.
+  Timer batch_timer;
+  BatchResult batch = SolveIminBatch(g, queries, options);
+  const double batch_seconds = batch_timer.ElapsedSeconds();
+
+  bool identical = batch.queries.size() == sequential_blockers.size();
+  for (size_t i = 0; identical && i < batch.queries.size(); ++i) {
+    identical = batch.queries[i].status.ok() &&
+                batch.queries[i].result.blockers == sequential_blockers[i];
+  }
+
+  const double speedup =
+      batch_seconds > 0 ? sequential_seconds / batch_seconds : 0.0;
+  std::printf(
+      "{\n"
+      "  \"bench\": \"batch_solver\",\n"
+      "  \"graph\": {\"model\": \"barabasi_albert_wc\", \"n\": %u, \"m\": "
+      "%llu},\n"
+      "  \"queries\": %u,\n"
+      "  \"budgets\": \"1..%u\",\n"
+      "  \"theta\": %u,\n"
+      "  \"batch_threads\": %u,\n"
+      "  \"sample_reuse\": \"%s\",\n"
+      "  \"sequential_seconds\": %.4f,\n"
+      "  \"batch_seconds\": %.4f,\n"
+      "  \"speedup_batch_vs_sequential\": %.2f,\n"
+      "  \"identical_blocker_sets\": %s,\n"
+      "  \"batch_stats\": {\"groups\": %u, \"full_solves\": %u, "
+      "\"sweep_served\": %u, \"engine_builds\": %u}\n"
+      "}\n",
+      n, static_cast<unsigned long long>(g.NumEdges()), num_queries,
+      num_queries, theta, threads,
+      reuse == SampleReuse::kPrune ? "prune" : "resample", sequential_seconds,
+      batch_seconds, speedup, identical ? "true" : "false",
+      batch.stats.num_groups, batch.stats.full_solves,
+      batch.stats.sweep_served, batch.stats.engine_builds);
+  return identical ? 0 : 1;
+}

@@ -51,7 +51,7 @@ int Run() {
       EvaluationOptions eval;
       eval.mc_rounds = config.eval_rounds;
       eval.threads = config.threads;
-      spreads.push_back(EvaluateSpread(g, seeds, result.blockers, eval));
+      spreads.push_back(EvaluateSpread(g, seeds, result->blockers, eval));
     }
     auto ratio = [](double hi, double lo) {
       return hi <= 0 ? 0.0 : 100.0 * (hi - lo) / hi;

@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/advanced_greedy.h"
@@ -30,12 +31,7 @@
 namespace {
 
 using namespace vblock;
-
-uint32_t EnvOr(const char* name, uint32_t fallback) {
-  const char* value = std::getenv(name);
-  return value ? static_cast<uint32_t>(std::strtoul(value, nullptr, 10))
-               : fallback;
-}
+using vblock::bench::EnvOr;
 
 struct ArmResult {
   double seconds = 0;

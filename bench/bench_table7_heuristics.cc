@@ -63,7 +63,7 @@ void RunModel(ProbModel model, const BenchConfig& config) {
         opts.threads = config.threads;
         auto result = SolveImin(g, seeds, opts);
         row.push_back(
-            FormatDouble(EvaluateSpread(g, seeds, result.blockers, eval)));
+            FormatDouble(EvaluateSpread(g, seeds, result->blockers, eval)));
       }
       table.AddRow(std::move(row));
     }

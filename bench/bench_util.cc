@@ -13,6 +13,12 @@ const char* ProbModelName(ProbModel model) {
   return model == ProbModel::kTrivalency ? "TR" : "WC";
 }
 
+uint32_t EnvOr(const char* name, uint32_t fallback) {
+  const char* value = std::getenv(name);
+  return value ? static_cast<uint32_t>(std::strtoul(value, nullptr, 10))
+               : fallback;
+}
+
 BenchConfig LoadConfigFromEnv() {
   BenchConfig config;
   config.scale_name = "tiny";

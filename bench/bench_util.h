@@ -49,6 +49,10 @@ struct BenchConfig {
 /// Reads VBLOCK_BENCH_SCALE / VBLOCK_BENCH_THREADS.
 BenchConfig LoadConfigFromEnv();
 
+/// Reads an unsigned env knob, falling back when unset (micro-bench
+/// configuration, e.g. VBLOCK_POOL_BENCH_THETA).
+uint32_t EnvOr(const char* name, uint32_t fallback);
+
 /// Generates the stand-in for `spec` at the config's scale and assigns the
 /// propagation model. Deterministic in config.seed.
 Graph PrepareDataset(const DatasetSpec& spec, ProbModel model,

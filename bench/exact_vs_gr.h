@@ -71,7 +71,7 @@ inline int RunExactVsGr(ProbModel model, const std::string& binary_name,
     eval.prefer_exact = true;
     eval.max_uncertain_edges = 22;
     eval.mc_rounds = config.eval_rounds;
-    const double gr_spread = EvaluateSpread(g, seeds, gr_result.blockers, eval);
+    const double gr_spread = EvaluateSpread(g, seeds, gr_result->blockers, eval);
     const double exact_spread =
         EvaluateSpread(g, seeds, exact.blockers, eval);
 
@@ -82,9 +82,9 @@ inline int RunExactVsGr(ProbModel model, const std::string& binary_name,
                       (exact.timed_out ? " (TL)" : ""),
                   FormatDouble(gr_spread), FormatDouble(ratio, 5),
                   FormatSeconds(exact.seconds),
-                  FormatSeconds(gr_result.stats.seconds),
+                  FormatSeconds(gr_result->stats.seconds),
                   FormatDouble(exact.seconds /
-                                   std::max(1e-9, gr_result.stats.seconds),
+                                   std::max(1e-9, gr_result->stats.seconds),
                                3) + "x"});
   }
   table.Print(std::cout);

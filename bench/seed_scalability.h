@@ -49,7 +49,7 @@ inline int RunSeedScalability(ProbModel model, const std::string& binary_name,
       opts.seed = config.seed;
       opts.threads = config.threads;
       auto result = SolveImin(g, seeds, opts);
-      row.push_back(FormatSeconds(result.stats.seconds));
+      row.push_back(FormatSeconds(result->stats.seconds));
     }
     table.AddRow(std::move(row));
   }

@@ -1,0 +1,85 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Batch solving demo: answer a whole budget sweep (plus a heuristic
+// baseline) over one shared graph with a single SolveIminBatch call. The
+// batch groups the queries per algorithm, runs each greedy once at the
+// largest budget, and slices the recorded selection trace into bit-exact
+// answers for the smaller budgets — compare the amortization counters it
+// prints against the 13 standalone solves the same queries would cost.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "vblock.h"
+
+int main() {
+  const uint64_t seed = 42;
+  vblock::Graph g = vblock::WithWeightedCascade(
+      vblock::GenerateBarabasiAlbert(2000, 4, seed));
+  const std::vector<vblock::VertexId> sources = {0, 1, 2};
+
+  std::printf("== batch budget sweep: n=%u, m=%llu, %zu sources ==\n\n",
+              g.NumVertices(), static_cast<unsigned long long>(g.NumEdges()),
+              sources.size());
+
+  vblock::BatchOptions options;
+  options.defaults.theta = 2000;
+  options.defaults.seed = seed;
+  options.defaults.sample_reuse = vblock::SampleReuse::kPrune;
+  options.num_threads = 2;
+
+  const std::vector<uint32_t> budgets = {2, 5, 10, 20, 30, 40};
+  std::vector<vblock::IminQuery> queries;
+  for (auto algo : {vblock::Algorithm::kAdvancedGreedy,
+                    vblock::Algorithm::kOutDegree}) {
+    for (uint32_t budget : budgets) {
+      vblock::IminQuery q;
+      q.seeds = sources;
+      q.budget = budget;
+      q.algorithm = algo;
+      queries.push_back(std::move(q));
+    }
+  }
+  // GreedyReplace cannot sweep by trace; a single max-budget query shows it
+  // riding along in the same batch.
+  vblock::IminQuery gr;
+  gr.seeds = sources;
+  gr.budget = budgets.back();
+  gr.algorithm = vblock::Algorithm::kGreedyReplace;
+  queries.push_back(std::move(gr));
+
+  vblock::BatchResult batch = vblock::SolveIminBatch(g, queries, options);
+
+  vblock::EvaluationOptions eval;
+  eval.mc_rounds = 20000;
+  vblock::TablePrinter table({"budget", "AG spread", "OD spread"});
+  for (size_t b = 0; b < budgets.size(); ++b) {
+    const auto& ag = batch.queries[b];
+    const auto& od = batch.queries[budgets.size() + b];
+    VBLOCK_CHECK(ag.status.ok() && od.status.ok());
+    table.AddRow(
+        {std::to_string(budgets[b]),
+         vblock::FormatDouble(
+             vblock::EvaluateSpread(g, sources, ag.result.blockers, eval), 5),
+         vblock::FormatDouble(
+             vblock::EvaluateSpread(g, sources, od.result.blockers, eval),
+             5)});
+  }
+  table.Print(std::cout);
+
+  const auto& gr_answer = batch.queries.back();
+  VBLOCK_CHECK(gr_answer.status.ok());
+  std::printf("\nGR at budget %u: spread %.4f with %u replacements\n",
+              budgets.back(),
+              vblock::EvaluateSpread(g, sources, gr_answer.result.blockers,
+                                     eval),
+              gr_answer.result.stats.replacements);
+
+  std::printf(
+      "\n%zu queries answered by %u full solves (%u served from traces, "
+      "%u sample-pool builds) in %.2fs\n",
+      queries.size(), batch.stats.full_solves, batch.stats.sweep_served,
+      batch.stats.engine_builds, batch.stats.seconds);
+  return 0;
+}

@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
       opts.seed = 99;
       opts.threads = 2;
       auto result = vblock::SolveImin(contacts, index_cases, opts);
-      return vblock::EvaluateSpread(contacts, index_cases, result.blockers,
+      VBLOCK_CHECK(result.ok());
+      return vblock::EvaluateSpread(contacts, index_cases, result->blockers,
                                     eval);
     };
     const double random = run(vblock::Algorithm::kRandom);

@@ -40,8 +40,9 @@ int main() {
     vopts.seed = 7;
     vopts.threads = 2;
     auto vertex_result = vblock::SolveImin(g, sources, vopts);
+    VBLOCK_CHECK(vertex_result.ok());
     const double vertex_spread =
-        vblock::EvaluateSpread(g, sources, vertex_result.blockers, eval);
+        vblock::EvaluateSpread(g, sources, vertex_result->blockers, eval);
 
     // Edge blocking: greedy interdiction of single links.
     vblock::EdgeBlockingOptions eopts;

@@ -83,15 +83,16 @@ int main() {
       opts.mc_rounds = 5000;
       opts.seed = 7;
       auto result = vblock::SolveImin(g, seeds, opts);
+      VBLOCK_CHECK(result.ok());
 
       vblock::VertexMask mask = vblock::VertexMask::FromVertices(
-          g.NumVertices(), result.blockers);
+          g.NumVertices(), result->blockers);
       auto blocked_spread = vblock::ComputeExactSpread(g, seeds, &mask);
       VBLOCK_CHECK(blocked_spread.ok());
 
       std::printf("  %-3s blocks {", vblock::AlgorithmName(algo));
-      for (size_t i = 0; i < result.blockers.size(); ++i) {
-        std::printf("%s%s", i ? ", " : "", Name(result.blockers[i]));
+      for (size_t i = 0; i < result->blockers.size(); ++i) {
+        std::printf("%s%s", i ? ", " : "", Name(result->blockers[i]));
       }
       std::printf("}  ->  spread %.4f\n", *blocked_spread);
     }

@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
       opts.seed = 11;
       opts.threads = 2;
       auto result = vblock::SolveImin(g, sources, opts);
-      double spread = vblock::EvaluateSpread(g, sources, result.blockers, eval);
+      VBLOCK_CHECK(result.ok());
+      double spread = vblock::EvaluateSpread(g, sources, result->blockers, eval);
       if (algo == vblock::Algorithm::kGreedyReplace) gr_spread = spread;
       row.push_back(vblock::FormatDouble(spread, 5));
     }

@@ -125,13 +125,18 @@ int main(int argc, char** argv) {
 
   vblock::Timer timer;
   auto result = vblock::SolveImin(g, seeds, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "solve rejected: %s\n",
+                 result.status().ToString().c_str());
+    return 2;
+  }
   const double solve_seconds = timer.ElapsedSeconds();
 
   vblock::EvaluationOptions eval;
   eval.mc_rounds = 100000;  // the paper's evaluation setting
   eval.threads = 4;
   const double before = vblock::EvaluateSpread(g, seeds, {}, eval);
-  const double after = vblock::EvaluateSpread(g, seeds, result.blockers, eval);
+  const double after = vblock::EvaluateSpread(g, seeds, result->blockers, eval);
 
   std::printf("algorithm  : %s (b=%u, theta=%u)\n",
               vblock::AlgorithmName(opts.algorithm), budget, theta);
@@ -140,7 +145,7 @@ int main(int argc, char** argv) {
   std::printf("spread     : %.3f -> %.3f (decrease %.3f)\n", before, after,
               before - after);
   std::printf("blockers   :");
-  for (vblock::VertexId b : result.blockers) std::printf(" %u", b);
+  for (vblock::VertexId b : result->blockers) std::printf(" %u", b);
   std::printf("\n");
   return 0;
 }

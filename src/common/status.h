@@ -12,6 +12,8 @@
 #include <utility>
 #include <variant>
 
+#include "common/check.h"
+
 namespace vblock {
 
 /// Machine-readable error category.
@@ -95,10 +97,22 @@ class Result {
     return ok() ? Status::OK() : std::get<Status>(data_);
   }
 
-  /// The held value. Must only be called when ok().
-  const T& value() const& { return std::get<T>(data_); }
-  T& value() & { return std::get<T>(data_); }
-  T&& value() && { return std::get<T>(std::move(data_)); }
+  /// The held value. Accessing it on an error Result is a programming
+  /// error and aborts with the carried status message (far more
+  /// diagnosable than the std::bad_variant_access it would otherwise
+  /// throw).
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
@@ -106,6 +120,13 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
+  void CheckOk() const {
+    if (!ok()) {
+      VBLOCK_CHECK_MSG(false,
+                       std::get<Status>(data_).ToString().c_str());
+    }
+  }
+
   std::variant<T, Status> data_;
 };
 

@@ -40,6 +40,7 @@ BlockerSelection AdvancedGreedy(const Graph& g, VertexId root,
     if (best == kInvalidVertex) break;  // no candidates left
 
     result.blockers.push_back(best);
+    result.stats.selection_trace.push_back(best);
     result.stats.round_best_delta.push_back(best_delta);
     ++result.stats.rounds_completed;
 

@@ -74,6 +74,7 @@ BlockerSelection BaselineGreedy(const Graph& g, VertexId root,
     }
     blocked.Set(best);
     result.blockers.push_back(best);
+    result.stats.selection_trace.push_back(best);
     result.stats.round_best_delta.push_back(best_delta);
     ++result.stats.rounds_completed;
   }

@@ -1,0 +1,371 @@
+#include "core/batch_solver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/greedy_replace.h"
+#include "core/spread_decrease_engine.h"
+#include "core/unified_instance.h"
+
+namespace vblock {
+namespace {
+
+// Everything that decides whether two queries may share work, plus the
+// canonical (sorted) seed set. std::map iteration over these keys fixes a
+// deterministic group order independent of query submission order.
+struct GroupKey {
+  Algorithm algorithm = Algorithm::kGreedyReplace;
+  uint32_t theta = 0;
+  uint32_t mc_rounds = 0;
+  uint64_t seed = 0;
+  SampleReuse sample_reuse = SampleReuse::kResample;
+  double time_limit_seconds = 0;
+  std::vector<VertexId> seeds;
+
+  bool operator<(const GroupKey& o) const {
+    return std::tie(algorithm, theta, mc_rounds, seed, sample_reuse,
+                    time_limit_seconds, seeds) <
+           std::tie(o.algorithm, o.theta, o.mc_rounds, o.seed, o.sample_reuse,
+                    o.time_limit_seconds, o.seeds);
+  }
+};
+
+struct Member {
+  uint32_t query_index = 0;
+  uint32_t budget = 0;
+};
+
+// Members sorted by (budget, query_index): the last one carries the
+// group's maximum budget, and GR groups walk budgets ascending.
+struct Group {
+  GroupKey key;
+  std::vector<Member> members;
+};
+
+// Zeroes the knobs the query's algorithm never reads so that queries
+// differing only in an irrelevant override still share one group (and one
+// full solve). The zeroed values flow into the shared solve unread, so
+// bit-exactness with the standalone call is unaffected.
+void NormalizeIrrelevantKnobs(GroupKey* key) {
+  switch (key->algorithm) {
+    case Algorithm::kOutDegree:
+    case Algorithm::kPageRank:
+      // Fully deterministic rankings: not even the seed matters.
+      key->seed = 0;
+      [[fallthrough]];
+    case Algorithm::kRandom:
+    case Algorithm::kBetweenness:
+      // Top-k heuristics: no sampling, no MC, no deadline handling. The
+      // seed stays for RA (it draws from it) and BC (its pivot path reads
+      // it on large graphs).
+      key->theta = 0;
+      key->mc_rounds = 0;
+      key->sample_reuse = SampleReuse::kResample;
+      key->time_limit_seconds = 0;
+      break;
+    case Algorithm::kBaselineGreedy:
+      key->theta = 0;
+      key->sample_reuse = SampleReuse::kResample;
+      break;
+    case Algorithm::kAdvancedGreedy:
+    case Algorithm::kGreedyReplace:
+      key->mc_rounds = 0;
+      break;
+  }
+}
+
+SolverOptions ResolveSolverOptions(const GroupKey& key, uint32_t budget,
+                                   uint32_t engine_threads) {
+  SolverOptions opts;
+  opts.algorithm = key.algorithm;
+  opts.budget = budget;
+  opts.theta = key.theta;
+  opts.mc_rounds = key.mc_rounds;
+  opts.seed = key.seed;
+  opts.threads = engine_threads;
+  opts.time_limit_seconds = key.time_limit_seconds;
+  opts.sample_reuse = key.sample_reuse;
+  return opts;
+}
+
+// RA/OD/PR/BC/BG/AG: the pick at position k depends only on the k picks
+// before it (top-k truncations and greedy rounds alike), so one run at the
+// group's maximum budget answers every member by slicing its selection
+// trace — bit-exact with the standalone solve at that member's budget.
+void RunSweepGroup(const Graph& g, const Group& group, uint32_t engine_threads,
+                   std::vector<BatchQueryResult>* out, BatchStats* stats) {
+  Timer timer;
+  const uint32_t max_budget = group.members.back().budget;
+  Result<SolverResult> full = SolveImin(
+      g, group.key.seeds, ResolveSolverOptions(group.key, max_budget,
+                                               engine_threads));
+  // Validation is per-query and budget-monotone: the max-budget member
+  // passed it, so the shared solve cannot be rejected.
+  VBLOCK_CHECK(full.ok());
+  ++stats->full_solves;
+  if (group.key.algorithm == Algorithm::kAdvancedGreedy && max_budget > 0) {
+    ++stats->engine_builds;
+  }
+
+  const bool greedy = group.key.algorithm == Algorithm::kBaselineGreedy ||
+                      group.key.algorithm == Algorithm::kAdvancedGreedy;
+  const std::vector<VertexId>& trace = full->stats.selection_trace;
+  const double seconds = timer.ElapsedSeconds();
+  uint32_t served_from_trace = 0;
+  for (const Member& m : group.members) {
+    if (full->stats.timed_out && m.budget > trace.size()) {
+      // The shared run's deadline cut the trace short of this member's
+      // budget. Every query is entitled to its own full time budget —
+      // exactly like the GR group's rebuild-on-poison path — so fall back
+      // to an individual solve under a fresh deadline.
+      Result<SolverResult> solo = SolveImin(
+          g, group.key.seeds,
+          ResolveSolverOptions(group.key, m.budget, engine_threads));
+      VBLOCK_CHECK(solo.ok());
+      ++stats->full_solves;
+      if (group.key.algorithm == Algorithm::kAdvancedGreedy) {
+        ++stats->engine_builds;
+      }
+      (*out)[m.query_index].result = std::move(*solo);
+      continue;
+    }
+    SolverResult r;
+    const size_t k = std::min<size_t>(m.budget, trace.size());
+    r.blockers.assign(trace.begin(),
+                      trace.begin() + static_cast<ptrdiff_t>(k));
+    r.stats.selection_trace = r.blockers;
+    if (greedy) {
+      r.stats.rounds_completed = static_cast<uint32_t>(k);
+      const std::vector<double>& deltas = full->stats.round_best_delta;
+      const size_t kd = std::min(k, deltas.size());
+      r.stats.round_best_delta.assign(
+          deltas.begin(), deltas.begin() + static_cast<ptrdiff_t>(kd));
+    }
+    r.stats.seconds = seconds;
+    (*out)[m.query_index].result = std::move(r);
+    ++served_from_trace;
+  }
+  if (served_from_trace > 0) stats->sweep_served += served_from_trace - 1;
+}
+
+// GreedyReplace: phase 2 replays the whole phase-1 pick set, so budget b'
+// results are NOT prefixes of budget b results and every member needs its
+// own run. What still amortizes is the unification (always) and the
+// θ-sample pool: under kPrune the engine is a pure function of its blocked
+// mask — clearing the mask restores the freshly built pool bit-for-bit
+// (tests/sample_pool_test.cc asserts the Block/Unblock involution) — so one
+// Build() serves the whole group. Under kResample an Unblock refreshes the
+// pool with new revision streams, which a standalone solve never saw;
+// bit-exactness then requires a fresh deterministic Build() per member.
+void RunGreedyReplaceGroup(const Graph& g, const Group& group,
+                           uint32_t engine_threads,
+                           std::vector<BatchQueryResult>* out,
+                           BatchStats* stats) {
+  Timer timer;
+  UnifiedInstance inst = UnifySeeds(g, group.key.seeds);
+  const uint32_t max_budget = group.members.back().budget;
+
+  if (max_budget == 0 || inst.graph.OutDegree(inst.root) == 0) {
+    // Standalone GR skips the pool for zero budgets and sink seeds; so
+    // does the batch — every member's answer is the empty set.
+    const double seconds = timer.ElapsedSeconds();
+    for (const Member& m : group.members) {
+      (*out)[m.query_index].result.stats.seconds = seconds;
+    }
+    return;
+  }
+
+  SpreadDecreaseOptions sd;
+  sd.theta = group.key.theta;
+  sd.seed = group.key.seed;
+  sd.threads = engine_threads;
+  sd.sample_reuse = group.key.sample_reuse;
+
+  GreedyReplaceOptions gr;
+  gr.theta = group.key.theta;
+  gr.seed = group.key.seed;
+  gr.threads = engine_threads;
+  gr.time_limit_seconds = group.key.time_limit_seconds;
+  gr.sample_reuse = group.key.sample_reuse;
+
+  auto publish = [&](const Member& m, const BlockerSelection& sel) {
+    SolverResult r;
+    r.blockers = inst.BlockersToOriginal(sel.blockers);
+    r.stats = sel.stats;
+    r.stats.selection_trace =
+        inst.BlockersToOriginal(sel.stats.selection_trace);
+    r.stats.seconds = timer.ElapsedSeconds();
+    (*out)[m.query_index].result = std::move(r);
+  };
+  auto publish_timeout = [&](const Member& m) {
+    SolverResult r;
+    r.stats.timed_out = true;
+    r.stats.seconds = timer.ElapsedSeconds();
+    (*out)[m.query_index].result = std::move(r);
+  };
+
+  if (group.key.sample_reuse == SampleReuse::kPrune) {
+    auto engine = std::make_unique<SpreadDecreaseEngine>(inst.graph,
+                                                         inst.root, sd);
+    ++stats->engine_builds;
+    bool engine_ok = engine->Build(Deadline(group.key.time_limit_seconds));
+    for (const Member& m : group.members) {
+      Deadline deadline(group.key.time_limit_seconds);
+      if (!engine_ok) {
+        // A previous member's deadline latched the engine mid-update (or
+        // the initial build timed out). Every member is entitled to its
+        // own full time budget, exactly like a standalone solve — and the
+        // kPrune Build is deterministic, so rebuilding draws the same
+        // worlds bit-for-bit.
+        engine = std::make_unique<SpreadDecreaseEngine>(inst.graph,
+                                                        inst.root, sd);
+        ++stats->engine_builds;
+        engine_ok = engine->Build(deadline);
+        if (!engine_ok) {
+          publish_timeout(m);
+          continue;
+        }
+      }
+      // Restore the pool to its freshly built state before this member's
+      // run (the previous member left its final blockers in the mask).
+      for (VertexId v : engine->blocked().ToVector()) {
+        if (!engine->Unblock(v, deadline)) break;
+      }
+      if (engine->timed_out()) {
+        engine_ok = false;
+        publish_timeout(m);
+        continue;
+      }
+      gr.budget = m.budget;
+      BlockerSelection sel = GreedyReplaceWithEngine(engine.get(), gr,
+                                                     deadline);
+      ++stats->full_solves;
+      publish(m, sel);
+      // A deadline latch mid-run poisons the engine; the next member
+      // rebuilds under its own deadline.
+      if (engine->timed_out()) engine_ok = false;
+    }
+  } else {
+    for (const Member& m : group.members) {
+      Deadline deadline(group.key.time_limit_seconds);
+      SpreadDecreaseEngine engine(inst.graph, inst.root, sd);
+      ++stats->engine_builds;
+      if (!engine.Build(deadline)) {
+        publish_timeout(m);
+        continue;
+      }
+      gr.budget = m.budget;
+      BlockerSelection sel = GreedyReplaceWithEngine(&engine, gr, deadline);
+      ++stats->full_solves;
+      publish(m, sel);
+    }
+  }
+}
+
+}  // namespace
+
+BatchSolver::BatchSolver(const Graph& g, const BatchOptions& options)
+    : graph_(g), options_(options) {}
+
+BatchResult BatchSolver::Solve(const std::vector<IminQuery>& queries) const {
+  Timer timer;
+  BatchResult out;
+  out.queries.resize(queries.size());
+
+  // Validate, resolve per-query parameters against the batch defaults, and
+  // group by shareability key. Invalid queries get their typed Status here
+  // and never join a group.
+  std::map<GroupKey, std::vector<Member>> grouping;
+  for (uint32_t i = 0; i < queries.size(); ++i) {
+    const IminQuery& q = queries[i];
+    Status valid = ValidateIminQuery(graph_, q.seeds, q.budget);
+    if (!valid.ok()) {
+      out.queries[i].status = std::move(valid);
+      continue;
+    }
+    GroupKey key;
+    key.algorithm = q.algorithm;
+    key.theta = q.theta.value_or(options_.defaults.theta);
+    key.mc_rounds = q.mc_rounds.value_or(options_.defaults.mc_rounds);
+    key.seed = q.seed.value_or(options_.defaults.seed);
+    key.sample_reuse = q.sample_reuse.value_or(options_.defaults.sample_reuse);
+    key.time_limit_seconds =
+        q.time_limit_seconds.value_or(options_.defaults.time_limit_seconds);
+    NormalizeIrrelevantKnobs(&key);
+    key.seeds = q.seeds;
+    std::sort(key.seeds.begin(), key.seeds.end());
+    grouping[std::move(key)].push_back(Member{i, q.budget});
+  }
+
+  std::vector<Group> groups;
+  groups.reserve(grouping.size());
+  for (auto& [key, members] : grouping) {
+    std::sort(members.begin(), members.end(),
+              [](const Member& a, const Member& b) {
+                return std::tie(a.budget, a.query_index) <
+                       std::tie(b.budget, b.query_index);
+              });
+    groups.push_back(Group{key, std::move(members)});
+  }
+  out.stats.num_groups = static_cast<uint32_t>(groups.size());
+
+  // Each group computes its members' results deterministically and writes
+  // only their slots, so any schedule over the groups yields the same
+  // BatchResult.
+  std::vector<BatchStats> group_stats(groups.size());
+  auto run_group = [&](uint32_t gi) {
+    const Group& group = groups[gi];
+    if (group.key.algorithm == Algorithm::kGreedyReplace) {
+      RunGreedyReplaceGroup(graph_, group, options_.defaults.threads,
+                            &out.queries, &group_stats[gi]);
+    } else {
+      RunSweepGroup(graph_, group, options_.defaults.threads, &out.queries,
+                    &group_stats[gi]);
+    }
+  };
+
+  const uint32_t num_threads = std::max<uint32_t>(
+      1, std::min<uint32_t>(options_.num_threads,
+                            static_cast<uint32_t>(groups.size())));
+  if (num_threads > 1) {
+    // Dynamic dispatch rather than ParallelFor's static chunks: group
+    // costs are heavily skewed (a GR sweep vs an out-degree top-k), and
+    // the map orders groups by algorithm, which would cluster the
+    // expensive ones into one worker's chunk. Which thread runs a group
+    // never affects its result, so determinism is untouched.
+    std::atomic<uint32_t> next{0};
+    ThreadPool pool(num_threads);
+    pool.ParallelFor(num_threads, [&](uint32_t, uint32_t, uint32_t) {
+      for (uint32_t gi = next.fetch_add(1, std::memory_order_relaxed);
+           gi < groups.size();
+           gi = next.fetch_add(1, std::memory_order_relaxed)) {
+        run_group(gi);
+      }
+    });
+  } else {
+    for (uint32_t gi = 0; gi < groups.size(); ++gi) run_group(gi);
+  }
+
+  for (const BatchStats& s : group_stats) {
+    out.stats.full_solves += s.full_solves;
+    out.stats.sweep_served += s.sweep_served;
+    out.stats.engine_builds += s.engine_builds;
+  }
+  out.stats.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+BatchResult SolveIminBatch(const Graph& g,
+                           const std::vector<IminQuery>& queries,
+                           const BatchOptions& options) {
+  return BatchSolver(g, options).Solve(queries);
+}
+
+}  // namespace vblock

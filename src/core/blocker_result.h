@@ -23,6 +23,15 @@ struct GreedyRunStats {
   double seconds = 0;
   /// Best Δ chosen in each completed selection round (diagnostics).
   std::vector<double> round_best_delta;
+  /// Every blocker commit in chronological order: for BG/AG (and the
+  /// facade's heuristics) the pick per round — identical to the returned
+  /// blocker list — and for GR the phase-1 picks followed by each phase-2
+  /// replacement that actually swapped a vertex in. Because a greedy pick
+  /// depends only on the picks before it (never on the remaining budget),
+  /// the trace of one max-budget BG/AG run replays bit-exactly as the
+  /// blocker set of every smaller budget: prefix k of the trace IS the
+  /// budget-k result. core/batch_solver.h builds its budget sweeps on this.
+  std::vector<VertexId> selection_trace;
 };
 
 /// A selected blocker set over *unified* vertex ids, plus run statistics.

@@ -8,37 +8,19 @@
 
 namespace vblock {
 
-BlockerSelection GreedyReplace(const Graph& g, VertexId root,
-                               const GreedyReplaceOptions& options) {
-  VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
+BlockerSelection GreedyReplaceWithEngine(SpreadDecreaseEngine* engine,
+                                         const GreedyReplaceOptions& options,
+                                         const Deadline& deadline) {
   Timer timer;
-  Deadline deadline(options.time_limit_seconds);
-
   BlockerSelection result;
+  const Graph& g = engine->graph();
+  const VertexId root = engine->root();
 
   // Phase 1 (lines 1-10) candidates: out-neighbors of the seed.
   std::vector<VertexId> cb(g.OutNeighbors(root).begin(),
                            g.OutNeighbors(root).end());
   const uint32_t initial_rounds =
       std::min<uint32_t>(options.budget, static_cast<uint32_t>(cb.size()));
-  if (initial_rounds == 0) {
-    // Nothing to block (zero budget or a sink seed): skip building the
-    // θ-sample pool entirely.
-    result.stats.seconds = timer.ElapsedSeconds();
-    return result;
-  }
-
-  SpreadDecreaseOptions sd;
-  sd.theta = options.theta;
-  sd.seed = options.seed;
-  sd.threads = options.threads;
-  sd.sample_reuse = options.sample_reuse;
-  SpreadDecreaseEngine engine(g, root, sd, options.triggering_model);
-  if (!engine.Build(deadline)) {
-    result.stats.timed_out = true;
-    result.stats.seconds = timer.ElapsedSeconds();
-    return result;
-  }
 
   for (uint32_t round = 0; round < initial_rounds; ++round) {
     if (deadline.Expired()) {
@@ -53,8 +35,8 @@ BlockerSelection GreedyReplace(const Graph& g, VertexId root,
       // cb may hold duplicates or the root itself when the graph was built
       // with merge_parallel_edges / drop_self_loops disabled; blocking
       // either would violate the engine's preconditions.
-      if (cb[i] == root || engine.blocked().Test(cb[i])) continue;
-      const double delta = engine.Delta(cb[i]);
+      if (cb[i] == root || engine->blocked().Test(cb[i])) continue;
+      const double delta = engine->Delta(cb[i]);
       if (!have_best || delta > best_delta ||
           (delta == best_delta && cb[i] < cb[best_idx])) {
         have_best = true;
@@ -70,9 +52,10 @@ BlockerSelection GreedyReplace(const Graph& g, VertexId root,
     cb[best_idx] = cb.back();
     cb.pop_back();
     result.blockers.push_back(x);
+    result.stats.selection_trace.push_back(x);
     result.stats.round_best_delta.push_back(best_delta);
     ++result.stats.rounds_completed;
-    if (!engine.Block(x, deadline)) {
+    if (!engine->Block(x, deadline)) {
       result.stats.timed_out = true;
       result.stats.seconds = timer.ElapsedSeconds();
       return result;
@@ -88,24 +71,57 @@ BlockerSelection GreedyReplace(const Graph& g, VertexId root,
       break;
     }
     VertexId u = *it;
-    if (!engine.Unblock(u, deadline)) {
+    if (!engine->Unblock(u, deadline)) {
       result.stats.timed_out = true;
       break;
     }
 
     double best_delta = 0;
-    VertexId x = engine.BestUnblocked(&best_delta);
+    VertexId x = engine->BestUnblocked(&best_delta);
     VBLOCK_CHECK_MSG(x != kInvalidVertex, "candidate pool cannot be empty");
 
     *it = x;
     if (x == u) break;  // the removed blocker is still the best: stop
+    result.stats.selection_trace.push_back(x);
     ++result.stats.replacements;
-    if (!engine.Block(x, deadline)) {
+    if (!engine->Block(x, deadline)) {
       result.stats.timed_out = true;
       break;
     }
   }
 
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+BlockerSelection GreedyReplace(const Graph& g, VertexId root,
+                               const GreedyReplaceOptions& options) {
+  VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
+  Timer timer;
+  Deadline deadline(options.time_limit_seconds);
+
+  if (options.budget == 0 || g.OutDegree(root) == 0) {
+    // Nothing to block (zero budget or a sink seed): skip building the
+    // θ-sample pool entirely.
+    BlockerSelection result;
+    result.stats.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  SpreadDecreaseOptions sd;
+  sd.theta = options.theta;
+  sd.seed = options.seed;
+  sd.threads = options.threads;
+  sd.sample_reuse = options.sample_reuse;
+  SpreadDecreaseEngine engine(g, root, sd, options.triggering_model);
+  if (!engine.Build(deadline)) {
+    BlockerSelection result;
+    result.stats.timed_out = true;
+    result.stats.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  BlockerSelection result = GreedyReplaceWithEngine(&engine, options, deadline);
   result.stats.seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -12,11 +12,14 @@
 
 #pragma once
 
+#include "common/timer.h"
 #include "core/blocker_result.h"
 #include "core/spread_decrease.h"
 #include "graph/graph.h"
 
 namespace vblock {
+
+class SpreadDecreaseEngine;
 
 /// Parameters for Algorithm 4.
 struct GreedyReplaceOptions {
@@ -49,5 +52,19 @@ struct GreedyReplaceOptions {
 /// most* b blockers).
 BlockerSelection GreedyReplace(const Graph& g, VertexId root,
                                const GreedyReplaceOptions& options);
+
+/// Algorithm 4 against an externally owned, already-Build()-finished engine
+/// whose blocked mask is all-clear — the batch solver's entry point
+/// (core/batch_solver.h), which amortizes one θ-sample pool across a whole
+/// budget sweep. The engine's (theta, seed, sample_reuse, threads) must
+/// match `options`; only budget/time limit are read here. On return the
+/// engine's mask holds whatever the run left blocked (the final set, minus
+/// the last tentatively unblocked vertex when phase 2 early-terminated);
+/// callers that reuse the engine restore the mask themselves — bit-exact
+/// only under SampleReuse::kPrune, where engine state is a pure function of
+/// the mask. stats.seconds excludes the pool build the caller paid for.
+BlockerSelection GreedyReplaceWithEngine(SpreadDecreaseEngine* engine,
+                                         const GreedyReplaceOptions& options,
+                                         const Deadline& deadline);
 
 }  // namespace vblock

@@ -1,5 +1,7 @@
 #include "core/solver.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/timer.h"
 #include "core/advanced_greedy.h"
@@ -31,8 +33,44 @@ const char* AlgorithmName(Algorithm algorithm) {
   return "?";
 }
 
-SolverResult SolveImin(const Graph& g, const std::vector<VertexId>& seeds,
-                       const SolverOptions& options) {
+Status ValidateIminQuery(const Graph& g, const std::vector<VertexId>& seeds,
+                         uint32_t budget) {
+  if (seeds.empty()) {
+    return Status::InvalidArgument("seed set must not be empty");
+  }
+  for (VertexId s : seeds) {
+    if (s >= g.NumVertices()) {
+      return Status::OutOfRange("seed id " + std::to_string(s) +
+                                " out of range (graph has " +
+                                std::to_string(g.NumVertices()) + " vertices)");
+    }
+  }
+  // Duplicate detection on a sorted copy: O(|S| log |S|) regardless of the
+  // graph size — validation runs once per query in a batch, so an O(n)
+  // seen-array would dominate large-graph batches.
+  std::vector<VertexId> sorted = seeds;
+  std::sort(sorted.begin(), sorted.end());
+  auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+  if (dup != sorted.end()) {
+    return Status::InvalidArgument("duplicate seed id " +
+                                   std::to_string(*dup));
+  }
+  const VertexId non_seeds =
+      g.NumVertices() - static_cast<VertexId>(seeds.size());
+  if (budget > non_seeds) {
+    return Status::InvalidArgument(
+        "budget " + std::to_string(budget) + " exceeds the " +
+        std::to_string(non_seeds) + " blockable (non-seed) vertices");
+  }
+  return Status::OK();
+}
+
+Result<SolverResult> SolveImin(const Graph& g,
+                               const std::vector<VertexId>& seeds,
+                               const SolverOptions& options) {
+  Status valid = ValidateIminQuery(g, seeds, options.budget);
+  if (!valid.ok()) return valid;
+
   SolverResult result;
   Timer timer;
 
@@ -67,6 +105,8 @@ SolverResult SolveImin(const Graph& g, const std::vector<VertexId>& seeds,
       BlockerSelection sel = BaselineGreedy(inst.graph, inst.root, bg);
       result.blockers = inst.BlockersToOriginal(sel.blockers);
       result.stats = sel.stats;
+      result.stats.selection_trace =
+          inst.BlockersToOriginal(sel.stats.selection_trace);
       break;
     }
     case Algorithm::kAdvancedGreedy: {
@@ -81,6 +121,8 @@ SolverResult SolveImin(const Graph& g, const std::vector<VertexId>& seeds,
       BlockerSelection sel = AdvancedGreedy(inst.graph, inst.root, ag);
       result.blockers = inst.BlockersToOriginal(sel.blockers);
       result.stats = sel.stats;
+      result.stats.selection_trace =
+          inst.BlockersToOriginal(sel.stats.selection_trace);
       break;
     }
     case Algorithm::kGreedyReplace: {
@@ -95,8 +137,15 @@ SolverResult SolveImin(const Graph& g, const std::vector<VertexId>& seeds,
       BlockerSelection sel = GreedyReplace(inst.graph, inst.root, gr);
       result.blockers = inst.BlockersToOriginal(sel.blockers);
       result.stats = sel.stats;
+      result.stats.selection_trace =
+          inst.BlockersToOriginal(sel.stats.selection_trace);
       break;
     }
+  }
+
+  // The heuristics commit their picks in the order they return them.
+  if (result.stats.selection_trace.empty() && !result.blockers.empty()) {
+    result.stats.selection_trace = result.blockers;
   }
 
   result.stats.seconds = timer.ElapsedSeconds();

@@ -3,20 +3,26 @@
 // High-level IMIN solver facade — the library's primary entry point.
 //
 // Callers hand over the original instance (graph, seed set, budget) and an
-// algorithm choice; the facade performs the multi-seed unification, runs the
-// selected algorithm, and maps the blockers back to original vertex ids.
+// algorithm choice; the facade validates the query, performs the multi-seed
+// unification, runs the selected algorithm, and maps the blockers back to
+// original vertex ids.
 //
 //   SolverOptions opts;
 //   opts.algorithm = Algorithm::kGreedyReplace;
 //   opts.budget = 20;
-//   SolverResult r = SolveImin(graph, seeds, opts);
-//   double spread = EvaluateSpread(graph, seeds, r.blockers);
+//   auto r = SolveImin(graph, seeds, opts);
+//   VBLOCK_CHECK(r.ok());
+//   double spread = EvaluateSpread(graph, seeds, r->blockers);
+//
+// Many queries against one graph are better served by the amortizing batch
+// entry point `SolveIminBatch` (core/batch_solver.h).
 
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/blocker_result.h"
 #include "graph/graph.h"
 #include "sampling/sample_reuse.h"
@@ -59,14 +65,30 @@ struct SolverOptions {
   SampleReuse sample_reuse = SampleReuse::kResample;
 };
 
-/// Facade result: blockers in *original* vertex ids.
+/// Facade result: blockers in *original* vertex ids. stats.selection_trace
+/// is likewise mapped back to original ids.
 struct SolverResult {
   std::vector<VertexId> blockers;
   GreedyRunStats stats;
 };
 
-/// Solves the IMIN instance (G, S, b) with the chosen algorithm.
-SolverResult SolveImin(const Graph& g, const std::vector<VertexId>& seeds,
-                       const SolverOptions& options);
+/// Checks an IMIN query against the graph it targets. Non-OK when:
+///  - the seed set is empty                        (InvalidArgument)
+///  - a seed id is >= g.NumVertices()              (OutOfRange)
+///  - a seed id occurs more than once              (InvalidArgument)
+///  - budget exceeds the number of non-seed        (InvalidArgument)
+///    vertices — the algorithms would silently return fewer blockers than
+///    asked for. budget == #non-seeds stays valid: blocking every
+///    candidate is a legitimate (if degenerate) query.
+/// Shared by SolveImin and the batch solver so both reject identically.
+Status ValidateIminQuery(const Graph& g, const std::vector<VertexId>& seeds,
+                         uint32_t budget);
+
+/// Solves the IMIN instance (G, S, b) with the chosen algorithm. Returns
+/// the ValidateIminQuery error instead of silently clamping malformed
+/// input.
+Result<SolverResult> SolveImin(const Graph& g,
+                               const std::vector<VertexId>& seeds,
+                               const SolverOptions& options);
 
 }  // namespace vblock

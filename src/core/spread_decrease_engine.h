@@ -73,6 +73,11 @@ class SpreadDecreaseEngine {
   uint32_t theta() const { return pool_.theta(); }
   bool timed_out() const { return timed_out_; }
 
+  /// The (unified) graph and root the engine scores — lets engine-injected
+  /// algorithm variants (core/batch_solver.h) avoid carrying them separately.
+  const Graph& graph() const { return graph_; }
+  VertexId root() const { return root_; }
+
   /// Materializes the full score vector in ComputeSpreadDecrease's output
   /// form (allocates; meant for tests and diagnostics, not the hot loop).
   SpreadDecreaseResult Scores() const;

@@ -16,7 +16,8 @@
 //   opts.algorithm = vblock::Algorithm::kGreedyReplace;
 //   opts.budget = 20;
 //   auto result = vblock::SolveImin(g, seeds, opts);
-//   double spread = vblock::EvaluateSpread(g, seeds, result.blockers);
+//   VBLOCK_CHECK(result.ok());
+//   double spread = vblock::EvaluateSpread(g, seeds, result->blockers);
 
 #pragma once
 
@@ -70,6 +71,7 @@
 // core algorithms
 #include "core/advanced_greedy.h"
 #include "core/baseline_greedy.h"
+#include "core/batch_solver.h"
 #include "core/betweenness.h"
 #include "core/blocker_result.h"
 #include "core/edge_blocking.h"

@@ -46,9 +46,9 @@ TEST(AdvancedGreedyTest, TableIIIBudget1PicksV5) {
   opts.theta = 20000;
   opts.seed = 5;
   auto result = SolveImin(g, {testing::kV1}, opts);
-  ASSERT_EQ(result.blockers.size(), 1u);
-  EXPECT_EQ(result.blockers[0], testing::kV5);
-  EXPECT_NEAR(ExactSpreadWithBlockers(g, {testing::kV1}, result.blockers), 3.0,
+  ASSERT_EQ(result->blockers.size(), 1u);
+  EXPECT_EQ(result->blockers[0], testing::kV5);
+  EXPECT_NEAR(ExactSpreadWithBlockers(g, {testing::kV1}, result->blockers), 3.0,
               1e-12);
 }
 
@@ -61,11 +61,11 @@ TEST(AdvancedGreedyTest, TableIIIBudget2PicksV5ThenOutNeighbor) {
   opts.theta = 20000;
   opts.seed = 6;
   auto result = SolveImin(g, {testing::kV1}, opts);
-  ASSERT_EQ(result.blockers.size(), 2u);
-  EXPECT_EQ(result.blockers[0], testing::kV5);
-  EXPECT_TRUE(result.blockers[1] == testing::kV2 ||
-              result.blockers[1] == testing::kV4);
-  EXPECT_NEAR(ExactSpreadWithBlockers(g, {testing::kV1}, result.blockers), 2.0,
+  ASSERT_EQ(result->blockers.size(), 2u);
+  EXPECT_EQ(result->blockers[0], testing::kV5);
+  EXPECT_TRUE(result->blockers[1] == testing::kV2 ||
+              result->blockers[1] == testing::kV4);
+  EXPECT_NEAR(ExactSpreadWithBlockers(g, {testing::kV1}, result->blockers), 2.0,
               1e-12);
 }
 
@@ -118,9 +118,9 @@ TEST(GreedyReplaceTest, TableIIIBudget1ReplacesWithV5) {
   opts.theta = 20000;
   opts.seed = 8;
   auto result = SolveImin(g, {testing::kV1}, opts);
-  ASSERT_EQ(result.blockers.size(), 1u);
-  EXPECT_EQ(result.blockers[0], testing::kV5);
-  EXPECT_NEAR(ExactSpreadWithBlockers(g, {testing::kV1}, result.blockers), 3.0,
+  ASSERT_EQ(result->blockers.size(), 1u);
+  EXPECT_EQ(result->blockers[0], testing::kV5);
+  EXPECT_NEAR(ExactSpreadWithBlockers(g, {testing::kV1}, result->blockers), 3.0,
               1e-12);
 }
 
@@ -133,9 +133,9 @@ TEST(GreedyReplaceTest, TableIIIBudget2KeepsBothOutNeighbors) {
   opts.theta = 20000;
   opts.seed = 9;
   auto result = SolveImin(g, {testing::kV1}, opts);
-  EXPECT_EQ(Sorted(result.blockers),
+  EXPECT_EQ(Sorted(result->blockers),
             (std::vector<VertexId>{testing::kV2, testing::kV4}));
-  EXPECT_NEAR(ExactSpreadWithBlockers(g, {testing::kV1}, result.blockers), 1.0,
+  EXPECT_NEAR(ExactSpreadWithBlockers(g, {testing::kV1}, result->blockers), 1.0,
               1e-12);
 }
 
@@ -148,9 +148,9 @@ TEST(GreedyReplaceTest, BudgetBeyondOutDegreeUsesAtMostOutDegree) {
   opts.seed = 10;
   auto result = SolveImin(g, {testing::kV1}, opts);
   // dout(v1) = 2; blocking both out-neighbors is already optimal.
-  EXPECT_EQ(Sorted(result.blockers),
+  EXPECT_EQ(Sorted(result->blockers),
             (std::vector<VertexId>{testing::kV2, testing::kV4}));
-  EXPECT_NEAR(ExactSpreadWithBlockers(g, {testing::kV1}, result.blockers), 1.0,
+  EXPECT_NEAR(ExactSpreadWithBlockers(g, {testing::kV1}, result->blockers), 1.0,
               1e-12);
 }
 
@@ -199,7 +199,7 @@ TEST(GreedyReplaceTest, NeverWorseThanPureOutNeighborChoice) {
 
   EvaluationOptions eval;
   eval.mc_rounds = 30000;
-  double gr_spread = EvaluateSpread(g, seeds, gr.blockers, eval);
+  double gr_spread = EvaluateSpread(g, seeds, gr->blockers, eval);
   double on_spread = EvaluateSpread(g, seeds, on_blockers, eval);
   EXPECT_LE(gr_spread, on_spread + 0.25);  // MC tolerance
 }
@@ -214,8 +214,8 @@ TEST(BaselineGreedyTest, TableIIIBudget1PicksV5) {
   opts.mc_rounds = 4000;
   opts.seed = 13;
   auto result = SolveImin(g, {testing::kV1}, opts);
-  ASSERT_EQ(result.blockers.size(), 1u);
-  EXPECT_EQ(result.blockers[0], testing::kV5);
+  ASSERT_EQ(result->blockers.size(), 1u);
+  EXPECT_EQ(result->blockers[0], testing::kV5);
 }
 
 TEST(BaselineGreedyTest, AgreesWithAdvancedGreedyOnToyGraph) {
@@ -236,11 +236,11 @@ TEST(BaselineGreedyTest, AgreesWithAdvancedGreedyOnToyGraph) {
   ag_opts.seed = 14;
   auto ag = SolveImin(g, {testing::kV1}, ag_opts);
 
-  ASSERT_EQ(bg.blockers.size(), 2u);
-  ASSERT_EQ(ag.blockers.size(), 2u);
-  EXPECT_EQ(bg.blockers[0], ag.blockers[0]);  // both pick v5 first
+  ASSERT_EQ(bg->blockers.size(), 2u);
+  ASSERT_EQ(ag->blockers.size(), 2u);
+  EXPECT_EQ(bg->blockers[0], ag->blockers[0]);  // both pick v5 first
   // Second pick is v2-or-v4 for both.
-  EXPECT_TRUE(bg.blockers[1] == testing::kV2 || bg.blockers[1] == testing::kV4);
+  EXPECT_TRUE(bg->blockers[1] == testing::kV2 || bg->blockers[1] == testing::kV4);
 }
 
 TEST(BaselineGreedyTest, CommonRandomNumbersVariantAlsoPicksV5) {
@@ -304,8 +304,8 @@ TEST(SolverTest, BlockersNeverContainSeeds) {
     opts.theta = 500;
     opts.seed = 23;
     auto result = SolveImin(g, seeds, opts);
-    EXPECT_LE(result.blockers.size(), 5u) << AlgorithmName(algo);
-    for (VertexId b : result.blockers) {
+    EXPECT_LE(result->blockers.size(), 5u) << AlgorithmName(algo);
+    for (VertexId b : result->blockers) {
       EXPECT_TRUE(b != 0 && b != 1 && b != 2)
           << AlgorithmName(algo) << " blocked a seed";
     }
@@ -321,8 +321,8 @@ TEST(SolverTest, GreedyReplaceDeadlinePropagates) {
   opts.seed = 31;
   opts.time_limit_seconds = 0.2;
   auto result = SolveImin(g, {0}, opts);
-  EXPECT_TRUE(result.stats.timed_out);
-  EXPECT_LT(result.blockers.size(), 500u);
+  EXPECT_TRUE(result->stats.timed_out);
+  EXPECT_LT(result->blockers.size(), 500u);
 }
 
 TEST(SolverTest, StatsRecordTiming) {
@@ -332,8 +332,8 @@ TEST(SolverTest, StatsRecordTiming) {
   opts.budget = 2;
   opts.theta = 1000;
   auto result = SolveImin(g, {testing::kV1}, opts);
-  EXPECT_GT(result.stats.seconds, 0.0);
-  EXPECT_EQ(result.stats.rounds_completed, 2u);
+  EXPECT_GT(result->stats.seconds, 0.0);
+  EXPECT_EQ(result->stats.rounds_completed, 2u);
 }
 
 TEST(GreedyReplaceTest, ReplacementCounterTracksSwaps) {
@@ -362,7 +362,7 @@ TEST(SolverTest, MultiSeedSpreadFloorsAtSeedCount) {
   opts.theta = 300;
   opts.seed = 31;
   auto result = SolveImin(g, seeds, opts);
-  EXPECT_NEAR(ExactSpreadWithBlockers(g, seeds, result.blockers), 1.0, 1e-12);
+  EXPECT_NEAR(ExactSpreadWithBlockers(g, seeds, result->blockers), 1.0, 1e-12);
 }
 
 }  // namespace

@@ -118,8 +118,8 @@ TEST(BetweennessSolverTest, FacadeRunsBc) {
   opts.algorithm = Algorithm::kBetweenness;
   opts.budget = 5;
   auto result = SolveImin(g, {0}, opts);
-  EXPECT_EQ(result.blockers.size(), 5u);
-  for (VertexId b : result.blockers) EXPECT_NE(b, 0u);
+  EXPECT_EQ(result->blockers.size(), 5u);
+  for (VertexId b : result->blockers) EXPECT_NE(b, 0u);
   EXPECT_STREQ(AlgorithmName(Algorithm::kBetweenness), "BC");
 }
 
@@ -132,8 +132,8 @@ TEST(BetweennessSolverTest, FacadeUsesPivotsOnLargeGraphs) {
   opts.budget = 10;
   opts.seed = 4;
   auto result = SolveImin(g, {1, 2}, opts);
-  EXPECT_EQ(result.blockers.size(), 10u);
-  for (VertexId b : result.blockers) EXPECT_TRUE(b != 1 && b != 2);
+  EXPECT_EQ(result->blockers.size(), 10u);
+  for (VertexId b : result->blockers) EXPECT_TRUE(b != 1 && b != 2);
 }
 
 }  // namespace

@@ -28,6 +28,9 @@ Graph SingleVertexGraph() {
 }
 
 TEST(EdgeCaseTest, SingleVertexInstanceAllAlgorithms) {
+  // With the lone vertex seeded there is nothing blockable: a positive
+  // budget cannot be satisfied and is rejected as a typed error (it used to
+  // be clamped to an empty result); budget 0 stays trivially solvable.
   Graph g = SingleVertexGraph();
   for (Algorithm algo :
        {Algorithm::kRandom, Algorithm::kOutDegree, Algorithm::kPageRank,
@@ -38,9 +41,65 @@ TEST(EdgeCaseTest, SingleVertexInstanceAllAlgorithms) {
     opts.budget = 3;
     opts.theta = 50;
     opts.mc_rounds = 50;
+    auto rejected = SolveImin(g, {0}, opts);
+    ASSERT_FALSE(rejected.ok()) << AlgorithmName(algo);
+    EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+
+    opts.budget = 0;
     auto result = SolveImin(g, {0}, opts);
-    EXPECT_TRUE(result.blockers.empty()) << AlgorithmName(algo);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algo);
+    EXPECT_TRUE(result->blockers.empty()) << AlgorithmName(algo);
   }
+}
+
+TEST(EdgeCaseTest, SolveIminRejectsEmptySeedSet) {
+  Graph g = testing::PaperFigure1Graph();
+  auto result = SolveImin(g, {}, SolverOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(result.status().message().empty());
+}
+
+TEST(EdgeCaseTest, SolveIminRejectsDuplicateSeedIds) {
+  // Duplicates used to be silently deduplicated by the unification; the
+  // facade now reports them — a repeated id is almost always a caller bug.
+  Graph g = testing::PaperFigure1Graph();
+  SolverOptions opts;
+  opts.budget = 1;
+  opts.theta = 50;
+  auto result = SolveImin(g, {0, 2, 0}, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(EdgeCaseTest, SolveIminRejectsOutOfRangeSeed) {
+  Graph g = testing::PathGraph(4, 1.0);
+  SolverOptions opts;
+  opts.budget = 1;
+  opts.theta = 50;
+  auto result = SolveImin(g, {7}, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EdgeCaseTest, SolveIminRejectsBudgetBeyondNonSeedCount) {
+  // 4 vertices, 1 seed -> 3 blockable vertices. budget == 3 (block every
+  // candidate) is a legitimate degenerate query; budget 4 can never be
+  // satisfied and is the silent-clamping case the validation now rejects.
+  Graph g = testing::PathGraph(4, 1.0);
+  SolverOptions opts;
+  opts.algorithm = Algorithm::kOutDegree;
+  opts.budget = 3;
+  auto at_limit = SolveImin(g, {0}, opts);
+  ASSERT_TRUE(at_limit.ok());
+  EXPECT_EQ(at_limit->blockers.size(), 3u);
+
+  opts.budget = 4;
+  auto beyond = SolveImin(g, {0}, opts);
+  ASSERT_FALSE(beyond.ok());
+  EXPECT_EQ(beyond.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(beyond.status().message().find("budget"), std::string::npos);
 }
 
 TEST(EdgeCaseTest, ZeroBudgetReturnsEmpty) {
@@ -54,7 +113,8 @@ TEST(EdgeCaseTest, ZeroBudgetReturnsEmpty) {
     opts.theta = 50;
     opts.mc_rounds = 50;
     auto result = SolveImin(g, {0}, opts);
-    EXPECT_TRUE(result.blockers.empty()) << AlgorithmName(algo);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algo);
+    EXPECT_TRUE(result->blockers.empty()) << AlgorithmName(algo);
   }
 }
 
@@ -76,7 +136,8 @@ TEST(EdgeCaseTest, IsolatedSeedSpreadIsOne) {
   opts.budget = 2;
   opts.theta = 50;
   auto result = SolveImin(g, {0}, opts);
-  EXPECT_TRUE(result.blockers.empty());  // root has no out-neighbors
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->blockers.empty());  // root has no out-neighbors
 }
 
 TEST(EdgeCaseTest, AdvancedGreedyOnIsolatedSeedPicksZeroDeltas) {

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "core/batch_solver.h"
 #include "core/evaluator.h"
 #include "core/exact_blocker.h"
 #include "core/solver.h"
@@ -123,12 +124,99 @@ TEST(ExactSearchTest, GreedyReplaceIsNearOptimal) {
     EvaluationOptions eval;
     eval.prefer_exact = true;
     eval.max_uncertain_edges = 25;
-    double gr_spread = EvaluateSpread(g, {0}, gr.blockers, eval);
+    double gr_spread = EvaluateSpread(g, {0}, gr->blockers, eval);
     // GR within 10% of the optimum on these tiny instances (the paper
     // reports ≥ 99.9%; small graphs leave more room for ties).
     EXPECT_LE(gr_spread, exact.spread * 1.10 + 1e-9)
         << "graph seed " << graph_seed;
     EXPECT_GE(gr_spread, exact.spread - 1e-9) << "exact must lower-bound GR";
+  }
+}
+
+// Tiny (≤ 9 vertices) exhaustively enumerable ER instance with a sparse
+// sprinkling of probabilistic edges, analogous to MostlyCertainGraph.
+Graph TinyMostlyCertainGraph(uint64_t seed) {
+  Graph base = GenerateErdosRenyi(9, 20, seed);
+  GraphBuilder b;
+  b.ReserveVertices(base.NumVertices());
+  size_t i = 0;
+  for (const Edge& e : base.CollectEdges()) {
+    b.AddEdge(e.source, e.target, (i++ % 3 == 0) ? 0.5 : 1.0);
+  }
+  auto g = b.Build();
+  VBLOCK_CHECK(g.ok());
+  return std::move(g.value());
+}
+
+// Oracle cross-check for the batch entry point: on exhaustively enumerated
+// instances (the 9-vertex Figure-1 graph and tiny mostly-certain ERs),
+// batch-solved AG/GR blocked spreads respect the same exact-search bounds
+// the single-query path asserts above — the exact optimum lower-bounds
+// both, GR stays within 10% of it, and no blocked spread exceeds the
+// unblocked baseline.
+TEST(ExactSearchTest, BatchSolvedGreedySpreadsWithinExactBounds) {
+  struct Case {
+    Graph graph;
+    std::vector<VertexId> seeds;
+  };
+  std::vector<Case> cases;
+  cases.push_back({PaperFigure1Graph(), {testing::kV1}});
+  cases.push_back({TinyMostlyCertainGraph(21), {0}});
+  cases.push_back({TinyMostlyCertainGraph(22), {0}});
+
+  for (size_t c = 0; c < cases.size(); ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    const Graph& g = cases[c].graph;
+    ASSERT_LE(g.NumVertices(), 9u);
+    const std::vector<VertexId>& seeds = cases[c].seeds;
+
+    EvaluationOptions eval;
+    eval.prefer_exact = true;
+    eval.max_uncertain_edges = 25;
+    const double baseline = EvaluateSpread(g, seeds, {}, eval);
+
+    BatchOptions options;
+    options.defaults.theta = 20000;
+    options.defaults.seed = 5;
+    options.num_threads = 2;
+    std::vector<IminQuery> queries;
+    for (Algorithm algo :
+         {Algorithm::kAdvancedGreedy, Algorithm::kGreedyReplace}) {
+      for (uint32_t budget : {1u, 2u}) {
+        for (SampleReuse reuse :
+             {SampleReuse::kResample, SampleReuse::kPrune}) {
+          IminQuery q;
+          q.seeds = seeds;
+          q.budget = budget;
+          q.algorithm = algo;
+          q.sample_reuse = reuse;
+          queries.push_back(std::move(q));
+        }
+      }
+    }
+    BatchResult batch = SolveIminBatch(g, queries, options);
+
+    for (uint32_t budget : {1u, 2u}) {
+      ExactSearchOptions ex_opts;
+      ex_opts.budget = budget;
+      ex_opts.evaluation = eval;
+      auto exact = ExactBlockerSearch(g, seeds, ex_opts);
+
+      for (size_t i = 0; i < queries.size(); ++i) {
+        if (queries[i].budget != budget) continue;
+        ASSERT_TRUE(batch.queries[i].status.ok());
+        const double spread =
+            EvaluateSpread(g, seeds, batch.queries[i].result.blockers, eval);
+        SCOPED_TRACE(std::string(AlgorithmName(queries[i].algorithm)) +
+                     " budget " + std::to_string(budget));
+        EXPECT_GE(spread, exact.spread - 1e-9)
+            << "exact optimum must lower-bound the greedy";
+        EXPECT_LE(spread, baseline + 1e-9);
+        if (queries[i].algorithm == Algorithm::kGreedyReplace) {
+          EXPECT_LE(spread, exact.spread * 1.10 + 1e-9);
+        }
+      }
+    }
   }
 }
 

@@ -42,7 +42,7 @@ double RunAndEvaluate(const Instance& inst, Algorithm algo, uint32_t budget,
   EvaluationOptions eval;
   eval.mc_rounds = 30000;
   eval.seed = 999;
-  return EvaluateSpread(inst.graph, inst.seeds, result.blockers, eval);
+  return EvaluateSpread(inst.graph, inst.seeds, result->blockers, eval);
 }
 
 TEST(IntegrationTest, GreedyFamilyBeatsRandomUnderWc) {
@@ -109,8 +109,8 @@ TEST(IntegrationTest, BaselineGreedyMatchesAdvancedGreedyQuality) {
 
   EvaluationOptions eval;
   eval.mc_rounds = 50000;
-  double bg_spread = EvaluateSpread(g, seeds, bg.blockers, eval);
-  double ag_spread = EvaluateSpread(g, seeds, ag.blockers, eval);
+  double bg_spread = EvaluateSpread(g, seeds, bg->blockers, eval);
+  double ag_spread = EvaluateSpread(g, seeds, ag->blockers, eval);
   // Equal effectiveness up to sampling noise.
   EXPECT_NEAR(ag_spread, bg_spread, 0.25 * bg_spread + 0.5);
 }
@@ -127,8 +127,8 @@ TEST(IntegrationTest, AllCatalogDatasetsSolveAtTinyScale) {
     opts.theta = 300;
     opts.seed = 3;
     auto result = SolveImin(g, seeds, opts);
-    EXPECT_LE(result.blockers.size(), 5u) << spec.name;
-    double spread = EvaluateSpread(g, seeds, result.blockers,
+    EXPECT_LE(result->blockers.size(), 5u) << spec.name;
+    double spread = EvaluateSpread(g, seeds, result->blockers,
                                    {.mc_rounds = 2000});
     EXPECT_GE(spread, 3.0 - 1e-9) << spec.name;
   }
@@ -143,7 +143,7 @@ TEST(IntegrationTest, SolverIsDeterministicInSeed) {
   opts.seed = 77;
   auto a = SolveImin(inst.graph, inst.seeds, opts);
   auto b = SolveImin(inst.graph, inst.seeds, opts);
-  EXPECT_EQ(a.blockers, b.blockers);
+  EXPECT_EQ(a->blockers, b->blockers);
 }
 
 TEST(IntegrationTest, ThreadedSolverMatchesSequential) {
@@ -157,7 +157,7 @@ TEST(IntegrationTest, ThreadedSolverMatchesSequential) {
   auto seq = SolveImin(inst.graph, inst.seeds, opts);
   opts.threads = 4;
   auto par = SolveImin(inst.graph, inst.seeds, opts);
-  EXPECT_EQ(seq.blockers, par.blockers);
+  EXPECT_EQ(seq->blockers, par->blockers);
 }
 
 }  // namespace

@@ -150,9 +150,9 @@ TEST_P(InstanceSweep, SpreadMonotoneInBlockers) {
   mc.rounds = 15000;
   mc.seed = 51;
   double prev = EstimateSpread(g, seeds, mc);
-  for (size_t k = 4; k <= od.blockers.size(); k += 4) {
-    std::vector<VertexId> prefix(od.blockers.begin(),
-                                 od.blockers.begin() + static_cast<ptrdiff_t>(k));
+  for (size_t k = 4; k <= od->blockers.size(); k += 4) {
+    std::vector<VertexId> prefix(od->blockers.begin(),
+                                 od->blockers.begin() + static_cast<ptrdiff_t>(k));
     VertexMask mask = VertexMask::FromVertices(g.NumVertices(), prefix);
     double spread = EstimateSpread(g, seeds, mc, &mask);
     EXPECT_LE(spread, prev + 0.05 * prev + 0.2);
@@ -171,9 +171,9 @@ TEST_P(InstanceSweep, GreedyOutputWellFormed) {
   opts.theta = 400;
   opts.seed = 61;
   auto result = SolveImin(g, seeds, opts);
-  EXPECT_LE(result.blockers.size(), 8u);
+  EXPECT_LE(result->blockers.size(), 8u);
   std::vector<uint8_t> seen(g.NumVertices(), 0);
-  for (VertexId b : result.blockers) {
+  for (VertexId b : result->blockers) {
     EXPECT_NE(b, 0u);
     EXPECT_NE(b, 5u);
     EXPECT_FALSE(seen[b]) << "duplicate blocker " << b;

@@ -23,9 +23,10 @@ TEST(UmbrellaHeaderTest, UsageExampleFromHeaderCommentCompilesAndRuns) {
   opts.algorithm = Algorithm::kGreedyReplace;
   opts.budget = 5;
   auto result = SolveImin(g, seeds, opts);
-  EXPECT_LE(result.blockers.size(), 5u);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->blockers.size(), 5u);
 
-  double spread = EvaluateSpread(g, seeds, result.blockers);
+  double spread = EvaluateSpread(g, seeds, result->blockers);
   EXPECT_GE(spread, 0.0);
   EXPECT_LE(spread, static_cast<double>(g.NumVertices()));
 }
