@@ -1,0 +1,173 @@
+// Micro-benchmark for geometric-skip live-edge sampling (PR 4): raw sampler
+// draw throughput, per-edge coins vs geometric skips over the
+// probability-grouped adjacency, on the three propagation models the paper
+// evaluates — weighted cascade (WC), trivalency (TR), and a uniform
+// constant-p assignment. Each instance measures both traversal directions:
+// forward root-reachable draws (ReachableSampler, the Algorithm-2 inner
+// loop) and reverse RR-set draws (RrSetGenerator, the direction where WC
+// collapses every vertex's in-edges into a single probability run). Emits
+// one JSON object on stdout so CI can archive the numbers.
+//
+// Acceptance target (ISSUE 4): ≥ 2x draw throughput on the WC instance
+// (advisory CI check, keyed on the RR direction — WC's grouped side).
+//
+// Environment knobs (defaults are the tiny synthetic config):
+//   VBLOCK_SKIP_BENCH_N       vertices              (default 8000)
+//   VBLOCK_SKIP_BENCH_M       directed edges        (default 400000)
+//   VBLOCK_SKIP_BENCH_THETA   draws per measurement (default 2000)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cascade/rr_sets.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gen/generators.h"
+#include "graph/prob_grouped_view.h"
+#include "prob/probability_models.h"
+#include "sampling/reachable_sampler.h"
+
+namespace {
+
+using namespace vblock;
+using vblock::bench::EnvOr;
+
+struct DirectionResult {
+  double per_edge_seconds = 0;
+  double skip_seconds = 0;
+  double speedup = 0;
+  // Mean sampled-region size per kind — the estimates the draws feed are
+  // unbiased under both kinds, so these must agree closely.
+  double per_edge_mean_size = 0;
+  double skip_mean_size = 0;
+};
+
+struct InstanceResult {
+  std::string model;
+  uint32_t classes = 0;
+  double grouped_build_seconds = 0;
+  DirectionResult forward;
+  DirectionResult rr;
+};
+
+// θ forward draws rooted at the max-out-degree vertex (a meaty frontier).
+void MeasureForward(const Graph& g, uint32_t theta, uint64_t seed,
+                    DirectionResult* out) {
+  VertexId root = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.OutDegree(v) > g.OutDegree(root)) root = v;
+  }
+  for (SamplerKind kind :
+       {SamplerKind::kPerEdgeCoin, SamplerKind::kGeometricSkip}) {
+    ReachableSampler sampler(g, root, nullptr, kind);
+    SampledGraph s;
+    uint64_t total_size = 0;
+    Timer timer;
+    for (uint32_t i = 0; i < theta; ++i) {
+      Rng rng(MixSeed(seed, i));
+      sampler.Sample(rng, &s);
+      total_size += s.NumVertices();
+    }
+    const double seconds = timer.ElapsedSeconds();
+    const double mean = static_cast<double>(total_size) / theta;
+    if (kind == SamplerKind::kPerEdgeCoin) {
+      out->per_edge_seconds = seconds;
+      out->per_edge_mean_size = mean;
+    } else {
+      out->skip_seconds = seconds;
+      out->skip_mean_size = mean;
+    }
+  }
+  out->speedup =
+      out->skip_seconds > 0 ? out->per_edge_seconds / out->skip_seconds : 0;
+}
+
+// θ RR-set draws of uniformly random targets. Each draw gets its own
+// MixSeed stream, so both kinds sample the same target sequence (the
+// target is the stream's first variate) and only the edge draws differ.
+void MeasureRr(const Graph& g, uint32_t theta, uint64_t seed,
+               DirectionResult* out) {
+  for (SamplerKind kind :
+       {SamplerKind::kPerEdgeCoin, SamplerKind::kGeometricSkip}) {
+    RrSetGenerator generator(g, kind);
+    std::vector<VertexId> rr;
+    uint64_t total_size = 0;
+    Timer timer;
+    for (uint32_t i = 0; i < theta; ++i) {
+      Rng rng(MixSeed(seed, i));
+      generator.SampleRandomTarget(rng, &rr);
+      total_size += rr.size();
+    }
+    const double seconds = timer.ElapsedSeconds();
+    const double mean = static_cast<double>(total_size) / theta;
+    if (kind == SamplerKind::kPerEdgeCoin) {
+      out->per_edge_seconds = seconds;
+      out->per_edge_mean_size = mean;
+    } else {
+      out->skip_seconds = seconds;
+      out->skip_mean_size = mean;
+    }
+  }
+  out->speedup =
+      out->skip_seconds > 0 ? out->per_edge_seconds / out->skip_seconds : 0;
+}
+
+InstanceResult MeasureInstance(const std::string& model, const Graph& g,
+                               uint32_t theta, uint64_t seed) {
+  InstanceResult result;
+  result.model = model;
+  // Build the grouped view up front so the one-time analysis cost is
+  // reported separately and excluded from the throughput ratio.
+  Timer build_timer;
+  result.classes = g.GroupedView().NumClasses();
+  result.grouped_build_seconds = build_timer.ElapsedSeconds();
+  MeasureForward(g, theta, seed, &result.forward);
+  MeasureRr(g, theta, MixSeed(seed, 0x5eed), &result.rr);
+  return result;
+}
+
+void PrintDirection(const char* name, const DirectionResult& d,
+                    const char* trailing_comma) {
+  std::printf(
+      "    \"%s\": {\"per_edge_seconds\": %.4f, \"skip_seconds\": %.4f, "
+      "\"speedup\": %.2f, \"per_edge_mean_size\": %.2f, "
+      "\"skip_mean_size\": %.2f}%s\n",
+      name, d.per_edge_seconds, d.skip_seconds, d.speedup,
+      d.per_edge_mean_size, d.skip_mean_size, trailing_comma);
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t n = EnvOr("VBLOCK_SKIP_BENCH_N", 8000);
+  const uint32_t m = EnvOr("VBLOCK_SKIP_BENCH_M", 400000);
+  const uint32_t theta = EnvOr("VBLOCK_SKIP_BENCH_THETA", 2000);
+  const uint64_t seed = 20230227;
+
+  const Graph base = GenerateErdosRenyi(n, m, seed);
+  std::vector<std::pair<std::string, Graph>> instances;
+  instances.emplace_back("wc", WithWeightedCascade(base));
+  instances.emplace_back("tr", WithTrivalency(base, seed + 1));
+  instances.emplace_back("uniform", WithConstantProbability(base, 0.02));
+
+  std::printf("{\n  \"bench\": \"skip_sampling\",\n");
+  std::printf(
+      "  \"graph\": {\"model\": \"erdos_renyi\", \"n\": %u, \"m\": %llu},\n",
+      n, static_cast<unsigned long long>(base.NumEdges()));
+  std::printf("  \"theta\": %u,\n  \"instances\": {\n", theta);
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const InstanceResult r =
+        MeasureInstance(instances[i].first, instances[i].second, theta, seed);
+    std::printf("    \"%s\": {\n", r.model.c_str());
+    std::printf("    \"probability_classes\": %u,\n", r.classes);
+    std::printf("    \"grouped_build_seconds\": %.4f,\n",
+                r.grouped_build_seconds);
+    PrintDirection("forward", r.forward, ",");
+    PrintDirection("rr", r.rr, "");
+    std::printf("    }%s\n", i + 1 < instances.size() ? "," : "");
+  }
+  std::printf("  }\n}\n");
+  return 0;
+}

@@ -2,8 +2,10 @@
 
 namespace vblock {
 
-IcSimulator::IcSimulator(const Graph& g)
-    : graph_(g), visited_epoch_(g.NumVertices(), 0) {}
+IcSimulator::IcSimulator(const Graph& g, SamplerKind kind)
+    : graph_(g), kind_(kind), visited_epoch_(g.NumVertices(), 0) {
+  if (kind_ == SamplerKind::kGeometricSkip) grouped_ = &g.GroupedView();
+}
 
 VertexId IcSimulator::Run(const std::vector<VertexId>& seeds, Rng& rng,
                           const VertexMask* blocked) {
@@ -20,15 +22,24 @@ VertexId IcSimulator::Run(const std::vector<VertexId>& seeds, Rng& rng,
   size_t head = 0;
   while (head < frontier_.size()) {
     VertexId u = frontier_[head++];
-    auto targets = graph_.OutNeighbors(u);
-    auto probs = graph_.OutProbabilities(u);
-    for (size_t k = 0; k < targets.size(); ++k) {
-      VertexId v = targets[k];
-      if (visited_epoch_[v] == epoch_) continue;
-      if (blocked && blocked->Test(v)) continue;
-      if (!rng.NextBernoulli(probs[k])) continue;
-      visited_epoch_[v] = epoch_;
-      frontier_.push_back(v);
+    if (kind_ == SamplerKind::kGeometricSkip) {
+      grouped_->SampleOutEdges(u, rng, [&](VertexId v, uint32_t) {
+        if (visited_epoch_[v] == epoch_) return;
+        if (blocked && blocked->Test(v)) return;
+        visited_epoch_[v] = epoch_;
+        frontier_.push_back(v);
+      });
+    } else {
+      auto targets = graph_.OutNeighbors(u);
+      auto probs = graph_.OutProbabilities(u);
+      for (size_t k = 0; k < targets.size(); ++k) {
+        VertexId v = targets[k];
+        if (visited_epoch_[v] == epoch_) continue;
+        if (blocked && blocked->Test(v)) continue;
+        if (!rng.NextBernoulli(probs[k])) continue;
+        visited_epoch_[v] = epoch_;
+        frontier_.push_back(v);
+      }
     }
   }
   return static_cast<VertexId>(frontier_.size());

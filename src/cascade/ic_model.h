@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sampler_kind.h"
 #include "graph/graph.h"
+#include "graph/prob_grouped_view.h"
 #include "graph/vertex_mask.h"
 
 namespace vblock {
@@ -25,7 +27,12 @@ namespace vblock {
 /// (visit epochs avoid O(n) clearing).
 class IcSimulator {
  public:
-  explicit IcSimulator(const Graph& g);
+  /// kGeometricSkip (default) draws each frontier vertex's live out-edges
+  /// by geometric jumps over the probability-grouped adjacency;
+  /// kPerEdgeCoin is the classic one-coin-per-edge loop. Same activation
+  /// distribution, different RNG consumption.
+  explicit IcSimulator(const Graph& g,
+                       SamplerKind kind = SamplerKind::kGeometricSkip);
 
   /// One simulation run. Returns the number of active vertices (seeds
   /// included). Seeds that are blocked are skipped entirely.
@@ -37,6 +44,8 @@ class IcSimulator {
 
  private:
   const Graph& graph_;
+  SamplerKind kind_;
+  const ProbGroupedView* grouped_ = nullptr;  // set iff kGeometricSkip
   std::vector<uint32_t> visited_epoch_;
   std::vector<VertexId> frontier_;
   uint32_t epoch_ = 0;

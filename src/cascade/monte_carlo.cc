@@ -1,10 +1,11 @@
 #include "cascade/monte_carlo.h"
 
-#include <thread>
+#include <algorithm>
 
 #include "cascade/ic_model.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace vblock {
 
@@ -16,7 +17,7 @@ double EstimateSpread(const Graph& g, const std::vector<VertexId>& seeds,
       std::max<uint32_t>(1, std::min(options.threads, options.rounds));
 
   auto run_range = [&](uint32_t begin, uint32_t end) -> uint64_t {
-    IcSimulator sim(g);
+    IcSimulator sim(g, options.sampler_kind);
     uint64_t total = 0;
     for (uint32_t i = begin; i < end; ++i) {
       Rng rng(MixSeed(options.seed, i));
@@ -25,21 +26,19 @@ double EstimateSpread(const Graph& g, const std::vector<VertexId>& seeds,
     return total;
   };
 
+  // Per-round seeding makes each round's spread independent of scheduling;
+  // the per-slot partials are integers, so the slot-order reduction is
+  // exact and the estimate is bit-identical for any thread count.
   uint64_t total = 0;
   if (threads == 1) {
     total = run_range(0, options.rounds);
   } else {
     std::vector<uint64_t> partial(threads, 0);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    const uint32_t chunk = (options.rounds + threads - 1) / threads;
-    for (uint32_t t = 0; t < threads; ++t) {
-      uint32_t begin = t * chunk;
-      uint32_t end = std::min(options.rounds, begin + chunk);
-      workers.emplace_back(
-          [&, t, begin, end] { partial[t] = run_range(begin, end); });
-    }
-    for (auto& w : workers) w.join();
+    ThreadPool pool(threads);
+    pool.ParallelFor(options.rounds,
+                     [&](uint32_t t, uint32_t begin, uint32_t end) {
+                       partial[t] = run_range(begin, end);
+                     });
     for (uint64_t p : partial) total += p;
   }
   return static_cast<double>(total) / options.rounds;
@@ -57,13 +56,39 @@ std::vector<double> EstimateActivationProbabilities(
     const Graph& g, const std::vector<VertexId>& seeds,
     const MonteCarloOptions& options, const VertexMask* blocked) {
   VBLOCK_CHECK_MSG(options.rounds > 0, "rounds must be positive");
+  const uint32_t threads =
+      std::max<uint32_t>(1, std::min(options.threads, options.rounds));
+
+  auto run_range = [&](uint32_t begin, uint32_t end,
+                       std::vector<uint64_t>* hits) {
+    IcSimulator sim(g, options.sampler_kind);
+    for (uint32_t i = begin; i < end; ++i) {
+      Rng rng(MixSeed(options.seed, i));
+      sim.Run(seeds, rng, blocked);
+      for (VertexId v : sim.LastActivated()) ++(*hits)[v];
+    }
+  };
+
   std::vector<uint64_t> hits(g.NumVertices(), 0);
-  IcSimulator sim(g);
-  for (uint32_t i = 0; i < options.rounds; ++i) {
-    Rng rng(MixSeed(options.seed, i));
-    sim.Run(seeds, rng, blocked);
-    for (VertexId v : sim.LastActivated()) ++hits[v];
+  if (threads == 1) {
+    run_range(0, options.rounds, &hits);
+  } else {
+    // Per-slot hit counters merged in slot order: integer sums, so the
+    // result is identical for any thread count.
+    std::vector<std::vector<uint64_t>> partial(
+        threads, std::vector<uint64_t>(g.NumVertices(), 0));
+    ThreadPool pool(threads);
+    pool.ParallelFor(options.rounds,
+                     [&](uint32_t t, uint32_t begin, uint32_t end) {
+                       run_range(begin, end, &partial[t]);
+                     });
+    for (uint32_t t = 0; t < threads; ++t) {
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        hits[v] += partial[t][v];
+      }
+    }
   }
+
   std::vector<double> probs(g.NumVertices(), 0.0);
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     probs[v] = static_cast<double>(hits[v]) / options.rounds;

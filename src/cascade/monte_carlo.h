@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/sampler_kind.h"
 #include "graph/graph.h"
 #include "graph/vertex_mask.h"
 
@@ -23,8 +24,12 @@ struct MonteCarloOptions {
   /// Base RNG seed; round i uses MixSeed(seed, i).
   uint64_t seed = 1;
   /// Number of worker threads; 1 = sequential. Results are identical for
-  /// any thread count (per-round seeding).
+  /// any thread count (per-round seeding + integer per-slot reduction).
   uint32_t threads = 1;
+  /// How each simulation draws live edges (common/sampler_kind.h). The two
+  /// kinds consume randomness differently, so estimates differ between
+  /// kinds (both unbiased); within a kind, (seed, rounds) pins the result.
+  SamplerKind sampler_kind = SamplerKind::kGeometricSkip;
 };
 
 /// Estimates E(S, G[V\B]) — the expected number of active vertices (seeds
@@ -40,7 +45,9 @@ double EstimateSpreadWithBlockers(const Graph& g,
                                   const MonteCarloOptions& options);
 
 /// Per-vertex activation probability estimates P_G(v, S) (Definition 1),
-/// from `options.rounds` simulations. Used by tests against exact values.
+/// from `options.rounds` simulations; honors `options.threads` with
+/// per-slot hit counters merged in slot order, so the estimate is identical
+/// for any thread count. Used by tests against exact values.
 std::vector<double> EstimateActivationProbabilities(
     const Graph& g, const std::vector<VertexId>& seeds,
     const MonteCarloOptions& options, const VertexMask* blocked = nullptr);

@@ -4,8 +4,10 @@
 
 namespace vblock {
 
-RrSetGenerator::RrSetGenerator(const Graph& g)
-    : graph_(g), visit_epoch_(g.NumVertices(), 0) {}
+RrSetGenerator::RrSetGenerator(const Graph& g, SamplerKind kind)
+    : graph_(g), kind_(kind), visit_epoch_(g.NumVertices(), 0) {
+  if (kind_ == SamplerKind::kGeometricSkip) grouped_ = &g.GroupedView();
+}
 
 void RrSetGenerator::Sample(VertexId target, Rng& rng,
                             std::vector<VertexId>* out) {
@@ -14,18 +16,26 @@ void RrSetGenerator::Sample(VertexId target, Rng& rng,
   out->clear();
   visit_epoch_[target] = epoch_;
   out->push_back(target);
-  // Reverse BFS: an in-edge (u,v) is live with probability p(u,v); one
-  // coin per examined edge, matching Definition 4's distribution.
+  // Reverse BFS: an in-edge (u,v) is live with probability p(u,v),
+  // independently per edge, matching Definition 4's distribution.
   for (size_t head = 0; head < out->size(); ++head) {
     VertexId v = (*out)[head];
-    auto sources = graph_.InNeighbors(v);
-    auto probs = graph_.InProbabilities(v);
-    for (size_t k = 0; k < sources.size(); ++k) {
-      VertexId u = sources[k];
-      if (visit_epoch_[u] == epoch_) continue;
-      if (!rng.NextBernoulli(probs[k])) continue;
-      visit_epoch_[u] = epoch_;
-      out->push_back(u);
+    if (kind_ == SamplerKind::kGeometricSkip) {
+      grouped_->SampleInEdges(v, rng, [&](VertexId u, uint32_t) {
+        if (visit_epoch_[u] == epoch_) return;
+        visit_epoch_[u] = epoch_;
+        out->push_back(u);
+      });
+    } else {
+      auto sources = graph_.InNeighbors(v);
+      auto probs = graph_.InProbabilities(v);
+      for (size_t k = 0; k < sources.size(); ++k) {
+        VertexId u = sources[k];
+        if (visit_epoch_[u] == epoch_) continue;
+        if (!rng.NextBernoulli(probs[k])) continue;
+        visit_epoch_[u] = epoch_;
+        out->push_back(u);
+      }
     }
   }
 }
@@ -38,14 +48,15 @@ void RrSetGenerator::SampleRandomTarget(Rng& rng, std::vector<VertexId>* out) {
 
 double EstimateSpreadViaRrSets(const Graph& g,
                                const std::vector<VertexId>& seeds,
-                               uint32_t num_sets, uint64_t seed) {
+                               uint32_t num_sets, uint64_t seed,
+                               SamplerKind kind) {
   VBLOCK_CHECK_MSG(num_sets > 0, "num_sets must be positive");
   std::vector<uint8_t> is_seed(g.NumVertices(), 0);
   for (VertexId s : seeds) {
     VBLOCK_CHECK_MSG(s < g.NumVertices(), "seed out of range");
     is_seed[s] = 1;
   }
-  RrSetGenerator generator(g);
+  RrSetGenerator generator(g, kind);
   std::vector<VertexId> rr;
   uint64_t hits = 0;
   for (uint32_t i = 0; i < num_sets; ++i) {

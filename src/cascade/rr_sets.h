@@ -22,17 +22,26 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sampler_kind.h"
 #include "graph/graph.h"
+#include "graph/prob_grouped_view.h"
 
 namespace vblock {
 
 /// Reusable RR-set generator over a fixed graph.
 class RrSetGenerator {
  public:
-  explicit RrSetGenerator(const Graph& g);
+  /// kGeometricSkip (default) draws live in-edges by geometric jumps over
+  /// the probability-grouped in-adjacency — the side where the weighted-
+  /// cascade model collapses each vertex's edges into a single run;
+  /// kPerEdgeCoin is the classic reverse-BFS coin loop.
+  explicit RrSetGenerator(const Graph& g,
+                          SamplerKind kind = SamplerKind::kGeometricSkip);
 
   /// Samples the RR set of `target`: every vertex with a live path TO
-  /// `target` (target included), flipping one coin per in-edge examined.
+  /// `target` (target included). Each examined in-edge is live
+  /// independently with its probability — drawn by per-edge coins or
+  /// geometric skips per the generator's kind.
   void Sample(VertexId target, Rng& rng, std::vector<VertexId>* out);
 
   /// Samples an RR set of a uniformly random target.
@@ -40,14 +49,17 @@ class RrSetGenerator {
 
  private:
   const Graph& graph_;
+  SamplerKind kind_;
+  const ProbGroupedView* grouped_ = nullptr;  // set iff kGeometricSkip
   std::vector<uint32_t> visit_epoch_;
   uint32_t epoch_ = 0;
 };
 
 /// Borgs' estimator: E(S, G) ≈ n · (#RR sets intersecting S) / num_sets.
-/// Deterministic in `seed`. Counts seeds themselves (like E(S,G)).
+/// Deterministic in (`seed`, `kind`). Counts seeds themselves (like E(S,G)).
 double EstimateSpreadViaRrSets(const Graph& g,
                                const std::vector<VertexId>& seeds,
-                               uint32_t num_sets, uint64_t seed);
+                               uint32_t num_sets, uint64_t seed,
+                               SamplerKind kind = SamplerKind::kGeometricSkip);
 
 }  // namespace vblock

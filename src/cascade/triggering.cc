@@ -4,9 +4,18 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "graph/prob_grouped_view.h"
 #include "graph/vertex_mask.h"
 
 namespace vblock {
+
+void TriggeringModel::SampleTriggerSetGrouped(const Graph& g,
+                                              const ProbGroupedView& grouped,
+                                              VertexId v, Rng& rng,
+                                              std::vector<uint32_t>* out) const {
+  (void)grouped;
+  SampleTriggerSet(g, v, rng, out);
+}
 
 void IcTriggeringModel::SampleTriggerSet(const Graph& g, VertexId v, Rng& rng,
                                          std::vector<uint32_t>* out) const {
@@ -14,6 +23,17 @@ void IcTriggeringModel::SampleTriggerSet(const Graph& g, VertexId v, Rng& rng,
   for (uint32_t i = 0; i < probs.size(); ++i) {
     if (rng.NextBernoulli(probs[i])) out->push_back(i);
   }
+}
+
+void IcTriggeringModel::SampleTriggerSetGrouped(const Graph& g,
+                                                const ProbGroupedView& grouped,
+                                                VertexId v, Rng& rng,
+                                                std::vector<uint32_t>* out) const {
+  (void)g;
+  grouped.SampleInEdges(
+      v, rng, [out](VertexId, uint32_t original_pos) {
+        out->push_back(original_pos);
+      });
 }
 
 LtTriggeringModel::LtTriggeringModel(const Graph& g) {

@@ -19,6 +19,8 @@
 
 namespace vblock {
 
+class ProbGroupedView;
+
 /// Distribution over triggering sets. Implementations must be stateless and
 /// thread-compatible: all randomness comes from the caller's Rng.
 class TriggeringModel {
@@ -29,6 +31,23 @@ class TriggeringModel {
   /// the chosen in-neighbors. `out` arrives empty.
   virtual void SampleTriggerSet(const Graph& g, VertexId v, Rng& rng,
                                 std::vector<uint32_t>* out) const = 0;
+
+  /// True iff SampleTriggerSetGrouped actually exploits the grouped
+  /// adjacency. Samplers consult this before building the O(m) grouped
+  /// view, so models on the fallback (e.g. LT) never pay for it.
+  virtual bool HasGroupedFastPath() const { return false; }
+
+  /// Geometric-skip fast path over the probability-grouped in-adjacency
+  /// (graph/prob_grouped_view.h): same distribution over T(v), different
+  /// RNG consumption, and indices may be appended in grouped rather than
+  /// ascending order (T(v) is a set; consumers only test membership). The
+  /// default ignores `grouped` and defers to SampleTriggerSet — models
+  /// whose draw is not per-edge Bernoulli (e.g. LT's single roulette spin)
+  /// gain nothing from grouping.
+  virtual void SampleTriggerSetGrouped(const Graph& g,
+                                       const ProbGroupedView& grouped,
+                                       VertexId v, Rng& rng,
+                                       std::vector<uint32_t>* out) const;
 
   /// Human-readable name (diagnostics).
   virtual const char* name() const = 0;
@@ -41,6 +60,12 @@ class IcTriggeringModel : public TriggeringModel {
  public:
   void SampleTriggerSet(const Graph& g, VertexId v, Rng& rng,
                         std::vector<uint32_t>* out) const override;
+  bool HasGroupedFastPath() const override { return true; }
+  /// Skip-samples v's grouped in-edges — under weighted cascade every
+  /// in-edge of v shares p = 1/din(v), so this is a single geometric run.
+  void SampleTriggerSetGrouped(const Graph& g, const ProbGroupedView& grouped,
+                               VertexId v, Rng& rng,
+                               std::vector<uint32_t>* out) const override;
   const char* name() const override { return "IC"; }
 };
 

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace vblock {
@@ -69,6 +70,20 @@ class Rng {
     if (p <= 0.0) return false;
     if (p >= 1.0) return true;
     return NextDouble() < p;
+  }
+
+  /// Number of failures before the first success of an i.i.d. Bernoulli(p)
+  /// sequence, sampled by inversion: ⌊log U / log(1-p)⌋ with U uniform in
+  /// (0, 1]. Takes the *precomputed* `inv_log1m_p` = 1/log1p(-p) (negative
+  /// for p in (0,1)) so hot loops pay one log() per draw, not two. Values
+  /// that would overflow saturate at 2^62 — callers compare the result
+  /// against a run length, so any huge value means "skip the whole run".
+  uint64_t NextGeometric(double inv_log1m_p) {
+    const double u = 1.0 - NextDouble();  // (0, 1]: log(u) is finite
+    const double skips = std::log(u) * inv_log1m_p;
+    constexpr double kSaturate = 4.611686018427387904e18;  // 2^62
+    if (!(skips < kSaturate)) return uint64_t{1} << 62;
+    return static_cast<uint64_t>(skips);
   }
 
   /// Uniform integer in [0, bound). bound must be > 0.

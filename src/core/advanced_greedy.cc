@@ -23,6 +23,7 @@ BlockerSelection AdvancedGreedy(const Graph& g, VertexId root,
   sd.seed = options.seed;
   sd.threads = options.threads;
   sd.sample_reuse = options.sample_reuse;
+  sd.sampler_kind = options.sampler_kind;
   SpreadDecreaseEngine engine(g, root, sd, options.triggering_model);
   if (!engine.Build(deadline)) {
     result.stats.timed_out = true;

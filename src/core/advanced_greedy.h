@@ -30,6 +30,9 @@ struct AdvancedGreedyOptions {
   /// sampling/sample_pool.h): kResample re-draws affected samples with
   /// fresh coins, kPrune re-prunes fixed live-edge worlds (fastest).
   SampleReuse sample_reuse = SampleReuse::kResample;
+  /// Live-edge drawing strategy (common/sampler_kind.h): geometric skips
+  /// over the probability-grouped adjacency (default) or per-edge coins.
+  SamplerKind sampler_kind = SamplerKind::kGeometricSkip;
   /// Optional triggering model (paper §V-E): when set, live-edge samples
   /// are drawn from this model (e.g. LtTriggeringModel) instead of the IC
   /// per-edge coins. Not owned; must outlive the call.
@@ -40,7 +43,7 @@ struct AdvancedGreedyOptions {
 /// SamplePool: the θ samples are drawn once and incrementally updated as
 /// blockers accumulate (SpreadDecreaseEngine). Ties in Δ are broken toward
 /// the smaller vertex id (deterministic; results are identical for any
-/// thread count at a fixed (seed, sample_reuse)).
+/// thread count at a fixed (seed, sample_reuse, sampler_kind)).
 BlockerSelection AdvancedGreedy(const Graph& g, VertexId root,
                                 const AdvancedGreedyOptions& options);
 

@@ -42,6 +42,7 @@ BlockerSelection BaselineGreedy(const Graph& g, VertexId root,
 
     MonteCarloOptions base_mc;
     base_mc.rounds = options.mc_rounds;
+    base_mc.sampler_kind = options.sampler_kind;
     base_mc.seed = options.common_random_numbers
                        ? round_seed
                        : MixSeed(options.seed, round * 1000003ULL);
@@ -56,6 +57,7 @@ BlockerSelection BaselineGreedy(const Graph& g, VertexId root,
       blocked.Set(u);
       MonteCarloOptions mc;
       mc.rounds = options.mc_rounds;
+      mc.sampler_kind = options.sampler_kind;
       mc.seed = options.common_random_numbers
                     ? round_seed
                     : MixSeed(options.seed, round * 1000003ULL + c + 1);

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include "common/sampler_kind.h"
 #include "core/blocker_result.h"
 #include "graph/graph.h"
 
@@ -22,6 +23,9 @@ struct BaselineGreedyOptions {
   uint32_t mc_rounds = 10000;
   /// Base RNG seed.
   uint64_t seed = 1;
+  /// Live-edge drawing strategy for the MC simulations
+  /// (common/sampler_kind.h).
+  SamplerKind sampler_kind = SamplerKind::kGeometricSkip;
   /// Cooperative deadline in seconds (0 = none; the paper uses 24h). On
   /// expiry the blockers selected so far are returned with
   /// stats.timed_out = true.

@@ -26,14 +26,15 @@ struct GroupKey {
   uint32_t mc_rounds = 0;
   uint64_t seed = 0;
   SampleReuse sample_reuse = SampleReuse::kResample;
+  SamplerKind sampler_kind = SamplerKind::kGeometricSkip;
   double time_limit_seconds = 0;
   std::vector<VertexId> seeds;
 
   bool operator<(const GroupKey& o) const {
     return std::tie(algorithm, theta, mc_rounds, seed, sample_reuse,
-                    time_limit_seconds, seeds) <
+                    sampler_kind, time_limit_seconds, seeds) <
            std::tie(o.algorithm, o.theta, o.mc_rounds, o.seed, o.sample_reuse,
-                    o.time_limit_seconds, o.seeds);
+                    o.sampler_kind, o.time_limit_seconds, o.seeds);
   }
 };
 
@@ -68,6 +69,7 @@ void NormalizeIrrelevantKnobs(GroupKey* key) {
       key->theta = 0;
       key->mc_rounds = 0;
       key->sample_reuse = SampleReuse::kResample;
+      key->sampler_kind = SamplerKind::kGeometricSkip;
       key->time_limit_seconds = 0;
       break;
     case Algorithm::kBaselineGreedy:
@@ -92,6 +94,7 @@ SolverOptions ResolveSolverOptions(const GroupKey& key, uint32_t budget,
   opts.threads = engine_threads;
   opts.time_limit_seconds = key.time_limit_seconds;
   opts.sample_reuse = key.sample_reuse;
+  opts.sampler_kind = key.sampler_kind;
   return opts;
 }
 
@@ -187,6 +190,7 @@ void RunGreedyReplaceGroup(const Graph& g, const Group& group,
   sd.seed = group.key.seed;
   sd.threads = engine_threads;
   sd.sample_reuse = group.key.sample_reuse;
+  sd.sampler_kind = group.key.sampler_kind;
 
   GreedyReplaceOptions gr;
   gr.theta = group.key.theta;
@@ -194,6 +198,7 @@ void RunGreedyReplaceGroup(const Graph& g, const Group& group,
   gr.threads = engine_threads;
   gr.time_limit_seconds = group.key.time_limit_seconds;
   gr.sample_reuse = group.key.sample_reuse;
+  gr.sampler_kind = group.key.sampler_kind;
 
   auto publish = [&](const Member& m, const BlockerSelection& sel) {
     SolverResult r;
@@ -296,6 +301,8 @@ BatchResult BatchSolver::Solve(const std::vector<IminQuery>& queries) const {
     key.mc_rounds = q.mc_rounds.value_or(options_.defaults.mc_rounds);
     key.seed = q.seed.value_or(options_.defaults.seed);
     key.sample_reuse = q.sample_reuse.value_or(options_.defaults.sample_reuse);
+    key.sampler_kind =
+        q.sampler_kind.value_or(options_.defaults.sampler_kind);
     key.time_limit_seconds =
         q.time_limit_seconds.value_or(options_.defaults.time_limit_seconds);
     NormalizeIrrelevantKnobs(&key);

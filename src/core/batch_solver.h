@@ -60,6 +60,7 @@ struct IminQuery {
   std::optional<uint32_t> mc_rounds;
   std::optional<uint64_t> seed;
   std::optional<SampleReuse> sample_reuse;
+  std::optional<SamplerKind> sampler_kind;
   std::optional<double> time_limit_seconds;
 };
 

@@ -4,22 +4,36 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace vblock {
 
 namespace {
 
-// One Brandes source iteration: BFS shortest-path DAG + dependency
-// accumulation. Scratch buffers are owned by the caller and reused.
+// Per-thread Brandes scratch. Visitation is epoch-stamped so a source
+// iteration costs O(visited + edges examined), not O(n) clearing, and the
+// shortest-path predecessors live in one flat CSR buffer (offsets over the
+// BFS order + a pool sized Σ preds) rebuilt per source — no vector-of-
+// vectors churn.
 struct BrandesScratch {
+  std::vector<uint32_t> visit_epoch;   // distance/sigma/... valid iff == epoch
   std::vector<int64_t> distance;
-  std::vector<double> sigma;       // shortest-path counts
-  std::vector<double> dependency;  // δ accumulation
-  std::vector<VertexId> order;     // BFS order
-  std::vector<std::vector<VertexId>> predecessors;
+  std::vector<double> sigma;           // shortest-path counts
+  std::vector<double> dependency;      // δ accumulation
+  std::vector<uint32_t> pred_count;    // preds discovered in the BFS pass
+  std::vector<uint32_t> pred_cursor;   // fill cursor into pred_pool
+  std::vector<VertexId> order;         // BFS order
+  std::vector<uint32_t> pred_offsets;  // per BFS position; size |order|+1
+  std::vector<VertexId> pred_pool;     // flat predecessor storage
+  uint32_t epoch = 0;
 
   explicit BrandesScratch(VertexId n)
-      : distance(n), sigma(n), dependency(n), predecessors(n) {
+      : visit_epoch(n, 0),
+        distance(n),
+        sigma(n),
+        dependency(n),
+        pred_count(n),
+        pred_cursor(n) {
     order.reserve(n);
   }
 };
@@ -27,39 +41,76 @@ struct BrandesScratch {
 void AccumulateFromSource(const Graph& g, VertexId s, double weight,
                           BrandesScratch& scratch,
                           std::vector<double>* centrality) {
-  const VertexId n = g.NumVertices();
-  std::fill(scratch.distance.begin(), scratch.distance.end(), -1);
-  std::fill(scratch.sigma.begin(), scratch.sigma.end(), 0.0);
-  std::fill(scratch.dependency.begin(), scratch.dependency.end(), 0.0);
-  for (auto& preds : scratch.predecessors) preds.clear();
-  scratch.order.clear();
+  const uint32_t epoch = ++scratch.epoch;
+  auto discover = [&](VertexId v, int64_t dist) {
+    scratch.visit_epoch[v] = epoch;
+    scratch.distance[v] = dist;
+    scratch.sigma[v] = 0.0;
+    scratch.dependency[v] = 0.0;
+    scratch.pred_count[v] = 0;
+    scratch.order.push_back(v);
+  };
 
-  scratch.distance[s] = 0;
+  // Pass 1: BFS shortest-path DAG — distances, σ counts, predecessor
+  // counts (the flat buffer's shape).
+  scratch.order.clear();
+  discover(s, 0);
   scratch.sigma[s] = 1.0;
-  scratch.order.push_back(s);
   for (size_t head = 0; head < scratch.order.size(); ++head) {
     VertexId u = scratch.order[head];
     for (VertexId v : g.OutNeighbors(u)) {
-      if (scratch.distance[v] < 0) {
-        scratch.distance[v] = scratch.distance[u] + 1;
-        scratch.order.push_back(v);
-      }
+      if (scratch.visit_epoch[v] != epoch) discover(v, scratch.distance[u] + 1);
       if (scratch.distance[v] == scratch.distance[u] + 1) {
         scratch.sigma[v] += scratch.sigma[u];
-        scratch.predecessors[v].push_back(u);
+        ++scratch.pred_count[v];
       }
     }
   }
-  // Dependency accumulation in reverse BFS order.
-  for (auto it = scratch.order.rbegin(); it != scratch.order.rend(); ++it) {
-    VertexId w = *it;
-    for (VertexId u : scratch.predecessors[w]) {
+
+  // Prefix-sum the counts into flat CSR offsets (indexed by BFS position)
+  // and per-vertex fill cursors. The offsets are 32-bit; make the limit
+  // explicit rather than silently wrapping on >= 2^32 DAG links.
+  scratch.pred_offsets.resize(scratch.order.size() + 1);
+  scratch.pred_offsets[0] = 0;
+  uint64_t total_preds = 0;
+  for (size_t i = 0; i < scratch.order.size(); ++i) {
+    const VertexId v = scratch.order[i];
+    scratch.pred_cursor[v] = scratch.pred_offsets[i];
+    scratch.pred_offsets[i + 1] =
+        scratch.pred_offsets[i] + scratch.pred_count[v];
+    total_preds += scratch.pred_count[v];
+  }
+  VBLOCK_CHECK_MSG(total_preds <= UINT32_MAX,
+                   "per-source predecessor links exceed 2^32");
+  if (scratch.pred_pool.size() < scratch.pred_offsets.back()) {
+    scratch.pred_pool.resize(scratch.pred_offsets.back());
+  }
+
+  // Pass 2: fill. Every out-neighbor of a visited vertex was stamped in
+  // pass 1, so the distance test alone identifies DAG edges; scanning u in
+  // BFS order appends each w's predecessors in exactly the order the
+  // classic per-vertex push_back produced.
+  for (VertexId u : scratch.order) {
+    for (VertexId v : g.OutNeighbors(u)) {
+      if (scratch.distance[v] == scratch.distance[u] + 1) {
+        scratch.pred_pool[scratch.pred_cursor[v]++] = u;
+      }
+    }
+  }
+
+  // Pass 3: dependency accumulation in reverse BFS order. The per-pred
+  // expression keeps the historical operation order, so single-threaded
+  // results are bit-identical to the pre-flat-buffer implementation.
+  for (size_t i = scratch.order.size(); i-- > 0;) {
+    const VertexId w = scratch.order[i];
+    for (uint32_t k = scratch.pred_offsets[i]; k < scratch.pred_offsets[i + 1];
+         ++k) {
+      const VertexId u = scratch.pred_pool[k];
       scratch.dependency[u] += scratch.sigma[u] / scratch.sigma[w] *
                                (1.0 + scratch.dependency[w]);
     }
     if (w != s) (*centrality)[w] += weight * scratch.dependency[w];
   }
-  (void)n;
 }
 
 }  // namespace
@@ -69,24 +120,53 @@ std::vector<double> ComputeBetweenness(const Graph& g,
   const VertexId n = g.NumVertices();
   std::vector<double> centrality(n, 0.0);
   if (n == 0) return centrality;
-  BrandesScratch scratch(n);
 
+  // Resolve the source list (and per-source weight) up front so the
+  // parallel sweep below is a pure map over it. Pivot sampling consumes the
+  // RNG exactly as the historical interleaved loop did.
+  std::vector<VertexId> sources;
+  double weight = 1.0;
   if (options.pivots == 0 || options.pivots >= n) {
-    for (VertexId s = 0; s < n; ++s) {
-      AccumulateFromSource(g, s, 1.0, scratch, &centrality);
-    }
+    sources.resize(n);
+    for (VertexId v = 0; v < n; ++v) sources[v] = v;
   } else {
     // Uniform pivot sample without replacement, scaled by n/pivots.
     std::vector<VertexId> pool(n);
     for (VertexId v = 0; v < n; ++v) pool[v] = v;
     Rng rng(options.seed);
-    const double weight =
-        static_cast<double>(n) / static_cast<double>(options.pivots);
+    weight = static_cast<double>(n) / static_cast<double>(options.pivots);
     for (uint32_t i = 0; i < options.pivots; ++i) {
       size_t j = i + rng.NextBounded(pool.size() - i);
       std::swap(pool[i], pool[j]);
-      AccumulateFromSource(g, pool[i], weight, scratch, &centrality);
     }
+    pool.resize(options.pivots);
+    sources = std::move(pool);
+  }
+
+  const auto num_sources = static_cast<uint32_t>(sources.size());
+  const uint32_t threads =
+      std::max<uint32_t>(1, std::min(options.threads, num_sources));
+  if (threads == 1) {
+    BrandesScratch scratch(n);
+    for (VertexId s : sources) {
+      AccumulateFromSource(g, s, weight, scratch, &centrality);
+    }
+    return centrality;
+  }
+
+  // Static source chunks, one scratch + centrality partial per thread,
+  // reduced in thread order — deterministic for a fixed thread count.
+  std::vector<std::vector<double>> partial(threads,
+                                           std::vector<double>(n, 0.0));
+  ThreadPool pool(threads);
+  pool.ParallelFor(num_sources, [&](uint32_t t, uint32_t begin, uint32_t end) {
+    BrandesScratch scratch(n);
+    for (uint32_t i = begin; i < end; ++i) {
+      AccumulateFromSource(g, sources[i], weight, scratch, &partial[t]);
+    }
+  });
+  for (uint32_t t = 0; t < threads; ++t) {
+    for (VertexId v = 0; v < n; ++v) centrality[v] += partial[t][v];
   }
   return centrality;
 }

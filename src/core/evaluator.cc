@@ -21,6 +21,7 @@ double EvaluateSpread(const Graph& g, const std::vector<VertexId>& seeds,
   mc.rounds = options.mc_rounds;
   mc.seed = options.seed;
   mc.threads = options.threads;
+  mc.sampler_kind = options.sampler_kind;
   return EstimateSpread(g, seeds, mc, &blocked);
 }
 

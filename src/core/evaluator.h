@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/sampler_kind.h"
 #include "graph/graph.h"
 
 namespace vblock {
@@ -26,6 +27,9 @@ struct EvaluationOptions {
   uint64_t seed = 0x5eedf00d;
   /// Worker threads for the sampling path.
   uint32_t threads = 1;
+  /// Live-edge drawing strategy for the sampling path
+  /// (common/sampler_kind.h).
+  SamplerKind sampler_kind = SamplerKind::kGeometricSkip;
 };
 
 /// E(S, G[V\B]) on the *original* instance: expected number of active

@@ -38,6 +38,9 @@ struct GreedyReplaceOptions {
   /// sampling/sample_pool.h): kResample re-draws affected samples with
   /// fresh coins, kPrune re-prunes fixed live-edge worlds (fastest).
   SampleReuse sample_reuse = SampleReuse::kResample;
+  /// Live-edge drawing strategy (common/sampler_kind.h): geometric skips
+  /// over the probability-grouped adjacency (default) or per-edge coins.
+  SamplerKind sampler_kind = SamplerKind::kGeometricSkip;
   /// Optional triggering model (paper §V-E): when set, live-edge samples
   /// are drawn from this model (e.g. LtTriggeringModel) instead of the IC
   /// per-edge coins. Not owned; must outlive the call.
@@ -56,7 +59,8 @@ BlockerSelection GreedyReplace(const Graph& g, VertexId root,
 /// Algorithm 4 against an externally owned, already-Build()-finished engine
 /// whose blocked mask is all-clear — the batch solver's entry point
 /// (core/batch_solver.h), which amortizes one θ-sample pool across a whole
-/// budget sweep. The engine's (theta, seed, sample_reuse, threads) must
+/// budget sweep. The engine's (theta, seed, sample_reuse, sampler_kind,
+/// threads) must
 /// match `options`; only budget/time limit are read here. On return the
 /// engine's mask holds whatever the run left blocked (the final set, minus
 /// the last tentatively unblocked vertex when phase 2 early-terminated);

@@ -101,6 +101,7 @@ Result<SolverResult> SolveImin(const Graph& g,
       bg.budget = options.budget;
       bg.mc_rounds = options.mc_rounds;
       bg.seed = options.seed;
+      bg.sampler_kind = options.sampler_kind;
       bg.time_limit_seconds = options.time_limit_seconds;
       BlockerSelection sel = BaselineGreedy(inst.graph, inst.root, bg);
       result.blockers = inst.BlockersToOriginal(sel.blockers);
@@ -118,6 +119,7 @@ Result<SolverResult> SolveImin(const Graph& g,
       ag.threads = options.threads;
       ag.time_limit_seconds = options.time_limit_seconds;
       ag.sample_reuse = options.sample_reuse;
+      ag.sampler_kind = options.sampler_kind;
       BlockerSelection sel = AdvancedGreedy(inst.graph, inst.root, ag);
       result.blockers = inst.BlockersToOriginal(sel.blockers);
       result.stats = sel.stats;
@@ -134,6 +136,7 @@ Result<SolverResult> SolveImin(const Graph& g,
       gr.threads = options.threads;
       gr.time_limit_seconds = options.time_limit_seconds;
       gr.sample_reuse = options.sample_reuse;
+      gr.sampler_kind = options.sampler_kind;
       BlockerSelection sel = GreedyReplace(inst.graph, inst.root, gr);
       result.blockers = inst.BlockersToOriginal(sel.blockers);
       result.stats = sel.stats;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sampler_kind.h"
 #include "common/status.h"
 #include "core/blocker_result.h"
 #include "graph/graph.h"
@@ -63,6 +64,12 @@ struct SolverOptions {
   /// keeps the θ live-edge worlds fixed and re-prunes them (fastest). See
   /// docs/DESIGN.md §5.
   SampleReuse sample_reuse = SampleReuse::kResample;
+  /// Live-edge drawing strategy for every stochastic traversal (BG / AG /
+  /// GR): kGeometricSkip (default) jumps over the probability-grouped
+  /// adjacency, kPerEdgeCoin flips one coin per edge. Same distribution,
+  /// different RNG consumption — results differ between kinds for a fixed
+  /// seed but are fully deterministic within one. See docs/DESIGN.md §7.
+  SamplerKind sampler_kind = SamplerKind::kGeometricSkip;
 };
 
 /// Facade result: blockers in *original* vertex ids. stats.selection_trace

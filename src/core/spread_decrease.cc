@@ -127,7 +127,8 @@ SpreadDecreaseResult ComputeSpreadDecrease(const Graph& g, VertexId root,
                                            const VertexMask* blocked) {
   return RunSampling(g, options, /*weights=*/nullptr, [&] {
     // One sampler per worker thread; shares the graph, owns scratch space.
-    return [sampler = ReachableSampler(g, root, blocked)](
+    return [sampler = ReachableSampler(g, root, blocked,
+                                       options.sampler_kind)](
                Rng& rng, SampledGraph* out) mutable {
       sampler.Sample(rng, out);
     };
@@ -138,7 +139,8 @@ SpreadDecreaseResult ComputeSpreadDecreaseTriggering(
     const Graph& g, const TriggeringModel& model, VertexId root,
     const SpreadDecreaseOptions& options, const VertexMask* blocked) {
   return RunSampling(g, options, /*weights=*/nullptr, [&] {
-    return [sampler = TriggeringSampler(g, model, root, blocked)](
+    return [sampler = TriggeringSampler(g, model, root, blocked,
+                                        options.sampler_kind)](
                Rng& rng, SampledGraph* out) mutable {
       sampler.Sample(rng, out);
     };
@@ -149,7 +151,8 @@ SpreadDecreaseResult ComputeSpreadDecreaseWeighted(
     const Graph& g, VertexId root, const std::vector<double>& vertex_weight,
     const SpreadDecreaseOptions& options, const VertexMask* blocked) {
   return RunSampling(g, options, &vertex_weight, [&] {
-    return [sampler = ReachableSampler(g, root, blocked)](
+    return [sampler = ReachableSampler(g, root, blocked,
+                                       options.sampler_kind)](
                Rng& rng, SampledGraph* out) mutable {
       sampler.Sample(rng, out);
     };

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cascade/triggering.h"
+#include "common/sampler_kind.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "graph/vertex_mask.h"
@@ -37,6 +38,13 @@ struct SpreadDecreaseOptions {
   /// kPrune re-prunes fixed live-edge worlds (fastest). See
   /// sampling/sample_pool.h and docs/DESIGN.md §5.
   SampleReuse sample_reuse = SampleReuse::kResample;
+  /// How the θ live-edge samples are drawn (common/sampler_kind.h):
+  /// kGeometricSkip jumps over the probability-grouped adjacency,
+  /// kPerEdgeCoin flips one coin per edge. Same distribution; the kinds
+  /// consume randomness differently, so they visit different worlds for
+  /// the same seed. All determinism guarantees (thread-count invariance,
+  /// pool ≡ one-shot) hold within either kind. See docs/DESIGN.md §7.
+  SamplerKind sampler_kind = SamplerKind::kGeometricSkip;
 };
 
 /// Output of Algorithm 2.

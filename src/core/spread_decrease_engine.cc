@@ -15,7 +15,7 @@ SpreadDecreaseEngine::SpreadDecreaseEngine(const Graph& g, VertexId root,
       root_(root),
       pool_(g, root,
             SamplePool::Options{options.theta, options.seed,
-                                options.sample_reuse},
+                                options.sample_reuse, options.sampler_kind},
             model) {
   const uint32_t num_threads =
       std::max<uint32_t>(1, std::min(options.threads, options.theta));

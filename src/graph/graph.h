@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "common/types.h"
 
 namespace vblock {
+
+class ProbGroupedView;
 
 /// A directed edge with an IC-model propagation probability.
 struct Edge {
@@ -100,8 +103,39 @@ class Graph {
   /// Average total degree (in+out)/n — the paper's "davg".
   double AverageTotalDegree() const;
 
+  /// The probability-grouped adjacency (graph/prob_grouped_view.h), built
+  /// lazily on first use and shared by every geometric-skip sampler of this
+  /// graph. Thread-safe: concurrent first calls race to install one view
+  /// (losers discard their build). The view is self-contained, so sharing
+  /// it across samplers, pools, and batch groups is free.
+  const ProbGroupedView& GroupedView() const;
+
  private:
   friend class GraphBuilder;
+
+  // Holder for the lazily built ProbGroupedView. Copying a Graph resets the
+  // copy's cache (it rebuilds on demand); moving steals it; assignment
+  // invalidates the target's old cache, which described the old edges.
+  // User-defined ops keep Graph itself copyable despite the atomic member.
+  struct GroupedViewSlot {
+    GroupedViewSlot() = default;
+    GroupedViewSlot(const GroupedViewSlot&) noexcept {}
+    GroupedViewSlot(GroupedViewSlot&& other) noexcept
+        : view(other.view.exchange(nullptr)) {}
+    GroupedViewSlot& operator=(const GroupedViewSlot&) noexcept {
+      Reset();
+      return *this;
+    }
+    GroupedViewSlot& operator=(GroupedViewSlot&& other) noexcept {
+      Reset();
+      view.store(other.view.exchange(nullptr));
+      return *this;
+    }
+    ~GroupedViewSlot();
+    void Reset();  // deletes the cached view (defined in prob_grouped_view.cc)
+
+    std::atomic<const ProbGroupedView*> view{nullptr};
+  };
 
   std::vector<EdgeId> out_offsets_{0};  // size n+1
   std::vector<VertexId> out_targets_;   // size m
@@ -109,6 +143,7 @@ class Graph {
   std::vector<EdgeId> in_offsets_{0};   // size n+1
   std::vector<VertexId> in_sources_;    // size m
   std::vector<double> in_probs_;        // size m
+  mutable GroupedViewSlot grouped_;
 };
 
 }  // namespace vblock

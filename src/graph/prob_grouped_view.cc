@@ -1,0 +1,178 @@
+#include "graph/prob_grouped_view.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+namespace vblock {
+
+namespace {
+
+// Interns a probability value by exact bit pattern (the grouped view must
+// reproduce every original probability bit-for-bit, so no epsilon
+// bucketing). Class ids are assigned in order of first appearance, which
+// is deterministic because the CSR scan order is.
+uint32_t InternClass(double p,
+                     std::unordered_map<uint64_t, uint32_t>* interned,
+                     std::vector<ProbGroupedView::ProbClass>* classes) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &p, sizeof(bits));
+  auto [it, inserted] =
+      interned->try_emplace(bits, static_cast<uint32_t>(classes->size()));
+  if (inserted) {
+    ProbGroupedView::ProbClass cls;
+    cls.probability = p;
+    cls.inv_log1m = (p > 0.0 && p < 1.0) ? 1.0 / std::log1p(-p) : 0.0;
+    classes->push_back(cls);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+ProbGroupedView::ProbGroupedView(const Graph& g) {
+  BuildDir(g, /*out=*/true, &out_);
+  BuildDir(g, /*out=*/false, &in_);
+}
+
+void ProbGroupedView::BuildDir(const Graph& g, bool out, Dir* d) {
+  const VertexId n = g.NumVertices();
+  const EdgeId m = g.NumEdges();
+  d->offsets.assign(n + 1, 0);
+  d->run_offsets.assign(n + 1, 0);
+  d->neighbors.resize(m);
+  d->orig_pos.resize(m);
+  d->probs.resize(m);
+  d->use_runs.assign(n, 0);
+
+  // The class table is shared between directions: the out pass interns
+  // every value, the in pass (seeded from classes_ below) finds them all
+  // already present — the two directions carry the same edge set.
+  std::unordered_map<uint64_t, uint32_t> interned;
+  interned.reserve(classes_.size() * 2 + 16);
+  for (const ProbClass& cls : classes_) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &cls.probability, sizeof(bits));
+    interned.emplace(bits, static_cast<uint32_t>(&cls - classes_.data()));
+  }
+
+  std::vector<uint32_t> class_of;  // per original position of one vertex
+  // Epoch-stamped per-class scratch (grown as classes are interned) for the
+  // stable per-vertex counting group below — no per-vertex allocations.
+  std::vector<uint32_t> distinct;  // this vertex's classes, sorted ascending
+  std::vector<uint32_t> class_epoch, class_count, class_cursor;
+  uint32_t vertex_epoch = 0;
+
+  EdgeId edge_cursor = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto neighbors = out ? g.OutNeighbors(v) : g.InNeighbors(v);
+    const auto probs = out ? g.OutProbabilities(v) : g.InProbabilities(v);
+    const auto degree = static_cast<uint32_t>(neighbors.size());
+
+    class_of.resize(degree);
+    for (uint32_t k = 0; k < degree; ++k) {
+      class_of[k] = InternClass(probs[k], &interned, &classes_);
+    }
+    if (class_epoch.size() < classes_.size()) {
+      class_epoch.resize(classes_.size(), 0);
+      class_count.resize(classes_.size());
+      class_cursor.resize(classes_.size());
+    }
+
+    // Stable counting group by ascending class id: edges of one class
+    // become one contiguous run, original relative order preserved within
+    // it — deterministic, and each run is emitted directly from its count.
+    ++vertex_epoch;
+    distinct.clear();
+    for (uint32_t k = 0; k < degree; ++k) {
+      const uint32_t c = class_of[k];
+      if (class_epoch[c] != vertex_epoch) {
+        class_epoch[c] = vertex_epoch;
+        class_count[c] = 0;
+        distinct.push_back(c);
+      }
+      ++class_count[c];
+    }
+    std::sort(distinct.begin(), distinct.end());
+
+    const auto first_run = static_cast<uint32_t>(d->runs.size());
+    uint32_t cursor = 0;
+    for (uint32_t c : distinct) {
+      class_cursor[c] = cursor;
+      cursor += class_count[c];
+      const double p = classes_[c].probability;
+      const uint8_t geometric =
+          p > 0.0 && p < 1.0 && RunPrefersGeometric(p, class_count[c]) ? 1 : 0;
+      d->runs.push_back(Run{c, class_count[c], geometric});
+    }
+    for (uint32_t k = 0; k < degree; ++k) {
+      const uint32_t slot = class_cursor[class_of[k]]++;
+      d->neighbors[edge_cursor + slot] = neighbors[k];
+      d->orig_pos[edge_cursor + slot] = k;
+      d->probs[edge_cursor + slot] = probs[k];
+    }
+    // Pick the vertex's kernel strategy under the cost model: total run-walk
+    // cost (with each run already taking its cheaper branch) against one
+    // plain coin scan. Vertices whose grouping cannot pay — typical for WC
+    // out-edges, whose targets mostly have distinct in-degrees — keep the
+    // plain scan and cost exactly what the per-edge kind costs.
+    double plain_cost = 0;
+    double walk_cost = 0;
+    for (uint32_t r = first_run; r < d->runs.size(); ++r) {
+      const double p = classes_[d->runs[r].class_id].probability;
+      const uint32_t length = d->runs[r].length;
+      walk_cost += kRunOverheadCost;
+      if (p <= 0.0) {
+        plain_cost += kDegenerateEdgeCost * length;
+      } else if (p >= 1.0) {
+        plain_cost += kDegenerateEdgeCost * length;
+        walk_cost += kDegenerateEdgeCost * length;
+      } else {
+        plain_cost += length;
+        walk_cost += d->runs[r].geometric
+                         ? (1.0 + length * p) * kGeometricDrawCost
+                         : length;
+      }
+    }
+    d->use_runs[v] = walk_cost < plain_cost ? 1 : 0;
+    edge_cursor += degree;
+    d->offsets[v + 1] = edge_cursor;
+    // run_offsets is 32-bit (one run per edge worst case, and EdgeId is
+    // 64-bit) — make the limit explicit rather than silently wrapping.
+    VBLOCK_CHECK_MSG(d->runs.size() <= UINT32_MAX,
+                     "grouped view supports at most 2^32 probability runs");
+    d->run_offsets[v + 1] = static_cast<uint32_t>(d->runs.size());
+  }
+  d->runs.shrink_to_fit();
+}
+
+// -- Graph::GroupedView -----------------------------------------------------
+// Defined here (not graph.cc) so graph.cc never needs the complete
+// ProbGroupedView type for delete.
+
+Graph::GroupedViewSlot::~GroupedViewSlot() { Reset(); }
+
+void Graph::GroupedViewSlot::Reset() {
+  delete view.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+const ProbGroupedView& Graph::GroupedView() const {
+  const ProbGroupedView* existing =
+      grouped_.view.load(std::memory_order_acquire);
+  if (existing != nullptr) return *existing;
+  // Concurrent first calls race to install; losers discard their build.
+  // Building twice is wasteful but rare (first use only) and keeps readers
+  // lock-free forever after.
+  auto* built = new ProbGroupedView(*this);
+  const ProbGroupedView* expected = nullptr;
+  if (grouped_.view.compare_exchange_strong(expected, built,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+    return *built;
+  }
+  delete built;
+  return *expected;
+}
+
+}  // namespace vblock

@@ -1,0 +1,239 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Probability-grouped adjacency for geometric-skip live-edge sampling.
+//
+// Every stochastic traversal in the pipeline bottoms out in "flip one coin
+// per out-edge (or in-edge) of every visited vertex". On the paper's
+// propagation models the edge probabilities take very few distinct values —
+// trivalency has three, weighted cascade one per distinct in-degree, and a
+// vertex's in-edges under WC all share p = 1/din(v) — so a one-time
+// analysis pays for itself: group each vertex's adjacency into runs of
+// identical probability, precompute 1/log1p(-p) per class, and sample each
+// run by geometric jumps (⌊log U / log(1-p)⌋ edges per RNG call) instead
+// of per-edge coins. Expected per-vertex cost drops from O(degree) to
+// O(#classes + #successes); p = 1 runs are taken wholesale and p = 0 runs
+// are skipped for free, with zero RNG consumption.
+//
+// The view is immutable, self-contained (it copies what it needs out of
+// the Graph), and cached lazily on the Graph itself (Graph::GroupedView),
+// so samplers, sample pools, and batch groups all share one instance.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// Immutable grouped-CSR mirror of a Graph's out- and in-adjacency.
+class ProbGroupedView {
+ public:
+  /// One distinct edge-probability value.
+  struct ProbClass {
+    double probability = 0.0;
+    /// 1/log1p(-p) (negative) for p in (0,1); 0 for the degenerate classes
+    /// (p <= 0 never fires, p >= 1 always fires — neither draws randomness).
+    double inv_log1m = 0.0;
+  };
+
+  /// A maximal run of consecutive same-class edges of one vertex in the
+  /// grouped order. `geometric` is the baked build-time decision of
+  /// RunPrefersGeometric for this (probability, length) — the kernel only
+  /// tests the flag.
+  struct Run {
+    uint32_t class_id = 0;
+    uint32_t length = 0;
+    uint8_t geometric = 0;
+  };
+
+  /// Builds the grouped view: one pass to intern the distinct probability
+  /// values (class ids in order of first appearance in the out-CSR, then
+  /// the in-CSR), one stable per-vertex sort to group each adjacency list
+  /// by ascending class id. O(m log dmax) time, ~2x the adjacency in extra
+  /// memory (see docs/DESIGN.md §7).
+  explicit ProbGroupedView(const Graph& g);
+
+  uint32_t NumClasses() const { return static_cast<uint32_t>(classes_.size()); }
+  const ProbClass& ClassAt(uint32_t c) const { return classes_[c]; }
+
+  // -- Grouped out-adjacency -------------------------------------------------
+
+  /// Targets of u's out-edges in grouped order (a permutation of
+  /// g.OutNeighbors(u)).
+  std::span<const VertexId> GroupedOutNeighbors(VertexId u) const {
+    return Neighbors(out_, u);
+  }
+  /// Runs covering u's grouped out-edges; lengths sum to OutDegree(u).
+  std::span<const Run> OutRuns(VertexId u) const { return Runs(out_, u); }
+  /// Original within-vertex position (index into g.OutNeighbors(u)) of u's
+  /// k-th grouped out-edge — the permutation back to the original order.
+  uint32_t OutOriginalPos(VertexId u, uint32_t k) const {
+    return OriginalPos(out_, u, k);
+  }
+  /// Original global EdgeId (g.OutEdgeId) of u's k-th grouped out-edge.
+  EdgeId OutOriginalEdgeId(VertexId u, uint32_t k) const {
+    return out_.offsets[u] + OutOriginalPos(u, k);
+  }
+  /// Probability of u's k-th grouped out-edge (identical, bit-for-bit, to
+  /// the original edge's probability).
+  double OutProbability(VertexId u, uint32_t k) const {
+    return Probability(out_, u, k);
+  }
+
+  // -- Grouped in-adjacency --------------------------------------------------
+
+  /// Sources of v's in-edges in grouped order (a permutation of
+  /// g.InNeighbors(v)).
+  std::span<const VertexId> GroupedInNeighbors(VertexId v) const {
+    return Neighbors(in_, v);
+  }
+  std::span<const Run> InRuns(VertexId v) const { return Runs(in_, v); }
+  /// Original within-vertex position (index into g.InNeighbors(v)).
+  uint32_t InOriginalPos(VertexId v, uint32_t k) const {
+    return OriginalPos(in_, v, k);
+  }
+  double InProbability(VertexId v, uint32_t k) const {
+    return Probability(in_, v, k);
+  }
+
+  // -- Skip-sampling kernels -------------------------------------------------
+
+  /// Draws an independent Bernoulli(p) coin for every out-edge of u and
+  /// calls fn(target, original_pos) for each success, in grouped order.
+  /// Strategy per the cost model below: profitable runs advance by
+  /// geometric jumps (one log per live edge plus one per run), expensive
+  /// runs fall back to per-edge coins, and vertices whose grouping cannot
+  /// pay at all take one plain coin scan. Distribution is identical in
+  /// every case; only RNG consumption differs.
+  template <typename Fn>
+  void SampleOutEdges(VertexId u, Rng& rng, Fn&& fn) const {
+    SampleDir(out_, u, rng, fn);
+  }
+
+  /// In-edge twin of SampleOutEdges: fn(source, original_pos) per success.
+  /// This is the side that makes RR-sets and triggering-set draws cheap —
+  /// under WC all of v's in-edges share one class.
+  template <typename Fn>
+  void SampleInEdges(VertexId v, Rng& rng, Fn&& fn) const {
+    SampleDir(in_, v, rng, fn);
+  }
+
+  // -- Sampling cost model ---------------------------------------------------
+  //
+  // Geometric jumps are not free: one draw costs a log(), several times a
+  // plain coin. The kernels therefore pick, per run and per vertex, the
+  // cheapest strategy under a small cost model (units: one Bernoulli coin),
+  // decided at build time so the hot loop only pays a flag test. The
+  // decisions are deterministic properties of the graph, so reproducibility
+  // is untouched.
+
+  /// Approximate cost of one NextGeometric draw (one log()) in coin units.
+  static constexpr double kGeometricDrawCost = 4.0;
+  /// Per-run bookkeeping cost of the run walk (run + class loads, branches).
+  static constexpr double kRunOverheadCost = 1.5;
+  /// Cost of an edge whose probability is 0 or 1 (no RNG, branch only).
+  static constexpr double kDegenerateEdgeCost = 0.3;
+
+  /// True iff geometric jumps beat per-edge coins for a run of `length`
+  /// edges of probability `p` in (0,1): expected draws are 1 + length·p
+  /// (successes plus the final overshoot), each kGeometricDrawCost coins.
+  static constexpr bool RunPrefersGeometric(double p, uint32_t length) {
+    return (1.0 + static_cast<double>(length) * p) * kGeometricDrawCost <
+           static_cast<double>(length);
+  }
+
+  /// True iff the kernel walks u's out-edge (resp. v's in-edge) runs;
+  /// false means the grouping cannot beat a plain coin scan there (e.g. WC
+  /// out-edges toward targets of mostly-distinct in-degrees) and the kernel
+  /// samples the grouped arrays edge by edge at exactly the per-edge
+  /// kind's cost. Exposed for tests and diagnostics.
+  bool OutUsesRunWalk(VertexId u) const { return out_.use_runs[u] != 0; }
+  bool InUsesRunWalk(VertexId v) const { return in_.use_runs[v] != 0; }
+
+ private:
+  struct Dir {
+    std::vector<EdgeId> offsets;        // n+1 (same values as the Graph's)
+    std::vector<uint32_t> run_offsets;  // n+1, into runs
+    std::vector<Run> runs;
+    std::vector<VertexId> neighbors;    // size m, grouped order
+    std::vector<uint32_t> orig_pos;     // size m, grouped -> original pos
+    std::vector<double> probs;          // size m, grouped order
+    std::vector<uint8_t> use_runs;      // n: some run beats a plain scan
+  };
+
+  std::span<const VertexId> Neighbors(const Dir& d, VertexId v) const {
+    VBLOCK_DCHECK(v + 1 < d.offsets.size());
+    return {d.neighbors.data() + d.offsets[v],
+            d.neighbors.data() + d.offsets[v + 1]};
+  }
+  std::span<const Run> Runs(const Dir& d, VertexId v) const {
+    VBLOCK_DCHECK(v + 1 < d.run_offsets.size());
+    return {d.runs.data() + d.run_offsets[v],
+            d.runs.data() + d.run_offsets[v + 1]};
+  }
+  uint32_t OriginalPos(const Dir& d, VertexId v, uint32_t k) const {
+    VBLOCK_DCHECK(d.offsets[v] + k < d.offsets[v + 1]);
+    return d.orig_pos[d.offsets[v] + k];
+  }
+  double Probability(const Dir& d, VertexId v, uint32_t k) const {
+    // Walk the runs to the one covering k (tests/diagnostics only; the
+    // sampling kernels never call this).
+    uint32_t covered = 0;
+    for (const Run& run : Runs(d, v)) {
+      covered += run.length;
+      if (k < covered) return classes_[run.class_id].probability;
+    }
+    VBLOCK_CHECK_MSG(false, "grouped position out of range");
+    return 0.0;
+  }
+
+  template <typename Fn>
+  void SampleDir(const Dir& d, VertexId v, Rng& rng, Fn&& fn) const {
+    if (!d.use_runs[v]) {
+      // Degenerate grouping: a plain coin scan is optimal, and reading the
+      // grouped probs array makes it exactly as cheap as the per-edge kind.
+      for (EdgeId e = d.offsets[v]; e < d.offsets[v + 1]; ++e) {
+        if (rng.NextBernoulli(d.probs[e])) fn(d.neighbors[e], d.orig_pos[e]);
+      }
+      return;
+    }
+    EdgeId slot = d.offsets[v];
+    for (uint32_t r = d.run_offsets[v]; r < d.run_offsets[v + 1]; ++r) {
+      const Run run = d.runs[r];
+      const ProbClass& cls = classes_[run.class_id];
+      if (cls.probability >= 1.0) {
+        for (uint32_t k = 0; k < run.length; ++k) {
+          fn(d.neighbors[slot + k], d.orig_pos[slot + k]);
+        }
+      } else if (cls.probability > 0.0) {
+        if (run.geometric) {
+          for (uint64_t pos = rng.NextGeometric(cls.inv_log1m);
+               pos < run.length; pos += 1 + rng.NextGeometric(cls.inv_log1m)) {
+            fn(d.neighbors[slot + pos], d.orig_pos[slot + pos]);
+          }
+        } else {
+          for (uint32_t k = 0; k < run.length; ++k) {
+            if (rng.NextBernoulli(cls.probability)) {
+              fn(d.neighbors[slot + k], d.orig_pos[slot + k]);
+            }
+          }
+        }
+      }
+      slot += run.length;
+    }
+  }
+
+  void BuildDir(const Graph& g, bool out, Dir* d);
+
+  std::vector<ProbClass> classes_;
+  Dir out_;
+  Dir in_;
+};
+
+}  // namespace vblock

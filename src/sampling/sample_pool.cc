@@ -24,10 +24,10 @@ SamplePool::Scratch SamplePool::MakeScratch() const {
   Scratch scratch;
   if (model_) {
     scratch.triggering_sampler = std::make_unique<TriggeringSampler>(
-        graph_, *model_, root_, &blocked_);
+        graph_, *model_, root_, &blocked_, options_.sampler_kind);
   } else {
-    scratch.ic_sampler =
-        std::make_unique<ReachableSampler>(graph_, root_, &blocked_);
+    scratch.ic_sampler = std::make_unique<ReachableSampler>(
+        graph_, root_, &blocked_, options_.sampler_kind);
   }
   return scratch;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cascade/triggering.h"
+#include "common/sampler_kind.h"
 #include "graph/graph.h"
 #include "graph/vertex_mask.h"
 #include "sampling/reachable_sampler.h"
@@ -47,6 +48,9 @@ class SamplePool {
     /// sample i (kResample) uses MixSeed(MixSeed(seed, i), r).
     uint64_t seed = 1;
     SampleReuse reuse = SampleReuse::kResample;
+    /// Live-edge drawing strategy; must match the one-shot estimator's
+    /// sampler_kind for the pool ≡ one-shot bit-exactness to hold.
+    SamplerKind sampler_kind = SamplerKind::kGeometricSkip;
   };
 
   /// Per-thread scratch for DeriveSample: the sampler owns O(n) epoch-

@@ -6,24 +6,35 @@ namespace vblock {
 
 TriggeringSampler::TriggeringSampler(const Graph& g,
                                      const TriggeringModel& model,
-                                     VertexId root, const VertexMask* blocked)
+                                     VertexId root, const VertexMask* blocked,
+                                     SamplerKind kind)
     : graph_(g),
       model_(model),
       root_(root),
       blocked_(blocked),
+      kind_(kind),
       local_id_(g.NumVertices(), 0),
       visit_epoch_(g.NumVertices(), 0),
       trigger_epoch_(g.NumVertices(), 0),
       trigger_begin_(g.NumVertices(), 0),
       trigger_end_(g.NumVertices(), 0) {
   VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
+  // Only pay for (and hold) the grouped view when the model can use it —
+  // LT's single roulette spin gains nothing from grouping.
+  if (kind_ == SamplerKind::kGeometricSkip && model.HasGroupedFastPath()) {
+    grouped_ = &g.GroupedView();
+  }
 }
 
 bool TriggeringSampler::EdgeLive(VertexId u, VertexId v, Rng& rng) {
   if (trigger_epoch_[v] != epoch_) {
     trigger_epoch_[v] = epoch_;
     scratch_.clear();
-    model_.SampleTriggerSet(graph_, v, rng, &scratch_);
+    if (grouped_ != nullptr) {
+      model_.SampleTriggerSetGrouped(graph_, *grouped_, v, rng, &scratch_);
+    } else {
+      model_.SampleTriggerSet(graph_, v, rng, &scratch_);
+    }
     trigger_begin_[v] = static_cast<uint32_t>(trigger_pool_.size());
     for (uint32_t idx : scratch_) trigger_pool_.push_back(idx);
     trigger_end_[v] = static_cast<uint32_t>(trigger_pool_.size());

@@ -9,7 +9,9 @@
 
 #include "cascade/triggering.h"
 #include "common/rng.h"
+#include "common/sampler_kind.h"
 #include "graph/graph.h"
+#include "graph/prob_grouped_view.h"
 #include "graph/vertex_mask.h"
 #include "sampling/sampled_graph.h"
 
@@ -18,8 +20,13 @@ namespace vblock {
 /// Reusable triggering-model live-edge sampler rooted at a fixed vertex.
 class TriggeringSampler {
  public:
+  /// Under kGeometricSkip (default) trigger sets are drawn through the
+  /// model's SampleTriggerSetGrouped fast path over the graph's
+  /// probability-grouped in-adjacency; kPerEdgeCoin uses the plain
+  /// SampleTriggerSet. Same distribution, different RNG consumption.
   TriggeringSampler(const Graph& g, const TriggeringModel& model,
-                    VertexId root, const VertexMask* blocked = nullptr);
+                    VertexId root, const VertexMask* blocked = nullptr,
+                    SamplerKind kind = SamplerKind::kGeometricSkip);
 
   void set_blocked(const VertexMask* blocked) { blocked_ = blocked; }
 
@@ -34,6 +41,9 @@ class TriggeringSampler {
   const TriggeringModel& model_;
   VertexId root_;
   const VertexMask* blocked_;
+  SamplerKind kind_;
+  // Set iff kGeometricSkip AND the model has a grouped fast path.
+  const ProbGroupedView* grouped_ = nullptr;
 
   std::vector<uint32_t> local_id_;
   std::vector<uint32_t> visit_epoch_;

@@ -24,6 +24,7 @@
 // common
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/sampler_kind.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
@@ -35,6 +36,7 @@
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_io.h"
+#include "graph/prob_grouped_view.h"
 #include "graph/scc.h"
 #include "graph/subgraph.h"
 #include "graph/traversal.h"
