@@ -1,0 +1,123 @@
+// Micro-benchmark for the query service's warm-pool path: the same AG
+// solve issued repeatedly against a QueryService, (a) cold — the pool
+// cache is evicted before every request, so each one pays the full
+// θ-sample build — versus (b) warm — the first request builds, every
+// later one checks the restored engine out of the PoolCache and skips the
+// build. Emits a single JSON object on stdout for CI to archive.
+//
+// Acceptance target (ISSUE 5): the repeated SOLVE is served from the
+// cache (pool_hits == warm iterations), returns bit-identical blockers to
+// the cold path, and warm QPS ≥ 5× cold QPS (advisory in CI).
+//
+// Environment knobs (defaults are the tiny synthetic config):
+//   VBLOCK_SERVICE_BENCH_N        vertices            (default 10000)
+//   VBLOCK_SERVICE_BENCH_THETA    samples θ           (default 2000)
+//   VBLOCK_SERVICE_BENCH_BUDGET   blockers per query  (default 5)
+//   VBLOCK_SERVICE_BENCH_ITERS    timed iterations    (default 20)
+//   VBLOCK_SERVICE_BENCH_REUSE    prune | resample    (default prune)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "gen/generators.h"
+#include "prob/probability_models.h"
+#include "service/graph_registry.h"
+#include "service/query_service.h"
+
+using namespace vblock;
+using vblock::bench::EnvOr;
+
+int main() {
+  const uint32_t n = EnvOr("VBLOCK_SERVICE_BENCH_N", 10000);
+  const uint32_t theta = EnvOr("VBLOCK_SERVICE_BENCH_THETA", 2000);
+  const uint32_t budget = EnvOr("VBLOCK_SERVICE_BENCH_BUDGET", 5);
+  const uint32_t iters = EnvOr("VBLOCK_SERVICE_BENCH_ITERS", 20);
+  const char* reuse_env = std::getenv("VBLOCK_SERVICE_BENCH_REUSE");
+  const SampleReuse reuse =
+      (reuse_env && std::strcmp(reuse_env, "resample") == 0)
+          ? SampleReuse::kResample
+          : SampleReuse::kPrune;
+  const uint64_t seed = 20230227;
+
+  GraphRegistry registry;
+  registry.Add("bench", WithWeightedCascade(GenerateBarabasiAlbert(n, 4,
+                                                                   seed)));
+
+  ServiceOptions options;
+  options.num_threads = 1;  // measure per-request latency, not parallelism
+  options.defaults.theta = theta;
+  options.defaults.seed = seed;
+  options.defaults.sample_reuse = reuse;
+  QueryService service(&registry, options);
+
+  IminRequest request;
+  request.graph = "bench";
+  request.query.seeds = {0};
+  request.query.budget = budget;
+  request.query.algorithm = Algorithm::kAdvancedGreedy;
+
+  // Reference result + warm-up (also populates the cache once).
+  Result<SolverResult> reference = service.SubmitAndWait(request);
+  VBLOCK_CHECK(reference.ok());
+
+  // Cold arm: evict before every request → every iteration re-draws the
+  // full θ-sample pool.
+  bool identical = true;
+  Timer cold_timer;
+  for (uint32_t i = 0; i < iters; ++i) {
+    service.pool_cache().EvictAll();
+    Result<SolverResult> r = service.SubmitAndWait(request);
+    VBLOCK_CHECK(r.ok());
+    identical = identical && r->blockers == reference->blockers;
+  }
+  const double cold_seconds = cold_timer.ElapsedSeconds();
+
+  // Warm arm: the cache entry survives between requests.
+  service.pool_cache().EvictAll();
+  VBLOCK_CHECK(service.SubmitAndWait(request).ok());  // rebuild once
+  const uint64_t hits_before = service.pool_cache().stats().hits;
+  Timer warm_timer;
+  for (uint32_t i = 0; i < iters; ++i) {
+    Result<SolverResult> r = service.SubmitAndWait(request);
+    VBLOCK_CHECK(r.ok());
+    identical = identical && r->blockers == reference->blockers;
+  }
+  const double warm_seconds = warm_timer.ElapsedSeconds();
+  const uint64_t warm_hits = service.pool_cache().stats().hits - hits_before;
+
+  const bool all_warm_hits = warm_hits == iters;
+  const double cold_qps = cold_seconds > 0 ? iters / cold_seconds : 0.0;
+  const double warm_qps = warm_seconds > 0 ? iters / warm_seconds : 0.0;
+  const double speedup = cold_seconds > 0 && warm_seconds > 0
+                             ? cold_seconds / warm_seconds
+                             : 0.0;
+
+  std::printf(
+      "{\n"
+      "  \"bench\": \"service_throughput\",\n"
+      "  \"graph\": {\"model\": \"barabasi_albert_wc\", \"n\": %u, \"m\": "
+      "%llu},\n"
+      "  \"theta\": %u,\n"
+      "  \"budget\": %u,\n"
+      "  \"iterations\": %u,\n"
+      "  \"sample_reuse\": \"%s\",\n"
+      "  \"cold_seconds\": %.4f,\n"
+      "  \"warm_seconds\": %.4f,\n"
+      "  \"cold_qps\": %.2f,\n"
+      "  \"warm_qps\": %.2f,\n"
+      "  \"speedup_warm_vs_cold\": %.2f,\n"
+      "  \"warm_served_from_cache\": %s,\n"
+      "  \"identical_blocker_sets\": %s\n"
+      "}\n",
+      n,
+      static_cast<unsigned long long>(
+          registry.Get("bench").value()->graph.NumEdges()),
+      theta, budget, iters, reuse == SampleReuse::kPrune ? "prune" : "resample",
+      cold_seconds, warm_seconds, cold_qps, warm_qps, speedup,
+      all_warm_hits ? "true" : "false", identical ? "true" : "false");
+  return identical && all_warm_hits ? 0 : 1;
+}

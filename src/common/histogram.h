@@ -1,0 +1,105 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Fixed-bucket log-scale histogram for latency accounting.
+//
+// The query service (service/query_service.h) records one latency sample
+// per completed request and reports percentile snapshots in its stats.
+// Buckets are log-spaced powers of kGrowth starting at kFirstBound, which
+// spans microseconds to minutes in 64 buckets with ~26% relative error —
+// plenty for "is p99 a millisecond or a second" service dashboards.
+// Recording is O(log bucket count) and allocation-free; the histogram is
+// NOT internally synchronized (the service guards it with its own mutex).
+
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace vblock {
+
+/// Log-bucketed histogram of non-negative samples (seconds, bytes, ...).
+class Histogram {
+ public:
+  /// Upper bound of bucket 0; samples below land in bucket 0.
+  static constexpr double kFirstBound = 1e-6;
+  /// Geometric growth factor between consecutive bucket bounds.
+  static constexpr double kGrowth = 1.26;
+  /// Bucket count; the last bucket absorbs everything above the top bound.
+  static constexpr uint32_t kNumBuckets = 64;
+
+  void Record(double value) {
+    ++counts_[BucketOf(value)];
+    ++total_count_;
+    total_sum_ += value;
+    if (total_count_ == 1 || value < min_) min_ = value;
+    if (total_count_ == 1 || value > max_) max_ = value;
+  }
+
+  uint64_t count() const { return total_count_; }
+  double sum() const { return total_sum_; }
+  double min() const { return total_count_ ? min_ : 0.0; }
+  double max() const { return total_count_ ? max_ : 0.0; }
+  double mean() const {
+    return total_count_ ? total_sum_ / static_cast<double>(total_count_) : 0.0;
+  }
+
+  /// Upper-bound estimate of the q-quantile (q in [0, 1]): the upper bound
+  /// of the first bucket whose cumulative count reaches q·count. Returns 0
+  /// on an empty histogram. The estimate is exact to one bucket (~26%).
+  double Quantile(double q) const {
+    if (total_count_ == 0) return 0.0;
+    const double target = q * static_cast<double>(total_count_);
+    uint64_t cumulative = 0;
+    for (uint32_t b = 0; b < kNumBuckets; ++b) {
+      cumulative += counts_[b];
+      if (static_cast<double>(cumulative) >= target) {
+        // Clamp the reported bound to the observed extremes so tiny
+        // histograms don't report a bucket bound far above their max.
+        const double bound = UpperBound(b);
+        return bound > max_ ? max_ : (bound < min_ ? min_ : bound);
+      }
+    }
+    return max_;
+  }
+
+  uint64_t bucket_count(uint32_t b) const { return counts_[b]; }
+
+  /// Upper bound of bucket b (inclusive); the last bucket is unbounded but
+  /// reports its nominal bound.
+  static double UpperBound(uint32_t b) {
+    return kFirstBound * std::pow(kGrowth, static_cast<double>(b));
+  }
+
+  void Reset() { *this = Histogram(); }
+
+  /// Merges another histogram into this one (same fixed bucket layout).
+  void Merge(const Histogram& other) {
+    for (uint32_t b = 0; b < kNumBuckets; ++b) counts_[b] += other.counts_[b];
+    if (other.total_count_ > 0) {
+      if (total_count_ == 0 || other.min_ < min_) min_ = other.min_;
+      if (total_count_ == 0 || other.max_ > max_) max_ = other.max_;
+    }
+    total_count_ += other.total_count_;
+    total_sum_ += other.total_sum_;
+  }
+
+ private:
+  static uint32_t BucketOf(double value) {
+    if (!(value > kFirstBound)) return 0;  // also catches NaN/negatives
+    // log(value / kFirstBound) / log(kGrowth), rounded up to the first
+    // bucket whose upper bound reaches value.
+    const double b = std::ceil(std::log(value / kFirstBound) /
+                               std::log(kGrowth));
+    if (b >= static_cast<double>(kNumBuckets - 1)) return kNumBuckets - 1;
+    return static_cast<uint32_t>(b);
+  }
+
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t total_count_ = 0;
+  double total_sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace vblock

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kResourceExhausted,
   kIoError,
   kFailedPrecondition,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -59,6 +60,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

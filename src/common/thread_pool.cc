@@ -31,13 +31,29 @@ void ThreadPool::RunChunk(uint32_t thread_index) {
 void ThreadPool::WorkerLoop(uint32_t thread_index) {
   uint64_t seen_generation = 0;
   while (true) {
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
+        return shutdown_ || generation_ != seen_generation ||
+               !tasks_.empty();
       });
-      if (shutdown_) return;
-      seen_generation = generation_;
+      if (generation_ != seen_generation) {
+        // Range chunks take priority: a ParallelFor caller is blocked until
+        // every worker has run its chunk.
+        seen_generation = generation_;
+      } else if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else {
+        // shutdown_ && queue drained: exit. Pending tasks are always
+        // executed before the pool dies (see Submit's contract).
+        return;
+      }
+    }
+    if (task) {
+      task();
+      continue;
     }
     RunChunk(thread_index);
     {
@@ -45,6 +61,25 @@ void ThreadPool::WorkerLoop(uint32_t thread_index) {
       if (--outstanding_ == 0) work_done_.notify_one();
     }
   }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (num_threads_ == 1) {
+    // No background workers: run inline (callers that need asynchrony
+    // construct the pool with >= 2 threads).
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+uint32_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<uint32_t>(tasks_.size());
 }
 
 void ThreadPool::ParallelFor(uint32_t count, const RangeFn& fn) {

@@ -7,14 +7,24 @@
 // prominently at small θ. A ThreadPool is created once per solve and reused
 // across every round: workers park on a condition variable between jobs.
 //
-// Work is distributed as static contiguous chunks (thread t gets the t-th
-// chunk of [0, count)), which keeps results bit-identical for a fixed
-// thread count and lets callers maintain per-thread scratch state.
+// Two job styles share the same workers:
+//  * ParallelFor — fork-join range jobs distributed as static contiguous
+//    chunks (thread t gets the t-th chunk of [0, count)), which keeps
+//    results bit-identical for a fixed thread count and lets callers
+//    maintain per-thread scratch state.
+//  * Submit — fire-and-forget tasks pulled from a FIFO queue, used by the
+//    async query service (service/query_service.h). QueueDepth() exposes
+//    the backlog for admission control and stats.
+//
+// The two compose safely: a worker busy with a task picks up its
+// ParallelFor chunk when the task finishes (correctness is unaffected; only
+// latency). In practice the engines and the service use separate pools.
 
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -22,7 +32,7 @@
 
 namespace vblock {
 
-/// Fixed-size pool of worker threads executing range jobs.
+/// Fixed-size pool of worker threads executing range jobs and queued tasks.
 class ThreadPool {
  public:
   /// Spawns `num_threads - 1` workers (the calling thread executes the
@@ -36,6 +46,10 @@ class ThreadPool {
 
   uint32_t num_threads() const { return num_threads_; }
 
+  /// Background workers available to Submit(): num_threads() - 1 (the
+  /// remaining "thread" of a ParallelFor is the caller itself).
+  uint32_t num_workers() const { return num_threads_ - 1; }
+
   /// Range job: fn(thread_index, begin, end) with thread_index in
   /// [0, num_threads) and [begin, end) ⊆ [0, count).
   using RangeFn = std::function<void(uint32_t, uint32_t, uint32_t)>;
@@ -46,6 +60,18 @@ class ThreadPool {
   /// scheduling.
   void ParallelFor(uint32_t count, const RangeFn& fn);
 
+  /// Enqueues a fire-and-forget task for the next idle worker (FIFO). When
+  /// the pool has no workers (num_threads() <= 1) the task runs inline
+  /// before Submit returns. The destructor drains the queue: every task
+  /// submitted before destruction begins is executed, then the workers
+  /// exit — so a task's side effects (fulfilling a promise, releasing a
+  /// cache entry) are always delivered.
+  void Submit(std::function<void()> task);
+
+  /// Tasks submitted but not yet started (the service's admission-control
+  /// backlog signal). Running tasks are not counted.
+  uint32_t QueueDepth() const;
+
  private:
   void WorkerLoop(uint32_t thread_index);
   void RunChunk(uint32_t thread_index);
@@ -53,13 +79,14 @@ class ThreadPool {
   const uint32_t num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   const RangeFn* job_ = nullptr;  // borrowed for the duration of one job
   uint32_t job_count_ = 0;
   uint64_t generation_ = 0;   // bumped per job; workers wait for a new value
   uint32_t outstanding_ = 0;  // workers still running the current job
+  std::deque<std::function<void()>> tasks_;
   bool shutdown_ = false;
 };
 

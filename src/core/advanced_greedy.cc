@@ -6,6 +6,35 @@
 
 namespace vblock {
 
+BlockerSelection AdvancedGreedyWithEngine(SpreadDecreaseEngine* engine,
+                                          const AdvancedGreedyOptions& options,
+                                          const Deadline& deadline) {
+  Timer timer;
+  BlockerSelection result;
+  for (uint32_t round = 0; round < options.budget; ++round) {
+    if (deadline.Expired()) {
+      result.stats.timed_out = true;
+      break;
+    }
+    double best_delta = 0;
+    VertexId best = engine->BestUnblocked(&best_delta);
+    if (best == kInvalidVertex) break;  // no candidates left
+
+    result.blockers.push_back(best);
+    result.stats.selection_trace.push_back(best);
+    result.stats.round_best_delta.push_back(best_delta);
+    ++result.stats.rounds_completed;
+
+    // Re-score only when another round will read the scores.
+    if (round + 1 < options.budget && !engine->Block(best, deadline)) {
+      result.stats.timed_out = true;
+      break;
+    }
+  }
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
 BlockerSelection AdvancedGreedy(const Graph& g, VertexId root,
                                 const AdvancedGreedyOptions& options) {
   VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
@@ -31,27 +60,7 @@ BlockerSelection AdvancedGreedy(const Graph& g, VertexId root,
     return result;
   }
 
-  for (uint32_t round = 0; round < options.budget; ++round) {
-    if (deadline.Expired()) {
-      result.stats.timed_out = true;
-      break;
-    }
-    double best_delta = 0;
-    VertexId best = engine.BestUnblocked(&best_delta);
-    if (best == kInvalidVertex) break;  // no candidates left
-
-    result.blockers.push_back(best);
-    result.stats.selection_trace.push_back(best);
-    result.stats.round_best_delta.push_back(best_delta);
-    ++result.stats.rounds_completed;
-
-    // Re-score only when another round will read the scores.
-    if (round + 1 < options.budget && !engine.Block(best, deadline)) {
-      result.stats.timed_out = true;
-      break;
-    }
-  }
-
+  result = AdvancedGreedyWithEngine(&engine, options, deadline);
   result.stats.seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -7,11 +7,14 @@
 
 #pragma once
 
+#include "common/timer.h"
 #include "core/blocker_result.h"
 #include "core/spread_decrease.h"
 #include "graph/graph.h"
 
 namespace vblock {
+
+class SpreadDecreaseEngine;
 
 /// Parameters for Algorithm 3.
 struct AdvancedGreedyOptions {
@@ -46,5 +49,18 @@ struct AdvancedGreedyOptions {
 /// thread count at a fixed (seed, sample_reuse, sampler_kind)).
 BlockerSelection AdvancedGreedy(const Graph& g, VertexId root,
                                 const AdvancedGreedyOptions& options);
+
+/// Algorithm 3 against an externally owned, already-Build()-finished engine
+/// whose blocked mask is all-clear — the warm-path entry point of the query
+/// service (service/query_service.h). The engine's (theta, seed,
+/// sample_reuse, sampler_kind) must match `options`; only budget is read
+/// here. The selection loop is the one AdvancedGreedy runs, so results are
+/// bit-identical to the standalone call. On return the engine's mask holds
+/// every pick except the last (the final round skips the Block nothing
+/// would read); SpreadDecreaseEngine::Restore undoes it either way.
+/// stats.seconds excludes the pool build the caller paid for.
+BlockerSelection AdvancedGreedyWithEngine(SpreadDecreaseEngine* engine,
+                                          const AdvancedGreedyOptions& options,
+                                          const Deadline& deadline);
 
 }  // namespace vblock

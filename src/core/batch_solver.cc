@@ -11,32 +11,17 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/greedy_replace.h"
+#include "core/query_key.h"
 #include "core/spread_decrease_engine.h"
 #include "core/unified_instance.h"
 
 namespace vblock {
 namespace {
 
-// Everything that decides whether two queries may share work, plus the
-// canonical (sorted) seed set. std::map iteration over these keys fixes a
+// The shared canonical work-sharing key (core/query_key.h): sorted seeds +
+// the knobs the algorithm reads. std::map iteration over these keys fixes a
 // deterministic group order independent of query submission order.
-struct GroupKey {
-  Algorithm algorithm = Algorithm::kGreedyReplace;
-  uint32_t theta = 0;
-  uint32_t mc_rounds = 0;
-  uint64_t seed = 0;
-  SampleReuse sample_reuse = SampleReuse::kResample;
-  SamplerKind sampler_kind = SamplerKind::kGeometricSkip;
-  double time_limit_seconds = 0;
-  std::vector<VertexId> seeds;
-
-  bool operator<(const GroupKey& o) const {
-    return std::tie(algorithm, theta, mc_rounds, seed, sample_reuse,
-                    sampler_kind, time_limit_seconds, seeds) <
-           std::tie(o.algorithm, o.theta, o.mc_rounds, o.seed, o.sample_reuse,
-                    o.sampler_kind, o.time_limit_seconds, o.seeds);
-  }
-};
+using GroupKey = QueryKey;
 
 struct Member {
   uint32_t query_index = 0;
@@ -50,54 +35,6 @@ struct Group {
   std::vector<Member> members;
 };
 
-// Zeroes the knobs the query's algorithm never reads so that queries
-// differing only in an irrelevant override still share one group (and one
-// full solve). The zeroed values flow into the shared solve unread, so
-// bit-exactness with the standalone call is unaffected.
-void NormalizeIrrelevantKnobs(GroupKey* key) {
-  switch (key->algorithm) {
-    case Algorithm::kOutDegree:
-    case Algorithm::kPageRank:
-      // Fully deterministic rankings: not even the seed matters.
-      key->seed = 0;
-      [[fallthrough]];
-    case Algorithm::kRandom:
-    case Algorithm::kBetweenness:
-      // Top-k heuristics: no sampling, no MC, no deadline handling. The
-      // seed stays for RA (it draws from it) and BC (its pivot path reads
-      // it on large graphs).
-      key->theta = 0;
-      key->mc_rounds = 0;
-      key->sample_reuse = SampleReuse::kResample;
-      key->sampler_kind = SamplerKind::kGeometricSkip;
-      key->time_limit_seconds = 0;
-      break;
-    case Algorithm::kBaselineGreedy:
-      key->theta = 0;
-      key->sample_reuse = SampleReuse::kResample;
-      break;
-    case Algorithm::kAdvancedGreedy:
-    case Algorithm::kGreedyReplace:
-      key->mc_rounds = 0;
-      break;
-  }
-}
-
-SolverOptions ResolveSolverOptions(const GroupKey& key, uint32_t budget,
-                                   uint32_t engine_threads) {
-  SolverOptions opts;
-  opts.algorithm = key.algorithm;
-  opts.budget = budget;
-  opts.theta = key.theta;
-  opts.mc_rounds = key.mc_rounds;
-  opts.seed = key.seed;
-  opts.threads = engine_threads;
-  opts.time_limit_seconds = key.time_limit_seconds;
-  opts.sample_reuse = key.sample_reuse;
-  opts.sampler_kind = key.sampler_kind;
-  return opts;
-}
-
 // RA/OD/PR/BC/BG/AG: the pick at position k depends only on the k picks
 // before it (top-k truncations and greedy rounds alike), so one run at the
 // group's maximum budget answers every member by slicing its selection
@@ -107,8 +44,8 @@ void RunSweepGroup(const Graph& g, const Group& group, uint32_t engine_threads,
   Timer timer;
   const uint32_t max_budget = group.members.back().budget;
   Result<SolverResult> full = SolveImin(
-      g, group.key.seeds, ResolveSolverOptions(group.key, max_budget,
-                                               engine_threads));
+      g, group.key.seeds, SolverOptionsForKey(group.key, max_budget,
+                                              engine_threads));
   // Validation is per-query and budget-monotone: the max-budget member
   // passed it, so the shared solve cannot be rejected.
   VBLOCK_CHECK(full.ok());
@@ -130,7 +67,7 @@ void RunSweepGroup(const Graph& g, const Group& group, uint32_t engine_threads,
       // to an individual solve under a fresh deadline.
       Result<SolverResult> solo = SolveImin(
           g, group.key.seeds,
-          ResolveSolverOptions(group.key, m.budget, engine_threads));
+          SolverOptionsForKey(group.key, m.budget, engine_threads));
       VBLOCK_CHECK(solo.ok());
       ++stats->full_solves;
       if (group.key.algorithm == Algorithm::kAdvancedGreedy) {
@@ -276,6 +213,18 @@ void RunGreedyReplaceGroup(const Graph& g, const Group& group,
 
 }  // namespace
 
+QueryKey ResolveQueryKey(const IminQuery& q, const SolverOptions& defaults) {
+  SolverOptions resolved = defaults;
+  resolved.theta = q.theta.value_or(defaults.theta);
+  resolved.mc_rounds = q.mc_rounds.value_or(defaults.mc_rounds);
+  resolved.seed = q.seed.value_or(defaults.seed);
+  resolved.sample_reuse = q.sample_reuse.value_or(defaults.sample_reuse);
+  resolved.sampler_kind = q.sampler_kind.value_or(defaults.sampler_kind);
+  resolved.time_limit_seconds =
+      q.time_limit_seconds.value_or(defaults.time_limit_seconds);
+  return CanonicalQueryKey(q.seeds, q.algorithm, resolved);
+}
+
 BatchSolver::BatchSolver(const Graph& g, const BatchOptions& options)
     : graph_(g), options_(options) {}
 
@@ -295,20 +244,8 @@ BatchResult BatchSolver::Solve(const std::vector<IminQuery>& queries) const {
       out.queries[i].status = std::move(valid);
       continue;
     }
-    GroupKey key;
-    key.algorithm = q.algorithm;
-    key.theta = q.theta.value_or(options_.defaults.theta);
-    key.mc_rounds = q.mc_rounds.value_or(options_.defaults.mc_rounds);
-    key.seed = q.seed.value_or(options_.defaults.seed);
-    key.sample_reuse = q.sample_reuse.value_or(options_.defaults.sample_reuse);
-    key.sampler_kind =
-        q.sampler_kind.value_or(options_.defaults.sampler_kind);
-    key.time_limit_seconds =
-        q.time_limit_seconds.value_or(options_.defaults.time_limit_seconds);
-    NormalizeIrrelevantKnobs(&key);
-    key.seeds = q.seeds;
-    std::sort(key.seeds.begin(), key.seeds.end());
-    grouping[std::move(key)].push_back(Member{i, q.budget});
+    grouping[ResolveQueryKey(q, options_.defaults)].push_back(
+        Member{i, q.budget});
   }
 
   std::vector<Group> groups;

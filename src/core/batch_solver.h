@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/query_key.h"
 #include "core/solver.h"
 #include "graph/graph.h"
 #include "sampling/sample_reuse.h"
@@ -128,6 +129,13 @@ class BatchSolver {
   const Graph& graph_;
   BatchOptions options_;
 };
+
+/// Resolves a query's per-field overrides against `defaults` and returns
+/// its canonical work-sharing key (core/query_key.h) — the exact key
+/// BatchSolver groups on. Public so the other amortization layers (the
+/// service's PoolCache and request deduplication) key identically by
+/// construction; tests/batch_solver_test.cc pins the agreement.
+QueryKey ResolveQueryKey(const IminQuery& q, const SolverOptions& defaults);
 
 /// Facade convenience wrapper: BatchSolver(g, options).Solve(queries).
 BatchResult SolveIminBatch(const Graph& g,

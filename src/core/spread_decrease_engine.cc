@@ -17,11 +17,10 @@ SpreadDecreaseEngine::SpreadDecreaseEngine(const Graph& g, VertexId root,
             SamplePool::Options{options.theta, options.seed,
                                 options.sample_reuse, options.sampler_kind},
             model) {
-  const uint32_t num_threads =
-      std::max<uint32_t>(1, std::min(options.threads, options.theta));
-  if (num_threads > 1) threads_ = std::make_unique<ThreadPool>(num_threads);
-  workers_.reserve(num_threads);
-  for (uint32_t t = 0; t < num_threads; ++t) {
+  num_threads_ = std::max<uint32_t>(1, std::min(options.threads,
+                                                options.theta));
+  workers_.reserve(num_threads_);
+  for (uint32_t t = 0; t < num_threads_; ++t) {
     workers_.push_back(Worker{pool_.MakeScratch(), {}, {}});
   }
 }
@@ -116,6 +115,26 @@ bool SpreadDecreaseEngine::Unblock(VertexId v, const Deadline& deadline) {
   dirty_.clear();
   pool_.BeginUnblock(v, &dirty_);
   return RecomputeDirty(deadline, /*initial=*/false);
+}
+
+bool SpreadDecreaseEngine::Restore(const Deadline& deadline) {
+  VBLOCK_CHECK_MSG(built_ && !timed_out_, "engine not in a restorable state");
+  dirty_.clear();
+  pool_.BeginRestore(&dirty_);
+  if (dirty_.empty()) return true;  // nothing blocked since Build()
+  return RecomputeDirty(deadline, /*initial=*/false);
+}
+
+uint64_t SpreadDecreaseEngine::MemoryUsageBytes() const {
+  uint64_t bytes = pool_.MemoryUsageBytes();
+  for (const auto& s : sizes_) {
+    bytes += static_cast<uint64_t>(s.capacity()) * sizeof(VertexId);
+  }
+  bytes += static_cast<uint64_t>(sizes_.capacity()) *
+           sizeof(std::vector<VertexId>);
+  bytes += static_cast<uint64_t>(delta_raw_.capacity()) * sizeof(double);
+  bytes += static_cast<uint64_t>(dirty_.capacity()) * sizeof(uint32_t);
+  return bytes;
 }
 
 VertexId SpreadDecreaseEngine::BestUnblocked(double* best_delta) const {

@@ -52,6 +52,17 @@ class SpreadDecreaseEngine {
   /// re-derives every sample that may regain vertices through v.
   bool Unblock(VertexId v, const Deadline& deadline = Deadline());
 
+  /// Returns the engine to its freshly-Build() state: clears the whole
+  /// blocked mask and re-derives/re-scores exactly the samples that have
+  /// changed since the build (SamplePool::BeginRestore). Bit-exact in both
+  /// reuse modes — kPrune re-prunes the pristine worlds under the empty
+  /// mask, kResample replays the original revision-0 draw streams — so a
+  /// restored engine answers queries identically to a brand-new one
+  /// (tests/service_test.cc and tests/sample_pool_test.cc assert this).
+  /// This is the warm-pool cache's checkin path: O(samples touched by the
+  /// previous run), not O(θ). Must not be called on a timed-out engine.
+  bool Restore(const Deadline& deadline = Deadline());
+
   /// Current Δ estimate for v (normalized by θ), reflecting the current
   /// blocked mask.
   double Delta(VertexId v) const {
@@ -86,6 +97,26 @@ class SpreadDecreaseEngine {
   /// incremental aggregate against from-scratch scoring of these).
   const SampledGraph& PoolSample(uint32_t i) const { return pool_.sample(i); }
 
+  /// Heap bytes held by the engine: the pool plus the per-sample subtree
+  /// size caches and the score vector. Per-worker scratch (samplers,
+  /// dominator workspaces) is not walked — ReleaseThreads trims it to one
+  /// worker's set before an engine is cached, bounding the omission to
+  /// O(largest sample region). Feeds the warm-pool cache's byte budget
+  /// (service/pool_cache.h).
+  uint64_t MemoryUsageBytes() const;
+
+  /// Joins and drops the engine's worker threads AND the extra per-thread
+  /// scratch (sampler arrays, dominator workspaces) — both re-materialize
+  /// lazily on the next parallel update. The warm-pool cache parks engines
+  /// through this so N cached entries never pin N × (threads-1) idle OS
+  /// threads or scratch sets; worker 0 survives, keeping the inline path
+  /// (and its allocation-free steady state) intact. Results are unaffected
+  /// (thread-count invariance).
+  void ReleaseThreads() {
+    threads_.reset();
+    if (workers_.size() > 1) workers_.resize(1);
+  }
+
  private:
   // Per-thread state: pool scratch plus dominator workspace/tree.
   struct Worker {
@@ -102,9 +133,16 @@ class SpreadDecreaseEngine {
   // path: ParallelFor takes a std::function, whose construction from a
   // capturing lambda heap-allocates per call — the template keeps the
   // single-threaded hot path allocation-free (asserted by
-  // tests/sample_pool_test.cc).
+  // tests/sample_pool_test.cc). The lazy re-spawn serves ReleaseThreads:
+  // a parked-then-reused engine gets its workers back on first need.
   template <typename Fn>
   void RunParallel(uint32_t count, Fn&& fn) {
+    if (num_threads_ > 1 && !threads_) {
+      threads_ = std::make_unique<ThreadPool>(num_threads_);
+      while (workers_.size() < num_threads_) {
+        workers_.push_back(Worker{pool_.MakeScratch(), {}, {}});
+      }
+    }
     if (threads_) {
       threads_->ParallelFor(count, fn);
     } else if (count > 0) {
@@ -115,7 +153,8 @@ class SpreadDecreaseEngine {
   const Graph& graph_;
   VertexId root_;
   SamplePool pool_;
-  std::unique_ptr<ThreadPool> threads_;  // null when running single-threaded
+  uint32_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> threads_;  // spawned lazily; null when 1-threaded
   std::vector<Worker> workers_;
 
   // sizes_[i][slot] — dominator subtree size of sample i's local vertex

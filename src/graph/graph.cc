@@ -36,4 +36,13 @@ double Graph::AverageTotalDegree() const {
   return 2.0 * static_cast<double>(NumEdges()) / NumVertices();
 }
 
+uint64_t Graph::MemoryUsageBytes() const {
+  return static_cast<uint64_t>(out_offsets_.capacity()) * sizeof(EdgeId) +
+         static_cast<uint64_t>(out_targets_.capacity()) * sizeof(VertexId) +
+         static_cast<uint64_t>(out_probs_.capacity()) * sizeof(double) +
+         static_cast<uint64_t>(in_offsets_.capacity()) * sizeof(EdgeId) +
+         static_cast<uint64_t>(in_sources_.capacity()) * sizeof(VertexId) +
+         static_cast<uint64_t>(in_probs_.capacity()) * sizeof(double);
+}
+
 }  // namespace vblock

@@ -103,6 +103,15 @@ class Graph {
   /// Average total degree (in+out)/n — the paper's "davg".
   double AverageTotalDegree() const;
 
+  /// Heap bytes held by the CSR arrays (capacity-based; excludes the lazily
+  /// built grouped view — see GroupedViewMemoryUsageBytes). Used by the
+  /// service layer's byte accounting.
+  uint64_t MemoryUsageBytes() const;
+
+  /// Heap bytes of the cached grouped view, 0 when not (yet) built.
+  /// (Defined in prob_grouped_view.cc, where the view type is complete.)
+  uint64_t GroupedViewMemoryUsageBytes() const;
+
   /// The probability-grouped adjacency (graph/prob_grouped_view.h), built
   /// lazily on first use and shared by every geometric-skip sampler of this
   /// graph. Thread-safe: concurrent first calls race to install one view

@@ -175,4 +175,9 @@ const ProbGroupedView& Graph::GroupedView() const {
   return *expected;
 }
 
+uint64_t Graph::GroupedViewMemoryUsageBytes() const {
+  const ProbGroupedView* view = grouped_.view.load(std::memory_order_acquire);
+  return view != nullptr ? view->MemoryUsageBytes() : 0;
+}
+
 }  // namespace vblock

@@ -156,6 +156,25 @@ class ProbGroupedView {
   bool OutUsesRunWalk(VertexId u) const { return out_.use_runs[u] != 0; }
   bool InUsesRunWalk(VertexId v) const { return in_.use_runs[v] != 0; }
 
+  /// Heap bytes held by the grouped arrays (capacity-based) — roughly 2×
+  /// the source CSR. Feeds the service layer's byte accounting.
+  uint64_t MemoryUsageBytes() const {
+    auto dir_bytes = [](const Dir& d) {
+      return static_cast<uint64_t>(d.offsets.capacity()) * sizeof(EdgeId) +
+             static_cast<uint64_t>(d.run_offsets.capacity()) *
+                 sizeof(uint32_t) +
+             static_cast<uint64_t>(d.runs.capacity()) * sizeof(Run) +
+             static_cast<uint64_t>(d.neighbors.capacity()) *
+                 sizeof(VertexId) +
+             static_cast<uint64_t>(d.orig_pos.capacity()) *
+                 sizeof(uint32_t) +
+             static_cast<uint64_t>(d.probs.capacity()) * sizeof(double) +
+             static_cast<uint64_t>(d.use_runs.capacity());
+    };
+    return dir_bytes(out_) + dir_bytes(in_) +
+           static_cast<uint64_t>(classes_.capacity()) * sizeof(ProbClass);
+  }
+
  private:
   struct Dir {
     std::vector<EdgeId> offsets;        // n+1 (same values as the Graph's)

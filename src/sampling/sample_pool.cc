@@ -15,7 +15,8 @@ SamplePool::SamplePool(const Graph& g, VertexId root, const Options& options,
       model_(model),
       blocked_(g.NumVertices()),
       samples_(options.theta),
-      revision_(options.theta, 0) {
+      revision_(options.theta, 0),
+      touched_(options.theta, 0) {
   VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
   VBLOCK_CHECK_MSG(options.theta > 0, "theta must be positive");
 }
@@ -180,7 +181,10 @@ void SamplePool::RemoveFromIndex(uint32_t i) {
 
 void SamplePool::BeginBlock(VertexId v, std::vector<uint32_t>* dirty) {
   VBLOCK_DCHECK(v != root_ && !blocked_.Test(v));
-  for (const IndexEntry& entry : index_[v]) dirty->push_back(entry.sample);
+  for (const IndexEntry& entry : index_[v]) {
+    dirty->push_back(entry.sample);
+    touched_[entry.sample] = 1;
+  }
   std::sort(dirty->begin(), dirty->end());
   blocked_.Set(v);
 }
@@ -191,9 +195,31 @@ void SamplePool::BeginUnblock(VertexId v, std::vector<uint32_t>* dirty) {
   if (options_.reuse == SampleReuse::kPrune) {
     for (uint64_t k = pristine_begin_[v]; k < pristine_begin_[v + 1]; ++k) {
       dirty->push_back(pristine_index_[k]);
+      touched_[pristine_index_[k]] = 1;
     }
   } else {
-    for (uint32_t i = 0; i < options_.theta; ++i) dirty->push_back(i);
+    for (uint32_t i = 0; i < options_.theta; ++i) {
+      dirty->push_back(i);
+      touched_[i] = 1;
+    }
+  }
+}
+
+void SamplePool::BeginRestore(std::vector<uint32_t>* dirty) {
+  blocked_.Reset();
+  for (uint32_t i = 0; i < options_.theta; ++i) {
+    if (!touched_[i]) continue;
+    dirty->push_back(i);
+    // The re-derive lands the sample back on its pristine content, so it
+    // is no longer dirty for the NEXT restore — repeated warm cycles pay
+    // only for what they themselves touched.
+    touched_[i] = 0;
+    // kResample: rewind so DeriveSample replays the revision-0 stream
+    // (DrawFresh seeds with MixSeed(seed, i) when revision == 0), making
+    // the restored content bit-identical to the original build. kPrune
+    // keeps its revision — it re-prunes the pristine arena, and with the
+    // mask empty that reproduces the fresh draw exactly.
+    if (options_.reuse == SampleReuse::kResample) revision_[i] = 0;
   }
 }
 
@@ -201,6 +227,33 @@ uint64_t SamplePool::TotalRegionVertices() const {
   uint64_t total = 0;
   for (const SampledGraph& s : samples_) total += s.to_parent.size();
   return total;
+}
+
+namespace {
+template <typename T>
+uint64_t VectorBytes(const std::vector<T>& v) {
+  return static_cast<uint64_t>(v.capacity()) * sizeof(T);
+}
+}  // namespace
+
+uint64_t SamplePool::MemoryUsageBytes() const {
+  uint64_t bytes = sizeof(SamplePool);
+  for (const SampledGraph& s : samples_) {
+    bytes += VectorBytes(s.offsets) + VectorBytes(s.targets) +
+             VectorBytes(s.to_parent);
+  }
+  bytes += VectorBytes(samples_) + VectorBytes(revision_) +
+           VectorBytes(touched_);
+  for (const auto& list : index_) bytes += VectorBytes(list);
+  bytes += VectorBytes(index_);
+  for (const auto& pos : index_pos_) bytes += VectorBytes(pos);
+  bytes += VectorBytes(index_pos_);
+  bytes += VectorBytes(arena_offsets_) + VectorBytes(arena_targets_) +
+           VectorBytes(arena_parents_);
+  bytes += VectorBytes(ext_off_) + VectorBytes(ext_tgt_) +
+           VectorBytes(ext_par_);
+  bytes += VectorBytes(pristine_begin_) + VectorBytes(pristine_index_);
+  return bytes;
 }
 
 }  // namespace vblock

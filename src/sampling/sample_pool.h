@@ -114,9 +114,29 @@ class SamplePool {
   /// does it).
   void BeginUnblock(VertexId v, std::vector<uint32_t>* dirty);
 
+  /// Resets the blocked mask to all-clear and appends exactly the samples
+  /// whose content may differ from the freshly built pool (those touched
+  /// by a BeginBlock/BeginUnblock since the build — or since the last
+  /// restore, so repeated restore cycles of a hot key stay O(samples the
+  /// previous run touched), never creeping toward O(θ)), sorted ascending.
+  /// After the caller re-derives those samples, the pool is bit-identical
+  /// to its freshly built state: kPrune re-prunes the pristine arena under
+  /// the empty mask, and kResample has its revision counters rewound here
+  /// so the re-draw replays the original revision-0 stream
+  /// MixSeed(seed, i). This is what lets the warm-pool cache
+  /// (service/pool_cache.h) return a used engine to circulation with
+  /// cold-path bit-exactness.
+  void BeginRestore(std::vector<uint32_t>* dirty);
+
   /// Total vertices (with multiplicity) across current sample regions —
   /// the arena high-water mark; used by benchmarks/diagnostics.
   uint64_t TotalRegionVertices() const;
+
+  /// Heap bytes held by the pool: sample regions, the dynamic inverted
+  /// index, and (kPrune) the pristine arena + its CSR index. Counts vector
+  /// capacities, so the figure is stable once the pool reaches steady
+  /// state. Used by the warm-pool cache's byte budget.
+  uint64_t MemoryUsageBytes() const;
 
  private:
   void DrawFresh(uint32_t i, Scratch* scratch);
@@ -131,6 +151,9 @@ class SamplePool {
   // Current regions + per-sample re-draw revision (kResample seeding).
   std::vector<SampledGraph> samples_;
   std::vector<uint32_t> revision_;
+  // Samples touched by BeginBlock/BeginUnblock since the build (or the
+  // last BeginRestore) — exactly the set a restore must re-derive.
+  std::vector<uint8_t> touched_;
 
   // Dynamic inverted index over the *current* regions. index_[v] holds
   // {sample, slot} entries (slot = local id of v in that sample);

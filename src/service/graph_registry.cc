@@ -1,0 +1,102 @@
+#include "service/graph_registry.h"
+
+#include <utility>
+
+#include "gen/dataset_catalog.h"
+#include "graph/prob_grouped_view.h"
+#include "prob/probability_models.h"
+
+namespace vblock {
+namespace {
+
+Graph ApplyProbModel(Graph g, const GraphLoadOptions& options) {
+  switch (options.prob) {
+    case ProbAssignment::kKeepFile:
+      return g;
+    case ProbAssignment::kWeightedCascade:
+      return WithWeightedCascade(g);
+    case ProbAssignment::kTrivalency:
+      return WithTrivalency(g, options.prob_seed);
+    case ProbAssignment::kConstant:
+      return WithConstantProbability(g, options.constant_probability);
+  }
+  return g;
+}
+
+}  // namespace
+
+GraphRegistry::SnapshotPtr GraphRegistry::Install(const std::string& name,
+                                                  Graph graph,
+                                                  bool warm_grouped_view) {
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->name = name;
+  snapshot->graph = std::move(graph);
+  // Warm after the move so the view (whether transferred in by the move
+  // or built fresh here) is ready on the snapshot before it is published.
+  if (warm_grouped_view) snapshot->graph.GroupedView();
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot->epoch = next_epoch_++;
+  graphs_[name] = snapshot;
+  return snapshot;
+}
+
+GraphRegistry::SnapshotPtr GraphRegistry::Add(const std::string& name,
+                                              Graph graph,
+                                              bool warm_grouped_view) {
+  return Install(name, std::move(graph), warm_grouped_view);
+}
+
+Result<GraphRegistry::SnapshotPtr> GraphRegistry::LoadEdgeList(
+    const std::string& name, const std::string& path,
+    const GraphLoadOptions& options) {
+  Result<Graph> graph = ReadEdgeList(path, options.read);
+  if (!graph.ok()) return graph.status();
+  return Install(name, ApplyProbModel(std::move(*graph), options),
+                 options.warm_grouped_view);
+}
+
+Result<GraphRegistry::SnapshotPtr> GraphRegistry::LoadGenerated(
+    const std::string& name, const std::string& dataset, double scale,
+    uint64_t seed, const GraphLoadOptions& options) {
+  if (!(scale > 0.0) || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1], got " +
+                                   std::to_string(scale));
+  }
+  const DatasetSpec* spec = FindDataset(dataset);
+  if (spec == nullptr) {
+    return Status::NotFound("unknown dataset '" + dataset + "'");
+  }
+  return Install(name,
+                 ApplyProbModel(MakeDataset(*spec, scale, seed), options),
+                 options.warm_grouped_view);
+}
+
+Result<GraphRegistry::SnapshotPtr> GraphRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = graphs_.find(name);
+  if (it == graphs_.end()) {
+    return Status::NotFound("no graph named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool GraphRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.erase(name) > 0;
+}
+
+std::vector<std::string> GraphRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(graphs_.size());
+  for (const auto& [name, snapshot] : graphs_) names.push_back(name);
+  return names;
+}
+
+size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.size();
+}
+
+}  // namespace vblock

@@ -1,0 +1,108 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Named, refcounted, immutable graph snapshots for the query service.
+//
+// A long-lived service answers many queries against few graphs; the
+// registry is the one place those graphs live. Each registration produces
+// an immutable Snapshot with a globally unique, monotonically increasing
+// epoch. Handles are shared_ptr<const Snapshot>: replacing or removing a
+// name never invalidates a handle an in-flight query still holds — the old
+// snapshot simply dies with its last reference. Cache layers key on the
+// epoch, so re-registering a name under fresh data silently invalidates
+// every warmed pool of the old graph (the stale entries age out of the LRU
+// or are dropped by EvictGraph).
+//
+// Loading pre-warms Graph::GroupedView() by default so the first
+// geometric-skip query doesn't pay the one-time grouping analysis.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+
+namespace vblock {
+
+/// Which probability model to assign after loading raw edges.
+enum class ProbAssignment {
+  kKeepFile,          // keep the probabilities the source provided
+  kWeightedCascade,   // p(u,v) = 1/din(v)
+  kTrivalency,        // p(u,v) uniform from {0.1, 0.01, 0.001}
+  kConstant,          // every edge gets LoadOptions::constant_probability
+};
+
+/// Knobs shared by the registry's load entry points.
+struct GraphLoadOptions {
+  /// Edge-list parsing (file loads only).
+  EdgeListReadOptions read;
+  /// Probability model applied after the edges are in memory.
+  ProbAssignment prob = ProbAssignment::kKeepFile;
+  /// Probability for ProbAssignment::kConstant.
+  double constant_probability = 0.1;
+  /// Seed for the stochastic models (trivalency).
+  uint64_t prob_seed = 1;
+  /// Build the probability-grouped adjacency eagerly so the first
+  /// geometric-skip query is already warm.
+  bool warm_grouped_view = true;
+};
+
+/// Thread-safe name → immutable graph snapshot map.
+class GraphRegistry {
+ public:
+  /// One registered graph. Immutable after construction; the epoch is
+  /// unique across the registry's lifetime and strictly increases with
+  /// registration order.
+  struct Snapshot {
+    std::string name;
+    uint64_t epoch = 0;
+    Graph graph;
+  };
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+  /// Registers `graph` under `name`, replacing any previous snapshot of
+  /// that name (under a fresh epoch). Returns the new snapshot.
+  SnapshotPtr Add(const std::string& name, Graph graph,
+                  bool warm_grouped_view = true);
+
+  /// Reads a SNAP-style edge list and registers it (see Add).
+  Result<SnapshotPtr> LoadEdgeList(const std::string& name,
+                                   const std::string& path,
+                                   const GraphLoadOptions& options = {});
+
+  /// Instantiates a dataset-catalog stand-in (gen/dataset_catalog.h) at
+  /// `scale` and registers it. NotFound when `dataset` names no catalog
+  /// entry; InvalidArgument on a non-positive scale.
+  Result<SnapshotPtr> LoadGenerated(const std::string& name,
+                                    const std::string& dataset, double scale,
+                                    uint64_t seed,
+                                    const GraphLoadOptions& options = {});
+
+  /// Snapshot registered under `name`; NotFound when absent.
+  Result<SnapshotPtr> Get(const std::string& name) const;
+
+  /// Unregisters `name`. Handles still held by in-flight queries keep the
+  /// snapshot alive. Returns false when the name was not registered.
+  bool Remove(const std::string& name);
+
+  /// Registered names, sorted.
+  std::vector<std::string> List() const;
+
+  size_t size() const;
+
+ private:
+  SnapshotPtr Install(const std::string& name, Graph graph,
+                      bool warm_grouped_view);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, SnapshotPtr> graphs_;
+  uint64_t next_epoch_ = 1;
+};
+
+}  // namespace vblock

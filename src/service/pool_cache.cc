@@ -1,0 +1,115 @@
+#include "service/pool_cache.h"
+
+#include <utility>
+
+namespace vblock {
+
+std::optional<PoolCache::Key> PoolCache::KeyFor(uint64_t graph_epoch,
+                                                const QueryKey& key) {
+  if (key.algorithm != Algorithm::kAdvancedGreedy &&
+      key.algorithm != Algorithm::kGreedyReplace) {
+    return std::nullopt;
+  }
+  if (key.theta == 0) return std::nullopt;
+  Key pool_key;
+  pool_key.graph_epoch = graph_epoch;
+  pool_key.query = key;
+  // Collapse to the engine family: AG and GR draw identical pools, so one
+  // warm entry serves both. mc_rounds is already zeroed for this family by
+  // NormalizeIrrelevantKnobs; the deadline never shapes the pool either.
+  pool_key.query.algorithm = Algorithm::kAdvancedGreedy;
+  pool_key.query.time_limit_seconds = 0;
+  return pool_key;
+}
+
+std::unique_ptr<WarmEntry> PoolCache::Acquire(const Key& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  std::unique_ptr<WarmEntry> entry = std::move(it->second.entry);
+  stats_.bytes_in_use -= entry->bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  --stats_.entries;
+  return entry;
+}
+
+void PoolCache::Release(const Key& key, std::unique_ptr<WarmEntry> entry) {
+  if (!entry) return;
+  entry->AccountBytes();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A concurrent cold build beat us to the slot; keep exactly one copy
+    // (they are interchangeable — both are restored pristine engines).
+    EraseLocked(it, /*count_eviction=*/true);
+  }
+  ++stats_.inserts;
+  lru_.push_front(key);
+  Slot slot;
+  slot.entry = std::move(entry);
+  slot.lru_pos = lru_.begin();
+  stats_.bytes_in_use += slot.entry->bytes;
+  ++stats_.entries;
+  entries_.emplace(key, std::move(slot));
+  EvictOverBudgetLocked();
+}
+
+void PoolCache::EraseLocked(std::map<Key, Slot>::iterator it,
+                            bool count_eviction) {
+  stats_.bytes_in_use -= it->second.entry->bytes;
+  lru_.erase(it->second.lru_pos);
+  --stats_.entries;
+  if (count_eviction) ++stats_.evictions;
+  entries_.erase(it);
+}
+
+void PoolCache::EvictOverBudgetLocked() {
+  while (stats_.bytes_in_use > options_.max_bytes && !lru_.empty()) {
+    auto victim = entries_.find(lru_.back());
+    EraseLocked(victim, /*count_eviction=*/true);
+  }
+}
+
+uint64_t PoolCache::EvictGraph(uint64_t graph_epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto next = std::next(it);
+    if (it->first.graph_epoch == graph_epoch) {
+      EraseLocked(it, /*count_eviction=*/true);
+      ++dropped;
+    }
+    it = next;
+  }
+  return dropped;
+}
+
+uint64_t PoolCache::EvictAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto next = std::next(it);
+    EraseLocked(it, /*count_eviction=*/true);
+    ++dropped;
+    it = next;
+  }
+  return dropped;
+}
+
+void PoolCache::set_max_bytes(uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_.max_bytes = max_bytes;
+  EvictOverBudgetLocked();
+}
+
+PoolCache::Stats PoolCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace vblock

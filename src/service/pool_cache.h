@@ -1,0 +1,156 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// LRU cache of warmed θ-sample scoring engines.
+//
+// Building a SpreadDecreaseEngine — unify the seeds, draw θ live-edge
+// samples, compute θ dominator trees — dominates the latency of an AG/GR
+// solve. For a hot (graph, seed set, sampling parameters) key that work is
+// identical on every request, so the cache keeps the finished product: a
+// WarmEntry holding the unified instance plus an engine restored to its
+// freshly-Build() state. A cache hit skips the entire build; the
+// determinism contract (docs/DESIGN.md §8) guarantees the warm solve is
+// bit-identical to the cold one, because SpreadDecreaseEngine::Restore
+// provably returns the engine to the same bits a fresh Build produces.
+//
+// Keying: PoolCache::KeyFor projects the canonical QueryKey
+// (core/query_key.h — the exact key BatchSolver groups on) onto the fields
+// a warm pool actually depends on: graph epoch, canonical seed set, θ, RNG
+// seed, reuse mode, SamplerKind. Algorithm is collapsed to the engine
+// family — AdvancedGreedy and GreedyReplace share one pool — and
+// mc_rounds / time-limit are dropped (the pool never reads them).
+//
+// Concurrency: entries are checked OUT of the cache (Acquire transfers
+// ownership) and checked back IN after restoration (Release). Two
+// concurrent requests for one key therefore never share a mutating engine
+// — the second finds the slot empty, records a miss, and builds cold; the
+// in-flight deduplication layer above (query_service.h) makes that case
+// rare by coalescing identical requests outright.
+//
+// Budget: every entry is byte-accounted (engine + pool arenas + the
+// unified graph's CSR). Release inserts the entry as most-recent and then
+// evicts least-recently-used entries until the configured byte budget
+// holds; an entry larger than the whole budget is dropped on the spot.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "core/query_key.h"
+#include "core/spread_decrease_engine.h"
+#include "core/unified_instance.h"
+
+namespace vblock {
+
+/// One warmed solve context: the unified instance and an engine whose pool
+/// was built (and is kept restored) against inst->graph. Heap-allocated
+/// members: the engine holds references into *inst, so neither may move.
+struct WarmEntry {
+  std::unique_ptr<UnifiedInstance> inst;
+  std::unique_ptr<SpreadDecreaseEngine> engine;
+  /// Byte account at last insertion (engine + unified graph, including its
+  /// grouped view once the skip sampler has built one).
+  uint64_t bytes = 0;
+
+  /// Recomputes `bytes` from the current engine/instance state.
+  void AccountBytes() {
+    bytes = engine ? engine->MemoryUsageBytes() : 0;
+    if (inst) {
+      bytes += inst->graph.MemoryUsageBytes() +
+               inst->graph.GroupedViewMemoryUsageBytes() +
+               (inst->to_original.capacity() + inst->to_unified.capacity()) *
+                   sizeof(VertexId);
+    }
+  }
+};
+
+/// Thread-safe LRU cache of WarmEntry values under a byte budget.
+class PoolCache {
+ public:
+  struct Options {
+    /// Byte budget across all cached entries (default 256 MiB).
+    uint64_t max_bytes = 256ull << 20;
+  };
+
+  /// Cache address: graph epoch + the pool-relevant QueryKey projection.
+  struct Key {
+    uint64_t graph_epoch = 0;
+    QueryKey query;
+
+    bool operator<(const Key& o) const {
+      return std::tie(graph_epoch, query) < std::tie(o.graph_epoch, o.query);
+    }
+  };
+
+  /// Monotonic counters plus the current footprint. hits/misses count
+  /// Acquire outcomes; evictions counts LRU drops (budget pressure and
+  /// EvictGraph), not Acquire checkouts.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t bytes_in_use = 0;
+    uint64_t entries = 0;
+  };
+
+  PoolCache() : PoolCache(Options()) {}
+  explicit PoolCache(const Options& options) : options_(options) {}
+
+  /// The cache key for a canonical query key against `graph_epoch`, or
+  /// nullopt when the algorithm has no warmable pool (only the
+  /// SpreadDecreaseEngine family — AG and GR, which share entries — with a
+  /// positive θ caches).
+  static std::optional<Key> KeyFor(uint64_t graph_epoch, const QueryKey& key);
+
+  /// Checks the entry for `key` out of the cache (exclusive ownership
+  /// transfers to the caller; the slot empties). Records a hit or miss.
+  std::unique_ptr<WarmEntry> Acquire(const Key& key);
+
+  /// Checks `entry` back in as the most-recently-used entry for `key`,
+  /// re-accounts its bytes, and evicts LRU entries until the byte budget
+  /// holds. A null entry is ignored. If the slot was refilled in the
+  /// meantime (two concurrent cold builds of one key), the incumbent is
+  /// replaced — the entries are interchangeable by construction.
+  void Release(const Key& key, std::unique_ptr<WarmEntry> entry);
+
+  /// Drops every entry keyed to `graph_epoch` (a removed or replaced
+  /// registry graph). Counted as evictions; returns how many were dropped.
+  uint64_t EvictGraph(uint64_t graph_epoch);
+
+  /// Drops everything. Counted as evictions; returns how many were dropped.
+  uint64_t EvictAll();
+
+  uint64_t max_bytes() const { return options_.max_bytes; }
+
+  /// Adjusts the byte budget, immediately evicting LRU entries if the new
+  /// budget is tighter than the current footprint.
+  void set_max_bytes(uint64_t max_bytes);
+
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<WarmEntry> entry;
+    // Position in lru_ (most-recent at front). Only valid while entry is
+    // present (checked-out slots are erased from the map).
+    std::list<Key>::iterator lru_pos;
+  };
+
+  void EvictOverBudgetLocked();
+  void EraseLocked(std::map<Key, Slot>::iterator it, bool count_eviction);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::map<Key, Slot> entries_;
+  std::list<Key> lru_;  // front = most recent
+  Stats stats_;
+};
+
+}  // namespace vblock

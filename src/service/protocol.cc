@@ -1,0 +1,458 @@
+#include "service/protocol.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace vblock {
+namespace {
+
+std::string Upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+Status SyntaxError(const std::string& message) {
+  return Status::InvalidArgument(message);
+}
+
+// Parses a uint32-ranged count flag (BUDGET/THETA/MC/ROUNDS). Rejects —
+// rather than silently truncating — values above uint32.
+bool ParseUint32(std::string_view s, uint32_t* out) {
+  uint64_t v = 0;
+  if (!ParseUint64(s, &v) || v > std::numeric_limits<uint32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<uint32_t>(v);
+  return true;
+}
+
+// Parses a non-negative, finite seconds flag (TIMELIMIT/DEADLINE). NaN
+// must never reach the service: deadline values participate in ordered
+// request-dedup keys, where NaN would break strict weak ordering.
+bool ParseSeconds(std::string_view s, double* out) {
+  return ParseDouble(s, out) && std::isfinite(*out) && *out >= 0.0;
+}
+
+bool ParseVertexList(std::string_view token, std::vector<VertexId>* out) {
+  out->clear();
+  if (token == "-") return true;  // explicit empty list
+  for (std::string_view field : SplitFields(token, ",")) {
+    uint64_t v = 0;
+    if (!ParseUint64(field, &v) || v >= kInvalidVertex) return false;
+    out->push_back(static_cast<VertexId>(v));
+  }
+  return !out->empty();
+}
+
+bool ParseAlgorithm(std::string_view token, Algorithm* out) {
+  const std::string name = Upper(token);
+  if (name == "RA") *out = Algorithm::kRandom;
+  else if (name == "OD") *out = Algorithm::kOutDegree;
+  else if (name == "PR") *out = Algorithm::kPageRank;
+  else if (name == "BC") *out = Algorithm::kBetweenness;
+  else if (name == "BG") *out = Algorithm::kBaselineGreedy;
+  else if (name == "AG") *out = Algorithm::kAdvancedGreedy;
+  else if (name == "GR") *out = Algorithm::kGreedyReplace;
+  else return false;
+  return true;
+}
+
+bool ParseSampler(std::string_view token, SamplerKind* out) {
+  const std::string name = Upper(token);
+  if (name == "COIN") *out = SamplerKind::kPerEdgeCoin;
+  else if (name == "SKIP") *out = SamplerKind::kGeometricSkip;
+  else return false;
+  return true;
+}
+
+bool ParseModel(std::string_view token, ProbAssignment* out) {
+  const std::string name = Upper(token);
+  if (name == "WC") *out = ProbAssignment::kWeightedCascade;
+  else if (name == "TR") *out = ProbAssignment::kTrivalency;
+  else if (name == "CONST") *out = ProbAssignment::kConstant;
+  else return false;
+  return true;
+}
+
+// Pulls the token after flag position `i` (the flag's value). Returns
+// nullopt (and sets *error) when the line ends first.
+std::optional<std::string_view> FlagValue(
+    const std::vector<std::string_view>& fields, size_t* i,
+    Status* error) {
+  if (*i + 1 >= fields.size()) {
+    *error = SyntaxError("flag '" + std::string(fields[*i]) +
+                         "' is missing its value");
+    return std::nullopt;
+  }
+  return fields[++*i];
+}
+
+// Rejects a repeated flag (a duplicated flag in a scripted session is far
+// more likely a typo that would silently run a different query than an
+// intentional last-wins override).
+bool MarkFlagSeen(const std::string& flag, std::vector<std::string>* seen) {
+  for (const std::string& s : *seen) {
+    if (s == flag) return false;
+  }
+  seen->push_back(flag);
+  return true;
+}
+
+Result<Command> ParseLoad(const std::vector<std::string_view>& fields) {
+  if (fields.size() < 4) {
+    return SyntaxError("usage: LOAD <name> GEN|FILE <source> [flags]");
+  }
+  Command cmd;
+  cmd.name = std::string(fields[1]);
+  const std::string form = Upper(fields[2]);
+  cmd.source = std::string(fields[3]);
+  if (form == "GEN") {
+    cmd.kind = Command::Kind::kLoadGen;
+  } else if (form == "FILE") {
+    cmd.kind = Command::Kind::kLoadFile;
+  } else {
+    return SyntaxError("LOAD form must be GEN or FILE, got '" +
+                       std::string(fields[2]) + "'");
+  }
+
+  Status error;
+  std::vector<std::string> seen;
+  for (size_t i = 4; i < fields.size(); ++i) {
+    const std::string flag = Upper(fields[i]);
+    if (!MarkFlagSeen(flag, &seen)) {
+      return SyntaxError("duplicate flag '" + std::string(fields[i]) + "'");
+    }
+    if (flag == "UNDIRECTED" && cmd.kind == Command::Kind::kLoadFile) {
+      cmd.undirected = true;
+      cmd.load.read.undirected = true;
+      continue;
+    }
+    auto value = FlagValue(fields, &i, &error);
+    if (!value) return error;
+    if (flag == "SCALE" && cmd.kind == Command::Kind::kLoadGen) {
+      if (!ParseDouble(*value, &cmd.scale)) {
+        return SyntaxError("malformed SCALE value");
+      }
+    } else if (flag == "SEED") {
+      if (!ParseUint64(*value, &cmd.gen_seed)) {
+        return SyntaxError("malformed SEED value");
+      }
+      cmd.load.prob_seed = cmd.gen_seed;
+    } else if (flag == "MODEL") {
+      if (!ParseModel(*value, &cmd.load.prob)) {
+        return SyntaxError("MODEL must be wc, tr or const");
+      }
+    } else if (flag == "PROB") {
+      double p = 0;
+      if (!ParseDouble(*value, &p) || !(p >= 0.0) || p > 1.0) {
+        return SyntaxError("PROB must be in [0, 1]");
+      }
+      cmd.load.constant_probability = p;
+      cmd.load.read.default_probability = p;
+    } else {
+      return SyntaxError("unknown LOAD flag '" + std::string(fields[i - 1]) +
+                         "'");
+    }
+  }
+  return cmd;
+}
+
+Result<Command> ParseSolve(const std::vector<std::string_view>& fields) {
+  if (fields.size() < 4 || Upper(fields[2]) != "SEEDS") {
+    return SyntaxError("usage: SOLVE <graph> SEEDS <v,v,..> [flags]");
+  }
+  Command cmd;
+  cmd.kind = Command::Kind::kSolve;
+  cmd.request.graph = std::string(fields[1]);
+  if (!ParseVertexList(fields[3], &cmd.request.query.seeds) ||
+      cmd.request.query.seeds.empty()) {
+    return SyntaxError("malformed SEEDS list");
+  }
+
+  Status error;
+  std::vector<std::string> seen;
+  for (size_t i = 4; i < fields.size(); ++i) {
+    const std::string flag = Upper(fields[i]);
+    if (!MarkFlagSeen(flag, &seen)) {
+      return SyntaxError("duplicate flag '" + std::string(fields[i]) + "'");
+    }
+    auto value = FlagValue(fields, &i, &error);
+    if (!value) return error;
+    uint32_t n = 0;
+    uint64_t n64 = 0;
+    double d = 0;
+    if (flag == "BUDGET") {
+      if (!ParseUint32(*value, &n)) return SyntaxError("malformed BUDGET");
+      cmd.request.query.budget = n;
+    } else if (flag == "ALG") {
+      if (!ParseAlgorithm(*value, &cmd.request.query.algorithm)) {
+        return SyntaxError("unknown algorithm '" + std::string(*value) + "'");
+      }
+    } else if (flag == "THETA") {
+      if (!ParseUint32(*value, &n)) return SyntaxError("malformed THETA");
+      cmd.request.query.theta = n;
+    } else if (flag == "MC") {
+      if (!ParseUint32(*value, &n)) return SyntaxError("malformed MC");
+      cmd.request.query.mc_rounds = n;
+    } else if (flag == "SEED") {
+      if (!ParseUint64(*value, &n64)) return SyntaxError("malformed SEED");
+      cmd.request.query.seed = n64;
+    } else if (flag == "REUSE") {
+      const std::string mode = Upper(*value);
+      if (mode == "PRUNE") {
+        cmd.request.query.sample_reuse = SampleReuse::kPrune;
+      } else if (mode == "RESAMPLE") {
+        cmd.request.query.sample_reuse = SampleReuse::kResample;
+      } else {
+        return SyntaxError("REUSE must be prune or resample");
+      }
+    } else if (flag == "SAMPLER") {
+      SamplerKind kind;
+      if (!ParseSampler(*value, &kind)) {
+        return SyntaxError("SAMPLER must be coin or skip");
+      }
+      cmd.request.query.sampler_kind = kind;
+    } else if (flag == "TIMELIMIT") {
+      if (!ParseSeconds(*value, &d)) {
+        return SyntaxError("TIMELIMIT must be a finite non-negative number");
+      }
+      cmd.request.query.time_limit_seconds = d;
+    } else if (flag == "DEADLINE") {
+      if (!ParseSeconds(*value, &d)) {
+        return SyntaxError("DEADLINE must be a finite non-negative number");
+      }
+      cmd.request.deadline_seconds = d;
+    } else {
+      return SyntaxError("unknown SOLVE flag '" + std::string(fields[i - 1]) +
+                         "'");
+    }
+  }
+  return cmd;
+}
+
+Result<Command> ParseEval(const std::vector<std::string_view>& fields) {
+  if (fields.size() < 6 || Upper(fields[2]) != "SEEDS" ||
+      Upper(fields[4]) != "BLOCKERS") {
+    return SyntaxError(
+        "usage: EVAL <graph> SEEDS <v,v,..> BLOCKERS <v,v,..|-> [flags]");
+  }
+  Command cmd;
+  cmd.kind = Command::Kind::kEval;
+  cmd.request.graph = std::string(fields[1]);
+  std::vector<VertexId> seeds;
+  if (!ParseVertexList(fields[3], &seeds) || seeds.empty()) {
+    return SyntaxError("malformed SEEDS list");
+  }
+  cmd.request.query.seeds = std::move(seeds);
+  if (!ParseVertexList(fields[5], &cmd.blockers)) {
+    return SyntaxError("malformed BLOCKERS list");
+  }
+
+  Status error;
+  std::vector<std::string> seen;
+  for (size_t i = 6; i < fields.size(); ++i) {
+    const std::string flag = Upper(fields[i]);
+    if (!MarkFlagSeen(flag, &seen)) {
+      return SyntaxError("duplicate flag '" + std::string(fields[i]) + "'");
+    }
+    auto value = FlagValue(fields, &i, &error);
+    if (!value) return error;
+    uint32_t n = 0;
+    uint64_t n64 = 0;
+    if (flag == "ROUNDS") {
+      if (!ParseUint32(*value, &n)) return SyntaxError("malformed ROUNDS");
+      cmd.eval.mc_rounds = n;
+    } else if (flag == "SEED") {
+      if (!ParseUint64(*value, &n64)) return SyntaxError("malformed SEED");
+      cmd.eval.seed = n64;
+    } else if (flag == "SAMPLER") {
+      if (!ParseSampler(*value, &cmd.eval.sampler_kind)) {
+        return SyntaxError("SAMPLER must be coin or skip");
+      }
+    } else {
+      return SyntaxError("unknown EVAL flag '" + std::string(fields[i - 1]) +
+                         "'");
+    }
+  }
+  return cmd;
+}
+
+std::string JoinVertices(const std::vector<VertexId>& vertices) {
+  if (vertices.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(vertices[i]);
+  }
+  return out;
+}
+
+std::string FormatFixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+}  // namespace
+
+Result<Command> ParseCommand(const std::string& line) {
+  const std::vector<std::string_view> fields = SplitFields(line, " \t\r");
+  if (fields.empty()) return SyntaxError("empty command");
+  const std::string verb = Upper(fields[0]);
+  if (verb == "LOAD") return ParseLoad(fields);
+  if (verb == "SOLVE") return ParseSolve(fields);
+  if (verb == "EVAL") return ParseEval(fields);
+  if (verb == "STATS") {
+    if (fields.size() != 1) return SyntaxError("STATS takes no arguments");
+    Command cmd;
+    cmd.kind = Command::Kind::kStats;
+    return cmd;
+  }
+  if (verb == "EVICT") {
+    if (fields.size() >= 2 && Upper(fields[1]) == "POOLS" &&
+        fields.size() == 2) {
+      Command cmd;
+      cmd.kind = Command::Kind::kEvictPools;
+      return cmd;
+    }
+    if (fields.size() == 3 && Upper(fields[1]) == "GRAPH") {
+      Command cmd;
+      cmd.kind = Command::Kind::kEvictGraph;
+      cmd.name = std::string(fields[2]);
+      return cmd;
+    }
+    return SyntaxError("usage: EVICT POOLS | EVICT GRAPH <name>");
+  }
+  if (verb == "QUIT" || verb == "EXIT") {
+    if (fields.size() != 1) return SyntaxError("QUIT takes no arguments");
+    Command cmd;
+    cmd.kind = Command::Kind::kQuit;
+    return cmd;
+  }
+  return SyntaxError("unknown command '" + std::string(fields[0]) + "'");
+}
+
+std::string FormatStats(const ServiceStats& stats, size_t num_graphs) {
+  std::string out = "OK";
+  out += " graphs=" + std::to_string(num_graphs);
+  out += " submitted=" + std::to_string(stats.submitted);
+  out += " completed=" + std::to_string(stats.completed);
+  out += " coalesced=" + std::to_string(stats.coalesced);
+  out += " rejected=" + std::to_string(stats.rejected);
+  out += " invalid=" + std::to_string(stats.invalid);
+  out += " deadline_expired=" + std::to_string(stats.deadline_expired);
+  out += " queue_depth=" + std::to_string(stats.queue_depth);
+  out += " in_flight=" + std::to_string(stats.in_flight);
+  out += " pool_hits=" + std::to_string(stats.cache.hits);
+  out += " pool_misses=" + std::to_string(stats.cache.misses);
+  out += " pool_inserts=" + std::to_string(stats.cache.inserts);
+  out += " pool_evictions=" + std::to_string(stats.cache.evictions);
+  out += " pool_entries=" + std::to_string(stats.cache.entries);
+  // Wall-clock / allocator-dependent fields stay last so transcripts can
+  // be diffed after stripping everything from pool_bytes on.
+  out += " pool_bytes=" + std::to_string(stats.cache.bytes_in_use);
+  out += " uptime_s=" + FormatFixed(stats.uptime_seconds, 3);
+  out += " qps=" + FormatFixed(stats.qps, 1);
+  out += " lat_mean_ms=" + FormatFixed(stats.latency_mean_ms, 3);
+  out += " lat_p50_ms=" + FormatFixed(stats.latency_p50_ms, 3);
+  out += " lat_p90_ms=" + FormatFixed(stats.latency_p90_ms, 3);
+  out += " lat_p99_ms=" + FormatFixed(stats.latency_p99_ms, 3);
+  return out;
+}
+
+ServiceSession::ServiceSession(const ServiceOptions& options)
+    : service_(&registry_, options) {}
+
+std::string ServiceSession::Execute(const std::string& line) {
+  const std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty() || IsCommentLine(trimmed)) return "";
+  Result<Command> cmd = ParseCommand(line);
+  if (!cmd.ok()) {
+    return "ERR " + std::string(StatusCodeName(cmd.status().code())) + " " +
+           cmd.status().message();
+  }
+  return Run(*cmd);
+}
+
+std::string ServiceSession::Run(const Command& cmd) {
+  auto error = [](const Status& status) {
+    return "ERR " + std::string(StatusCodeName(status.code())) + " " +
+           status.message();
+  };
+
+  switch (cmd.kind) {
+    case Command::Kind::kLoadGen: {
+      Result<GraphRegistry::SnapshotPtr> snapshot = registry_.LoadGenerated(
+          cmd.name, cmd.source, cmd.scale, cmd.gen_seed, cmd.load);
+      if (!snapshot.ok()) return error(snapshot.status());
+      return "OK graph=" + cmd.name +
+             " n=" + std::to_string((*snapshot)->graph.NumVertices()) +
+             " m=" + std::to_string((*snapshot)->graph.NumEdges()) +
+             " epoch=" + std::to_string((*snapshot)->epoch);
+    }
+    case Command::Kind::kLoadFile: {
+      Result<GraphRegistry::SnapshotPtr> snapshot =
+          registry_.LoadEdgeList(cmd.name, cmd.source, cmd.load);
+      if (!snapshot.ok()) return error(snapshot.status());
+      return "OK graph=" + cmd.name +
+             " n=" + std::to_string((*snapshot)->graph.NumVertices()) +
+             " m=" + std::to_string((*snapshot)->graph.NumEdges()) +
+             " epoch=" + std::to_string((*snapshot)->epoch);
+    }
+    case Command::Kind::kSolve: {
+      // The pool-state diagnostic compares cache hit counters around the
+      // call; exact for this synchronous session, approximate if other
+      // threads share the service.
+      const PoolCache::Stats before = service_.pool_cache().stats();
+      Result<SolverResult> result = service_.SubmitAndWait(cmd.request);
+      if (!result.ok()) return error(result.status());
+      const PoolCache::Stats after = service_.pool_cache().stats();
+      const char* pool = after.hits > before.hits     ? "warm"
+                         : after.misses > before.misses ? "cold"
+                                                        : "none";
+      return "OK blockers=" + JoinVertices(result->blockers) +
+             " rounds=" + std::to_string(result->stats.rounds_completed) +
+             " replacements=" +
+             std::to_string(result->stats.replacements) + " pool=" + pool +
+             " timed_out=" + (result->stats.timed_out ? "1" : "0");
+    }
+    case Command::Kind::kEval: {
+      EvalRequest request;
+      request.graph = cmd.request.graph;
+      request.seeds = cmd.request.query.seeds;
+      request.blockers = cmd.blockers;
+      request.options = cmd.eval;
+      Result<double> spread = service_.Evaluate(request);
+      if (!spread.ok()) return error(spread.status());
+      return "OK spread=" + FormatFixed(*spread, 4);
+    }
+    case Command::Kind::kStats:
+      return FormatStats(service_.Stats(), registry_.size());
+    case Command::Kind::kEvictPools:
+      return "OK evicted=" +
+             std::to_string(service_.pool_cache().EvictAll());
+    case Command::Kind::kEvictGraph: {
+      Result<GraphRegistry::SnapshotPtr> snapshot = registry_.Get(cmd.name);
+      if (!snapshot.ok()) return error(snapshot.status());
+      const uint64_t pools =
+          service_.pool_cache().EvictGraph((*snapshot)->epoch);
+      registry_.Remove(cmd.name);
+      return "OK graph=" + cmd.name + " pools_evicted=" +
+             std::to_string(pools);
+    }
+    case Command::Kind::kQuit:
+      done_ = true;
+      return "OK bye";
+  }
+  return "ERR FailedPrecondition unreachable";
+}
+
+}  // namespace vblock

@@ -1,0 +1,108 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Text line protocol for the query service, testable entirely in-process.
+//
+// One request per line, one response line per request (tools/vblock_serve.cc
+// is a thin stdin/stdout loop around ServiceSession::Execute). Keywords are
+// case-insensitive; vertex lists are comma-separated with no spaces.
+//
+//   LOAD <name> GEN <dataset> [SCALE <f>] [SEED <n>] [MODEL wc|tr|const]
+//        [PROB <p>]
+//   LOAD <name> FILE <path> [UNDIRECTED] [MODEL wc|tr|const] [PROB <p>]
+//   SOLVE <graph> SEEDS <v,v,..> [BUDGET <n>] [ALG ra|od|pr|bc|bg|ag|gr]
+//         [THETA <n>] [MC <n>] [SEED <n>] [REUSE prune|resample]
+//         [SAMPLER coin|skip] [TIMELIMIT <s>] [DEADLINE <s>]
+//   EVAL <graph> SEEDS <v,v,..> BLOCKERS <v,v,..|-> [ROUNDS <n>] [SEED <n>]
+//        [SAMPLER coin|skip]
+//   STATS
+//   EVICT POOLS
+//   EVICT GRAPH <name>
+//   QUIT
+//
+// Responses: "OK key=value ..." on success, "ERR <CodeName> <message>" on a
+// typed error (the Status taxonomy of common/status.h). Every SOLVE/EVAL
+// response is deterministic for a fixed session script — timing appears
+// only in STATS (whose latency/uptime fields the CI smoke filters out).
+//
+// Parsing is split from execution so the parser round-trips are unit-
+// testable without a service: ParseCommand produces a plain Command value,
+// ServiceSession::Execute runs one against its registry + service.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/graph_registry.h"
+#include "service/query_service.h"
+
+namespace vblock {
+
+/// Parsed protocol command (tagged union, plain data).
+struct Command {
+  enum class Kind {
+    kLoadGen,
+    kLoadFile,
+    kSolve,
+    kEval,
+    kStats,
+    kEvictPools,
+    kEvictGraph,
+    kQuit,
+  };
+  Kind kind = Kind::kStats;
+
+  // LOAD (both forms)
+  std::string name;           // registry name
+  std::string source;         // dataset name (GEN) or path (FILE)
+  double scale = 0.05;        // GEN
+  uint64_t gen_seed = 1;      // GEN
+  bool undirected = false;    // FILE
+  GraphLoadOptions load;      // MODEL / PROB resolved into load.prob etc.
+
+  // SOLVE / EVAL
+  IminRequest request;              // SOLVE (request.graph reused by EVAL)
+  std::vector<VertexId> blockers;   // EVAL
+  EvaluationOptions eval;           // EVAL
+
+  // EVICT GRAPH reuses `name`.
+};
+
+/// Parses one protocol line. InvalidArgument on syntax errors (unknown
+/// command, missing/duplicate/malformed arguments). Blank and '#'-comment
+/// lines are NOT commands — callers skip them (vblock_serve echoes nothing).
+Result<Command> ParseCommand(const std::string& line);
+
+/// Formats a service stats snapshot as the STATS response payload. The
+/// deterministic counters come first; wall-clock-dependent fields (uptime,
+/// qps, latency percentiles) last, so log filters can strip them.
+std::string FormatStats(const ServiceStats& stats, size_t num_graphs);
+
+/// One protocol session: a registry + service pair plus the command
+/// executor. The registry/service are owned by the session.
+class ServiceSession {
+ public:
+  explicit ServiceSession(const ServiceOptions& options = {});
+
+  /// Executes one line and returns the response ("OK ..." / "ERR ...").
+  /// Blank/comment lines return an empty string (no response). QUIT sets
+  /// done() and responds "OK bye".
+  std::string Execute(const std::string& line);
+
+  bool done() const { return done_; }
+
+  GraphRegistry& registry() { return registry_; }
+  QueryService& service() { return service_; }
+
+ private:
+  std::string Run(const Command& cmd);
+
+  GraphRegistry registry_;
+  QueryService service_;
+  bool done_ = false;
+};
+
+}  // namespace vblock

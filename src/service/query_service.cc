@@ -1,0 +1,345 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "core/advanced_greedy.h"
+#include "core/greedy_replace.h"
+#include "core/spread_decrease_engine.h"
+#include "core/unified_instance.h"
+
+namespace vblock {
+namespace {
+
+// Ready future carrying an immediate (error) result.
+std::future<Result<SolverResult>> ReadyFuture(Result<SolverResult> result) {
+  std::promise<Result<SolverResult>> promise;
+  promise.set_value(std::move(result));
+  return promise.get_future();
+}
+
+// Joins the solver's own time limit with the request deadline's remaining
+// budget: whichever is tighter wins; non-positive values mean "none".
+double EffectiveTimeLimit(double solver_limit, double deadline_remaining) {
+  if (deadline_remaining <= 0) return solver_limit;
+  if (solver_limit <= 0) return deadline_remaining;
+  return std::min(solver_limit, deadline_remaining);
+}
+
+SolverOptions ResolveSolverOptions(const QueryKey& key, uint32_t budget,
+                                   uint32_t engine_threads,
+                                   double time_limit_seconds) {
+  // The shared key→options inverse, plus the request-deadline-derived time
+  // limit (which may be tighter than the key's own).
+  SolverOptions opts = SolverOptionsForKey(key, budget, engine_threads);
+  opts.time_limit_seconds = time_limit_seconds;
+  return opts;
+}
+
+}  // namespace
+
+QueryService::QueryService(GraphRegistry* registry,
+                           const ServiceOptions& options)
+    : registry_(registry),
+      options_(options),
+      cache_(options.cache),
+      // num_threads + 1: ThreadPool reserves one "thread" for a
+      // ParallelFor caller; Submit-style tasks only ever run on the
+      // num_threads() - 1 background workers, and the service needs
+      // options.num_threads of those.
+      scheduler_(std::make_unique<ThreadPool>(
+          std::max<uint32_t>(1, options.num_threads) + 1)) {
+  VBLOCK_CHECK_MSG(registry != nullptr, "registry must not be null");
+}
+
+QueryService::~QueryService() = default;
+
+std::future<Result<SolverResult>> QueryService::Submit(
+    const IminRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.submitted;
+  }
+
+  Result<GraphRegistry::SnapshotPtr> snapshot = registry_->Get(request.graph);
+  if (!snapshot.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.invalid;
+    return ReadyFuture(snapshot.status());
+  }
+  const Graph& g = (*snapshot)->graph;
+
+  Status valid =
+      ValidateIminQuery(g, request.query.seeds, request.query.budget);
+  QueryKey key;
+  if (valid.ok() && !std::isfinite(request.deadline_seconds)) {
+    // Deadlines land in the ordered dedup key; NaN would break the map's
+    // strict weak ordering (hung futures), so reject it at the door.
+    valid = Status::InvalidArgument("deadline must be finite");
+  }
+  if (valid.ok()) {
+    key = ResolveQueryKey(request.query, options_.defaults);
+    if (!std::isfinite(key.time_limit_seconds)) {
+      valid = Status::InvalidArgument("time limit must be finite");
+    } else if ((key.algorithm == Algorithm::kAdvancedGreedy ||
+                key.algorithm == Algorithm::kGreedyReplace) &&
+               key.theta == 0) {
+      valid = Status::InvalidArgument("theta must be positive for " +
+                                      std::string(AlgorithmName(
+                                          key.algorithm)));
+    }
+  }
+  if (!valid.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.invalid;
+    return ReadyFuture(std::move(valid));
+  }
+
+  CompKey comp_key;
+  comp_key.graph_epoch = (*snapshot)->epoch;
+  comp_key.budget = request.query.budget;
+  comp_key.deadline_seconds = request.deadline_seconds;
+  comp_key.query = std::move(key);
+
+  std::shared_ptr<Computation> comp;
+  std::future<Result<SolverResult>> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Deadline-free requests may ride an identical in-flight computation;
+    // deadlined ones never coalesce (each owns its clock) and never enter
+    // the dedup map. Riders are free — they occupy no queue slot and skip
+    // admission control.
+    if (request.deadline_seconds == 0) {
+      auto it = in_flight_.find(comp_key);
+      if (it != in_flight_.end()) {
+        ++counters_.coalesced;
+        it->second->waiters.emplace_back();
+        return it->second->waiters.back().promise.get_future();
+      }
+    }
+    if (counters_.queue_depth >= options_.max_queue) {
+      ++counters_.rejected;
+      return ReadyFuture(Status::ResourceExhausted(
+          "queue full (" + std::to_string(options_.max_queue) +
+          " pending computations)"));
+    }
+    if (counters_.in_flight >= options_.max_in_flight) {
+      ++counters_.rejected;
+      return ReadyFuture(Status::ResourceExhausted(
+          "too many computations in flight (max " +
+          std::to_string(options_.max_in_flight) + ")"));
+    }
+    comp = std::make_shared<Computation>();
+    comp->key = comp_key;
+    comp->snapshot = *snapshot;
+    comp->waiters.emplace_back();
+    future = comp->waiters.back().promise.get_future();
+    if (request.deadline_seconds == 0) {
+      comp->tracked = true;
+      in_flight_.emplace(std::move(comp_key), comp);
+    }
+    ++counters_.queue_depth;
+    ++counters_.in_flight;
+  }
+
+  scheduler_->Submit([this, comp] { Execute(comp); });
+  return future;
+}
+
+Result<SolverResult> QueryService::SubmitAndWait(const IminRequest& request) {
+  return Submit(request).get();
+}
+
+void QueryService::Execute(const std::shared_ptr<Computation>& comp) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --counters_.queue_depth;
+  }
+
+  const double deadline = comp->key.deadline_seconds;
+  const bool expired =
+      deadline > 0 && comp->submitted.ElapsedSeconds() >= deadline;
+  Result<SolverResult> result =
+      expired ? Result<SolverResult>(Status::DeadlineExceeded(
+                    "request deadline (" + std::to_string(deadline) +
+                    "s) expired before execution"))
+              : Compute(*comp);
+
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (comp->tracked) in_flight_.erase(comp->key);
+    --counters_.in_flight;
+    ++counters_.completed;
+    if (expired) ++counters_.deadline_expired;
+    // One latency sample per request (riders included), each measured
+    // from its own Submit.
+    for (const Waiter& waiter : comp->waiters) {
+      latency_.Record(waiter.submitted.ElapsedSeconds());
+    }
+    waiters = std::move(comp->waiters);
+  }
+  for (auto& waiter : waiters) waiter.promise.set_value(result);
+}
+
+Result<SolverResult> QueryService::Compute(const Computation& comp) {
+  const QueryKey& key = comp.key.query;
+  double remaining = 0;
+  if (comp.key.deadline_seconds > 0) {
+    remaining = std::max(
+        1e-9, comp.key.deadline_seconds - comp.submitted.ElapsedSeconds());
+  }
+  const double time_limit =
+      EffectiveTimeLimit(key.time_limit_seconds, remaining);
+
+  std::optional<PoolCache::Key> pool_key =
+      PoolCache::KeyFor(comp.snapshot->epoch, key);
+  if (!pool_key.has_value() || comp.key.budget == 0) {
+    // Heuristics, BaselineGreedy, and trivial budgets: no warmable pool —
+    // the standalone facade already is the cheapest path.
+    return SolveImin(comp.snapshot->graph, key.seeds,
+                     ResolveSolverOptions(key, comp.key.budget,
+                                          options_.defaults.threads,
+                                          time_limit));
+  }
+  return ComputeWithEngine(comp, *pool_key, time_limit);
+}
+
+Result<SolverResult> QueryService::ComputeWithEngine(
+    const Computation& comp, const PoolCache::Key& pool_key,
+    double time_limit_seconds) {
+  const QueryKey& key = comp.key.query;
+  const bool is_gr = key.algorithm == Algorithm::kGreedyReplace;
+  Timer timer;
+  Deadline deadline(time_limit_seconds);
+
+  std::unique_ptr<WarmEntry> entry = cache_.Acquire(pool_key);
+  const bool cold = entry == nullptr;
+  if (cold) {
+    entry = std::make_unique<WarmEntry>();
+    entry->inst = std::make_unique<UnifiedInstance>(
+        UnifySeeds(comp.snapshot->graph, key.seeds));
+  }
+  const UnifiedInstance& inst = *entry->inst;
+
+  if (is_gr && inst.graph.OutDegree(inst.root) == 0) {
+    // Mirror the standalone GreedyReplace early-out: a sink super-seed
+    // spreads nowhere, so no pool is built and the answer is empty. A warm
+    // entry (possibly built for AG) goes straight back.
+    if (!cold) cache_.Release(pool_key, std::move(entry));
+    SolverResult result;
+    result.stats.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  if (cold) {
+    SpreadDecreaseOptions sd;
+    sd.theta = key.theta;
+    sd.seed = key.seed;
+    sd.threads = options_.defaults.threads;
+    sd.sample_reuse = key.sample_reuse;
+    sd.sampler_kind = key.sampler_kind;
+    entry->engine = std::make_unique<SpreadDecreaseEngine>(inst.graph,
+                                                           inst.root, sd);
+    if (!entry->engine->Build(deadline)) {
+      // Timed out mid-build: the standalone algorithms return an empty,
+      // timed_out-flagged result. The half-built engine is discarded.
+      SolverResult result;
+      result.stats.timed_out = true;
+      result.stats.seconds = timer.ElapsedSeconds();
+      return result;
+    }
+  }
+
+  BlockerSelection sel;
+  if (is_gr) {
+    GreedyReplaceOptions gr;
+    gr.budget = comp.key.budget;
+    gr.theta = key.theta;
+    gr.seed = key.seed;
+    gr.threads = options_.defaults.threads;
+    gr.time_limit_seconds = time_limit_seconds;
+    gr.sample_reuse = key.sample_reuse;
+    gr.sampler_kind = key.sampler_kind;
+    sel = GreedyReplaceWithEngine(entry->engine.get(), gr, deadline);
+  } else {
+    AdvancedGreedyOptions ag;
+    ag.budget = comp.key.budget;
+    ag.theta = key.theta;
+    ag.seed = key.seed;
+    ag.threads = options_.defaults.threads;
+    ag.time_limit_seconds = time_limit_seconds;
+    ag.sample_reuse = key.sample_reuse;
+    ag.sampler_kind = key.sampler_kind;
+    sel = AdvancedGreedyWithEngine(entry->engine.get(), ag, deadline);
+  }
+
+  SolverResult result;
+  result.blockers = inst.BlockersToOriginal(sel.blockers);
+  result.stats = sel.stats;
+  result.stats.selection_trace =
+      inst.BlockersToOriginal(sel.stats.selection_trace);
+  result.stats.seconds = timer.ElapsedSeconds();
+
+  // Check the engine back in restored to its freshly built state — the
+  // next request for this key skips the θ-sample build entirely. The
+  // restore runs HERE, before this computation's futures are fulfilled:
+  // deferring it past fulfillment would let a fast sequential client's
+  // repeated SOLVE race the checkin and miss, breaking the deterministic
+  // warm-hit contract the cache exists for. The cost is bounded by the
+  // samples this run touched (O(θ) only for GR under kResample, whose
+  // unblocks refresh the whole pool). A deadline latch mid-run poisons
+  // the engine (partial update); such entries are dropped rather than
+  // cached. Restoration runs without a deadline: a poisoned cache entry
+  // would silently break the determinism contract.
+  if (!entry->engine->timed_out() && entry->engine->Restore()) {
+    // Cached entries must not pin idle OS threads or per-thread scratch;
+    // the engine re-spawns its workers lazily when next needed.
+    entry->engine->ReleaseThreads();
+    cache_.Release(pool_key, std::move(entry));
+  }
+  return result;
+}
+
+Result<double> QueryService::Evaluate(const EvalRequest& request) const {
+  Result<GraphRegistry::SnapshotPtr> snapshot = registry_->Get(request.graph);
+  if (!snapshot.ok()) return snapshot.status();
+  const Graph& g = (*snapshot)->graph;
+  if (request.seeds.empty()) {
+    return Status::InvalidArgument("seed set must not be empty");
+  }
+  for (VertexId v : request.seeds) {
+    if (v >= g.NumVertices()) {
+      return Status::OutOfRange("seed id " + std::to_string(v) +
+                                " out of range");
+    }
+  }
+  for (VertexId v : request.blockers) {
+    if (v >= g.NumVertices()) {
+      return Status::OutOfRange("blocker id " + std::to_string(v) +
+                                " out of range");
+    }
+  }
+  return EvaluateSpread(g, request.seeds, request.blockers, request.options);
+}
+
+ServiceStats QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats stats = counters_;
+  stats.uptime_seconds = uptime_.ElapsedSeconds();
+  stats.qps = stats.uptime_seconds > 0
+                  ? static_cast<double>(stats.completed) / stats.uptime_seconds
+                  : 0;
+  stats.cache = cache_.stats();
+  stats.latency_count = latency_.count();
+  stats.latency_mean_ms = latency_.mean() * 1e3;
+  stats.latency_p50_ms = latency_.Quantile(0.50) * 1e3;
+  stats.latency_p90_ms = latency_.Quantile(0.90) * 1e3;
+  stats.latency_p99_ms = latency_.Quantile(0.99) * 1e3;
+  stats.latency_max_ms = latency_.max() * 1e3;
+  return stats;
+}
+
+}  // namespace vblock

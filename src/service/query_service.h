@@ -1,0 +1,219 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Admission-controlled, in-process async IMIN query service.
+//
+// The library's entry points (core/solver.h, core/batch_solver.h) are
+// one-shot: every call pays unification + θ-sampling + scoring from
+// scratch. A long-lived service answering many queries against few graphs
+// can do much better, and this class is that layer:
+//
+//  * requests resolve a named graph snapshot from a GraphRegistry and are
+//    executed asynchronously on a common/thread_pool task queue
+//    (Submit returns a std::future immediately);
+//  * admission control bounds the backlog — max_queue pending tasks,
+//    max_in_flight admitted-but-unfinished computations — and rejects
+//    overload with a typed ResourceExhausted status instead of queueing
+//    unboundedly;
+//  * identical concurrent requests (same graph epoch, canonical QueryKey,
+//    budget, deadline class) are coalesced onto ONE computation whose
+//    result fans out to every waiter;
+//  * per-request deadlines map onto the algorithms' cooperative time_limit
+//    plumbing: a request whose deadline expires while still queued fails
+//    fast with DeadlineExceeded, and one that starts late runs under the
+//    remaining budget only;
+//  * AG/GR solves check a warmed engine out of a PoolCache — a hit skips
+//    the entire θ-sample build — and check it back in restored
+//    (SpreadDecreaseEngine::Restore), so a repeated SOLVE never re-draws
+//    its samples.
+//
+// Determinism contract (docs/DESIGN.md §8): for a fixed request, the
+// returned SolverResult is bit-identical to the standalone
+// SolveImin(graph, seeds, resolved options) call — warm or cold, for any
+// num_threads, at any submission order, coalesced or not — except
+// stats.seconds (wall time of this execution). Deadlines are the one
+// wall-clock-dependent input; requests that never hit them are unaffected.
+
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/batch_solver.h"
+#include "core/evaluator.h"
+#include "core/solver.h"
+#include "service/graph_registry.h"
+#include "service/pool_cache.h"
+
+namespace vblock {
+
+/// One IMIN query against a registered graph. `query` carries the seed
+/// set, budget, algorithm, and per-request solver-knob overrides exactly
+/// like a batch query (core/batch_solver.h).
+struct IminRequest {
+  /// GraphRegistry name the query targets.
+  std::string graph;
+  IminQuery query;
+  /// Submission-to-completion budget in seconds (0 = none). Expiring while
+  /// queued fails the request with DeadlineExceeded; the part spent queued
+  /// is deducted from the solver's cooperative time limit otherwise.
+  double deadline_seconds = 0;
+};
+
+/// A spread evaluation (EvaluateSpread) against a registered graph.
+struct EvalRequest {
+  std::string graph;
+  std::vector<VertexId> seeds;
+  std::vector<VertexId> blockers;
+  EvaluationOptions options;
+};
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Worker threads executing solves (the service's concurrency). Each
+  /// running solve additionally uses `defaults.threads` sampling threads.
+  uint32_t num_threads = 2;
+  /// Pending (accepted but not started) computation cap; Submit beyond it
+  /// is rejected with ResourceExhausted.
+  uint32_t max_queue = 256;
+  /// Admitted-but-unfinished computation cap (queued + running).
+  uint32_t max_in_flight = 512;
+  /// Warm-pool cache byte budget.
+  PoolCache::Options cache;
+  /// Default solver knobs for fields a request does not override
+  /// (`algorithm` and `budget` are per-request; `threads` parallelizes
+  /// inside one solve and never changes results).
+  SolverOptions defaults;
+};
+
+/// Monotonic counters + current state snapshot. All counters are totals
+/// since construction.
+struct ServiceStats {
+  uint64_t submitted = 0;        // Submit() calls
+  uint64_t invalid = 0;          // failed validation (typed error future)
+  uint64_t rejected = 0;         // admission-control rejections
+  uint64_t coalesced = 0;        // riders attached to an in-flight twin
+  uint64_t completed = 0;        // computations finished (any status)
+  uint64_t deadline_expired = 0; // DeadlineExceeded before execution
+  uint32_t queue_depth = 0;      // accepted, not yet started
+  uint32_t in_flight = 0;        // accepted, not yet completed
+  double uptime_seconds = 0;
+  double qps = 0;                // completed / uptime
+  PoolCache::Stats cache;
+  /// Latency (submit → completion) percentiles in milliseconds, bucketed
+  /// by common/histogram.h (upper-bound estimates, ~26% resolution).
+  uint64_t latency_count = 0;
+  double latency_mean_ms = 0;
+  double latency_p50_ms = 0;
+  double latency_p90_ms = 0;
+  double latency_p99_ms = 0;
+  double latency_max_ms = 0;
+};
+
+/// Long-lived, thread-safe query service over a GraphRegistry. The
+/// registry must outlive the service. Destruction drains: every admitted
+/// computation completes and fulfills its futures before the destructor
+/// returns.
+class QueryService {
+ public:
+  explicit QueryService(GraphRegistry* registry,
+                        const ServiceOptions& options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Validates and schedules `request`. The future is always fulfilled:
+  /// with the solve result, or a typed error —
+  ///   NotFound            unknown graph name
+  ///   InvalidArgument /
+  ///   OutOfRange          ValidateIminQuery failures, θ=0 for AG/GR
+  ///   ResourceExhausted   admission control (queue/in-flight caps)
+  ///   DeadlineExceeded    request deadline expired before execution
+  /// Invalid and rejected requests resolve immediately and never occupy a
+  /// queue slot. Identical concurrent deadline-free requests coalesce onto
+  /// one computation (every waiter receives a copy of its result, and its
+  /// own latency sample); requests with a deadline always compute
+  /// individually, because each is entitled to its own clock.
+  std::future<Result<SolverResult>> Submit(const IminRequest& request);
+
+  /// Submit + wait. Convenience for synchronous callers (REPL, tests).
+  Result<SolverResult> SubmitAndWait(const IminRequest& request);
+
+  /// Synchronous spread evaluation against a registered graph (Monte-Carlo
+  /// or exact per request.options; runs on the calling thread).
+  Result<double> Evaluate(const EvalRequest& request) const;
+
+  /// Consistent snapshot of counters, queue state, cache stats, latency.
+  ServiceStats Stats() const;
+
+  /// Warm-pool cache (eviction control, direct stats).
+  PoolCache& pool_cache() { return cache_; }
+
+  /// The scheduling pool (tests pin admission control by parking its
+  /// workers; the REPL reports its queue depth).
+  ThreadPool& scheduler() { return *scheduler_; }
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  // Key identifying computations that may share one execution: everything
+  // that determines the result bits.
+  struct CompKey {
+    uint64_t graph_epoch = 0;
+    uint32_t budget = 0;
+    double deadline_seconds = 0;
+    QueryKey query;
+
+    bool operator<(const CompKey& o) const {
+      return std::tie(graph_epoch, budget, deadline_seconds, query) <
+             std::tie(o.graph_epoch, o.budget, o.deadline_seconds, o.query);
+    }
+  };
+
+  struct Waiter {
+    std::promise<Result<SolverResult>> promise;
+    Timer submitted;  // this waiter's own queue wait + execution latency
+  };
+
+  struct Computation {
+    CompKey key;
+    GraphRegistry::SnapshotPtr snapshot;
+    Timer submitted;  // first submitter's clock: drives the deadline
+    // Only deadline-free computations enter the dedup map — a rider would
+    // otherwise inherit the first submitter's deadline clock and time out
+    // while its own submission-to-completion budget still had slack.
+    bool tracked = false;
+    std::vector<Waiter> waiters;
+  };
+
+  void Execute(const std::shared_ptr<Computation>& comp);
+  Result<SolverResult> Compute(const Computation& comp);
+  Result<SolverResult> ComputeWithEngine(const Computation& comp,
+                                         const PoolCache::Key& pool_key,
+                                         double time_limit_seconds);
+
+  GraphRegistry* registry_;
+  ServiceOptions options_;
+  PoolCache cache_;
+  Timer uptime_;
+
+  mutable std::mutex mutex_;
+  std::map<CompKey, std::shared_ptr<Computation>> in_flight_;
+  ServiceStats counters_;  // queue_depth/in_flight maintained inline
+  Histogram latency_;      // seconds; guarded by mutex_
+
+  // Declared last: destroyed first, draining all tasks while the members
+  // above are still alive.
+  std::unique_ptr<ThreadPool> scheduler_;
+};
+
+}  // namespace vblock

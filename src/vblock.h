@@ -23,6 +23,7 @@
 
 // common
 #include "common/check.h"
+#include "common/histogram.h"
 #include "common/rng.h"
 #include "common/sampler_kind.h"
 #include "common/status.h"
@@ -81,8 +82,15 @@
 #include "core/exact_blocker.h"
 #include "core/greedy_replace.h"
 #include "core/heuristics.h"
+#include "core/query_key.h"
 #include "core/sample_size.h"
 #include "core/solver.h"
 #include "core/spread_decrease.h"
 #include "core/spread_decrease_engine.h"
 #include "core/unified_instance.h"
+
+// in-process query service
+#include "service/graph_registry.h"
+#include "service/pool_cache.h"
+#include "service/protocol.h"
+#include "service/query_service.h"

@@ -17,6 +17,7 @@
 #include "core/solver.h"
 #include "gen/generators.h"
 #include "prob/probability_models.h"
+#include "service/pool_cache.h"
 #include "testing/toy_graphs.h"
 
 namespace vblock {
@@ -366,6 +367,77 @@ TEST(BatchSolverTest, TimeLimitedSweepKeepsEveryQueryWellFormed) {
     EXPECT_LE(q.result.blockers.size(), queries[i].budget) << i;
     EXPECT_LE(q.result.stats.rounds_completed, queries[i].budget) << i;
   }
+}
+
+// Regression: BatchSolver grouping and the service's PoolCache both key on
+// the ONE shared helper (ResolveQueryKey / core/query_key.h); two queries
+// land in one batch group exactly when their canonical keys agree, and the
+// cache's projection collapses precisely the documented fields.
+TEST(BatchSolverTest, CanonicalQueryKeyAgreesAcrossBatchAndPoolCache) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(120, 3, 5));
+  SolverOptions defaults;
+  defaults.theta = 100;
+  defaults.mc_rounds = 50;
+  defaults.seed = 9;
+
+  IminQuery base;
+  base.seeds = {3, 1, 7};
+  base.budget = 4;
+  base.algorithm = Algorithm::kGreedyReplace;
+
+  // Irrelevant knob (GR never reads mc_rounds) and seed order must not
+  // split keys; a relevant knob (theta) must.
+  IminQuery mc_override = base;
+  mc_override.mc_rounds = 777;
+  IminQuery reordered = base;
+  reordered.seeds = {7, 3, 1};
+  IminQuery different_theta = base;
+  different_theta.theta = 200;
+
+  const QueryKey key_base = ResolveQueryKey(base, defaults);
+  EXPECT_EQ(key_base, ResolveQueryKey(mc_override, defaults));
+  EXPECT_EQ(key_base, ResolveQueryKey(reordered, defaults));
+  EXPECT_FALSE(key_base == ResolveQueryKey(different_theta, defaults));
+  EXPECT_EQ(key_base.seeds, (std::vector<VertexId>{1, 3, 7}));
+
+  // The BatchSolver observes the same sharing: 3 coinciding queries + 1
+  // odd one out form exactly 2 groups.
+  BatchOptions options;
+  options.defaults = defaults;
+  BatchResult batch = SolveIminBatch(
+      g, {base, mc_override, reordered, different_theta}, options);
+  EXPECT_EQ(batch.stats.num_groups, 2u);
+  for (const BatchQueryResult& q : batch.queries) {
+    ASSERT_TRUE(q.status.ok());
+  }
+  EXPECT_EQ(batch.queries[0].result.blockers,
+            batch.queries[1].result.blockers);
+  EXPECT_EQ(batch.queries[0].result.blockers,
+            batch.queries[2].result.blockers);
+
+  // PoolCache keys through the same canonical key: the AG and GR variants
+  // of one query share a warm pool (family collapse), the time limit is
+  // projected away, and non-engine algorithms have no pool key at all.
+  IminQuery ag = base;
+  ag.algorithm = Algorithm::kAdvancedGreedy;
+  IminQuery timed = base;
+  timed.time_limit_seconds = 30.0;
+  auto pool_base = PoolCache::KeyFor(1, key_base);
+  auto pool_ag = PoolCache::KeyFor(1, ResolveQueryKey(ag, defaults));
+  auto pool_timed = PoolCache::KeyFor(1, ResolveQueryKey(timed, defaults));
+  ASSERT_TRUE(pool_base && pool_ag && pool_timed);
+  EXPECT_EQ(pool_base->query, pool_ag->query);
+  EXPECT_EQ(pool_base->query, pool_timed->query);
+  EXPECT_FALSE(pool_base->query ==
+               PoolCache::KeyFor(1, ResolveQueryKey(different_theta, defaults))
+                   ->query);
+  // Different graph epoch → different cache address.
+  EXPECT_TRUE(pool_base->operator<(*PoolCache::KeyFor(2, key_base)) ||
+              PoolCache::KeyFor(2, key_base)->operator<(*pool_base));
+
+  IminQuery bg = base;
+  bg.algorithm = Algorithm::kBaselineGreedy;
+  EXPECT_FALSE(PoolCache::KeyFor(1, ResolveQueryKey(bg, defaults)));
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
 #include <set>
 #include <thread>
 
@@ -10,6 +12,7 @@
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace vblock {
@@ -41,6 +44,14 @@ TEST(StatusTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
   EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
                "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, DeadlineExceededFactory) {
+  Status s = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: too slow");
 }
 
 TEST(ResultTest, HoldsValue) {
@@ -243,6 +254,86 @@ TEST(TablePrinterTest, HandlesRaggedRows) {
   std::string out = t.ToString();
   EXPECT_NE(out.find("only-one"), std::string::npos);
   EXPECT_NE(out.find("3-extra"), std::string::npos);
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, SubmitRunsEveryTaskOnAWorker) {
+  ThreadPool pool(3);  // 2 background workers
+  EXPECT_EQ(pool.num_workers(), 2u);
+  std::atomic<int> count{0};
+  std::promise<void> all_done;
+  constexpr int kTasks = 50;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (count.fetch_add(1) + 1 == kTasks) all_done.set_value();
+    });
+  }
+  all_done.get_future().wait();
+  EXPECT_EQ(count.load(), kTasks);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, QueueDepthReportsUnstartedTasks) {
+  ThreadPool pool(2);  // one worker
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::promise<void> started;
+  pool.Submit([&, opened] {
+    started.set_value();
+    opened.wait();
+  });
+  started.get_future().wait();  // worker is now parked inside task 1
+  pool.Submit([] {});
+  pool.Submit([] {});
+  EXPECT_EQ(pool.QueueDepth(), 2u);  // running task not counted
+  gate.set_value();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    pool.Submit([&, opened] {
+      opened.wait();
+      count.fetch_add(1);
+    });
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&] { count.fetch_add(1); });
+    }
+    gate.set_value();
+    // Destruction must execute all 11 tasks before joining.
+  }
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPoolTest, SubmitRunsInlineWithoutWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  int count = 0;
+  pool.Submit([&] { ++count; });  // inline: done when Submit returns
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForStillWorksAlongsideSubmit) {
+  ThreadPool pool(4);
+  std::atomic<int> task_count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] { task_count.fetch_add(1); });
+  }
+  std::vector<uint32_t> touched(100, 0);
+  pool.ParallelFor(100, [&](uint32_t, uint32_t begin, uint32_t end) {
+    for (uint32_t i = begin; i < end; ++i) touched[i] += 1;
+  });
+  for (uint32_t v : touched) EXPECT_EQ(v, 1u);
+  // Drain the submitted tasks before the pool dies (assert they all ran).
+  std::promise<void> done;
+  pool.Submit([&] { done.set_value(); });
+  done.get_future().wait();
+  EXPECT_EQ(task_count.load(), 8);
 }
 
 }  // namespace

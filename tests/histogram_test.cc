@@ -1,0 +1,90 @@
+// Tests for the log-bucketed latency histogram (common/histogram.h).
+
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace vblock {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramReportsZeroes) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, CountSumMinMaxAreExact) {
+  Histogram h;
+  h.Record(0.001);
+  h.Record(0.010);
+  h.Record(0.100);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.111);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.100);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.111 / 3);
+}
+
+TEST(HistogramTest, QuantileIsBucketAccurate) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Record(0.001);  // 1ms
+  h.Record(1.0);                                 // one 1s outlier
+  // p50 must land in the 1ms bucket: within one bucket's relative error.
+  const double p50 = h.Quantile(0.50);
+  EXPECT_GE(p50, 0.001 / Histogram::kGrowth);
+  EXPECT_LE(p50, 0.001 * Histogram::kGrowth);
+  // p995+ catches the outlier, clamped to the observed max.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.999), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1.0);
+}
+
+TEST(HistogramTest, QuantileClampsToObservedRange) {
+  Histogram h;
+  h.Record(0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.5);
+}
+
+TEST(HistogramTest, ExtremesLandInEdgeBuckets) {
+  Histogram h;
+  h.Record(0.0);       // below the first bound
+  h.Record(-1.0);      // negative: clamped into bucket 0
+  h.Record(1e9);       // far above the last bound
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(Histogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, UpperBoundsAreMonotone) {
+  for (uint32_t b = 1; b < Histogram::kNumBuckets; ++b) {
+    EXPECT_GT(Histogram::UpperBound(b), Histogram::UpperBound(b - 1));
+  }
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(0.001);
+  b.Record(0.1);
+  b.Record(0.2);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.001);
+  EXPECT_DOUBLE_EQ(a.max(), 0.2);
+  EXPECT_DOUBLE_EQ(a.sum(), 0.301);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(1.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace vblock

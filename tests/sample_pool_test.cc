@@ -266,6 +266,164 @@ TEST(SamplePoolEngineTest, ZeroBudgetAndSinkSeedSkipPoolBuild) {
   EXPECT_TRUE(GreedyReplace(g, 7, gr).blockers.empty());
 }
 
+// Restore() must return a used engine to its freshly-Build() state
+// bit-for-bit in BOTH reuse modes — the warm-pool cache's checkin
+// invariant (service/pool_cache.h). Scores, per-sample regions, and a
+// subsequent greedy run must all be indistinguishable from a brand-new
+// engine's.
+TEST(SamplePoolEngineTest, RestoreReturnsEngineToFreshBuildBitExactly) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(250, 3, 21));
+  for (SampleReuse reuse : {SampleReuse::kResample, SampleReuse::kPrune}) {
+    SCOPED_TRACE(reuse == SampleReuse::kPrune ? "prune" : "resample");
+    SpreadDecreaseEngine fresh(g, 0, EngineOptions(500, 23, reuse));
+    ASSERT_TRUE(fresh.Build());
+    const SpreadDecreaseResult want = fresh.Scores();
+
+    SpreadDecreaseEngine used(g, 0, EngineOptions(500, 23, reuse));
+    ASSERT_TRUE(used.Build());
+    // A realistic mutation history: greedy blocks plus an unblock (the
+    // GreedyReplace phase-2 pattern).
+    VertexId a = used.BestUnblocked();
+    ASSERT_TRUE(used.Block(a));
+    VertexId b = used.BestUnblocked();
+    ASSERT_TRUE(used.Block(b));
+    ASSERT_TRUE(used.Unblock(a));
+    ASSERT_TRUE(used.Restore());
+
+    EXPECT_EQ(used.blocked().Count(), 0u);
+    const SpreadDecreaseResult got = used.Scores();
+    EXPECT_EQ(got.delta, want.delta);
+    EXPECT_EQ(got.expected_spread, want.expected_spread);
+    for (uint32_t i = 0; i < used.theta(); ++i) {
+      const SampledGraph& restored = used.PoolSample(i);
+      const SampledGraph& pristine = fresh.PoolSample(i);
+      ASSERT_EQ(restored.to_parent, pristine.to_parent) << "sample " << i;
+      ASSERT_EQ(restored.offsets, pristine.offsets) << "sample " << i;
+      ASSERT_EQ(restored.targets, pristine.targets) << "sample " << i;
+    }
+
+    // And the restored engine replays a full greedy run identically.
+    AdvancedGreedyOptions ag;
+    ag.budget = 5;
+    ag.theta = 500;
+    ag.seed = 23;
+    ag.sample_reuse = reuse;
+    BlockerSelection from_fresh =
+        AdvancedGreedyWithEngine(&fresh, ag, Deadline());
+    BlockerSelection from_restored =
+        AdvancedGreedyWithEngine(&used, ag, Deadline());
+    EXPECT_EQ(from_fresh.blockers, from_restored.blockers);
+    EXPECT_EQ(from_fresh.stats.round_best_delta,
+              from_restored.stats.round_best_delta);
+  }
+}
+
+// A restore re-derives only the samples touched since the LAST restore —
+// repeated warm cycles of a hot key must not creep toward O(θ) work
+// (regression: revisions never return to their build value under kPrune,
+// so dirtiness must be tracked explicitly, not inferred from revisions).
+TEST(SamplePoolTest, BeginRestoreDirtySetDoesNotCreepAcrossCycles) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(150, 3, 13));
+  for (SampleReuse reuse : {SampleReuse::kPrune, SampleReuse::kResample}) {
+    SCOPED_TRACE(reuse == SampleReuse::kPrune ? "prune" : "resample");
+    SamplePool::Options options;
+    options.theta = 80;
+    options.seed = 3;
+    options.reuse = reuse;
+    SamplePool pool(g, 0, options);
+    SamplePool::Scratch scratch = pool.MakeScratch();
+    for (uint32_t i = 0; i < options.theta; ++i) {
+      pool.DeriveSample(i, &scratch);
+    }
+    pool.FinalizeBuild();
+    for (uint32_t i = 0; i < options.theta; ++i) pool.AddToIndex(i);
+
+    auto block_restore_cycle = [&](VertexId v) {
+      std::vector<uint32_t> dirty;
+      pool.BeginBlock(v, &dirty);
+      for (uint32_t i : dirty) {
+        pool.RemoveFromIndex(i);
+        pool.DeriveSample(i, &scratch);
+        pool.AddToIndex(i);
+      }
+      std::vector<uint32_t> restore;
+      pool.BeginRestore(&restore);
+      EXPECT_EQ(restore, dirty) << "restore must re-derive exactly what "
+                                   "this cycle touched";
+      for (uint32_t i : restore) {
+        pool.RemoveFromIndex(i);
+        pool.DeriveSample(i, &scratch);
+        pool.AddToIndex(i);
+      }
+      return dirty.size();
+    };
+
+    // Two cycles over the same vertex: the second must re-derive the same
+    // sample count as the first (no accumulation from cycle 1's restore),
+    // and a restore with nothing touched must be empty.
+    const size_t first = block_restore_cycle(5);
+    ASSERT_GT(first, 0u);
+    const size_t second = block_restore_cycle(5);
+    EXPECT_EQ(second, first);
+    std::vector<uint32_t> idle;
+    pool.BeginRestore(&idle);
+    EXPECT_TRUE(idle.empty());
+  }
+}
+
+// Restoring twice (and restoring an untouched engine) is a no-op.
+TEST(SamplePoolEngineTest, RestoreIsIdempotent) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(150, 3, 3));
+  SpreadDecreaseEngine engine(g, 0,
+                              EngineOptions(200, 5, SampleReuse::kResample));
+  ASSERT_TRUE(engine.Build());
+  const SpreadDecreaseResult want = engine.Scores();
+  ASSERT_TRUE(engine.Restore());  // untouched: nothing to do
+  ASSERT_TRUE(engine.Block(engine.BestUnblocked()));
+  ASSERT_TRUE(engine.Restore());
+  ASSERT_TRUE(engine.Restore());
+  EXPECT_EQ(engine.Scores().delta, want.delta);
+  EXPECT_EQ(engine.Scores().expected_spread, want.expected_spread);
+}
+
+TEST(SamplePoolTest, MemoryUsageBytesTracksPoolFootprint) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(200, 3, 9));
+  SamplePool::Options small;
+  small.theta = 100;
+  small.seed = 7;
+  small.reuse = SampleReuse::kPrune;
+  SamplePool pool(g, 0, small);
+  SamplePool::Scratch scratch = pool.MakeScratch();
+  for (uint32_t i = 0; i < small.theta; ++i) pool.DeriveSample(i, &scratch);
+  pool.FinalizeBuild();
+  for (uint32_t i = 0; i < small.theta; ++i) pool.AddToIndex(i);
+  const uint64_t small_bytes = pool.MemoryUsageBytes();
+  EXPECT_GT(small_bytes, 0u);
+  // The regions alone are a lower bound on the accounting.
+  EXPECT_GE(small_bytes, pool.TotalRegionVertices() * sizeof(VertexId));
+
+  // 4× the samples must grow the footprint substantially.
+  SamplePool::Options big = small;
+  big.theta = 400;
+  SamplePool pool4(g, 0, big);
+  SamplePool::Scratch scratch4 = pool4.MakeScratch();
+  for (uint32_t i = 0; i < big.theta; ++i) pool4.DeriveSample(i, &scratch4);
+  pool4.FinalizeBuild();
+  for (uint32_t i = 0; i < big.theta; ++i) pool4.AddToIndex(i);
+  EXPECT_GT(pool4.MemoryUsageBytes(), 2 * small_bytes);
+}
+
+TEST(SamplePoolEngineTest, EngineMemoryUsageIncludesScoringState) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(200, 3, 9));
+  SpreadDecreaseEngine engine(g, 0,
+                              EngineOptions(200, 7, SampleReuse::kPrune));
+  ASSERT_TRUE(engine.Build());
+  // The engine's account must cover at least its pool plus the score
+  // vector (one double per vertex).
+  EXPECT_GE(engine.MemoryUsageBytes(),
+            g.NumVertices() * sizeof(double));
+}
+
 TEST(SamplePoolEngineTest, SteadyStateScoringRoundsDoNotAllocate) {
   // Deterministic path (p=1): every sample is the full path, so after the
   // first Block every buffer — prune scratch, dominator workspace, index

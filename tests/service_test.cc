@@ -1,0 +1,691 @@
+// Tests for the in-process query service (src/service/): graph registry
+// semantics, warm-pool cold/warm bit-exactness across AG/GR × reuse modes,
+// LRU eviction under a byte budget, admission control, request deadlines,
+// in-flight coalescing, concurrent-submit determinism, and the text
+// protocol (parser round-trips, error taxonomy, session end-to-end).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "core/solver.h"
+#include "gen/generators.h"
+#include "prob/probability_models.h"
+#include "service/graph_registry.h"
+#include "service/pool_cache.h"
+#include "service/protocol.h"
+#include "service/query_service.h"
+
+namespace vblock {
+namespace {
+
+// Shared toy workload: a 300-vertex WC Barabási–Albert graph — small
+// enough that a θ=200 AG/GR solve is milliseconds, structured enough that
+// blocker choices are non-trivial.
+Graph TestGraph() {
+  return WithWeightedCascade(GenerateBarabasiAlbert(300, 3, /*seed=*/7));
+}
+
+ServiceOptions FastOptions(uint32_t num_threads = 2) {
+  ServiceOptions options;
+  options.num_threads = num_threads;
+  options.defaults.theta = 200;
+  options.defaults.mc_rounds = 200;
+  options.defaults.seed = 11;
+  return options;
+}
+
+IminRequest MakeRequest(std::vector<VertexId> seeds, uint32_t budget,
+                        Algorithm algorithm,
+                        SampleReuse reuse = SampleReuse::kPrune) {
+  IminRequest request;
+  request.graph = "g";
+  request.query.seeds = std::move(seeds);
+  request.query.budget = budget;
+  request.query.algorithm = algorithm;
+  request.query.sample_reuse = reuse;
+  return request;
+}
+
+// Bit-level equality on everything the determinism contract covers
+// (stats.seconds is explicitly excluded).
+void ExpectSameResult(const SolverResult& got, const SolverResult& want) {
+  EXPECT_EQ(got.blockers, want.blockers);
+  EXPECT_EQ(got.stats.selection_trace, want.stats.selection_trace);
+  EXPECT_EQ(got.stats.rounds_completed, want.stats.rounds_completed);
+  EXPECT_EQ(got.stats.replacements, want.stats.replacements);
+  EXPECT_EQ(got.stats.timed_out, want.stats.timed_out);
+  ASSERT_EQ(got.stats.round_best_delta.size(),
+            want.stats.round_best_delta.size());
+  for (size_t i = 0; i < got.stats.round_best_delta.size(); ++i) {
+    EXPECT_EQ(got.stats.round_best_delta[i], want.stats.round_best_delta[i]);
+  }
+}
+
+// ---------------------------------------------------------- GraphRegistry --
+
+TEST(GraphRegistryTest, AddGetRemoveRoundTrip) {
+  GraphRegistry registry;
+  auto snapshot = registry.Add("toy", TestGraph());
+  EXPECT_EQ(snapshot->name, "toy");
+  EXPECT_EQ(snapshot->epoch, 1u);
+  EXPECT_EQ(registry.size(), 1u);
+
+  auto got = registry.Get("toy");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->epoch, 1u);
+  EXPECT_EQ((*got)->graph.NumVertices(), snapshot->graph.NumVertices());
+
+  EXPECT_TRUE(registry.Remove("toy"));
+  EXPECT_FALSE(registry.Remove("toy"));
+  EXPECT_EQ(registry.Get("toy").status().code(), StatusCode::kNotFound);
+  // The handle outlives removal (refcounted snapshot).
+  EXPECT_GT(snapshot->graph.NumVertices(), 0u);
+}
+
+TEST(GraphRegistryTest, ReplacingANameBumpsTheEpoch) {
+  GraphRegistry registry;
+  auto first = registry.Add("g", TestGraph());
+  auto second = registry.Add("g", TestGraph());
+  EXPECT_LT(first->epoch, second->epoch);
+  auto got = registry.Get("g");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->epoch, second->epoch);
+}
+
+TEST(GraphRegistryTest, LoadGeneratedUsesTheDatasetCatalog) {
+  GraphRegistry registry;
+  GraphLoadOptions options;
+  options.prob = ProbAssignment::kWeightedCascade;
+  auto snapshot =
+      registry.LoadGenerated("ec", "EmailCore", 0.05, /*seed=*/3, options);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_GT((*snapshot)->graph.NumVertices(), 0u);
+
+  EXPECT_EQ(registry.LoadGenerated("x", "NoSuchDataset", 0.05, 3)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.LoadGenerated("x", "EmailCore", 0.0, 3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.List(), std::vector<std::string>({"ec"}));
+}
+
+// ------------------------------------------------- cold/warm bit-exactness --
+
+TEST(QueryServiceTest, ColdAndWarmMatchStandaloneAcrossAlgorithmsAndModes) {
+  GraphRegistry registry;
+  auto snapshot = registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  VertexId base = 5;
+  for (Algorithm algorithm :
+       {Algorithm::kAdvancedGreedy, Algorithm::kGreedyReplace}) {
+    for (SampleReuse reuse : {SampleReuse::kPrune, SampleReuse::kResample}) {
+      SCOPED_TRACE(std::string(AlgorithmName(algorithm)) + "/" +
+                   (reuse == SampleReuse::kPrune ? "prune" : "resample"));
+      // Distinct seed sets per combination keep the four cache keys
+      // disjoint (AG and GR would otherwise share entries by design —
+      // that sharing has its own test below).
+      std::vector<VertexId> seeds = {base, base + 7};
+      base += 20;
+      SolverOptions standalone = FastOptions().defaults;
+      standalone.algorithm = algorithm;
+      standalone.budget = 6;
+      standalone.sample_reuse = reuse;
+      Result<SolverResult> want =
+          SolveImin(snapshot->graph, seeds, standalone);
+      ASSERT_TRUE(want.ok());
+
+      IminRequest request = MakeRequest(seeds, 6, algorithm, reuse);
+      Result<SolverResult> cold = service.SubmitAndWait(request);
+      ASSERT_TRUE(cold.ok());
+      Result<SolverResult> warm = service.SubmitAndWait(request);
+      ASSERT_TRUE(warm.ok());
+
+      ExpectSameResult(*cold, *want);
+      ExpectSameResult(*warm, *want);
+    }
+  }
+
+  // 8 engine-family solves over 4 distinct pool keys (mode × seed set ×
+  // family-collapsed algorithm): every second request must be a warm hit.
+  PoolCache::Stats cache = service.pool_cache().stats();
+  EXPECT_EQ(cache.misses, 4u);
+  EXPECT_EQ(cache.hits, 4u);
+  EXPECT_EQ(cache.entries, 4u);
+  EXPECT_GT(cache.bytes_in_use, 0u);
+}
+
+TEST(QueryServiceTest, AdvancedGreedyAndGreedyReplaceShareOnePoolEntry) {
+  GraphRegistry registry;
+  registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  Result<SolverResult> ag = service.SubmitAndWait(
+      MakeRequest({3, 4}, 5, Algorithm::kAdvancedGreedy));
+  ASSERT_TRUE(ag.ok());
+  // Same seeds/θ/seed/reuse/sampler, different algorithm: the GR solve
+  // must check the AG-built engine out of the cache.
+  Result<SolverResult> gr = service.SubmitAndWait(
+      MakeRequest({3, 4}, 5, Algorithm::kGreedyReplace));
+  ASSERT_TRUE(gr.ok());
+
+  PoolCache::Stats cache = service.pool_cache().stats();
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(cache.entries, 1u);
+}
+
+TEST(QueryServiceTest, SeedOrderDoesNotChangeTheResultOrTheCacheKey) {
+  GraphRegistry registry;
+  auto snapshot = registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  Result<SolverResult> a = service.SubmitAndWait(
+      MakeRequest({9, 2, 17}, 4, Algorithm::kGreedyReplace));
+  Result<SolverResult> b = service.SubmitAndWait(
+      MakeRequest({17, 9, 2}, 4, Algorithm::kGreedyReplace));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectSameResult(*a, *b);
+  PoolCache::Stats cache = service.pool_cache().stats();
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 1u);
+}
+
+TEST(QueryServiceTest, NonEngineAlgorithmsBypassThePoolCache) {
+  GraphRegistry registry;
+  auto snapshot = registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  for (Algorithm algorithm :
+       {Algorithm::kRandom, Algorithm::kOutDegree, Algorithm::kPageRank,
+        Algorithm::kBetweenness, Algorithm::kBaselineGreedy}) {
+    SCOPED_TRACE(AlgorithmName(algorithm));
+    SolverOptions standalone = FastOptions().defaults;
+    standalone.algorithm = algorithm;
+    standalone.budget = 3;
+    Result<SolverResult> want = SolveImin(snapshot->graph, {1, 2}, standalone);
+    ASSERT_TRUE(want.ok());
+    Result<SolverResult> got =
+        service.SubmitAndWait(MakeRequest({1, 2}, 3, algorithm));
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->blockers, want->blockers);
+  }
+  PoolCache::Stats cache = service.pool_cache().stats();
+  EXPECT_EQ(cache.misses, 0u);
+  EXPECT_EQ(cache.hits, 0u);
+  EXPECT_EQ(cache.inserts, 0u);
+}
+
+// --------------------------------------------------- concurrency / stress --
+
+TEST(QueryServiceTest, ShuffledConcurrentSubmissionsAreDeterministic) {
+  GraphRegistry registry;
+  auto snapshot = registry.Add("g", TestGraph());
+
+  // Mixed workload: AG/GR, both reuse modes, duplicate keys, budget sweep.
+  struct Case {
+    IminRequest request;
+    SolverResult want;
+  };
+  std::vector<Case> cases;
+  for (uint32_t budget : {2, 5, 8}) {
+    for (Algorithm algorithm :
+         {Algorithm::kAdvancedGreedy, Algorithm::kGreedyReplace}) {
+      for (SampleReuse reuse :
+           {SampleReuse::kPrune, SampleReuse::kResample}) {
+        IminRequest request =
+            MakeRequest({1, 6, 30}, budget, algorithm, reuse);
+        SolverOptions standalone = FastOptions().defaults;
+        standalone.algorithm = algorithm;
+        standalone.budget = budget;
+        standalone.sample_reuse = reuse;
+        Result<SolverResult> want =
+            SolveImin(snapshot->graph, request.query.seeds, standalone);
+        ASSERT_TRUE(want.ok());
+        cases.push_back({std::move(request), std::move(*want)});
+        // A duplicate of every case exercises coalescing/warm paths.
+        cases.push_back(cases.back());
+      }
+    }
+  }
+
+  for (uint32_t num_threads : {1u, 2u, 8u}) {
+    for (uint64_t shuffle_seed : {1u, 2u}) {
+      SCOPED_TRACE("threads=" + std::to_string(num_threads) +
+                   " shuffle=" + std::to_string(shuffle_seed));
+      std::vector<size_t> order(cases.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::mt19937_64 rng(shuffle_seed);
+      std::shuffle(order.begin(), order.end(), rng);
+
+      QueryService service(&registry, FastOptions(num_threads));
+      std::vector<std::pair<size_t, std::future<Result<SolverResult>>>>
+          futures;
+      futures.reserve(order.size());
+      for (size_t index : order) {
+        futures.emplace_back(index,
+                             service.Submit(cases[index].request));
+      }
+      for (auto& [index, future] : futures) {
+        Result<SolverResult> got = future.get();
+        ASSERT_TRUE(got.ok()) << got.status().ToString();
+        ExpectSameResult(*got, cases[index].want);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- eviction --
+
+TEST(QueryServiceTest, LruEvictionUnderTightByteBudget) {
+  GraphRegistry registry;
+  registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  auto solve = [&](VertexId seed) {
+    Result<SolverResult> r = service.SubmitAndWait(
+        MakeRequest({seed}, 3, Algorithm::kAdvancedGreedy));
+    ASSERT_TRUE(r.ok());
+  };
+
+  // Learn the three entries' exact sizes under an unconstrained budget
+  // (re-solving a key redraws the identical pool, so sizes reproduce).
+  solve(1);
+  const uint64_t b1 = service.pool_cache().stats().bytes_in_use;
+  solve(2);
+  solve(3);
+  const uint64_t b3 = service.pool_cache().stats().bytes_in_use;
+  ASSERT_GT(b1, 0u);
+  ASSERT_EQ(service.pool_cache().EvictAll(), 3u);
+
+  // Budget for exactly entries 2+3: inserting 1,2,3 again must evict the
+  // LRU entry (1) and then stop — bytes land exactly on the budget.
+  service.pool_cache().set_max_bytes(b3 - b1);
+  solve(1);
+  solve(2);
+  solve(3);
+  PoolCache::Stats stats = service.pool_cache().stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 4u);  // 3 from EvictAll + the LRU drop
+  EXPECT_EQ(stats.bytes_in_use, b3 - b1);
+  EXPECT_LE(stats.bytes_in_use, service.pool_cache().max_bytes());
+
+  // The survivors serve warm; the evicted key would miss.
+  solve(2);
+  solve(3);
+  stats = service.pool_cache().stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 6u);
+
+  // A budget below a single entry empties the cache and every release
+  // self-evicts.
+  service.pool_cache().set_max_bytes(1);
+  EXPECT_EQ(service.pool_cache().stats().entries, 0u);
+  solve(5);
+  stats = service.pool_cache().stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.misses, 7u);
+  EXPECT_EQ(stats.evictions, 7u);
+}
+
+TEST(QueryServiceTest, EvictGraphDropsOnlyThatEpoch) {
+  GraphRegistry registry;
+  auto g1 = registry.Add("g", TestGraph());
+  auto g2 = registry.Add("h", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  IminRequest request = MakeRequest({4}, 3, Algorithm::kAdvancedGreedy);
+  ASSERT_TRUE(service.SubmitAndWait(request).ok());
+  request.graph = "h";
+  ASSERT_TRUE(service.SubmitAndWait(request).ok());
+  EXPECT_EQ(service.pool_cache().stats().entries, 2u);
+
+  EXPECT_EQ(service.pool_cache().EvictGraph(g1->epoch), 1u);
+  EXPECT_EQ(service.pool_cache().stats().entries, 1u);
+  // The surviving entry still serves h warm.
+  ASSERT_TRUE(service.SubmitAndWait(request).ok());
+  EXPECT_EQ(service.pool_cache().stats().hits, 1u);
+}
+
+// ----------------------------------------------- admission + deadlines ----
+
+TEST(QueryServiceTest, ExpiredDeadlineReturnsTypedTimeout) {
+  GraphRegistry registry;
+  registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  IminRequest request = MakeRequest({1}, 3, Algorithm::kAdvancedGreedy);
+  request.deadline_seconds = 1e-9;  // expired by the time a worker picks it
+  Result<SolverResult> result = service.SubmitAndWait(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.Stats().deadline_expired, 1u);
+  // The future path still completed the computation.
+  EXPECT_EQ(service.Stats().completed, 1u);
+}
+
+TEST(QueryServiceTest, QueueFullRejectsWithResourceExhausted) {
+  GraphRegistry registry;
+  registry.Add("g", TestGraph());
+  ServiceOptions options = FastOptions(/*num_threads=*/1);
+  options.max_queue = 2;
+  QueryService service(&registry, options);
+
+  // Park the only worker so admitted requests stay queued.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  service.scheduler().Submit([opened] { opened.wait(); });
+
+  IminRequest request = MakeRequest({1}, 3, Algorithm::kOutDegree);
+  auto first = service.Submit(request);
+  request.query.seeds = {2};  // distinct keys: no coalescing
+  auto second = service.Submit(request);
+  EXPECT_EQ(service.Stats().queue_depth, 2u);
+
+  request.query.seeds = {3};
+  Result<SolverResult> rejected = service.Submit(request).get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.Stats().rejected, 1u);
+
+  gate.set_value();
+  EXPECT_TRUE(first.get().ok());
+  EXPECT_TRUE(second.get().ok());
+  EXPECT_EQ(service.Stats().queue_depth, 0u);
+}
+
+TEST(QueryServiceTest, InFlightCapRejectsBeforeQueueing) {
+  GraphRegistry registry;
+  registry.Add("g", TestGraph());
+  ServiceOptions options = FastOptions();
+  options.max_in_flight = 0;
+  QueryService service(&registry, options);
+
+  Result<SolverResult> result =
+      service.SubmitAndWait(MakeRequest({1}, 3, Algorithm::kOutDegree));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueryServiceTest, IdenticalConcurrentRequestsCoalesce) {
+  GraphRegistry registry;
+  registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions(/*num_threads=*/1));
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  service.scheduler().Submit([opened] { opened.wait(); });
+
+  IminRequest request = MakeRequest({8, 2}, 4, Algorithm::kGreedyReplace);
+  auto a = service.Submit(request);
+  auto b = service.Submit(request);
+  auto c = service.Submit(request);
+  EXPECT_EQ(service.Stats().coalesced, 2u);
+  EXPECT_EQ(service.Stats().queue_depth, 1u);  // one computation, 3 waiters
+
+  gate.set_value();
+  Result<SolverResult> ra = a.get(), rb = b.get(), rc = c.get();
+  ASSERT_TRUE(ra.ok() && rb.ok() && rc.ok());
+  ExpectSameResult(*rb, *ra);
+  ExpectSameResult(*rc, *ra);
+  // One computation: one cache miss, one insert, zero hits; but one
+  // latency sample per request.
+  PoolCache::Stats cache = service.pool_cache().stats();
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 0u);
+  EXPECT_EQ(service.Stats().completed, 1u);
+  EXPECT_EQ(service.Stats().latency_count, 3u);
+
+  // Deadlined requests never coalesce — each owns its submission clock.
+  std::promise<void> gate2;
+  std::shared_future<void> opened2 = gate2.get_future().share();
+  service.scheduler().Submit([opened2] { opened2.wait(); });
+  request.deadline_seconds = 60.0;
+  auto d1 = service.Submit(request);
+  auto d2 = service.Submit(request);
+  EXPECT_EQ(service.Stats().coalesced, 2u);  // unchanged
+  EXPECT_EQ(service.Stats().queue_depth, 2u);
+  gate2.set_value();
+  EXPECT_TRUE(d1.get().ok());
+  EXPECT_TRUE(d2.get().ok());
+  EXPECT_EQ(service.Stats().completed, 3u);
+}
+
+// -------------------------------------------------------------- validation --
+
+TEST(QueryServiceTest, TypedValidationErrors) {
+  GraphRegistry registry;
+  registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  IminRequest request = MakeRequest({1}, 3, Algorithm::kGreedyReplace);
+  request.graph = "nope";
+  EXPECT_EQ(service.SubmitAndWait(request).status().code(),
+            StatusCode::kNotFound);
+
+  request.graph = "g";
+  request.query.seeds = {100000};
+  EXPECT_EQ(service.SubmitAndWait(request).status().code(),
+            StatusCode::kOutOfRange);
+
+  request.query.seeds = {1, 1};
+  EXPECT_EQ(service.SubmitAndWait(request).status().code(),
+            StatusCode::kInvalidArgument);
+
+  request.query.seeds = {1};
+  request.query.theta = 0;
+  EXPECT_EQ(service.SubmitAndWait(request).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Non-finite deadline / time limit must be rejected before touching the
+  // ordered dedup key (NaN would break its strict weak ordering).
+  request.query.theta = std::nullopt;
+  request.deadline_seconds = std::nan("");
+  EXPECT_EQ(service.SubmitAndWait(request).status().code(),
+            StatusCode::kInvalidArgument);
+  request.deadline_seconds = 0;
+  request.query.time_limit_seconds =
+      std::numeric_limits<double>::infinity();
+  EXPECT_EQ(service.SubmitAndWait(request).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(service.Stats().invalid, 6u);
+  EXPECT_EQ(service.Stats().completed, 0u);
+}
+
+TEST(QueryServiceTest, EvaluateMatchesDirectEvaluateSpread) {
+  GraphRegistry registry;
+  auto snapshot = registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  EvalRequest request;
+  request.graph = "g";
+  request.seeds = {0, 1};
+  request.blockers = {5, 9};
+  request.options.mc_rounds = 500;
+  request.options.seed = 42;
+  Result<double> got = service.Evaluate(request);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, EvaluateSpread(snapshot->graph, request.seeds,
+                                 request.blockers, request.options));
+
+  request.graph = "nope";
+  EXPECT_EQ(service.Evaluate(request).status().code(), StatusCode::kNotFound);
+  request.graph = "g";
+  request.blockers = {100000};
+  EXPECT_EQ(service.Evaluate(request).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(QueryServiceTest, StatsSnapshotIsCoherent) {
+  GraphRegistry registry;
+  registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service
+                    .SubmitAndWait(
+                        MakeRequest({4, 5}, 4, Algorithm::kAdvancedGreedy))
+                    .ok());
+  }
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.latency_count, 3u);
+  EXPECT_GT(stats.latency_mean_ms, 0.0);
+  EXPECT_GE(stats.latency_max_ms, stats.latency_p50_ms);
+  EXPECT_GT(stats.uptime_seconds, 0.0);
+  EXPECT_GT(stats.qps, 0.0);
+  EXPECT_EQ(stats.cache.hits, 2u);
+}
+
+// ---------------------------------------------------------------- protocol --
+
+TEST(ProtocolTest, ParseSolveRoundTrip) {
+  Result<Command> cmd = ParseCommand(
+      "solve web seeds 3,1,2 budget 7 alg ag theta 500 seed 99 "
+      "reuse prune sampler coin timelimit 2.5 deadline 10");
+  ASSERT_TRUE(cmd.ok()) << cmd.status().ToString();
+  EXPECT_EQ(cmd->kind, Command::Kind::kSolve);
+  EXPECT_EQ(cmd->request.graph, "web");
+  EXPECT_EQ(cmd->request.query.seeds, std::vector<VertexId>({3, 1, 2}));
+  EXPECT_EQ(cmd->request.query.budget, 7u);
+  EXPECT_EQ(cmd->request.query.algorithm, Algorithm::kAdvancedGreedy);
+  EXPECT_EQ(cmd->request.query.theta, std::optional<uint32_t>(500));
+  EXPECT_EQ(cmd->request.query.seed, std::optional<uint64_t>(99));
+  EXPECT_EQ(cmd->request.query.sample_reuse,
+            std::optional<SampleReuse>(SampleReuse::kPrune));
+  EXPECT_EQ(cmd->request.query.sampler_kind,
+            std::optional<SamplerKind>(SamplerKind::kPerEdgeCoin));
+  EXPECT_EQ(cmd->request.query.time_limit_seconds,
+            std::optional<double>(2.5));
+  EXPECT_EQ(cmd->request.deadline_seconds, 10.0);
+}
+
+TEST(ProtocolTest, ParseLoadAndEvalAndEvict) {
+  Result<Command> load =
+      ParseCommand("LOAD ec GEN EmailCore SCALE 0.1 SEED 5 MODEL wc");
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load->kind, Command::Kind::kLoadGen);
+  EXPECT_EQ(load->name, "ec");
+  EXPECT_EQ(load->source, "EmailCore");
+  EXPECT_DOUBLE_EQ(load->scale, 0.1);
+  EXPECT_EQ(load->gen_seed, 5u);
+  EXPECT_EQ(load->load.prob, ProbAssignment::kWeightedCascade);
+
+  Result<Command> file =
+      ParseCommand("LOAD web FILE /tmp/edges.txt UNDIRECTED PROB 0.05");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->kind, Command::Kind::kLoadFile);
+  EXPECT_TRUE(file->load.read.undirected);
+  EXPECT_DOUBLE_EQ(file->load.read.default_probability, 0.05);
+
+  Result<Command> eval =
+      ParseCommand("EVAL ec SEEDS 1,2 BLOCKERS - ROUNDS 1000 SEED 3");
+  ASSERT_TRUE(eval.ok());
+  EXPECT_EQ(eval->kind, Command::Kind::kEval);
+  EXPECT_TRUE(eval->blockers.empty());
+  EXPECT_EQ(eval->eval.mc_rounds, 1000u);
+
+  Result<Command> evict = ParseCommand("EVICT GRAPH ec");
+  ASSERT_TRUE(evict.ok());
+  EXPECT_EQ(evict->kind, Command::Kind::kEvictGraph);
+  EXPECT_EQ(evict->name, "ec");
+  EXPECT_EQ(ParseCommand("EVICT POOLS")->kind, Command::Kind::kEvictPools);
+  EXPECT_EQ(ParseCommand("QUIT")->kind, Command::Kind::kQuit);
+  EXPECT_EQ(ParseCommand("STATS")->kind, Command::Kind::kStats);
+}
+
+TEST(ProtocolTest, ParserRejectsMalformedLines) {
+  for (const char* line : {
+           "",                                  // empty
+           "FROB x",                            // unknown command
+           "LOAD g",                            // missing form
+           "LOAD g ZIP source",                 // unknown form
+           "LOAD g GEN ec SCALE",               // flag without value
+           "LOAD g GEN ec SCALE abc",           // malformed value
+           "SOLVE g",                           // missing SEEDS
+           "SOLVE g SEEDS",                     // missing list
+           "SOLVE g SEEDS 1,x",                 // malformed list
+           "SOLVE g SEEDS 1 WAT 3",             // unknown flag
+           "SOLVE g SEEDS 1 ALG zz",            // unknown algorithm
+           "SOLVE g SEEDS 1 REUSE maybe",       // unknown mode
+           "SOLVE g SEEDS 1 BUDGET 4294967297", // > uint32: no truncation
+           "SOLVE g SEEDS 1 THETA 99999999999", // > uint32: no truncation
+           "SOLVE g SEEDS 1 DEADLINE nan",      // NaN breaks dedup ordering
+           "SOLVE g SEEDS 1 DEADLINE inf",      // must be finite
+           "SOLVE g SEEDS 1 TIMELIMIT -1",      // negative seconds
+           "SOLVE g SEEDS 1 THETA 9 THETA 9",   // duplicate flag
+           "LOAD g GEN ec SEED 1 SEED 2",       // duplicate flag
+           "EVAL g SEEDS 1 BLOCKERS - SEED 1 SEED 2",  // duplicate flag
+           "EVAL g SEEDS 1",                    // missing BLOCKERS
+           "EVAL g SEEDS 1 BLOCKERS 2 ROUNDS 4294967297",  // > uint32
+           "EVICT",                             // missing subcommand
+           "EVICT GRAPH",                       // missing name
+           "STATS now",                         // stray argument
+       }) {
+    SCOPED_TRACE(line);
+    Result<Command> cmd = ParseCommand(line);
+    ASSERT_FALSE(cmd.ok());
+    EXPECT_EQ(cmd.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ProtocolTest, SessionEndToEnd) {
+  ServiceSession session(FastOptions());
+
+  // Blank lines and comments produce no response.
+  EXPECT_EQ(session.Execute(""), "");
+  EXPECT_EQ(session.Execute("   "), "");
+  EXPECT_EQ(session.Execute("# a comment"), "");
+
+  std::string load = session.Execute(
+      "LOAD ec GEN EmailCore SCALE 0.05 SEED 7 MODEL wc");
+  ASSERT_TRUE(load.starts_with("OK graph=ec n=")) << load;
+
+  std::string cold = session.Execute(
+      "SOLVE ec SEEDS 1,2 BUDGET 4 ALG gr THETA 200 REUSE prune");
+  ASSERT_TRUE(cold.starts_with("OK blockers=")) << cold;
+  EXPECT_NE(cold.find("pool=cold"), std::string::npos) << cold;
+
+  std::string warm = session.Execute(
+      "SOLVE ec SEEDS 1,2 BUDGET 4 ALG gr THETA 200 REUSE prune");
+  EXPECT_NE(warm.find("pool=warm"), std::string::npos) << warm;
+  // Identical answers, cold or warm (the response embeds the blockers).
+  EXPECT_EQ(cold.substr(0, cold.find(" pool=")),
+            warm.substr(0, warm.find(" pool=")));
+
+  std::string eval = session.Execute("EVAL ec SEEDS 1,2 BLOCKERS - ROUNDS 500");
+  EXPECT_TRUE(eval.starts_with("OK spread=")) << eval;
+
+  std::string stats = session.Execute("STATS");
+  EXPECT_NE(stats.find("graphs=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("completed=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("pool_hits=1"), std::string::npos) << stats;
+
+  EXPECT_EQ(session.Execute("EVICT POOLS"), "OK evicted=1");
+  std::string gone = session.Execute("SOLVE missing SEEDS 1");
+  EXPECT_TRUE(gone.starts_with("ERR NotFound")) << gone;
+
+  std::string evict = session.Execute("EVICT GRAPH ec");
+  EXPECT_TRUE(evict.starts_with("OK graph=ec")) << evict;
+  EXPECT_TRUE(
+      session.Execute("EVAL ec SEEDS 1 BLOCKERS -").starts_with("ERR NotFound"));
+
+  EXPECT_FALSE(session.done());
+  EXPECT_EQ(session.Execute("QUIT"), "OK bye");
+  EXPECT_TRUE(session.done());
+}
+
+}  // namespace
+}  // namespace vblock

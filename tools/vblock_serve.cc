@@ -1,0 +1,76 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// vblock_serve — stdin/stdout REPL over the in-process query service.
+//
+// Reads one protocol command per line (service/protocol.h), writes one
+// response line per command; blank lines and '#' comments are echoed
+// nowhere, so a scripted session pipes cleanly:
+//
+//   $ ./vblock_serve < session.txt
+//
+// Flags:
+//   --threads N      service worker threads          (default 2)
+//   --max-queue N    admission queue bound           (default 256)
+//   --cache-mb N     warm-pool cache budget in MiB   (default 256)
+//   --echo           echo each command line prefixed with "> " (useful for
+//                    human-readable transcripts)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "service/protocol.h"
+
+namespace {
+
+bool ParseFlagValue(int argc, char** argv, int* i, const char* flag,
+                    uint64_t* out) {
+  if (std::strcmp(argv[*i], flag) != 0) return false;
+  if (*i + 1 >= argc) {
+    std::fprintf(stderr, "missing value for %s\n", flag);
+    std::exit(2);
+  }
+  if (!vblock::ParseUint64(argv[++*i], out)) {
+    std::fprintf(stderr, "malformed value for %s\n", flag);
+    std::exit(2);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vblock::ServiceOptions options;
+  uint64_t threads = 2, max_queue = 256, cache_mb = 256;
+  bool echo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlagValue(argc, argv, &i, "--threads", &threads) ||
+        ParseFlagValue(argc, argv, &i, "--max-queue", &max_queue) ||
+        ParseFlagValue(argc, argv, &i, "--cache-mb", &cache_mb)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--echo") == 0) {
+      echo = true;
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: vblock_serve [--threads N] [--max-queue N] "
+                 "[--cache-mb N] [--echo]\n");
+    return 2;
+  }
+  options.num_threads = static_cast<uint32_t>(threads);
+  options.max_queue = static_cast<uint32_t>(max_queue);
+  options.cache.max_bytes = cache_mb << 20;
+
+  vblock::ServiceSession session(options);
+  std::string line;
+  while (!session.done() && std::getline(std::cin, line)) {
+    if (echo) std::cout << "> " << line << "\n";
+    const std::string response = session.Execute(line);
+    if (!response.empty()) std::cout << response << "\n" << std::flush;
+  }
+  return 0;
+}
