@@ -9,21 +9,35 @@
 // cache (pool_hits == warm iterations), returns bit-identical blockers to
 // the cold path, and warm QPS ≥ 5× cold QPS (advisory in CI).
 //
+// A second section drives the same service through the TCP front-end
+// (net/tcp_server.h, cache sharded 4 ways) with the closed-loop load
+// generator at 1/16/256/1024 concurrent connections, reporting QPS and
+// latency percentiles per tier (ISSUE 6; advisory in CI).
+//
 // Environment knobs (defaults are the tiny synthetic config):
 //   VBLOCK_SERVICE_BENCH_N        vertices            (default 10000)
 //   VBLOCK_SERVICE_BENCH_THETA    samples θ           (default 2000)
 //   VBLOCK_SERVICE_BENCH_BUDGET   blockers per query  (default 5)
 //   VBLOCK_SERVICE_BENCH_ITERS    timed iterations    (default 20)
 //   VBLOCK_SERVICE_BENCH_REUSE    prune | resample    (default prune)
+//   VBLOCK_SERVICE_BENCH_TCP_SECONDS    window per tier     (default 2)
+//   VBLOCK_SERVICE_BENCH_TCP_THREADS    service workers     (default 4)
+//   VBLOCK_SERVICE_BENCH_TCP_MAX_CONNS  cap on the tier list (default 1024)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/check.h"
 #include "common/timer.h"
 #include "gen/generators.h"
+#include "net/line_client.h"
+#include "net/load_gen.h"
+#include "net/tcp_server.h"
 #include "prob/probability_models.h"
 #include "service/graph_registry.h"
 #include "service/query_service.h"
@@ -96,6 +110,59 @@ int main() {
                              ? cold_seconds / warm_seconds
                              : 0.0;
 
+  // ------------------------------------------------ TCP front-end tiers --
+  // A separate service instance (sharded cache, multiple workers) behind a
+  // real TcpServer, hammered by the closed-loop generator. The request mix
+  // is 8 distinct warm pool keys (SEED rotates), pre-warmed so every tier
+  // measures the steady state rather than the one-off θ-sample builds.
+  const uint32_t tcp_seconds = EnvOr("VBLOCK_SERVICE_BENCH_TCP_SECONDS", 2);
+  const uint32_t tcp_threads = EnvOr("VBLOCK_SERVICE_BENCH_TCP_THREADS", 4);
+  const uint32_t tcp_max_conns =
+      EnvOr("VBLOCK_SERVICE_BENCH_TCP_MAX_CONNS", 1024);
+  TryRaiseFdLimit(static_cast<uint64_t>(tcp_max_conns) * 2 + 256);
+
+  ServiceOptions tcp_options = options;
+  tcp_options.num_threads = tcp_threads;
+  tcp_options.cache.shards = 4;
+  QueryService tcp_service(&registry, tcp_options);
+
+  std::vector<std::string> request_lines;
+  for (uint64_t s = 0; s < 8; ++s) {
+    IminRequest warm = request;
+    warm.query.seed = seed + s;
+    VBLOCK_CHECK(tcp_service.SubmitAndWait(warm).ok());  // pre-warm
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "SOLVE bench SEEDS 0 BUDGET %u ALG ag SEED %llu", budget,
+                  static_cast<unsigned long long>(seed + s));
+    request_lines.push_back(line);
+  }
+
+  TcpServerOptions server_options;
+  server_options.max_connections = tcp_max_conns + 64;
+  TcpServer server(&registry, &tcp_service, server_options);
+  VBLOCK_CHECK(server.Start().ok());
+  std::thread server_thread([&server] { server.Run(); });
+
+  struct TierResult {
+    uint32_t connections = 0;
+    LoadGenReport report;
+  };
+  std::vector<TierResult> tiers;
+  for (const uint32_t connections : {1u, 16u, 256u, 1024u}) {
+    if (connections > tcp_max_conns) continue;
+    LoadGenOptions load;
+    load.port = server.port();
+    load.connections = connections;
+    load.duration_seconds = tcp_seconds;
+    load.request_lines = request_lines;
+    Result<LoadGenReport> report = RunClosedLoadGen(load);
+    VBLOCK_CHECK(report.ok());
+    tiers.push_back({connections, *report});
+  }
+  server.RequestDrain();
+  server_thread.join();
+
   std::printf(
       "{\n"
       "  \"bench\": \"service_throughput\",\n"
@@ -111,13 +178,42 @@ int main() {
       "  \"warm_qps\": %.2f,\n"
       "  \"speedup_warm_vs_cold\": %.2f,\n"
       "  \"warm_served_from_cache\": %s,\n"
-      "  \"identical_blocker_sets\": %s\n"
-      "}\n",
+      "  \"identical_blocker_sets\": %s,\n"
+      "  \"tcp\": {\n"
+      "    \"threads\": %u,\n"
+      "    \"cache_shards\": 4,\n"
+      "    \"seconds_per_tier\": %u,\n"
+      "    \"tiers\": [\n",
       n,
       static_cast<unsigned long long>(
           registry.Get("bench").value()->graph.NumEdges()),
       theta, budget, iters, reuse == SampleReuse::kPrune ? "prune" : "resample",
       cold_seconds, warm_seconds, cold_qps, warm_qps, speedup,
-      all_warm_hits ? "true" : "false", identical ? "true" : "false");
-  return identical && all_warm_hits ? 0 : 1;
+      all_warm_hits ? "true" : "false", identical ? "true" : "false",
+      tcp_threads, tcp_seconds);
+  bool tcp_clean = true;
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    const TierResult& tier = tiers[i];
+    tcp_clean = tcp_clean && tier.report.errors == 0 &&
+                tier.report.connected == tier.connections;
+    std::printf(
+        "      {\"connections\": %u, \"connected\": %llu, "
+        "\"requests\": %llu, \"errors\": %llu, \"qps\": %.1f, "
+        "\"lat_p50_ms\": %.3f, \"lat_p99_ms\": %.3f, "
+        "\"lat_max_ms\": %.3f}%s\n",
+        tier.connections,
+        static_cast<unsigned long long>(tier.report.connected),
+        static_cast<unsigned long long>(tier.report.requests),
+        static_cast<unsigned long long>(tier.report.errors),
+        tier.report.qps, tier.report.latency_p50_ms,
+        tier.report.latency_p99_ms, tier.report.latency_max_ms,
+        i + 1 < tiers.size() ? "," : "");
+  }
+  std::printf(
+      "    ],\n"
+      "    \"all_tiers_clean\": %s\n"
+      "  }\n"
+      "}\n",
+      tcp_clean ? "true" : "false");
+  return identical && all_warm_hits && tcp_clean ? 0 : 1;
 }

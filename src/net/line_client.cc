@@ -1,0 +1,142 @@
+#include "net/line_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vblock {
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+
+  // Connect non-blocking so the timeout is enforceable, then restore
+  // blocking mode for the simple read/write calls.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms =
+        timeout_seconds > 0 ? static_cast<int>(timeout_seconds * 1e3) : -1;
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) {
+      ::close(fd);
+      return Status::IoError("connect to " + host + ":" +
+                             std::to_string(port) + ": timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (rc < 0 || err != 0) {
+      ::close(fd);
+      return Status::IoError("connect to " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(err != 0 ? err : errno));
+    }
+  } else if (rc != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("connect to " + host + ":" +
+                           std::to_string(port) + ": " +
+                           std::strerror(err));
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+uint64_t TryRaiseFdLimit(uint64_t want) {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 0;
+  if (limit.rlim_cur >= want) return limit.rlim_cur;
+  rlimit raised = limit;
+  raised.rlim_cur =
+      limit.rlim_max == RLIM_INFINITY || want <= limit.rlim_max
+          ? want
+          : limit.rlim_max;
+  if (::setrlimit(RLIMIT_NOFILE, &raised) != 0) return limit.rlim_cur;
+  return raised.rlim_cur;
+}
+
+Status LineClient::Connect(const std::string& host, uint16_t port,
+                           double timeout_seconds) {
+  Close();
+  Result<int> fd = ConnectTcp(host, port, timeout_seconds);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  return Status::OK();
+}
+
+Status LineClient::WriteAll(const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError("send: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  while (true) {
+    const size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IoError("eof");
+    if (errno == EINTR) continue;
+    return Status::IoError("recv: " + std::string(std::strerror(errno)));
+  }
+}
+
+Result<std::string> LineClient::Roundtrip(const std::string& command) {
+  Status sent = WriteAll(command + "\n");
+  if (!sent.ok()) return sent;
+  return ReadLine();
+}
+
+void LineClient::FinishWriting() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+}  // namespace vblock

@@ -1,0 +1,62 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Small blocking TCP client for the line protocol — the counterpart the
+// tests and the load generator use to talk to net/tcp_server.h. One
+// connection, synchronous WriteAll/ReadLine, explicit half-close so a
+// scripted session can signal EOF and still collect every response.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace vblock {
+
+/// Connects a blocking IPv4 TCP socket; returns the fd. IoError on
+/// failure (including `timeout_seconds` elapsing, when positive).
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       double timeout_seconds = 5.0);
+
+/// Raises RLIMIT_NOFILE toward `want` descriptors (capped at the hard
+/// limit). Returns the resulting soft limit. Benchmarks opening 1024+
+/// connections call this first; failure is not fatal — the caller sees
+/// the honest limit and scales down.
+uint64_t TryRaiseFdLimit(uint64_t want);
+
+/// Blocking line-protocol connection.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient() { Close(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port,
+                 double timeout_seconds = 5.0);
+
+  /// Writes all of `data` (not newline-terminated implicitly).
+  Status WriteAll(const std::string& data);
+
+  /// Sends one command line (appends '\n') and reads the one response.
+  Result<std::string> Roundtrip(const std::string& command);
+
+  /// Reads the next '\n'-terminated line, terminator stripped. IoError
+  /// with message "eof" once the server closes with no buffered line.
+  Result<std::string> ReadLine();
+
+  /// Half-close: shutdown(SHUT_WR) — tells the server this client is done
+  /// sending; responses can still be read until the server closes.
+  void FinishWriting();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+}  // namespace vblock

@@ -1,0 +1,113 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Incremental line framing for the TCP front-end.
+//
+// TCP delivers a byte stream with arbitrary segmentation: one protocol
+// line may arrive in twenty reads, or twenty lines in one. The framer
+// accumulates bytes and hands back complete '\n'-terminated lines; the
+// protocol layer (service/protocol.h) strips '\r' itself, so both "\n"
+// and "\r\n" endings work unmodified.
+//
+// Hostile-input contract: a line longer than `max_line_bytes` must not
+// grow the buffer without bound (a client streaming gigabytes with no
+// newline would otherwise OOM the server). Once a line crosses the limit
+// the framer switches to discard mode — further bytes of that line are
+// dropped — and the eventual line is surfaced with `overlong=true`
+// carrying only the retained prefix, so the server can answer it with a
+// single typed error and move on. Exactly one line (normal or overlong)
+// is surfaced per newline received, which is what lets the test battery
+// assert "every input line yields exactly one reply".
+//
+// EOF: a final unterminated line is a real command for the stdin REPL
+// (matching std::getline semantics) and for a half-closed socket; call
+// TakeFinal() once the stream ends to retrieve it.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace vblock {
+
+/// Splits an incrementally delivered byte stream into lines.
+class LineFramer {
+ public:
+  explicit LineFramer(size_t max_line_bytes = 1 << 20)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends `n` raw bytes (NULs and partial UTF-8 are data, not errors).
+  void Append(const char* data, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      const char c = data[i];
+      if (complete_) {
+        // A finished line is parked in `current_` until Next() consumes
+        // it; everything after its newline (further newlines included)
+        // buffers verbatim into `tail_` and is re-split by Rotate().
+        tail_.push_back(c);
+        continue;
+      }
+      if (c == '\n') {
+        complete_ = true;
+        continue;
+      }
+      if (current_.size() >= max_line_bytes_) {
+        discarding_ = true;
+        ++discarded_bytes_;
+        continue;
+      }
+      current_.push_back(c);
+    }
+  }
+
+  /// Moves the next complete line into `*line` (terminator stripped) and
+  /// returns true; `*overlong` reports whether the line hit the length cap
+  /// (in which case `*line` holds only the retained prefix). Returns false
+  /// when no complete line is buffered yet.
+  bool Next(std::string* line, bool* overlong) {
+    if (!complete_) return false;
+    *line = std::move(current_);
+    *overlong = discarding_;
+    Rotate();
+    return true;
+  }
+
+  /// True when the stream ended mid-line: unreturned bytes remain. Call
+  /// once at EOF; moves the partial line out exactly like Next().
+  bool TakeFinal(std::string* line, bool* overlong) {
+    if (complete_ || (current_.empty() && !discarding_)) return false;
+    *line = std::move(current_);
+    *overlong = discarding_;
+    Rotate();
+    return true;
+  }
+
+  /// Bytes currently buffered (both the open line and any queued tail).
+  size_t buffered_bytes() const { return current_.size() + tail_.size(); }
+
+  /// Total bytes dropped by the overlong-line guard.
+  size_t discarded_bytes() const { return discarded_bytes_; }
+
+  size_t max_line_bytes() const { return max_line_bytes_; }
+
+ private:
+  // After surfacing a line, re-scan the tail: it may itself already hold
+  // one or more complete lines.
+  void Rotate() {
+    complete_ = false;
+    discarding_ = false;
+    current_.clear();
+    if (tail_.empty()) return;
+    std::string pending;
+    pending.swap(tail_);
+    Append(pending.data(), pending.size());
+  }
+
+  const size_t max_line_bytes_;
+  std::string current_;  // the oldest line still being assembled
+  std::string tail_;     // bytes received after current_'s newline
+  bool complete_ = false;
+  bool discarding_ = false;
+  size_t discarded_bytes_ = 0;
+};
+
+}  // namespace vblock

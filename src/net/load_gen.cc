@@ -1,0 +1,348 @@
+#include "net/load_gen.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/timer.h"
+#include "net/line_client.h"
+
+namespace vblock {
+namespace {
+
+// One simulated closed-loop client. All state lives on the single
+// generator thread.
+struct Client {
+  int fd = -1;
+  uint32_t epoll_mask = 0;
+  std::string in;       // unparsed response bytes
+  std::string out;      // unsent request bytes
+  size_t out_off = 0;
+  uint32_t awaiting_setup = 0;
+  bool ready = false;   // setup complete, participating in the loop
+  bool failed = false;
+  bool in_flight = false;
+  bool done = false;
+  size_t next_request = 0;
+  Timer request_timer;
+};
+
+// EPOLLOUT is armed only while bytes are unsent: a permanently-writable
+// idle socket would otherwise wake the loop every tick (level
+// triggering), burning generator CPU that belongs to the measurement.
+void UpdateMask(int epoll_fd, Client* c, uint32_t index) {
+  if (c->fd < 0) return;
+  const uint32_t want =
+      EPOLLIN | (c->out_off < c->out.size() ? EPOLLOUT : 0u);
+  if (want == c->epoll_mask) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u32 = index;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+  c->epoll_mask = want;
+}
+
+// Extracts one '\n'-terminated line from `in` (terminator stripped).
+bool PopLine(std::string* in, std::string* line) {
+  const size_t pos = in->find('\n');
+  if (pos == std::string::npos) return false;
+  line->assign(*in, 0, pos);
+  in->erase(0, pos + 1);
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
+bool FlushOut(Client* c) {
+  while (c->out_off < c->out.size()) {
+    const ssize_t n = ::send(c->fd, c->out.data() + c->out_off,
+                             c->out.size() - c->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  c->out.clear();
+  c->out_off = 0;
+  return true;
+}
+
+}  // namespace
+
+Result<LoadGenReport> RunClosedLoadGen(const LoadGenOptions& options) {
+  if (options.request_lines.empty()) {
+    return Status::InvalidArgument("load generator needs request lines");
+  }
+  LoadGenReport report;
+  Histogram latency;  // seconds
+
+  TryRaiseFdLimit(static_cast<uint64_t>(options.connections) + 64);
+
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    return Status::IoError("epoll_create1: " +
+                           std::string(std::strerror(errno)));
+  }
+
+  std::vector<std::unique_ptr<Client>> clients;
+  clients.reserve(options.connections);
+  std::string setup_blob;
+  for (const std::string& line : options.setup_lines) {
+    setup_blob += line;
+    setup_blob += '\n';
+  }
+
+  for (uint32_t i = 0; i < options.connections; ++i) {
+    auto c = std::make_unique<Client>();
+    // ConnectTcp blocks per connection; against the loopback server under
+    // test this is microseconds each, and it sidesteps a second
+    // in-progress-connect state machine.
+    Result<int> fd = ConnectTcp(options.host, options.port,
+                                options.connect_timeout_seconds);
+    if (!fd.ok()) {
+      ++report.errors;
+      c->failed = true;
+      c->done = true;
+      clients.push_back(std::move(c));
+      continue;
+    }
+    c->fd = *fd;
+    const int flags = ::fcntl(c->fd, F_GETFL, 0);
+    ::fcntl(c->fd, F_SETFL, flags | O_NONBLOCK);
+    c->next_request = i % options.request_lines.size();
+    if (setup_blob.empty()) {
+      c->ready = true;
+    } else {
+      c->out = setup_blob;
+      c->awaiting_setup =
+          static_cast<uint32_t>(options.setup_lines.size());
+      FlushOut(c.get());
+    }
+    epoll_event ev{};
+    ev.events =
+        EPOLLIN | (c->out_off < c->out.size() ? EPOLLOUT : 0u);
+    ev.data.u32 = i;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, c->fd, &ev);
+    c->epoll_mask = ev.events;
+    clients.push_back(std::move(c));
+  }
+
+  // Phase 1: wait for every surviving client to finish setup, so the
+  // measured window starts with all connections established.
+  Timer setup_timer;
+  auto pending_setup = [&clients] {
+    for (const auto& c : clients) {
+      if (!c->failed && !c->ready) return true;
+    }
+    return false;
+  };
+  std::vector<epoll_event> events(512);
+  std::string line;
+  while (pending_setup() &&
+         setup_timer.ElapsedSeconds() < options.connect_timeout_seconds) {
+    const int n = ::epoll_wait(epoll_fd, events.data(),
+                               static_cast<int>(events.size()), 100);
+    for (int i = 0; i < n; ++i) {
+      const uint32_t index = events[i].data.u32;
+      Client* c = clients[index].get();
+      if (c->failed || c->ready) continue;
+      if (events[i].events & EPOLLOUT) {
+        FlushOut(c);
+        UpdateMask(epoll_fd, c, index);
+      }
+      if ((events[i].events & EPOLLIN) == 0) continue;
+      char chunk[4096];
+      ssize_t got = ::recv(c->fd, chunk, sizeof(chunk), 0);
+      if (got > 0) c->in.append(chunk, static_cast<size_t>(got));
+      while (c->awaiting_setup > 0 && PopLine(&c->in, &line)) {
+        if (line.compare(0, 3, "ERR") == 0) ++report.errors;
+        --c->awaiting_setup;
+      }
+      if (c->awaiting_setup == 0) c->ready = true;
+    }
+  }
+  for (auto& c : clients) {
+    if (!c->failed && !c->ready) {
+      // Setup never completed: drop this client from the run.
+      ++report.errors;
+      c->failed = true;
+      c->done = true;
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
+      ::close(c->fd);
+      c->fd = -1;
+    }
+    if (c->ready) ++report.connected;
+  }
+  if (report.connected == 0) {
+    ::close(epoll_fd);
+    return Status::IoError("no load-generator connection became ready");
+  }
+
+  // Phase 2: the measured closed loop.
+  uint64_t live = report.connected;
+  auto retire = [&](Client* c) {
+    if (c->fd >= 0) {
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
+      ::close(c->fd);
+      c->fd = -1;
+    }
+    if (!c->done) {
+      c->done = true;
+      --live;
+    }
+  };
+  Timer window;
+  auto send_next = [&](Client* c, uint32_t index) {
+    c->out += options.request_lines[c->next_request];
+    c->out += '\n';
+    c->next_request = (c->next_request + 1) % options.request_lines.size();
+    c->in_flight = true;
+    c->request_timer.Reset();
+    if (!FlushOut(c)) {
+      ++report.errors;
+      c->failed = true;
+      retire(c);
+      return;
+    }
+    UpdateMask(epoll_fd, c, index);
+  };
+
+  for (uint32_t i = 0; i < clients.size(); ++i) {
+    if (clients[i]->ready) send_next(clients[i].get(), i);
+  }
+
+  while (live > 0) {
+    const bool window_over =
+        window.ElapsedSeconds() >= options.duration_seconds;
+    // Hard stop: a wedged server must not hang the bench forever.
+    if (window.ElapsedSeconds() >
+        options.duration_seconds + options.connect_timeout_seconds) {
+      break;
+    }
+    const int n = ::epoll_wait(epoll_fd, events.data(),
+                               static_cast<int>(events.size()), 100);
+    for (int i = 0; i < n; ++i) {
+      const uint32_t index = events[i].data.u32;
+      Client* c = clients[index].get();
+      if (c->done || c->fd < 0) continue;
+      if (events[i].events & EPOLLOUT) {
+        FlushOut(c);
+        UpdateMask(epoll_fd, c, index);
+      }
+      if (events[i].events & EPOLLIN) {
+        char chunk[8192];
+        const ssize_t got = ::recv(c->fd, chunk, sizeof(chunk), 0);
+        if (got > 0) {
+          c->in.append(chunk, static_cast<size_t>(got));
+        } else if (got == 0 ||
+                   (errno != EAGAIN && errno != EWOULDBLOCK &&
+                    errno != EINTR)) {
+          ++report.errors;
+          retire(c);
+          continue;
+        }
+        while (c->in_flight && PopLine(&c->in, &line)) {
+          c->in_flight = false;
+          latency.Record(c->request_timer.ElapsedSeconds());
+          ++report.requests;
+          if (line.compare(0, 3, "ERR") == 0) ++report.errors;
+          if (window.ElapsedSeconds() < options.duration_seconds) {
+            send_next(c, index);
+          }
+        }
+      }
+      // Fresh clock here, not the loop-top snapshot: the client whose
+      // final response arrives right as the window closes must retire
+      // now — idle sockets generate no further events to catch it later.
+      if (!c->done && !c->in_flight &&
+          window.ElapsedSeconds() >= options.duration_seconds) {
+        retire(c);
+      }
+    }
+    if (n == 0 && window_over) {
+      // Idle tick after the window: close clients with nothing in flight.
+      for (auto& c : clients) {
+        if (!c->done && !c->in_flight) retire(c.get());
+      }
+    }
+  }
+  report.seconds = window.ElapsedSeconds();
+
+  for (auto& c : clients) {
+    if (c->fd >= 0) ::close(c->fd);
+    c->fd = -1;
+  }
+  ::close(epoll_fd);
+
+  report.qps = report.seconds > 0
+                   ? static_cast<double>(report.requests) / report.seconds
+                   : 0;
+  report.latency_mean_ms = latency.mean() * 1e3;
+  report.latency_p50_ms = latency.Quantile(0.50) * 1e3;
+  report.latency_p90_ms = latency.Quantile(0.90) * 1e3;
+  report.latency_p99_ms = latency.Quantile(0.99) * 1e3;
+  report.latency_max_ms = latency.max() * 1e3;
+  return report;
+}
+
+Result<std::string> ReplayScript(const std::string& host, uint16_t port,
+                                 const std::string& script,
+                                 double timeout_seconds) {
+  Result<int> connected = ConnectTcp(host, port, timeout_seconds);
+  if (!connected.ok()) return connected.status();
+  const int fd = *connected;
+
+  // A per-recv timeout bounds a wedged server; the full-transcript read
+  // is otherwise driven purely by the server closing after our EOF.
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(timeout_seconds);
+  tv.tv_usec = 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  size_t off = 0;
+  while (off < script.size()) {
+    const ssize_t n = ::send(fd, script.data() + off, script.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("send: " + std::string(std::strerror(err)));
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  std::string transcript;
+  char chunk[8192];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      transcript.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    const int err = errno;
+    ::close(fd);
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      return Status::IoError("replay timed out waiting for server close");
+    }
+    return Status::IoError("recv: " + std::string(std::strerror(err)));
+  }
+  ::close(fd);
+  return transcript;
+}
+
+}  // namespace vblock

@@ -1,0 +1,64 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Closed-loop TCP load generator for the line protocol.
+//
+// Each of `connections` simulated clients keeps exactly one request in
+// flight: send a line, wait for its response, record the latency, send
+// the next. A single epoll loop drives every connection non-blocking, so
+// 1024 concurrent clients cost one thread and ~1 fd each — this is the
+// harness bench_service_throughput uses for its QPS/p99-versus-
+// connection-count tiers, and the CI smoke's transcript replayer.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vblock {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Concurrent connections, each closed-loop (one request in flight).
+  uint32_t connections = 1;
+  /// Wall-clock run budget. The generator stops issuing new requests at
+  /// the deadline and drains in-flight responses.
+  double duration_seconds = 5.0;
+  /// Lines sent once per connection before the measured loop (LOAD a
+  /// shared graph, typically). Responses are awaited but not timed.
+  std::vector<std::string> setup_lines;
+  /// The request mix: connection i starts at request_lines[i % size] and
+  /// round-robins from there.
+  std::vector<std::string> request_lines;
+  double connect_timeout_seconds = 10.0;
+};
+
+struct LoadGenReport {
+  uint64_t connected = 0;  // connections that completed setup
+  uint64_t requests = 0;   // responses received inside the window
+  uint64_t errors = 0;     // ERR responses + connection failures
+  double seconds = 0;      // measured window
+  double qps = 0;
+  double latency_mean_ms = 0;
+  double latency_p50_ms = 0;
+  double latency_p90_ms = 0;
+  double latency_p99_ms = 0;
+  double latency_max_ms = 0;
+};
+
+/// Runs the closed loop. IoError if no connection could be established.
+Result<LoadGenReport> RunClosedLoadGen(const LoadGenOptions& options);
+
+/// Replays a whole protocol script over one connection: writes every
+/// byte, half-closes, and returns the server's entire response stream
+/// (exactly what `vblock_serve < script` would print, newline for
+/// newline) once the server closes. The CI smoke diffs this against
+/// tools/smoke_expected.txt.
+Result<std::string> ReplayScript(const std::string& host, uint16_t port,
+                                 const std::string& script,
+                                 double timeout_seconds = 60.0);
+
+}  // namespace vblock

@@ -1,5 +1,6 @@
 #include "service/graph_registry.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "gen/dataset_catalog.h"
@@ -23,7 +24,30 @@ Graph ApplyProbModel(Graph g, const GraphLoadOptions& options) {
   return g;
 }
 
+// FNV-1a over the name: stable across runs (shard placement is part of no
+// contract, but determinism keeps the sharding tests simple).
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace
+
+GraphRegistry::GraphRegistry(uint32_t num_shards) {
+  const uint32_t count = num_shards < 1 ? 1 : num_shards;
+  shards_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+GraphRegistry::Shard& GraphRegistry::ShardFor(const std::string& name) const {
+  return *shards_[HashName(name) % shards_.size()];
+}
 
 GraphRegistry::SnapshotPtr GraphRegistry::Install(const std::string& name,
                                                   Graph graph,
@@ -34,9 +58,12 @@ GraphRegistry::SnapshotPtr GraphRegistry::Install(const std::string& name,
   // Warm after the move so the view (whether transferred in by the move
   // or built fresh here) is ready on the snapshot before it is published.
   if (warm_grouped_view) snapshot->graph.GroupedView();
-  std::lock_guard<std::mutex> lock(mutex_);
-  snapshot->epoch = next_epoch_++;
-  graphs_[name] = snapshot;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  // Epoch drawn under the shard lock: replacing a name is thereby
+  // guaranteed to publish a strictly larger epoch than its predecessor's.
+  snapshot->epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
+  shard.graphs[name] = snapshot;
   return snapshot;
 }
 
@@ -73,30 +100,40 @@ Result<GraphRegistry::SnapshotPtr> GraphRegistry::LoadGenerated(
 
 Result<GraphRegistry::SnapshotPtr> GraphRegistry::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = graphs_.find(name);
-  if (it == graphs_.end()) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.graphs.find(name);
+  if (it == shard.graphs.end()) {
     return Status::NotFound("no graph named '" + name + "'");
   }
   return it->second;
 }
 
 bool GraphRegistry::Remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return graphs_.erase(name) > 0;
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.graphs.erase(name) > 0;
 }
 
 std::vector<std::string> GraphRegistry::List() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
-  names.reserve(graphs_.size());
-  for (const auto& [name, snapshot] : graphs_) names.push_back(name);
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    for (const auto& [name, snapshot] : shard_ptr->graphs) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
 size_t GraphRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return graphs_.size();
+  size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    total += shard_ptr->graphs.size();
+  }
+  return total;
 }
 
 }  // namespace vblock

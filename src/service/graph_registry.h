@@ -12,11 +12,21 @@
 // every warmed pool of the old graph (the stale entries age out of the LRU
 // or are dropped by EvictGraph).
 //
+// Sharding (docs/DESIGN.md §9): every request resolves its graph through
+// Get(), so under many concurrent TCP clients a single registry mutex is
+// on the hot path of every solve. The name → snapshot map is therefore
+// split into `num_shards` independently locked shards addressed by a
+// stable string hash of the name; the epoch counter is a lock-free atomic.
+// Per-name semantics (replace bumps the epoch, handles stay valid) are
+// untouched because a name always lands in the same shard; List()/size()
+// aggregate across shards and keep returning sorted names.
+//
 // Loading pre-warms Graph::GroupedView() by default so the first
 // geometric-skip query doesn't pay the one-time grouping analysis.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -56,6 +66,15 @@ struct GraphLoadOptions {
 /// Thread-safe name → immutable graph snapshot map.
 class GraphRegistry {
  public:
+  /// Default lock-shard count (see header comment). A snapshot lookup is a
+  /// map find under a shard mutex; 8 shards keep even hundreds of
+  /// connections from serializing on one lock while costing a few hundred
+  /// bytes.
+  static constexpr uint32_t kDefaultShards = 8;
+
+  /// `num_shards` independently locked name shards (clamped to >= 1).
+  explicit GraphRegistry(uint32_t num_shards = kDefaultShards);
+
   /// One registered graph. Immutable after construction; the epoch is
   /// unique across the registry's lifetime and strictly increases with
   /// registration order.
@@ -96,13 +115,20 @@ class GraphRegistry {
 
   size_t size() const;
 
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+
  private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, SnapshotPtr> graphs;
+  };
+
   SnapshotPtr Install(const std::string& name, Graph graph,
                       bool warm_grouped_view);
+  Shard& ShardFor(const std::string& name) const;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, SnapshotPtr> graphs_;
-  uint64_t next_epoch_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_epoch_{1};
 };
 
 }  // namespace vblock

@@ -1,8 +1,30 @@
 #include "service/pool_cache.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/rng.h"
+
 namespace vblock {
+namespace {
+
+// Splits the global budget evenly; every shard gets at least one byte so a
+// tiny budget with many shards still admits nothing larger than its slice
+// (mirroring the unsharded "entry bigger than the budget" drop rule).
+uint64_t ShardBudget(uint64_t max_bytes, size_t shards) {
+  return std::max<uint64_t>(1, max_bytes / shards);
+}
+
+}  // namespace
+
+PoolCache::PoolCache(const Options& options) : max_bytes_(options.max_bytes) {
+  const uint32_t count = std::max<uint32_t>(1, options.shards);
+  shards_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->max_bytes = ShardBudget(options.max_bytes, count);
+  }
+}
 
 std::optional<PoolCache::Key> PoolCache::KeyFor(uint64_t graph_epoch,
                                                 const QueryKey& key) {
@@ -22,94 +44,146 @@ std::optional<PoolCache::Key> PoolCache::KeyFor(uint64_t graph_epoch,
   return pool_key;
 }
 
+uint64_t PoolCache::HashKey(const Key& key) {
+  // SplitMix64 over every field that participates in operator< — two equal
+  // keys must hash equally or a key could land in two shards.
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h = SplitMix64Next(h);
+  };
+  mix(key.graph_epoch);
+  mix(static_cast<uint64_t>(key.query.algorithm));
+  mix(key.query.theta);
+  mix(key.query.mc_rounds);
+  mix(key.query.seed);
+  mix(static_cast<uint64_t>(key.query.sample_reuse));
+  mix(static_cast<uint64_t>(key.query.sampler_kind));
+  // time_limit_seconds is a double; hash its bits (finite by validation).
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(key.query.time_limit_seconds));
+  __builtin_memcpy(&bits, &key.query.time_limit_seconds, sizeof(bits));
+  mix(bits);
+  for (VertexId v : key.query.seeds) mix(v);
+  mix(key.query.seeds.size());
+  return h;
+}
+
+PoolCache::Shard& PoolCache::ShardFor(const Key& key) {
+  return *shards_[HashKey(key) % shards_.size()];
+}
+
 std::unique_ptr<WarmEntry> PoolCache::Acquire(const Key& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    ++stats_.misses;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
     return nullptr;
   }
-  ++stats_.hits;
+  ++shard.stats.hits;
   std::unique_ptr<WarmEntry> entry = std::move(it->second.entry);
-  stats_.bytes_in_use -= entry->bytes;
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
-  --stats_.entries;
+  shard.stats.bytes_in_use -= entry->bytes;
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
+  --shard.stats.entries;
   return entry;
 }
 
 void PoolCache::Release(const Key& key, std::unique_ptr<WarmEntry> entry) {
   if (!entry) return;
   entry->AccountBytes();
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
     // A concurrent cold build beat us to the slot; keep exactly one copy
     // (they are interchangeable — both are restored pristine engines).
-    EraseLocked(it, /*count_eviction=*/true);
+    EraseLocked(shard, it, /*count_eviction=*/true);
   }
-  ++stats_.inserts;
-  lru_.push_front(key);
+  ++shard.stats.inserts;
+  shard.lru.push_front(key);
   Slot slot;
   slot.entry = std::move(entry);
-  slot.lru_pos = lru_.begin();
-  stats_.bytes_in_use += slot.entry->bytes;
-  ++stats_.entries;
-  entries_.emplace(key, std::move(slot));
-  EvictOverBudgetLocked();
+  slot.lru_pos = shard.lru.begin();
+  shard.stats.bytes_in_use += slot.entry->bytes;
+  ++shard.stats.entries;
+  shard.entries.emplace(key, std::move(slot));
+  EvictOverBudgetLocked(shard);
 }
 
-void PoolCache::EraseLocked(std::map<Key, Slot>::iterator it,
+void PoolCache::EraseLocked(Shard& shard, std::map<Key, Slot>::iterator it,
                             bool count_eviction) {
-  stats_.bytes_in_use -= it->second.entry->bytes;
-  lru_.erase(it->second.lru_pos);
-  --stats_.entries;
-  if (count_eviction) ++stats_.evictions;
-  entries_.erase(it);
+  shard.stats.bytes_in_use -= it->second.entry->bytes;
+  shard.lru.erase(it->second.lru_pos);
+  --shard.stats.entries;
+  if (count_eviction) ++shard.stats.evictions;
+  shard.entries.erase(it);
 }
 
-void PoolCache::EvictOverBudgetLocked() {
-  while (stats_.bytes_in_use > options_.max_bytes && !lru_.empty()) {
-    auto victim = entries_.find(lru_.back());
-    EraseLocked(victim, /*count_eviction=*/true);
+void PoolCache::EvictOverBudgetLocked(Shard& shard) {
+  while (shard.stats.bytes_in_use > shard.max_bytes && !shard.lru.empty()) {
+    auto victim = shard.entries.find(shard.lru.back());
+    EraseLocked(shard, victim, /*count_eviction=*/true);
   }
 }
 
 uint64_t PoolCache::EvictGraph(uint64_t graph_epoch) {
-  std::lock_guard<std::mutex> lock(mutex_);
   uint64_t dropped = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    auto next = std::next(it);
-    if (it->first.graph_epoch == graph_epoch) {
-      EraseLocked(it, /*count_eviction=*/true);
-      ++dropped;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      auto next = std::next(it);
+      if (it->first.graph_epoch == graph_epoch) {
+        EraseLocked(shard, it, /*count_eviction=*/true);
+        ++dropped;
+      }
+      it = next;
     }
-    it = next;
   }
   return dropped;
 }
 
 uint64_t PoolCache::EvictAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
   uint64_t dropped = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    auto next = std::next(it);
-    EraseLocked(it, /*count_eviction=*/true);
-    ++dropped;
-    it = next;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      auto next = std::next(it);
+      EraseLocked(shard, it, /*count_eviction=*/true);
+      ++dropped;
+      it = next;
+    }
   }
   return dropped;
 }
 
 void PoolCache::set_max_bytes(uint64_t max_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  options_.max_bytes = max_bytes;
-  EvictOverBudgetLocked();
+  max_bytes_.store(max_bytes, std::memory_order_relaxed);
+  const uint64_t per_shard = ShardBudget(max_bytes, shards_.size());
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.max_bytes = per_shard;
+    EvictOverBudgetLocked(shard);
+  }
 }
 
 PoolCache::Stats PoolCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats total;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.inserts += shard.stats.inserts;
+    total.evictions += shard.stats.evictions;
+    total.bytes_in_use += shard.stats.bytes_in_use;
+    total.entries += shard.stats.entries;
+  }
+  return total;
 }
 
 }  // namespace vblock

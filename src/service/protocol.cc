@@ -3,7 +3,9 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <utility>
 
 #include "common/string_util.h"
@@ -301,6 +303,52 @@ std::string FormatFixed(double value, int decimals) {
   return buffer;
 }
 
+// Max-precision double formatting: %.17g strings survive strtod exactly,
+// which is what makes SerializeCommand → ParseCommand lossless.
+std::string FormatExact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string ErrorResponse(const Status& status) {
+  return "ERR " + std::string(StatusCodeName(status.code())) + " " +
+         status.message();
+}
+
+const char* AlgorithmToken(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kRandom: return "ra";
+    case Algorithm::kOutDegree: return "od";
+    case Algorithm::kPageRank: return "pr";
+    case Algorithm::kBetweenness: return "bc";
+    case Algorithm::kBaselineGreedy: return "bg";
+    case Algorithm::kAdvancedGreedy: return "ag";
+    case Algorithm::kGreedyReplace: return "gr";
+  }
+  return "gr";
+}
+
+const char* SamplerToken(SamplerKind kind) {
+  return kind == SamplerKind::kPerEdgeCoin ? "coin" : "skip";
+}
+
+// " MODEL <m> PROB <p>" suffix shared by both LOAD forms. MODEL is omitted
+// for kKeepFile (the protocol has no token for it); PROB is always emitted
+// — the parser accepts it with any model, so the constant-probability
+// field round-trips unconditionally.
+std::string LoadModelSuffix(const GraphLoadOptions& load) {
+  std::string out;
+  switch (load.prob) {
+    case ProbAssignment::kKeepFile: break;
+    case ProbAssignment::kWeightedCascade: out += " MODEL wc"; break;
+    case ProbAssignment::kTrivalency: out += " MODEL tr"; break;
+    case ProbAssignment::kConstant: out += " MODEL const"; break;
+  }
+  out += " PROB " + FormatExact(load.constant_probability);
+  return out;
+}
+
 }  // namespace
 
 Result<Command> ParseCommand(const std::string& line) {
@@ -357,8 +405,16 @@ std::string FormatStats(const ServiceStats& stats, size_t num_graphs) {
   out += " pool_evictions=" + std::to_string(stats.cache.evictions);
   out += " pool_entries=" + std::to_string(stats.cache.entries);
   // Wall-clock / allocator-dependent fields stay last so transcripts can
-  // be diffed after stripping everything from pool_bytes on.
+  // be diffed after stripping everything from pool_bytes on. The net_*
+  // counters are framing-dependent (how a client splits its writes), so
+  // they live inside the stripped region too.
   out += " pool_bytes=" + std::to_string(stats.cache.bytes_in_use);
+  out += " net_connections=" + std::to_string(stats.net_connections);
+  out += " net_active=" + std::to_string(stats.net_active);
+  out += " net_bytes_in=" + std::to_string(stats.net_bytes_in);
+  out += " net_bytes_out=" + std::to_string(stats.net_bytes_out);
+  out += " net_lines=" + std::to_string(stats.net_lines);
+  out += " net_errors=" + std::to_string(stats.net_errors);
   out += " uptime_s=" + FormatFixed(stats.uptime_seconds, 3);
   out += " qps=" + FormatFixed(stats.qps, 1);
   out += " lat_mean_ms=" + FormatFixed(stats.latency_mean_ms, 3);
@@ -368,29 +424,153 @@ std::string FormatStats(const ServiceStats& stats, size_t num_graphs) {
   return out;
 }
 
+std::string SerializeCommand(const Command& cmd) {
+  switch (cmd.kind) {
+    case Command::Kind::kLoadGen:
+      return "LOAD " + cmd.name + " GEN " + cmd.source + " SCALE " +
+             FormatExact(cmd.scale) + " SEED " +
+             std::to_string(cmd.gen_seed) + LoadModelSuffix(cmd.load);
+    case Command::Kind::kLoadFile: {
+      std::string out = "LOAD " + cmd.name + " FILE " + cmd.source;
+      if (cmd.undirected) out += " UNDIRECTED";
+      return out + LoadModelSuffix(cmd.load);
+    }
+    case Command::Kind::kSolve: {
+      const IminQuery& q = cmd.request.query;
+      std::string out = "SOLVE " + cmd.request.graph + " SEEDS " +
+                        JoinVertices(q.seeds);
+      out += " BUDGET " + std::to_string(q.budget);
+      out += std::string(" ALG ") + AlgorithmToken(q.algorithm);
+      // Unset optionals stay absent — "use the service default" and "use
+      // value X" are distinct requests and must round-trip as such.
+      if (q.theta) out += " THETA " + std::to_string(*q.theta);
+      if (q.mc_rounds) out += " MC " + std::to_string(*q.mc_rounds);
+      if (q.seed) out += " SEED " + std::to_string(*q.seed);
+      if (q.sample_reuse) {
+        out += std::string(" REUSE ") +
+               (*q.sample_reuse == SampleReuse::kPrune ? "prune"
+                                                       : "resample");
+      }
+      if (q.sampler_kind) {
+        out += std::string(" SAMPLER ") + SamplerToken(*q.sampler_kind);
+      }
+      if (q.time_limit_seconds) {
+        out += " TIMELIMIT " + FormatExact(*q.time_limit_seconds);
+      }
+      out += " DEADLINE " + FormatExact(cmd.request.deadline_seconds);
+      return out;
+    }
+    case Command::Kind::kEval: {
+      std::string out = "EVAL " + cmd.request.graph + " SEEDS " +
+                        JoinVertices(cmd.request.query.seeds) + " BLOCKERS " +
+                        JoinVertices(cmd.blockers);
+      out += " ROUNDS " + std::to_string(cmd.eval.mc_rounds);
+      out += " SEED " + std::to_string(cmd.eval.seed);
+      out += std::string(" SAMPLER ") + SamplerToken(cmd.eval.sampler_kind);
+      return out;
+    }
+    case Command::Kind::kStats:
+      return "STATS";
+    case Command::Kind::kEvictPools:
+      return "EVICT POOLS";
+    case Command::Kind::kEvictGraph:
+      return "EVICT GRAPH " + cmd.name;
+    case Command::Kind::kQuit:
+      return "QUIT";
+  }
+  return "STATS";
+}
+
+std::string OverlongLineResponse(size_t max_line_bytes) {
+  return ErrorResponse(Status::InvalidArgument(
+      "line exceeds " + std::to_string(max_line_bytes) + " bytes"));
+}
+
 ServiceSession::ServiceSession(const ServiceOptions& options)
-    : service_(&registry_, options) {}
+    : owned_registry_(std::make_unique<GraphRegistry>()),
+      owned_service_(
+          std::make_unique<QueryService>(owned_registry_.get(), options)),
+      registry_(owned_registry_.get()),
+      service_(owned_service_.get()) {}
+
+ServiceSession::ServiceSession(GraphRegistry* registry, QueryService* service)
+    : registry_(registry), service_(service) {}
 
 std::string ServiceSession::Execute(const std::string& line) {
   const std::string_view trimmed = TrimWhitespace(line);
   if (trimmed.empty() || IsCommentLine(trimmed)) return "";
   Result<Command> cmd = ParseCommand(line);
-  if (!cmd.ok()) {
-    return "ERR " + std::string(StatusCodeName(cmd.status().code())) + " " +
-           cmd.status().message();
-  }
+  if (!cmd.ok()) return ErrorResponse(cmd.status());
   return Run(*cmd);
 }
 
+void ServiceSession::ExecuteAsync(const std::string& line, ResponseFn done) {
+  const std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty() || IsCommentLine(trimmed)) {
+    done("");
+    return;
+  }
+  Result<Command> parsed = ParseCommand(line);
+  if (!parsed.ok()) {
+    done(ErrorResponse(parsed.status()));
+    return;
+  }
+  switch (parsed->kind) {
+    case Command::Kind::kSolve: {
+      // SubmitWithCallback never blocks the caller; the pool-state
+      // diagnostic compares counters around the computation exactly like
+      // the synchronous path (approximate when other sessions interleave).
+      const PoolCache::Stats before = service_->pool_cache().stats();
+      service_->SubmitWithCallback(
+          parsed->request,
+          [this, before, done = std::move(done)](
+              const Result<SolverResult>& result) {
+            done(SolveResponse(result, before));
+          });
+      return;
+    }
+    case Command::Kind::kLoadGen:
+    case Command::Kind::kLoadFile:
+    case Command::Kind::kEval:
+      // Graph generation / file I/O / Monte-Carlo evaluation can take
+      // seconds — run them on the service scheduler, not the event loop.
+      service_->scheduler().Submit(
+          [this, cmd = std::move(*parsed), done = std::move(done)] {
+            done(Run(cmd));
+          });
+      return;
+    default:
+      done(Run(*parsed));
+      return;
+  }
+}
+
+std::string ServiceSession::SolveResponse(const Result<SolverResult>& result,
+                                          const PoolCache::Stats& before) {
+  if (!result.ok()) return ErrorResponse(result.status());
+  const PoolCache::Stats after = service_->pool_cache().stats();
+  const char* pool = after.hits > before.hits       ? "warm"
+                     : after.misses > before.misses ? "cold"
+                                                    : "none";
+  return "OK blockers=" + JoinVertices(result->blockers) +
+         " rounds=" + std::to_string(result->stats.rounds_completed) +
+         " replacements=" + std::to_string(result->stats.replacements) +
+         " pool=" + pool +
+         " timed_out=" + (result->stats.timed_out ? "1" : "0");
+}
+
+std::string ServiceSession::RunStats() {
+  ServiceStats stats = service_->Stats();
+  if (stats_augmenter_) stats_augmenter_(&stats);
+  return FormatStats(stats, registry_->size());
+}
+
 std::string ServiceSession::Run(const Command& cmd) {
-  auto error = [](const Status& status) {
-    return "ERR " + std::string(StatusCodeName(status.code())) + " " +
-           status.message();
-  };
+  auto error = [](const Status& status) { return ErrorResponse(status); };
 
   switch (cmd.kind) {
     case Command::Kind::kLoadGen: {
-      Result<GraphRegistry::SnapshotPtr> snapshot = registry_.LoadGenerated(
+      Result<GraphRegistry::SnapshotPtr> snapshot = registry_->LoadGenerated(
           cmd.name, cmd.source, cmd.scale, cmd.gen_seed, cmd.load);
       if (!snapshot.ok()) return error(snapshot.status());
       return "OK graph=" + cmd.name +
@@ -400,7 +580,7 @@ std::string ServiceSession::Run(const Command& cmd) {
     }
     case Command::Kind::kLoadFile: {
       Result<GraphRegistry::SnapshotPtr> snapshot =
-          registry_.LoadEdgeList(cmd.name, cmd.source, cmd.load);
+          registry_->LoadEdgeList(cmd.name, cmd.source, cmd.load);
       if (!snapshot.ok()) return error(snapshot.status());
       return "OK graph=" + cmd.name +
              " n=" + std::to_string((*snapshot)->graph.NumVertices()) +
@@ -411,18 +591,8 @@ std::string ServiceSession::Run(const Command& cmd) {
       // The pool-state diagnostic compares cache hit counters around the
       // call; exact for this synchronous session, approximate if other
       // threads share the service.
-      const PoolCache::Stats before = service_.pool_cache().stats();
-      Result<SolverResult> result = service_.SubmitAndWait(cmd.request);
-      if (!result.ok()) return error(result.status());
-      const PoolCache::Stats after = service_.pool_cache().stats();
-      const char* pool = after.hits > before.hits     ? "warm"
-                         : after.misses > before.misses ? "cold"
-                                                        : "none";
-      return "OK blockers=" + JoinVertices(result->blockers) +
-             " rounds=" + std::to_string(result->stats.rounds_completed) +
-             " replacements=" +
-             std::to_string(result->stats.replacements) + " pool=" + pool +
-             " timed_out=" + (result->stats.timed_out ? "1" : "0");
+      const PoolCache::Stats before = service_->pool_cache().stats();
+      return SolveResponse(service_->SubmitAndWait(cmd.request), before);
     }
     case Command::Kind::kEval: {
       EvalRequest request;
@@ -430,21 +600,21 @@ std::string ServiceSession::Run(const Command& cmd) {
       request.seeds = cmd.request.query.seeds;
       request.blockers = cmd.blockers;
       request.options = cmd.eval;
-      Result<double> spread = service_.Evaluate(request);
+      Result<double> spread = service_->Evaluate(request);
       if (!spread.ok()) return error(spread.status());
       return "OK spread=" + FormatFixed(*spread, 4);
     }
     case Command::Kind::kStats:
-      return FormatStats(service_.Stats(), registry_.size());
+      return RunStats();
     case Command::Kind::kEvictPools:
       return "OK evicted=" +
-             std::to_string(service_.pool_cache().EvictAll());
+             std::to_string(service_->pool_cache().EvictAll());
     case Command::Kind::kEvictGraph: {
-      Result<GraphRegistry::SnapshotPtr> snapshot = registry_.Get(cmd.name);
+      Result<GraphRegistry::SnapshotPtr> snapshot = registry_->Get(cmd.name);
       if (!snapshot.ok()) return error(snapshot.status());
       const uint64_t pools =
-          service_.pool_cache().EvictGraph((*snapshot)->epoch);
-      registry_.Remove(cmd.name);
+          service_->pool_cache().EvictGraph((*snapshot)->epoch);
+      registry_->Remove(cmd.name);
       return "OK graph=" + cmd.name + " pools_evicted=" +
              std::to_string(pools);
     }
@@ -453,6 +623,22 @@ std::string ServiceSession::Run(const Command& cmd) {
       return "OK bye";
   }
   return "ERR FailedPrecondition unreachable";
+}
+
+int RunRepl(std::istream& in, std::ostream& out, ServiceSession* session,
+            bool echo) {
+  std::string line;
+  while (!session->done() && std::getline(in, line)) {
+    if (echo) out << "> " << line << "\n";
+    const std::string response = session->Execute(line);
+    if (!response.empty()) out << response << "\n" << std::flush;
+  }
+  // std::getline delivers a final unterminated line before reporting EOF
+  // (eofbit without failbit when characters were extracted), so a script
+  // whose last command lacks '\n' has already been executed above. All
+  // that remains of the clean-shutdown contract is the flush + exit code.
+  out.flush();
+  return in.bad() ? 1 : 0;
 }
 
 }  // namespace vblock

@@ -31,6 +31,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,33 +79,93 @@ struct Command {
 /// lines are NOT commands — callers skip them (vblock_serve echoes nothing).
 Result<Command> ParseCommand(const std::string& line);
 
+/// Formats `cmd` as one canonical protocol line such that
+/// ParseCommand(SerializeCommand(cmd)) reproduces every field ParseCommand
+/// can populate (the fuzz battery property-tests this round trip).
+/// Unset std::optional solver knobs stay absent — "use the service
+/// default" and "use value X" are distinct requests; doubles use
+/// max-precision %.17g so they survive the trip bit-exactly. Names/paths
+/// containing whitespace are not representable in the line protocol and
+/// will not round-trip.
+std::string SerializeCommand(const Command& cmd);
+
+/// The one response the server gives a line that exceeded the framing
+/// byte cap (net/line_framer.h): a typed InvalidArgument ERR line, so a
+/// hostile overlong line still yields exactly one reply.
+std::string OverlongLineResponse(size_t max_line_bytes);
+
 /// Formats a service stats snapshot as the STATS response payload. The
 /// deterministic counters come first; wall-clock-dependent fields (uptime,
 /// qps, latency percentiles) last, so log filters can strip them.
 std::string FormatStats(const ServiceStats& stats, size_t num_graphs);
 
-/// One protocol session: a registry + service pair plus the command
-/// executor. The registry/service are owned by the session.
+/// One protocol session: the command executor bound to a registry +
+/// service pair. The stdin REPL owns its pair (first constructor); the TCP
+/// server shares ONE pair across every connection (second constructor) so
+/// a graph LOADed by one client serves them all — per-session state is
+/// only the QUIT flag.
 class ServiceSession {
  public:
+  /// Owning: constructs a private registry + service.
   explicit ServiceSession(const ServiceOptions& options = {});
+
+  /// Borrowing: executes against an external registry/service, both of
+  /// which must outlive the session. Used by net/tcp_server.h.
+  ServiceSession(GraphRegistry* registry, QueryService* service);
 
   /// Executes one line and returns the response ("OK ..." / "ERR ...").
   /// Blank/comment lines return an empty string (no response). QUIT sets
   /// done() and responds "OK bye".
   std::string Execute(const std::string& line);
 
+  /// Response-delivery callback: the response line, or "" for blank and
+  /// comment lines (no response owed).
+  using ResponseFn = std::function<void(std::string response)>;
+
+  /// Executes one line without ever blocking the caller on a solve:
+  /// `done` is invoked exactly once — synchronously for lines that resolve
+  /// immediately (blank, parse errors, STATS/EVICT/QUIT), and from a
+  /// worker thread for SOLVE (QueryService::SubmitWithCallback) and for
+  /// LOAD/EVAL (dispatched onto the service scheduler; potentially
+  /// seconds of graph generation or Monte-Carlo must not stall an event
+  /// loop). The session and the shared registry/service must stay alive
+  /// until `done` fires; the TCP server guarantees this by keeping the
+  /// owning connection referenced from the callback.
+  void ExecuteAsync(const std::string& line, ResponseFn done);
+
+  /// Folds extra counters (the TCP server's connection/byte totals) into
+  /// every STATS snapshot this session formats.
+  void set_stats_augmenter(std::function<void(ServiceStats*)> fn) {
+    stats_augmenter_ = std::move(fn);
+  }
+
   bool done() const { return done_; }
 
-  GraphRegistry& registry() { return registry_; }
-  QueryService& service() { return service_; }
+  GraphRegistry& registry() { return *registry_; }
+  QueryService& service() { return *service_; }
 
  private:
   std::string Run(const Command& cmd);
+  std::string RunStats();
+  std::string SolveResponse(const Result<SolverResult>& result,
+                            const PoolCache::Stats& before);
 
-  GraphRegistry registry_;
-  QueryService service_;
+  std::unique_ptr<GraphRegistry> owned_registry_;
+  std::unique_ptr<QueryService> owned_service_;
+  GraphRegistry* registry_ = nullptr;
+  QueryService* service_ = nullptr;
+  std::function<void(ServiceStats*)> stats_augmenter_;
   bool done_ = false;
 };
+
+/// Runs the line-protocol REPL over (in, out): one response line per
+/// command, blank/comment lines echoed nowhere, QUIT ends the loop. EOF is
+/// a clean shutdown — including EOF mid-line, where the final unterminated
+/// line is still executed and its response flushed (a piped session whose
+/// last command lacks a trailing newline must not lose its reply). Output
+/// is flushed before returning. Returns the process exit code: 0 on QUIT
+/// or clean EOF, 1 when the input stream failed with a hard I/O error.
+int RunRepl(std::istream& in, std::ostream& out, ServiceSession* session,
+            bool echo = false);
 
 }  // namespace vblock

@@ -58,6 +58,27 @@ QueryService::~QueryService() = default;
 
 std::future<Result<SolverResult>> QueryService::Submit(
     const IminRequest& request) {
+  return SubmitImpl(request, Callback());
+}
+
+void QueryService::SubmitWithCallback(const IminRequest& request,
+                                      Callback done) {
+  VBLOCK_CHECK_MSG(done != nullptr, "callback must not be null");
+  SubmitImpl(request, std::move(done));
+}
+
+std::future<Result<SolverResult>> QueryService::SubmitImpl(
+    const IminRequest& request, Callback done) {
+  // Immediate (error) delivery: through the callback when present,
+  // otherwise as a ready future.
+  auto deliver_now = [&done](Result<SolverResult> result) {
+    if (done) {
+      done(result);
+      return std::future<Result<SolverResult>>();
+    }
+    return ReadyFuture(std::move(result));
+  };
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.submitted;
@@ -65,9 +86,11 @@ std::future<Result<SolverResult>> QueryService::Submit(
 
   Result<GraphRegistry::SnapshotPtr> snapshot = registry_->Get(request.graph);
   if (!snapshot.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.invalid;
-    return ReadyFuture(snapshot.status());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.invalid;
+    }
+    return deliver_now(snapshot.status());
   }
   const Graph& g = (*snapshot)->graph;
 
@@ -92,9 +115,11 @@ std::future<Result<SolverResult>> QueryService::Submit(
     }
   }
   if (!valid.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.invalid;
-    return ReadyFuture(std::move(valid));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.invalid;
+    }
+    return deliver_now(std::move(valid));
   }
 
   CompKey comp_key;
@@ -105,6 +130,7 @@ std::future<Result<SolverResult>> QueryService::Submit(
 
   std::shared_ptr<Computation> comp;
   std::future<Result<SolverResult>> future;
+  Status rejected;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Deadline-free requests may ride an identical in-flight computation;
@@ -116,33 +142,45 @@ std::future<Result<SolverResult>> QueryService::Submit(
       if (it != in_flight_.end()) {
         ++counters_.coalesced;
         it->second->waiters.emplace_back();
-        return it->second->waiters.back().promise.get_future();
+        Waiter& rider = it->second->waiters.back();
+        if (done) {
+          rider.callback = std::move(done);
+          return std::future<Result<SolverResult>>();
+        }
+        return rider.promise.get_future();
       }
     }
     if (counters_.queue_depth >= options_.max_queue) {
       ++counters_.rejected;
-      return ReadyFuture(Status::ResourceExhausted(
+      rejected = Status::ResourceExhausted(
           "queue full (" + std::to_string(options_.max_queue) +
-          " pending computations)"));
-    }
-    if (counters_.in_flight >= options_.max_in_flight) {
+          " pending computations)");
+    } else if (counters_.in_flight >= options_.max_in_flight) {
       ++counters_.rejected;
-      return ReadyFuture(Status::ResourceExhausted(
+      rejected = Status::ResourceExhausted(
           "too many computations in flight (max " +
-          std::to_string(options_.max_in_flight) + ")"));
+          std::to_string(options_.max_in_flight) + ")");
+    } else {
+      comp = std::make_shared<Computation>();
+      comp->key = comp_key;
+      comp->snapshot = *snapshot;
+      comp->waiters.emplace_back();
+      if (done) {
+        comp->waiters.back().callback = std::move(done);
+      } else {
+        future = comp->waiters.back().promise.get_future();
+      }
+      if (request.deadline_seconds == 0) {
+        comp->tracked = true;
+        in_flight_.emplace(std::move(comp_key), comp);
+      }
+      ++counters_.queue_depth;
+      ++counters_.in_flight;
     }
-    comp = std::make_shared<Computation>();
-    comp->key = comp_key;
-    comp->snapshot = *snapshot;
-    comp->waiters.emplace_back();
-    future = comp->waiters.back().promise.get_future();
-    if (request.deadline_seconds == 0) {
-      comp->tracked = true;
-      in_flight_.emplace(std::move(comp_key), comp);
-    }
-    ++counters_.queue_depth;
-    ++counters_.in_flight;
   }
+  // Rejections deliver outside the lock: a synchronous callback is allowed
+  // to call back into the service (e.g. Stats() for an overload report).
+  if (!rejected.ok()) return deliver_now(std::move(rejected));
 
   scheduler_->Submit([this, comp] { Execute(comp); });
   return future;
@@ -181,7 +219,13 @@ void QueryService::Execute(const std::shared_ptr<Computation>& comp) {
     }
     waiters = std::move(comp->waiters);
   }
-  for (auto& waiter : waiters) waiter.promise.set_value(result);
+  for (auto& waiter : waiters) {
+    if (waiter.callback) {
+      waiter.callback(result);
+    } else {
+      waiter.promise.set_value(result);
+    }
+  }
 }
 
 Result<SolverResult> QueryService::Compute(const Computation& comp) {

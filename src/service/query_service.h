@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -116,6 +117,15 @@ struct ServiceStats {
   double latency_p90_ms = 0;
   double latency_p99_ms = 0;
   double latency_max_ms = 0;
+  /// Network front-end counters (net/tcp_server.h folds its totals in
+  /// before formatting STATS; all zero when serving in-process or over
+  /// stdin). connections counts accepts since server start.
+  uint64_t net_connections = 0;
+  uint32_t net_active = 0;
+  uint64_t net_bytes_in = 0;
+  uint64_t net_bytes_out = 0;
+  uint64_t net_lines = 0;
+  uint64_t net_errors = 0;
 };
 
 /// Long-lived, thread-safe query service over a GraphRegistry. The
@@ -144,6 +154,18 @@ class QueryService {
   /// own latency sample); requests with a deadline always compute
   /// individually, because each is entitled to its own clock.
   std::future<Result<SolverResult>> Submit(const IminRequest& request);
+
+  /// Completion callback alternative to the future (the TCP front-end's
+  /// event loop cannot block on futures).
+  using Callback = std::function<void(const Result<SolverResult>&)>;
+
+  /// Exactly like Submit, but delivers the result by invoking `done`
+  /// exactly once — synchronously (from inside this call) for requests
+  /// that resolve immediately (validation errors, admission rejections),
+  /// otherwise from a worker thread when the computation completes. The
+  /// callback must not block and must not re-enter the service
+  /// synchronously from the worker path.
+  void SubmitWithCallback(const IminRequest& request, Callback done);
 
   /// Submit + wait. Convenience for synchronous callers (REPL, tests).
   Result<SolverResult> SubmitAndWait(const IminRequest& request);
@@ -180,7 +202,10 @@ class QueryService {
   };
 
   struct Waiter {
+    // Exactly one delivery channel per waiter: `callback` when non-empty,
+    // the promise otherwise.
     std::promise<Result<SolverResult>> promise;
+    Callback callback;
     Timer submitted;  // this waiter's own queue wait + execution latency
   };
 
@@ -194,6 +219,12 @@ class QueryService {
     bool tracked = false;
     std::vector<Waiter> waiters;
   };
+
+  // Shared Submit/SubmitWithCallback body. With an empty callback returns
+  // the promise-backed future; with a callback returns an empty future and
+  // wires delivery through it instead.
+  std::future<Result<SolverResult>> SubmitImpl(const IminRequest& request,
+                                               Callback done);
 
   void Execute(const std::shared_ptr<Computation>& comp);
   Result<SolverResult> Compute(const Computation& comp);

@@ -1,0 +1,84 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Regression tests for the stdin REPL's shutdown contract (RunRepl):
+// EOF mid-line executes the final command and still flushes its reply,
+// QUIT stops the loop, echo mode prefixes commands, and the exit code
+// distinguishes clean EOF from stream failure.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "service/protocol.h"
+
+namespace vblock {
+namespace {
+
+ServiceOptions FastOptions() {
+  ServiceOptions options;
+  options.num_threads = 1;
+  return options;
+}
+
+TEST(RunReplTest, EofMidLineExecutesFinalCommandAndFlushes) {
+  // The last command has NO trailing newline: its reply must not be lost.
+  std::istringstream in("EVICT POOLS\nSTATS");
+  std::ostringstream out;
+  ServiceSession session(FastOptions());
+  const int rc = RunRepl(in, out, &session);
+  EXPECT_EQ(rc, 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("OK evicted=0\n"), std::string::npos);
+  EXPECT_NE(text.find("OK graphs=0"), std::string::npos);
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(RunReplTest, QuitStopsBeforeLaterLines) {
+  std::istringstream in("QUIT\nSTATS\n");
+  std::ostringstream out;
+  ServiceSession session(FastOptions());
+  EXPECT_EQ(RunRepl(in, out, &session), 0);
+  EXPECT_EQ(out.str(), "OK bye\n");
+  EXPECT_TRUE(session.done());
+}
+
+TEST(RunReplTest, BlankAndCommentLinesProduceNoOutput) {
+  std::istringstream in("\n# a comment\n   \n");
+  std::ostringstream out;
+  ServiceSession session(FastOptions());
+  EXPECT_EQ(RunRepl(in, out, &session), 0);
+  EXPECT_EQ(out.str(), "");
+}
+
+TEST(RunReplTest, EchoPrefixesEveryInputLine) {
+  std::istringstream in("EVICT POOLS\n");
+  std::ostringstream out;
+  ServiceSession session(FastOptions());
+  EXPECT_EQ(RunRepl(in, out, &session, /*echo=*/true), 0);
+  EXPECT_EQ(out.str(), "> EVICT POOLS\nOK evicted=0\n");
+}
+
+TEST(RunReplTest, EmptyInputIsCleanShutdown) {
+  std::istringstream in("");
+  std::ostringstream out;
+  ServiceSession session(FastOptions());
+  EXPECT_EQ(RunRepl(in, out, &session), 0);
+  EXPECT_EQ(out.str(), "");
+}
+
+TEST(RunReplTest, ErrorResponsesStillCountAsCleanExit) {
+  std::istringstream in("FROB\nSOLVE missing SEEDS 1");
+  std::ostringstream out;
+  ServiceSession session(FastOptions());
+  EXPECT_EQ(RunRepl(in, out, &session), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("ERR InvalidArgument unknown command 'FROB'\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ERR NotFound no graph named 'missing'\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vblock

@@ -1,0 +1,154 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// vblock_loadgen — TCP client for vblock_serve: transcript replay and
+// closed-loop load generation.
+//
+// Replay mode pipes a whole protocol script through one connection and
+// prints the server's byte-exact response stream (the CI smoke diffs it
+// against tools/smoke_expected.txt):
+//
+//   $ ./vblock_loadgen --port 7471 --script tools/smoke_session.txt
+//   $ cat session.txt | ./vblock_loadgen --port 7471 --script -
+//
+// Load mode runs N closed-loop connections (one request in flight each)
+// for a wall-clock window and emits one JSON object of QPS + latency
+// percentiles:
+//
+//   $ ./vblock_loadgen --port 7471 --connections 256 --duration 10
+//       --setup 'LOAD g GEN EmailCore' --request 'SOLVE g SEEDS 1 ALG od'
+//
+// --setup/--request may repeat; requests round-robin per connection.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "net/load_gen.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: vblock_loadgen --port N [--host ADDR]\n"
+      "         --script FILE|-        replay a session, print transcript\n"
+      "       | --connections N --duration S [--setup LINE]...\n"
+      "         [--request LINE]...    closed-loop load, print JSON\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string script_path;
+  bool replay = false;
+  uint64_t port = 0, connections = 1;
+  double duration = 5.0;
+  std::vector<std::string> setup_lines;
+  std::vector<std::string> request_lines;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--host") {
+      host = value();
+    } else if (flag == "--port") {
+      if (!vblock::ParseUint64(value(), &port) || port == 0 ||
+          port > 65535) {
+        std::fprintf(stderr, "malformed --port\n");
+        return 2;
+      }
+    } else if (flag == "--script") {
+      replay = true;
+      script_path = value();
+    } else if (flag == "--connections") {
+      if (!vblock::ParseUint64(value(), &connections) ||
+          connections == 0) {
+        std::fprintf(stderr, "malformed --connections\n");
+        return 2;
+      }
+    } else if (flag == "--duration") {
+      if (!vblock::ParseDouble(value(), &duration) || duration <= 0) {
+        std::fprintf(stderr, "malformed --duration\n");
+        return 2;
+      }
+    } else if (flag == "--setup") {
+      setup_lines.push_back(value());
+    } else if (flag == "--request") {
+      request_lines.push_back(value());
+    } else {
+      return Usage();
+    }
+  }
+  if (port == 0) return Usage();
+
+  if (replay) {
+    std::string script;
+    if (script_path == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      script = buffer.str();
+    } else {
+      std::ifstream in(script_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", script_path.c_str());
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      script = buffer.str();
+    }
+    vblock::Result<std::string> transcript = vblock::ReplayScript(
+        host, static_cast<uint16_t>(port), script);
+    if (!transcript.ok()) {
+      std::fprintf(stderr, "replay failed: %s\n",
+                   transcript.status().message().c_str());
+      return 1;
+    }
+    std::cout << *transcript << std::flush;
+    return 0;
+  }
+
+  vblock::LoadGenOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  options.connections = static_cast<uint32_t>(connections);
+  options.duration_seconds = duration;
+  options.setup_lines = setup_lines;
+  options.request_lines = request_lines.empty()
+                              ? std::vector<std::string>{"STATS"}
+                              : request_lines;
+  vblock::Result<vblock::LoadGenReport> report =
+      vblock::RunClosedLoadGen(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "load generation failed: %s\n",
+                 report.status().message().c_str());
+    return 1;
+  }
+  std::printf(
+      "{\"connections\": %llu, \"connected\": %llu, \"requests\": %llu, "
+      "\"errors\": %llu, \"seconds\": %.3f, \"qps\": %.1f, "
+      "\"lat_mean_ms\": %.3f, \"lat_p50_ms\": %.3f, \"lat_p90_ms\": %.3f, "
+      "\"lat_p99_ms\": %.3f, \"lat_max_ms\": %.3f}\n",
+      static_cast<unsigned long long>(connections),
+      static_cast<unsigned long long>(report->connected),
+      static_cast<unsigned long long>(report->requests),
+      static_cast<unsigned long long>(report->errors), report->seconds,
+      report->qps, report->latency_mean_ms, report->latency_p50_ms,
+      report->latency_p90_ms, report->latency_p99_ms,
+      report->latency_max_ms);
+  return 0;
+}

@@ -1,20 +1,32 @@
 // Copyright (c) the vblock authors. Licensed under the MIT license.
 //
-// vblock_serve — stdin/stdout REPL over the in-process query service.
+// vblock_serve — the query service behind a stdin/stdout REPL or a TCP
+// listener.
 //
-// Reads one protocol command per line (service/protocol.h), writes one
-// response line per command; blank lines and '#' comments are echoed
-// nowhere, so a scripted session pipes cleanly:
+// Default mode reads one protocol command per line (service/protocol.h)
+// from stdin and writes one response line per command; blank lines and
+// '#' comments are echoed nowhere, so a scripted session pipes cleanly:
 //
 //   $ ./vblock_serve < session.txt
+//
+// With --tcp the same protocol is served over a loopback TCP listener
+// (net/tcp_server.h) to any number of concurrent clients; SIGTERM/SIGINT
+// drain gracefully (in-flight commands finish, responses flush, exit 0).
+// The line "LISTENING <port>" is printed to stdout once the socket is
+// bound, so scripts using --tcp 0 (ephemeral port) can discover it.
 //
 // Flags:
 //   --threads N      service worker threads          (default 2)
 //   --max-queue N    admission queue bound           (default 256)
 //   --cache-mb N     warm-pool cache budget in MiB   (default 256)
-//   --echo           echo each command line prefixed with "> " (useful for
-//                    human-readable transcripts)
+//   --shards N       pool-cache shard count          (default 1 stdin,
+//                                                     4 with --tcp)
+//   --tcp PORT       serve TCP on PORT (0 = ephemeral) instead of stdin
+//   --bind ADDR      TCP bind address                (default 127.0.0.1)
+//   --max-conns N    concurrent TCP connection cap   (default 4096)
+//   --echo           stdin mode: echo each command line prefixed "> "
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -22,9 +34,17 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "net/line_client.h"
+#include "net/tcp_server.h"
 #include "service/protocol.h"
 
 namespace {
+
+vblock::TcpServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->RequestDrain();
+}
 
 bool ParseFlagValue(int argc, char** argv, int* i, const char* flag,
                     uint64_t* out) {
@@ -45,11 +65,25 @@ bool ParseFlagValue(int argc, char** argv, int* i, const char* flag,
 int main(int argc, char** argv) {
   vblock::ServiceOptions options;
   uint64_t threads = 2, max_queue = 256, cache_mb = 256;
+  uint64_t shards = 0;  // 0 = per-mode default
+  uint64_t tcp_port = 0, max_conns = 4096;
+  bool tcp = false;
   bool echo = false;
+  std::string bind_address = "127.0.0.1";
   for (int i = 1; i < argc; ++i) {
     if (ParseFlagValue(argc, argv, &i, "--threads", &threads) ||
         ParseFlagValue(argc, argv, &i, "--max-queue", &max_queue) ||
-        ParseFlagValue(argc, argv, &i, "--cache-mb", &cache_mb)) {
+        ParseFlagValue(argc, argv, &i, "--cache-mb", &cache_mb) ||
+        ParseFlagValue(argc, argv, &i, "--shards", &shards) ||
+        ParseFlagValue(argc, argv, &i, "--max-conns", &max_conns)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--tcp") == 0) {
+      tcp = true;
+      if (ParseFlagValue(argc, argv, &i, "--tcp", &tcp_port)) continue;
+    }
+    if (std::strcmp(argv[i], "--bind") == 0 && i + 1 < argc) {
+      bind_address = argv[++i];
       continue;
     }
     if (std::strcmp(argv[i], "--echo") == 0) {
@@ -58,19 +92,43 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "usage: vblock_serve [--threads N] [--max-queue N] "
-                 "[--cache-mb N] [--echo]\n");
+                 "[--cache-mb N] [--shards N] [--echo]\n"
+                 "                    [--tcp PORT] [--bind ADDR] "
+                 "[--max-conns N]\n");
     return 2;
   }
   options.num_threads = static_cast<uint32_t>(threads);
   options.max_queue = static_cast<uint32_t>(max_queue);
   options.cache.max_bytes = cache_mb << 20;
+  options.cache.shards =
+      shards != 0 ? static_cast<uint32_t>(shards) : (tcp ? 4 : 1);
 
-  vblock::ServiceSession session(options);
-  std::string line;
-  while (!session.done() && std::getline(std::cin, line)) {
-    if (echo) std::cout << "> " << line << "\n";
-    const std::string response = session.Execute(line);
-    if (!response.empty()) std::cout << response << "\n" << std::flush;
+  if (!tcp) {
+    vblock::ServiceSession session(options);
+    return vblock::RunRepl(std::cin, std::cout, &session, echo);
   }
-  return 0;
+
+  vblock::TryRaiseFdLimit(max_conns + 64);
+  vblock::GraphRegistry registry;
+  vblock::QueryService service(&registry, options);
+  vblock::TcpServerOptions server_options;
+  server_options.bind_address = bind_address;
+  server_options.port = static_cast<uint16_t>(tcp_port);
+  server_options.max_connections = static_cast<uint32_t>(max_conns);
+  vblock::TcpServer server(&registry, &service, server_options);
+  vblock::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "vblock_serve: %s\n",
+                 started.message().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  std::cout << "LISTENING " << server.port() << "\n" << std::flush;
+  const int rc = server.Run();
+  g_server = nullptr;
+  return rc;
 }
