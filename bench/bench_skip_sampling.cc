@@ -1,20 +1,26 @@
-// Micro-benchmark for geometric-skip live-edge sampling (PR 4): raw sampler
-// draw throughput, per-edge coins vs geometric skips over the
-// probability-grouped adjacency, on the three propagation models the paper
-// evaluates — weighted cascade (WC), trivalency (TR), and a uniform
+// Micro-benchmark for geometric-skip live-edge sampling (PR 4, extended in
+// PR 7 with the batched SIMD kernel): raw sampler draw throughput — per-edge
+// coins vs scalar geometric skips vs batched (AVX2-dispatched) skips over
+// the probability-grouped adjacency — on the three propagation models the
+// paper evaluates: weighted cascade (WC), trivalency (TR), and a uniform
 // constant-p assignment. Each instance measures both traversal directions:
 // forward root-reachable draws (ReachableSampler, the Algorithm-2 inner
 // loop) and reverse RR-set draws (RrSetGenerator, the direction where WC
 // collapses every vertex's in-edges into a single probability run). Emits
-// one JSON object on stdout so CI can archive the numbers.
+// one JSON object on stdout so CI can archive the numbers and
+// tools/bench_trajectory.py can append them to the committed perf history.
 //
-// Acceptance target (ISSUE 4): ≥ 2x draw throughput on the WC instance
-// (advisory CI check, keyed on the RR direction — WC's grouped side).
+// Acceptance targets (advisory CI checks):
+//   ISSUE 4: skip ≥ 2x per-edge draw throughput on the WC RR direction.
+//   ISSUE 7: batched ≥ 1.5x skip draw throughput on the WC RR direction at
+//            the default θ=2000, with no kernel regressing.
 //
 // Environment knobs (defaults are the tiny synthetic config):
 //   VBLOCK_SKIP_BENCH_N       vertices              (default 8000)
 //   VBLOCK_SKIP_BENCH_M       directed edges        (default 400000)
 //   VBLOCK_SKIP_BENCH_THETA   draws per measurement (default 2000)
+//   VBLOCK_DRAW_ISA           =scalar forces the batched kernel's scalar
+//                             fallback (read by the library dispatch)
 
 #include <cstdio>
 #include <string>
@@ -27,6 +33,7 @@
 #include "gen/generators.h"
 #include "graph/prob_grouped_view.h"
 #include "prob/probability_models.h"
+#include "sampling/batched_draw.h"
 #include "sampling/reachable_sampler.h"
 
 namespace {
@@ -34,14 +41,28 @@ namespace {
 using namespace vblock;
 using vblock::bench::EnvOr;
 
+constexpr SamplerKind kKinds[] = {SamplerKind::kPerEdgeCoin,
+                                  SamplerKind::kGeometricSkip,
+                                  SamplerKind::kBatchedSkip};
+constexpr size_t kNumKinds = 3;
+
 struct DirectionResult {
-  double per_edge_seconds = 0;
-  double skip_seconds = 0;
-  double speedup = 0;
+  // Indexed parallel to kKinds: per-edge coins, scalar skip, batched skip.
+  double seconds[kNumKinds] = {0, 0, 0};
   // Mean sampled-region size per kind — the estimates the draws feed are
-  // unbiased under both kinds, so these must agree closely.
-  double per_edge_mean_size = 0;
-  double skip_mean_size = 0;
+  // unbiased under every kind, so these must agree closely.
+  double mean_size[kNumKinds] = {0, 0, 0};
+  // skip vs per-edge (the PR 4 headline).
+  double speedup = 0;
+  // batched vs per-edge, and the PR 7 headline: batched vs scalar skip.
+  double speedup_batched = 0;
+  double speedup_batched_vs_skip = 0;
+
+  void FinishRatios() {
+    speedup = seconds[1] > 0 ? seconds[0] / seconds[1] : 0;
+    speedup_batched = seconds[2] > 0 ? seconds[0] / seconds[2] : 0;
+    speedup_batched_vs_skip = seconds[2] > 0 ? seconds[1] / seconds[2] : 0;
+  }
 };
 
 struct InstanceResult {
@@ -59,9 +80,8 @@ void MeasureForward(const Graph& g, uint32_t theta, uint64_t seed,
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     if (g.OutDegree(v) > g.OutDegree(root)) root = v;
   }
-  for (SamplerKind kind :
-       {SamplerKind::kPerEdgeCoin, SamplerKind::kGeometricSkip}) {
-    ReachableSampler sampler(g, root, nullptr, kind);
+  for (size_t k = 0; k < kNumKinds; ++k) {
+    ReachableSampler sampler(g, root, nullptr, kKinds[k]);
     SampledGraph s;
     uint64_t total_size = 0;
     Timer timer;
@@ -70,28 +90,19 @@ void MeasureForward(const Graph& g, uint32_t theta, uint64_t seed,
       sampler.Sample(rng, &s);
       total_size += s.NumVertices();
     }
-    const double seconds = timer.ElapsedSeconds();
-    const double mean = static_cast<double>(total_size) / theta;
-    if (kind == SamplerKind::kPerEdgeCoin) {
-      out->per_edge_seconds = seconds;
-      out->per_edge_mean_size = mean;
-    } else {
-      out->skip_seconds = seconds;
-      out->skip_mean_size = mean;
-    }
+    out->seconds[k] = timer.ElapsedSeconds();
+    out->mean_size[k] = static_cast<double>(total_size) / theta;
   }
-  out->speedup =
-      out->skip_seconds > 0 ? out->per_edge_seconds / out->skip_seconds : 0;
+  out->FinishRatios();
 }
 
 // θ RR-set draws of uniformly random targets. Each draw gets its own
-// MixSeed stream, so both kinds sample the same target sequence (the
+// MixSeed stream, so every kind samples the same target sequence (the
 // target is the stream's first variate) and only the edge draws differ.
 void MeasureRr(const Graph& g, uint32_t theta, uint64_t seed,
                DirectionResult* out) {
-  for (SamplerKind kind :
-       {SamplerKind::kPerEdgeCoin, SamplerKind::kGeometricSkip}) {
-    RrSetGenerator generator(g, kind);
+  for (size_t k = 0; k < kNumKinds; ++k) {
+    RrSetGenerator generator(g, kKinds[k]);
     std::vector<VertexId> rr;
     uint64_t total_size = 0;
     Timer timer;
@@ -100,18 +111,10 @@ void MeasureRr(const Graph& g, uint32_t theta, uint64_t seed,
       generator.SampleRandomTarget(rng, &rr);
       total_size += rr.size();
     }
-    const double seconds = timer.ElapsedSeconds();
-    const double mean = static_cast<double>(total_size) / theta;
-    if (kind == SamplerKind::kPerEdgeCoin) {
-      out->per_edge_seconds = seconds;
-      out->per_edge_mean_size = mean;
-    } else {
-      out->skip_seconds = seconds;
-      out->skip_mean_size = mean;
-    }
+    out->seconds[k] = timer.ElapsedSeconds();
+    out->mean_size[k] = static_cast<double>(total_size) / theta;
   }
-  out->speedup =
-      out->skip_seconds > 0 ? out->per_edge_seconds / out->skip_seconds : 0;
+  out->FinishRatios();
 }
 
 InstanceResult MeasureInstance(const std::string& model, const Graph& g,
@@ -132,10 +135,13 @@ void PrintDirection(const char* name, const DirectionResult& d,
                     const char* trailing_comma) {
   std::printf(
       "    \"%s\": {\"per_edge_seconds\": %.4f, \"skip_seconds\": %.4f, "
-      "\"speedup\": %.2f, \"per_edge_mean_size\": %.2f, "
-      "\"skip_mean_size\": %.2f}%s\n",
-      name, d.per_edge_seconds, d.skip_seconds, d.speedup,
-      d.per_edge_mean_size, d.skip_mean_size, trailing_comma);
+      "\"batched_seconds\": %.4f, \"speedup\": %.2f, "
+      "\"speedup_batched\": %.2f, \"speedup_batched_vs_skip\": %.2f, "
+      "\"per_edge_mean_size\": %.2f, \"skip_mean_size\": %.2f, "
+      "\"batched_mean_size\": %.2f}%s\n",
+      name, d.seconds[0], d.seconds[1], d.seconds[2], d.speedup,
+      d.speedup_batched, d.speedup_batched_vs_skip, d.mean_size[0],
+      d.mean_size[1], d.mean_size[2], trailing_comma);
 }
 
 }  // namespace
@@ -156,6 +162,8 @@ int main() {
   std::printf(
       "  \"graph\": {\"model\": \"erdos_renyi\", \"n\": %u, \"m\": %llu},\n",
       n, static_cast<unsigned long long>(base.NumEdges()));
+  std::printf("  \"draw_isa\": \"%s\",\n",
+              ActiveDrawIsa() == DrawIsa::kAvx2 ? "avx2" : "scalar");
   std::printf("  \"theta\": %u,\n  \"instances\": {\n", theta);
   for (size_t i = 0; i < instances.size(); ++i) {
     const InstanceResult r =

@@ -4,7 +4,7 @@ namespace vblock {
 
 IcSimulator::IcSimulator(const Graph& g, SamplerKind kind)
     : graph_(g), kind_(kind), visited_epoch_(g.NumVertices(), 0) {
-  if (kind_ == SamplerKind::kGeometricSkip) grouped_ = &g.GroupedView();
+  if (kind_ != SamplerKind::kPerEdgeCoin) grouped_ = &g.GroupedView();
 }
 
 VertexId IcSimulator::Run(const std::vector<VertexId>& seeds, Rng& rng,
@@ -22,13 +22,18 @@ VertexId IcSimulator::Run(const std::vector<VertexId>& seeds, Rng& rng,
   size_t head = 0;
   while (head < frontier_.size()) {
     VertexId u = frontier_[head++];
-    if (kind_ == SamplerKind::kGeometricSkip) {
-      grouped_->SampleOutEdges(u, rng, [&](VertexId v, uint32_t) {
+    if (kind_ != SamplerKind::kPerEdgeCoin) {
+      auto on_live = [&](VertexId v, uint32_t) {
         if (visited_epoch_[v] == epoch_) return;
         if (blocked && blocked->Test(v)) return;
         visited_epoch_[v] = epoch_;
         frontier_.push_back(v);
-      });
+      };
+      if (kind_ == SamplerKind::kBatchedSkip) {
+        grouped_->SampleOutEdgesBatched(u, rng, on_live);
+      } else {
+        grouped_->SampleOutEdges(u, rng, on_live);
+      }
     } else {
       auto targets = graph_.OutNeighbors(u);
       auto probs = graph_.OutProbabilities(u);

@@ -6,7 +6,7 @@ namespace vblock {
 
 RrSetGenerator::RrSetGenerator(const Graph& g, SamplerKind kind)
     : graph_(g), kind_(kind), visit_epoch_(g.NumVertices(), 0) {
-  if (kind_ == SamplerKind::kGeometricSkip) grouped_ = &g.GroupedView();
+  if (kind_ != SamplerKind::kPerEdgeCoin) grouped_ = &g.GroupedView();
 }
 
 void RrSetGenerator::Sample(VertexId target, Rng& rng,
@@ -20,12 +20,17 @@ void RrSetGenerator::Sample(VertexId target, Rng& rng,
   // independently per edge, matching Definition 4's distribution.
   for (size_t head = 0; head < out->size(); ++head) {
     VertexId v = (*out)[head];
-    if (kind_ == SamplerKind::kGeometricSkip) {
-      grouped_->SampleInEdges(v, rng, [&](VertexId u, uint32_t) {
+    if (kind_ != SamplerKind::kPerEdgeCoin) {
+      auto on_live = [&](VertexId u, uint32_t) {
         if (visit_epoch_[u] == epoch_) return;
         visit_epoch_[u] = epoch_;
         out->push_back(u);
-      });
+      };
+      if (kind_ == SamplerKind::kBatchedSkip) {
+        grouped_->SampleInEdgesBatched(v, rng, on_live);
+      } else {
+        grouped_->SampleInEdges(v, rng, on_live);
+      }
     } else {
       auto sources = graph_.InNeighbors(v);
       auto probs = graph_.InProbabilities(v);

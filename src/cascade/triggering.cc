@@ -12,8 +12,10 @@ namespace vblock {
 void TriggeringModel::SampleTriggerSetGrouped(const Graph& g,
                                               const ProbGroupedView& grouped,
                                               VertexId v, Rng& rng,
-                                              std::vector<uint32_t>* out) const {
+                                              std::vector<uint32_t>* out,
+                                              SamplerKind kind) const {
   (void)grouped;
+  (void)kind;
   SampleTriggerSet(g, v, rng, out);
 }
 
@@ -28,12 +30,17 @@ void IcTriggeringModel::SampleTriggerSet(const Graph& g, VertexId v, Rng& rng,
 void IcTriggeringModel::SampleTriggerSetGrouped(const Graph& g,
                                                 const ProbGroupedView& grouped,
                                                 VertexId v, Rng& rng,
-                                                std::vector<uint32_t>* out) const {
+                                                std::vector<uint32_t>* out,
+                                                SamplerKind kind) const {
   (void)g;
-  grouped.SampleInEdges(
-      v, rng, [out](VertexId, uint32_t original_pos) {
-        out->push_back(original_pos);
-      });
+  auto on_live = [out](VertexId, uint32_t original_pos) {
+    out->push_back(original_pos);
+  };
+  if (kind == SamplerKind::kBatchedSkip) {
+    grouped.SampleInEdgesBatched(v, rng, on_live);
+  } else {
+    grouped.SampleInEdges(v, rng, on_live);
+  }
 }
 
 LtTriggeringModel::LtTriggeringModel(const Graph& g) {

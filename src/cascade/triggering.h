@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sampler_kind.h"
 #include "graph/graph.h"
 #include "graph/vertex_mask.h"
 
@@ -40,14 +41,17 @@ class TriggeringModel {
   /// Geometric-skip fast path over the probability-grouped in-adjacency
   /// (graph/prob_grouped_view.h): same distribution over T(v), different
   /// RNG consumption, and indices may be appended in grouped rather than
-  /// ascending order (T(v) is a set; consumers only test membership). The
-  /// default ignores `grouped` and defers to SampleTriggerSet — models
-  /// whose draw is not per-edge Bernoulli (e.g. LT's single roulette spin)
-  /// gain nothing from grouping.
+  /// ascending order (T(v) is a set; consumers only test membership).
+  /// `kind` selects the grouped kernel — kGeometricSkip walks runs one
+  /// logarithm at a time, kBatchedSkip pulls block draws (its own cost
+  /// model and RNG consumption). The default ignores `grouped` and defers
+  /// to SampleTriggerSet — models whose draw is not per-edge Bernoulli
+  /// (e.g. LT's single roulette spin) gain nothing from grouping.
   virtual void SampleTriggerSetGrouped(const Graph& g,
                                        const ProbGroupedView& grouped,
                                        VertexId v, Rng& rng,
-                                       std::vector<uint32_t>* out) const;
+                                       std::vector<uint32_t>* out,
+                                       SamplerKind kind) const;
 
   /// Human-readable name (diagnostics).
   virtual const char* name() const = 0;
@@ -64,8 +68,8 @@ class IcTriggeringModel : public TriggeringModel {
   /// Skip-samples v's grouped in-edges — under weighted cascade every
   /// in-edge of v shares p = 1/din(v), so this is a single geometric run.
   void SampleTriggerSetGrouped(const Graph& g, const ProbGroupedView& grouped,
-                               VertexId v, Rng& rng,
-                               std::vector<uint32_t>* out) const override;
+                               VertexId v, Rng& rng, std::vector<uint32_t>* out,
+                               SamplerKind kind) const override;
   const char* name() const override { return "IC"; }
 };
 

@@ -1,0 +1,27 @@
+#include "common/cpu_features.h"
+
+namespace vblock {
+
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+  // __builtin_cpu_supports consults cpuid once and caches; it also handles
+  // the XSAVE/OS-support half of the AVX2 story, which raw cpuid does not.
+  f.fma = __builtin_cpu_supports("fma");
+  f.avx2 = __builtin_cpu_supports("avx2") && f.fma;
+#endif
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+}  // namespace vblock

@@ -1,0 +1,29 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Runtime CPU feature detection for the dispatched SIMD kernels.
+//
+// The library is compiled for a portable baseline ISA; vectorized kernels
+// (sampling/batched_draw.h) are emitted with per-function target attributes
+// and selected at runtime, so one binary runs everywhere and uses AVX2
+// where the hardware has it. Detection happens once (thread-safe static
+// init) via the compiler's cpuid intrinsics.
+
+#pragma once
+
+namespace vblock {
+
+/// The feature bits the dispatched kernels care about.
+struct CpuFeatures {
+  /// AVX2 *and* FMA3 (they ship together on every AVX2 part we target, and
+  /// probing them jointly keeps the dispatch condition a single flag).
+  bool avx2 = false;
+  /// FMA3 alone — lets the scalar batched-draw fallback use hardware fused
+  /// multiply-adds on the few parts with FMA3 but not AVX2.
+  bool fma = false;
+};
+
+/// Detected features of the executing CPU. Cheap after the first call.
+/// Non-x86 builds report everything false.
+const CpuFeatures& GetCpuFeatures();
+
+}  // namespace vblock

@@ -62,6 +62,15 @@ class Rng {
     return result;
   }
 
+  /// Fills out[0..count) with the next `count` raw 64-bit outputs —
+  /// identical to `count` operator() calls. The block form exists for the
+  /// batched draw kernels (sampling/batched_draw.h): the generator itself
+  /// is a serial recurrence, but buffering its outputs lets the expensive
+  /// transform (log) run 4-wide.
+  void NextBlock(uint64_t* out, size_t count) {
+    for (size_t i = 0; i < count; ++i) out[i] = (*this)();
+  }
+
   /// Uniform double in [0, 1) with 53 bits of precision.
   double NextDouble() { return ((*this)() >> 11) * 0x1.0p-53; }
 

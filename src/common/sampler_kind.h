@@ -31,6 +31,14 @@ enum class SamplerKind : uint8_t {
   /// of testing each edge. Expected per-vertex cost drops from O(degree)
   /// to O(probability classes + successes).
   kGeometricSkip = 1,
+  /// Geometric skip-ahead with block draws (sampling/batched_draw.h):
+  /// profitable runs pull whole blocks of skips from the stream and run
+  /// the log / multiply / floor transform 4-wide (AVX2 when the CPU has
+  /// it, bit-identical scalar fallback otherwise). Cheaper draws move the
+  /// geometric-vs-coin crossover, so this kind batches runs the scalar
+  /// skip kind leaves on per-edge coins. Draws are libm-free, making this
+  /// the one kind whose worlds are identical across platforms.
+  kBatchedSkip = 2,
 };
 
 }  // namespace vblock

@@ -109,7 +109,8 @@ void RunGreedyReplaceGroup(const Graph& g, const Group& group,
                            std::vector<BatchQueryResult>* out,
                            BatchStats* stats) {
   Timer timer;
-  UnifiedInstance inst = UnifySeeds(g, group.key.seeds);
+  UnifiedInstance inst =
+      UnifySeeds(g, group.key.seeds, group.key.vertex_order);
   const uint32_t max_budget = group.members.back().budget;
 
   if (max_budget == 0 || inst.graph.OutDegree(inst.root) == 0) {
@@ -220,6 +221,7 @@ QueryKey ResolveQueryKey(const IminQuery& q, const SolverOptions& defaults) {
   resolved.seed = q.seed.value_or(defaults.seed);
   resolved.sample_reuse = q.sample_reuse.value_or(defaults.sample_reuse);
   resolved.sampler_kind = q.sampler_kind.value_or(defaults.sampler_kind);
+  resolved.vertex_order = q.vertex_order.value_or(defaults.vertex_order);
   resolved.time_limit_seconds =
       q.time_limit_seconds.value_or(defaults.time_limit_seconds);
   return CanonicalQueryKey(q.seeds, q.algorithm, resolved);

@@ -62,6 +62,7 @@ struct IminQuery {
   std::optional<uint64_t> seed;
   std::optional<SampleReuse> sample_reuse;
   std::optional<SamplerKind> sampler_kind;
+  std::optional<VertexOrder> vertex_order;
   std::optional<double> time_limit_seconds;
 };
 

@@ -96,7 +96,7 @@ Result<SolverResult> SolveImin(const Graph& g,
       break;
     }
     case Algorithm::kBaselineGreedy: {
-      UnifiedInstance inst = UnifySeeds(g, seeds);
+      UnifiedInstance inst = UnifySeeds(g, seeds, options.vertex_order);
       BaselineGreedyOptions bg;
       bg.budget = options.budget;
       bg.mc_rounds = options.mc_rounds;
@@ -111,7 +111,7 @@ Result<SolverResult> SolveImin(const Graph& g,
       break;
     }
     case Algorithm::kAdvancedGreedy: {
-      UnifiedInstance inst = UnifySeeds(g, seeds);
+      UnifiedInstance inst = UnifySeeds(g, seeds, options.vertex_order);
       AdvancedGreedyOptions ag;
       ag.budget = options.budget;
       ag.theta = options.theta;
@@ -128,7 +128,7 @@ Result<SolverResult> SolveImin(const Graph& g,
       break;
     }
     case Algorithm::kGreedyReplace: {
-      UnifiedInstance inst = UnifySeeds(g, seeds);
+      UnifiedInstance inst = UnifySeeds(g, seeds, options.vertex_order);
       GreedyReplaceOptions gr;
       gr.budget = options.budget;
       gr.theta = options.theta;

@@ -45,6 +45,7 @@ void ProbGroupedView::BuildDir(const Graph& g, bool out, Dir* d) {
   d->orig_pos.resize(m);
   d->probs.resize(m);
   d->use_runs.assign(n, 0);
+  d->use_runs_batched.assign(n, 0);
 
   // The class table is shared between directions: the out pass interns
   // every value, the in pass (seeded from classes_ below) finds them all
@@ -102,9 +103,17 @@ void ProbGroupedView::BuildDir(const Graph& g, bool out, Dir* d) {
       class_cursor[c] = cursor;
       cursor += class_count[c];
       const double p = classes_[c].probability;
+      const bool stochastic = p > 0.0 && p < 1.0;
       const uint8_t geometric =
-          p > 0.0 && p < 1.0 && RunPrefersGeometric(p, class_count[c]) ? 1 : 0;
-      d->runs.push_back(Run{c, class_count[c], geometric});
+          stochastic && RunPrefersGeometric(p, class_count[c]) ? 1 : 0;
+      const uint8_t geometric_batched =
+          stochastic && RunPrefersGeometricBatched(p, class_count[c]) ? 1 : 0;
+      const uint16_t block =
+          geometric_batched
+              ? static_cast<uint16_t>(DrawBlockFor(p, class_count[c]))
+              : 0;
+      d->runs.push_back(Run{c, class_count[c], geometric, geometric_batched,
+                            block});
     }
     for (uint32_t k = 0; k < degree; ++k) {
       const uint32_t slot = class_cursor[class_of[k]]++;
@@ -119,23 +128,37 @@ void ProbGroupedView::BuildDir(const Graph& g, bool out, Dir* d) {
     // plain scan and cost exactly what the per-edge kind costs.
     double plain_cost = 0;
     double walk_cost = 0;
+    double walk_cost_batched = 0;
     for (uint32_t r = first_run; r < d->runs.size(); ++r) {
       const double p = classes_[d->runs[r].class_id].probability;
       const uint32_t length = d->runs[r].length;
       walk_cost += kRunOverheadCost;
+      walk_cost_batched += kRunOverheadCost;
       if (p <= 0.0) {
         plain_cost += kDegenerateEdgeCost * length;
       } else if (p >= 1.0) {
         plain_cost += kDegenerateEdgeCost * length;
         walk_cost += kDegenerateEdgeCost * length;
+        walk_cost_batched += kDegenerateEdgeCost * length;
       } else {
         plain_cost += length;
         walk_cost += d->runs[r].geometric
-                         ? (1.0 + length * p) * kGeometricDrawCost
+                         ? (1.0 + length * p) * kGeometricDrawCostScalar
                          : length;
+        if (d->runs[r].geometric_batched) {
+          const double expected = 1.0 + length * p;
+          const double block = d->runs[r].block;
+          const double fills = expected <= block ? 1.0 : expected / block;
+          walk_cost_batched +=
+              fills * (block * kGeometricDrawCostBatched +
+                       kBlockFillOverheadCost);
+        } else {
+          walk_cost_batched += length;
+        }
       }
     }
     d->use_runs[v] = walk_cost < plain_cost ? 1 : 0;
+    d->use_runs_batched[v] = walk_cost_batched < plain_cost ? 1 : 0;
     edge_cursor += degree;
     d->offsets[v + 1] = edge_cursor;
     // run_offsets is 32-bit (one run per edge worst case, and EdgeId is

@@ -28,6 +28,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "graph/graph.h"
+#include "sampling/batched_draw.h"
 
 namespace vblock {
 
@@ -43,13 +44,17 @@ class ProbGroupedView {
   };
 
   /// A maximal run of consecutive same-class edges of one vertex in the
-  /// grouped order. `geometric` is the baked build-time decision of
-  /// RunPrefersGeometric for this (probability, length) — the kernel only
-  /// tests the flag.
+  /// grouped order. `geometric` / `geometric_batched` are the baked
+  /// build-time decisions of RunPrefersGeometric{,Batched} for this
+  /// (probability, length) — the kernels only test the flag — and `block`
+  /// is the precomputed FillGeometricSkips block size for the batched
+  /// walk (DrawBlockFor; 0 when the batched walk is off). Still 12 bytes.
   struct Run {
     uint32_t class_id = 0;
     uint32_t length = 0;
     uint8_t geometric = 0;
+    uint8_t geometric_batched = 0;
+    uint16_t block = 0;
   };
 
   /// Builds the grouped view: one pass to intern the distinct probability
@@ -113,7 +118,7 @@ class ProbGroupedView {
   /// every case; only RNG consumption differs.
   template <typename Fn>
   void SampleOutEdges(VertexId u, Rng& rng, Fn&& fn) const {
-    SampleDir(out_, u, rng, fn);
+    SampleDir</*Batched=*/false>(out_, u, rng, fn);
   }
 
   /// In-edge twin of SampleOutEdges: fn(source, original_pos) per success.
@@ -121,7 +126,27 @@ class ProbGroupedView {
   /// under WC all of v's in-edges share one class.
   template <typename Fn>
   void SampleInEdges(VertexId v, Rng& rng, Fn&& fn) const {
-    SampleDir(in_, v, rng, fn);
+    SampleDir</*Batched=*/false>(in_, v, rng, fn);
+  }
+
+  /// SamplerKind::kBatchedSkip kernels: same distribution as the scalar
+  /// pair above, but profitable runs pull whole blocks of skips through
+  /// FillGeometricSkips (sampling/batched_draw.h) — one NextBlock refill
+  /// plus a 4-wide transform instead of one libm log per live edge. The
+  /// run/vertex decisions come from the *batched* cost model (cheaper
+  /// draws move the crossover), so these kernels batch runs the scalar
+  /// walk leaves on per-edge coins. RNG consumption differs from the
+  /// scalar kernels (whole blocks are drawn and the tail past the run end
+  /// is discarded), so for one seed the two kinds visit different —
+  /// equally valid, i.i.d. — worlds.
+  template <typename Fn>
+  void SampleOutEdgesBatched(VertexId u, Rng& rng, Fn&& fn) const {
+    SampleDir</*Batched=*/true>(out_, u, rng, fn);
+  }
+
+  template <typename Fn>
+  void SampleInEdgesBatched(VertexId v, Rng& rng, Fn&& fn) const {
+    SampleDir</*Batched=*/true>(in_, v, rng, fn);
   }
 
   // -- Sampling cost model ---------------------------------------------------
@@ -131,10 +156,25 @@ class ProbGroupedView {
   // cheapest strategy under a small cost model (units: one Bernoulli coin),
   // decided at build time so the hot loop only pays a flag test. The
   // decisions are deterministic properties of the graph, so reproducibility
-  // is untouched.
+  // is untouched. The constants are *measured*, not guessed — see
+  // docs/DESIGN.md §10 for the measurement protocol; tools/bench_trajectory
+  // tracks them staying honest. Reference machine numbers: coin 2.1 ns,
+  // scalar NextGeometric 8.7 ns, batched draw 3.5 ns amortized at block 64.
 
-  /// Approximate cost of one NextGeometric draw (one log()) in coin units.
-  static constexpr double kGeometricDrawCost = 4.0;
+  /// Cost of one scalar NextGeometric draw (one libm log) in coin units.
+  /// Measured: 8.7 ns / 2.0 ns ≈ 4.4, rounded to 4.5.
+  static constexpr double kGeometricDrawCostScalar = 4.5;
+  /// Amortized cost of one batched draw — raw generation plus its share of
+  /// the 4-wide log/multiply/floor transform — at block sizes >= 8.
+  /// Measured with the AVX2 transform: 3.5 ns ≈ 1.7 coins, rounded up to
+  /// 2.0 to cover partial-block fills. The scalar fallback is slower
+  /// (~3.9 coins: the divide in BatchLog is serial), but it MUST use the
+  /// same constant: these decisions steer RNG consumption, and the
+  /// fallback promises bit-identical worlds to the AVX2 path, so the model
+  /// is deliberately ISA-independent.
+  static constexpr double kGeometricDrawCostBatched = 2.0;
+  /// Per-FillGeometricSkips overhead (indirect dispatch, buffer setup).
+  static constexpr double kBlockFillOverheadCost = 2.0;
   /// Per-run bookkeeping cost of the run walk (run + class loads, branches).
   static constexpr double kRunOverheadCost = 1.5;
   /// Cost of an edge whose probability is 0 or 1 (no RNG, branch only).
@@ -142,19 +182,54 @@ class ProbGroupedView {
 
   /// True iff geometric jumps beat per-edge coins for a run of `length`
   /// edges of probability `p` in (0,1): expected draws are 1 + length·p
-  /// (successes plus the final overshoot), each kGeometricDrawCost coins.
+  /// (successes plus the final overshoot), each kGeometricDrawCostScalar
+  /// coins.
   static constexpr bool RunPrefersGeometric(double p, uint32_t length) {
-    return (1.0 + static_cast<double>(length) * p) * kGeometricDrawCost <
+    return (1.0 + static_cast<double>(length) * p) * kGeometricDrawCostScalar <
            static_cast<double>(length);
+  }
+
+  /// FillGeometricSkips block size for a batched run: the expected draw
+  /// count 1 + length·p rounded up to a multiple of 4 (full SIMD lanes),
+  /// clamped to kMaxDrawBlock — so one fill usually finishes the run and
+  /// the discarded tail stays small. Pure function of (p, length): the
+  /// block size steers RNG consumption, so it must be a deterministic
+  /// build-time property, never tuned at runtime.
+  static constexpr uint32_t DrawBlockFor(double p, uint32_t length) {
+    const double expected = 1.0 + static_cast<double>(length) * p;
+    if (expected >= static_cast<double>(kMaxDrawBlock)) return kMaxDrawBlock;
+    return (static_cast<uint32_t>(expected) + 4u) & ~3u;
+  }
+
+  /// Batched-kernel twin of RunPrefersGeometric. Every fill transforms a
+  /// whole block (draws past the run's end are discarded), so the cost is
+  /// blocks · (block·draw + fill overhead) — a *different* crossover than
+  /// the scalar walk: cheaper per draw, but block-granular. Long runs that
+  /// the scalar model leaves on coins (e.g. length 64 at p = 0.25) clear
+  /// this bar.
+  static constexpr bool RunPrefersGeometricBatched(double p, uint32_t length) {
+    const double expected = 1.0 + static_cast<double>(length) * p;
+    const double block = static_cast<double>(DrawBlockFor(p, length));
+    const double fills = expected <= block ? 1.0 : expected / block;
+    const double cost =
+        fills * (block * kGeometricDrawCostBatched + kBlockFillOverheadCost);
+    return cost < static_cast<double>(length);
   }
 
   /// True iff the kernel walks u's out-edge (resp. v's in-edge) runs;
   /// false means the grouping cannot beat a plain coin scan there (e.g. WC
   /// out-edges toward targets of mostly-distinct in-degrees) and the kernel
   /// samples the grouped arrays edge by edge at exactly the per-edge
-  /// kind's cost. Exposed for tests and diagnostics.
+  /// kind's cost. Exposed for tests and diagnostics. The *Batched variants
+  /// answer for the batched kernels' own cost model.
   bool OutUsesRunWalk(VertexId u) const { return out_.use_runs[u] != 0; }
   bool InUsesRunWalk(VertexId v) const { return in_.use_runs[v] != 0; }
+  bool OutUsesRunWalkBatched(VertexId u) const {
+    return out_.use_runs_batched[u] != 0;
+  }
+  bool InUsesRunWalkBatched(VertexId v) const {
+    return in_.use_runs_batched[v] != 0;
+  }
 
   /// Heap bytes held by the grouped arrays (capacity-based) — roughly 2×
   /// the source CSR. Feeds the service layer's byte accounting.
@@ -169,7 +244,8 @@ class ProbGroupedView {
              static_cast<uint64_t>(d.orig_pos.capacity()) *
                  sizeof(uint32_t) +
              static_cast<uint64_t>(d.probs.capacity()) * sizeof(double) +
-             static_cast<uint64_t>(d.use_runs.capacity());
+             static_cast<uint64_t>(d.use_runs.capacity()) +
+             static_cast<uint64_t>(d.use_runs_batched.capacity());
     };
     return dir_bytes(out_) + dir_bytes(in_) +
            static_cast<uint64_t>(classes_.capacity()) * sizeof(ProbClass);
@@ -184,6 +260,7 @@ class ProbGroupedView {
     std::vector<uint32_t> orig_pos;     // size m, grouped -> original pos
     std::vector<double> probs;          // size m, grouped order
     std::vector<uint8_t> use_runs;      // n: some run beats a plain scan
+    std::vector<uint8_t> use_runs_batched;  // n: same, batched cost model
   };
 
   std::span<const VertexId> Neighbors(const Dir& d, VertexId v) const {
@@ -212,9 +289,9 @@ class ProbGroupedView {
     return 0.0;
   }
 
-  template <typename Fn>
+  template <bool Batched, typename Fn>
   void SampleDir(const Dir& d, VertexId v, Rng& rng, Fn&& fn) const {
-    if (!d.use_runs[v]) {
+    if (!(Batched ? d.use_runs_batched[v] : d.use_runs[v])) {
       // Degenerate grouping: a plain coin scan is optimal, and reading the
       // grouped probs array makes it exactly as cheap as the per-edge kind.
       for (EdgeId e = d.offsets[v]; e < d.offsets[v + 1]; ++e) {
@@ -231,10 +308,35 @@ class ProbGroupedView {
           fn(d.neighbors[slot + k], d.orig_pos[slot + k]);
         }
       } else if (cls.probability > 0.0) {
-        if (run.geometric) {
-          for (uint64_t pos = rng.NextGeometric(cls.inv_log1m);
-               pos < run.length; pos += 1 + rng.NextGeometric(cls.inv_log1m)) {
-            fn(d.neighbors[slot + pos], d.orig_pos[slot + pos]);
+        if (Batched ? run.geometric_batched : run.geometric) {
+          if constexpr (Batched) {
+            // Block walk: pull `run.block` skips per fill, emit the live
+            // edges they land on, refill if the run is not exhausted.
+            // Skips left in the block past the run's end are *discarded* —
+            // each fill consumes exactly run.block raw outputs, so total
+            // consumption is a pure function of the drawn values and the
+            // within-kind determinism guarantees hold.
+            uint64_t skips[kMaxDrawBlock];
+            uint64_t pos = 0;
+            uint64_t gap = 0;  // 0 before the first draw, 1 after
+            for (bool done = false; !done;) {
+              FillGeometricSkips(rng, cls.inv_log1m, run.block, skips);
+              for (uint32_t j = 0; j < run.block; ++j) {
+                pos += gap + skips[j];
+                gap = 1;
+                if (pos >= run.length) {
+                  done = true;
+                  break;
+                }
+                fn(d.neighbors[slot + pos], d.orig_pos[slot + pos]);
+              }
+            }
+          } else {
+            for (uint64_t pos = rng.NextGeometric(cls.inv_log1m);
+                 pos < run.length;
+                 pos += 1 + rng.NextGeometric(cls.inv_log1m)) {
+              fn(d.neighbors[slot + pos], d.orig_pos[slot + pos]);
+            }
           }
         } else {
           for (uint32_t k = 0; k < run.length; ++k) {

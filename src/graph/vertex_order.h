@@ -1,0 +1,36 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// VertexOrder lives in its own tiny header (like common/sampler_kind.h) so
+// every options struct that exposes the knob — SolverOptions, the batch
+// query overrides, the service protocol — can do so without pulling the
+// graph machinery into its TU.
+
+#pragma once
+
+#include <cstdint>
+
+namespace vblock {
+
+/// How solver-internal vertex ids are laid out before sampling begins.
+///
+/// Purely a cache-locality knob: the relabeled instance is isomorphic to
+/// the original and every result is mapped back, so external ids,
+/// SolverResults, and the service protocol are unchanged. Relabeling does
+/// change the adjacency *order*, though, and with it RNG consumption — so,
+/// like switching SamplerKind, a different order visits different (equally
+/// valid, i.i.d.) sampled worlds for the same seed. Within one (order,
+/// kind) pair all determinism guarantees hold unchanged.
+enum class VertexOrder : uint8_t {
+  /// Keep the ids as built (the historical layout).
+  kOriginal = 0,
+  /// Renumber by descending total degree (out + in), ties by old id: hub
+  /// rows — the ones hot traversals touch most — pack into the front of
+  /// the CSR arrays and share cache lines.
+  kDegreeDesc = 1,
+  /// Renumber in BFS order from the traversal root (the super-seed for
+  /// unified instances): vertices discovered together sit together, so a
+  /// sampled-world BFS walks mostly-sequential memory.
+  kBfsFromRoot = 2,
+};
+
+}  // namespace vblock

@@ -1,0 +1,311 @@
+// This TU must be compiled with -ffp-contract=off (CMake sets it): the
+// scalar fallback and the AVX2 transform promise bit-identical results,
+// which holds only if the compiler cannot contract the remaining bare
+// mul/add pairs into FMAs on one side only. Where the algorithm *wants* an
+// FMA it says so explicitly (__builtin_fma / _mm256_fmadd_pd) — a correctly
+// rounded fused multiply-add is one deterministic IEEE-754 operation, so
+// both paths agree bit-for-bit.
+
+#include "sampling/batched_draw.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/cpu_features.h"
+
+#if !defined(VBLOCK_DISABLE_AVX2_DRAW) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define VBLOCK_COMPILE_AVX2_DRAW 1
+#include <immintrin.h>
+#else
+#define VBLOCK_COMPILE_AVX2_DRAW 0
+#endif
+
+namespace vblock {
+
+namespace {
+
+// -- The shared log algorithm -----------------------------------------------
+//
+// log(x) for positive finite x: decompose x = 2^e · m with m in [√½, √2) by
+// pure bit arithmetic, then log(m) = 2·atanh(s) with s = (m-1)/(m+1) via
+// the odd Taylor series truncated at s^13, evaluated as one Horner chain of
+// fused multiply-adds. |s| <= 0.1716 so the truncation error is < 4.5e-13
+// absolute (relative ~1.3e-12, worst at the √½ boundary) — far below what
+// a ⌊log U · inv_log1m⌋ draw can observe. Every step is a single IEEE-754
+// operation in a fixed order; the AVX2 transform below mirrors the exact
+// sequence 4-wide, which is what makes the two paths bit-identical.
+
+// Bit pattern of √½ — the exponent-split threshold that centers m on 1.
+constexpr uint64_t kSqrtHalfBits = 0x3fe6a09e667f3bcdULL;
+constexpr double kLn2 = 0x1.62e42fefa39efp-1;
+// 2/(2k+1), k = 0..6 — the atanh series coefficients (kL0 = 2 folds the
+// leading 2s term into the same Horner chain).
+constexpr double kL0 = 2.0;
+constexpr double kL1 = 2.0 / 3.0;
+constexpr double kL2 = 2.0 / 5.0;
+constexpr double kL3 = 2.0 / 7.0;
+constexpr double kL4 = 2.0 / 9.0;
+constexpr double kL5 = 2.0 / 11.0;
+constexpr double kL6 = 2.0 / 13.0;
+// Saturation threshold, 2^50: far beyond any run length (<= 2^16) yet
+// small enough that the branch-free vectorized double -> uint64 conversion
+// (mantissa bias trick, needs values < 2^52) stays exact.
+constexpr double kSaturate = 1125899906842624.0;  // 2^50
+constexpr uint64_t kMantissaBias = 0x4330000000000000ULL;  // bits of 2^52
+
+// log(x · 2^-exp_bias): the exponent split absorbs the scaling for free,
+// so the transform never materializes the uniform u = v · 2⁻⁵² — it takes
+// log of the 52-bit integer v directly with exp_bias = 52. With
+// exp_bias = 0 this is plain log(x) (the public BatchLog). Bit-identical
+// either way: the mantissa split of v and of v · 2⁻⁵² produce the same m,
+// and (double)(e - 52) is exact.
+inline double LogWithExponentBias(double x, int64_t exp_bias) {
+  uint64_t ib;
+  std::memcpy(&ib, &x, sizeof(ib));
+  // e such that m = x · 2^-e lands in [√½, √2). The subtraction re-biases
+  // the exponent field so a plain arithmetic shift extracts e, rounding m
+  // toward 1 (C++20 defines >> on negatives).
+  const int64_t e = static_cast<int64_t>(ib - kSqrtHalfBits) >> 52;
+  const uint64_t mb = ib - (static_cast<uint64_t>(e) << 52);
+  double m;
+  std::memcpy(&m, &mb, sizeof(m));
+  const double ed = static_cast<double>(e - exp_bias);
+
+  const double f = m - 1.0;
+  const double s = f / (2.0 + f);
+  const double z = s * s;
+  double poly = kL6;
+  poly = __builtin_fma(poly, z, kL5);
+  poly = __builtin_fma(poly, z, kL4);
+  poly = __builtin_fma(poly, z, kL3);
+  poly = __builtin_fma(poly, z, kL2);
+  poly = __builtin_fma(poly, z, kL1);
+  poly = __builtin_fma(poly, z, kL0);
+  const double lm = s * poly;  // 2·atanh(s)
+  return __builtin_fma(ed, kLn2, lm);
+}
+
+// One full draw on pre-drawn bits — the scalar transform body, also used
+// for the AVX2 path's non-multiple-of-4 tail so both ISAs share one
+// definition. The uniform is ((bits >> 12) | 1) · 2⁻⁵²: 52-bit value with
+// the low bit forced, so u is never 0 (log stays finite) and never 1 (a
+// skip of 0 needs no special case). The saturating conversion mirrors the
+// vector path: floor, clamp to 2^50, exact double -> uint64 cast.
+inline uint64_t TransformOne(uint64_t bits, double inv_log1m_p) {
+  const uint64_t v = (bits >> 12) | 1;
+  const double log_u = LogWithExponentBias(static_cast<double>(v), 52);
+  double skips = __builtin_floor(log_u * inv_log1m_p);
+  if (skips > kSaturate) skips = kSaturate;
+  return static_cast<uint64_t>(skips);
+}
+
+// The loop body shared by the two scalar entry points below. Forced inline
+// so the target("fma") twin compiles the very same code with hardware
+// fused multiply-adds instead of libm fma() calls — same bits either way
+// (fma is correctly rounded), only the speed differs.
+[[gnu::always_inline]] inline void TransformScalarLoop(const uint64_t* bits,
+                                                       double inv_log1m_p,
+                                                       uint32_t count,
+                                                       uint64_t* out) {
+  for (uint32_t i = 0; i < count; ++i) {
+    out[i] = TransformOne(bits[i], inv_log1m_p);
+  }
+}
+
+}  // namespace
+
+double BatchLog(double u) { return LogWithExponentBias(u, 0); }
+
+namespace internal {
+
+void TransformGeometricScalar(const uint64_t* bits, double inv_log1m_p,
+                              uint32_t count, uint64_t* out) {
+  TransformScalarLoop(bits, inv_log1m_p, count, out);
+}
+
+#if VBLOCK_COMPILE_AVX2_DRAW
+
+// Scalar twin compiled with FMA3 enabled: __builtin_fma lowers to one
+// vfmadd instruction instead of a libm call. Dispatched as the "scalar"
+// implementation whenever the CPU has FMA3 (results identical to
+// TransformGeometricScalar by the correctly-rounded-fma argument).
+__attribute__((target("fma")))
+static void TransformGeometricScalarFmaHw(const uint64_t* bits,
+                                          double inv_log1m_p, uint32_t count,
+                                          uint64_t* out) {
+  TransformScalarLoop(bits, inv_log1m_p, count, out);
+}
+
+// Four draws, the scalar sequence 4-wide. Force-inlined into both callers:
+// straight-line in the count == 4 entry path (the dominant fill size for
+// short runs — constants become per-use memory-operand broadcasts, no
+// loop, no register-pressure prologue) and as the body of the big-block
+// loop (where GCC hoists the loads).
+__attribute__((target("avx2,fma"), always_inline)) static inline void
+Avx2TransformStep(const uint64_t* bits, double inv_log1m_p, uint64_t* out) {
+  const __m256i x =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bits));
+  // v = (x >> 12) | 1, then exact uint52 -> double via the 2^52 mantissa
+  // bias. The 2⁻⁵² scaling is folded into the exponent term below.
+  const __m256i v = _mm256_or_si256(_mm256_srli_epi64(x, 12),
+                                    _mm256_set1_epi64x(1));
+  const __m256i exp52 =
+      _mm256_set1_epi64x(static_cast<int64_t>(kMantissaBias));
+  const __m256d two52 = _mm256_set1_pd(0x1.0p52);
+  const __m256d vd =
+      _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(v, exp52)), two52);
+
+  // Exponent split of vd. AVX2 has no 64-bit arithmetic shift, so emulate
+  // (tmp >> 52) with a logical shift plus 12-bit sign extension
+  // ((x ^ 0x800) - 0x800).
+  const __m256i ib = _mm256_castpd_si256(vd);
+  const __m256i tmp =
+      _mm256_sub_epi64(ib, _mm256_set1_epi64x(
+                               static_cast<int64_t>(kSqrtHalfBits)));
+  const __m256i sign12 = _mm256_set1_epi64x(0x800);
+  const __m256i e = _mm256_sub_epi64(
+      _mm256_xor_si256(_mm256_srli_epi64(tmp, 52), sign12), sign12);
+  const __m256i mb = _mm256_sub_epi64(ib, _mm256_slli_epi64(e, 52));
+  const __m256d m = _mm256_castsi256_pd(mb);
+  // Small-int64 -> double minus the 52 exponent-bias in one go: bias e
+  // into the mantissa of 1.5 · 2^52 and subtract (1.5 · 2^52 + 52) back
+  // out — both subtractions exact, so this equals the scalar side's
+  // static_cast<double>(e - 52).
+  const __m256d ed = _mm256_sub_pd(
+      _mm256_castsi256_pd(
+          _mm256_add_epi64(e, _mm256_set1_epi64x(0x4338000000000000LL))),
+      _mm256_set1_pd(0x1.8p52 + 52.0));
+
+  // The polynomial: the scalar FMA Horner chain, 4-wide.
+  const __m256d f = _mm256_sub_pd(m, _mm256_set1_pd(1.0));
+  const __m256d s = _mm256_div_pd(f, _mm256_add_pd(_mm256_set1_pd(2.0), f));
+  const __m256d z = _mm256_mul_pd(s, s);
+  __m256d poly = _mm256_set1_pd(kL6);
+  poly = _mm256_fmadd_pd(poly, z, _mm256_set1_pd(kL5));
+  poly = _mm256_fmadd_pd(poly, z, _mm256_set1_pd(kL4));
+  poly = _mm256_fmadd_pd(poly, z, _mm256_set1_pd(kL3));
+  poly = _mm256_fmadd_pd(poly, z, _mm256_set1_pd(kL2));
+  poly = _mm256_fmadd_pd(poly, z, _mm256_set1_pd(kL1));
+  poly = _mm256_fmadd_pd(poly, z, _mm256_set1_pd(kL0));
+  const __m256d lm = _mm256_mul_pd(s, poly);
+  const __m256d lg = _mm256_fmadd_pd(ed, _mm256_set1_pd(kLn2), lm);
+
+  // skip = ⌊log(u) · inv_log1m⌋, floored and clamped in-vector, then
+  // converted branch-free: an integer-valued double below 2^52 biased by
+  // 2^52 carries the integer in its mantissa bits.
+  const __m256d skips =
+      _mm256_floor_pd(_mm256_mul_pd(lg, _mm256_set1_pd(inv_log1m_p)));
+  const __m256d clamped = _mm256_min_pd(skips, _mm256_set1_pd(kSaturate));
+  const __m256i biased = _mm256_castpd_si256(_mm256_add_pd(clamped, two52));
+  _mm256_storeu_si256(
+      reinterpret_cast<__m256i*>(out),
+      _mm256_sub_epi64(biased,
+                       _mm256_set1_epi64x(
+                           static_cast<int64_t>(kMantissaBias))));
+}
+
+// The big-block loop, kept out of line so the count == 4 entry path below
+// stays prologue-free.
+__attribute__((target("avx2,fma"), noinline)) static void
+Avx2TransformLoop(const uint64_t* bits, double inv_log1m_p, uint32_t count,
+                  uint64_t* out) {
+  uint32_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    Avx2TransformStep(bits + i, inv_log1m_p, out + i);
+  }
+  for (; i < count; ++i) out[i] = TransformOne(bits[i], inv_log1m_p);
+}
+
+__attribute__((target("avx2,fma")))
+void TransformGeometricAvx2(const uint64_t* bits, double inv_log1m_p,
+                            uint32_t count, uint64_t* out) {
+  if (count == 4) {
+    Avx2TransformStep(bits, inv_log1m_p, out);
+    return;
+  }
+  Avx2TransformLoop(bits, inv_log1m_p, count, out);
+}
+
+bool Avx2TransformAvailable() { return GetCpuFeatures().avx2; }
+
+#else  // !VBLOCK_COMPILE_AVX2_DRAW
+
+void TransformGeometricAvx2(const uint64_t* bits, double inv_log1m_p,
+                            uint32_t count, uint64_t* out) {
+  // Compiled out; the dispatcher never routes here (Avx2TransformAvailable
+  // is false), but tests may probe via SetDrawIsa, which refuses first.
+  TransformGeometricScalar(bits, inv_log1m_p, count, out);
+}
+
+bool Avx2TransformAvailable() { return false; }
+
+#endif  // VBLOCK_COMPILE_AVX2_DRAW
+
+}  // namespace internal
+
+namespace {
+
+using TransformFn = void (*)(const uint64_t*, double, uint32_t, uint64_t*);
+
+// The scalar implementation to dispatch: hardware-FMA twin when the CPU
+// has FMA3 (bit-identical, much faster than per-fma libm calls), portable
+// version otherwise.
+TransformFn ScalarTransform() {
+#if VBLOCK_COMPILE_AVX2_DRAW
+  if (GetCpuFeatures().fma) {
+    return &internal::TransformGeometricScalarFmaHw;
+  }
+#endif
+  return &internal::TransformGeometricScalar;
+}
+
+TransformFn Resolve() {
+  const char* env = std::getenv("VBLOCK_DRAW_ISA");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return ScalarTransform();
+  }
+  if (internal::Avx2TransformAvailable()) {
+    return &internal::TransformGeometricAvx2;
+  }
+  return ScalarTransform();
+}
+
+std::atomic<TransformFn>& TransformSlot() {
+  static std::atomic<TransformFn> slot{Resolve()};
+  return slot;
+}
+
+}  // namespace
+
+DrawIsa ActiveDrawIsa() {
+  return TransformSlot().load(std::memory_order_relaxed) ==
+                 &internal::TransformGeometricAvx2
+             ? DrawIsa::kAvx2
+             : DrawIsa::kScalar;
+}
+
+bool SetDrawIsa(DrawIsa isa) {
+  if (isa == DrawIsa::kAvx2) {
+    if (!internal::Avx2TransformAvailable()) return false;
+    TransformSlot().store(&internal::TransformGeometricAvx2,
+                          std::memory_order_relaxed);
+  } else {
+    TransformSlot().store(ScalarTransform(), std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void FillGeometricSkips(Rng& rng, double inv_log1m_p, uint32_t count,
+                        uint64_t* out) {
+  VBLOCK_DCHECK(count <= kMaxDrawBlock);
+  uint64_t bits[kMaxDrawBlock];
+  rng.NextBlock(bits, count);
+  TransformSlot().load(std::memory_order_relaxed)(bits, inv_log1m_p, count,
+                                                  out);
+}
+
+}  // namespace vblock

@@ -13,7 +13,7 @@ ReachableSampler::ReachableSampler(const Graph& g, VertexId root,
       local_id_(g.NumVertices(), 0),
       visit_epoch_(g.NumVertices(), 0) {
   VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
-  if (kind_ == SamplerKind::kGeometricSkip) grouped_ = &g.GroupedView();
+  if (kind_ != SamplerKind::kPerEdgeCoin) grouped_ = &g.GroupedView();
 }
 
 void ReachableSampler::Sample(Rng& rng, SampledGraph* out) {
@@ -43,11 +43,16 @@ void ReachableSampler::Sample(Rng& rng, SampledGraph* out) {
   // blocked targets consume no randomness (historical RNG consumption).
   for (VertexId local_u = 0; local_u < out->to_parent.size(); ++local_u) {
     VertexId u = out->to_parent[local_u];
-    if (kind_ == SamplerKind::kGeometricSkip) {
-      grouped_->SampleOutEdges(u, rng, [&](VertexId v, uint32_t) {
+    if (kind_ != SamplerKind::kPerEdgeCoin) {
+      auto on_live = [&](VertexId v, uint32_t) {
         if (blocked_ && blocked_->Test(v)) return;
         take(v);
-      });
+      };
+      if (kind_ == SamplerKind::kBatchedSkip) {
+        grouped_->SampleOutEdgesBatched(u, rng, on_live);
+      } else {
+        grouped_->SampleOutEdges(u, rng, on_live);
+      }
     } else {
       auto targets = graph_.OutNeighbors(u);
       auto probs = graph_.OutProbabilities(u);

@@ -21,7 +21,7 @@ TriggeringSampler::TriggeringSampler(const Graph& g,
   VBLOCK_CHECK_MSG(root < g.NumVertices(), "root out of range");
   // Only pay for (and hold) the grouped view when the model can use it —
   // LT's single roulette spin gains nothing from grouping.
-  if (kind_ == SamplerKind::kGeometricSkip && model.HasGroupedFastPath()) {
+  if (kind_ != SamplerKind::kPerEdgeCoin && model.HasGroupedFastPath()) {
     grouped_ = &g.GroupedView();
   }
 }
@@ -31,7 +31,8 @@ bool TriggeringSampler::EdgeLive(VertexId u, VertexId v, Rng& rng) {
     trigger_epoch_[v] = epoch_;
     scratch_.clear();
     if (grouped_ != nullptr) {
-      model_.SampleTriggerSetGrouped(graph_, *grouped_, v, rng, &scratch_);
+      model_.SampleTriggerSetGrouped(graph_, *grouped_, v, rng, &scratch_,
+                                     kind_);
     } else {
       model_.SampleTriggerSet(graph_, v, rng, &scratch_);
     }

@@ -71,6 +71,16 @@ bool ParseSampler(std::string_view token, SamplerKind* out) {
   const std::string name = Upper(token);
   if (name == "COIN") *out = SamplerKind::kPerEdgeCoin;
   else if (name == "SKIP") *out = SamplerKind::kGeometricSkip;
+  else if (name == "BATCH") *out = SamplerKind::kBatchedSkip;
+  else return false;
+  return true;
+}
+
+bool ParseVertexOrder(std::string_view token, VertexOrder* out) {
+  const std::string name = Upper(token);
+  if (name == "ORIG") *out = VertexOrder::kOriginal;
+  else if (name == "DEGREE") *out = VertexOrder::kDegreeDesc;
+  else if (name == "BFS") *out = VertexOrder::kBfsFromRoot;
   else return false;
   return true;
 }
@@ -219,9 +229,15 @@ Result<Command> ParseSolve(const std::vector<std::string_view>& fields) {
     } else if (flag == "SAMPLER") {
       SamplerKind kind;
       if (!ParseSampler(*value, &kind)) {
-        return SyntaxError("SAMPLER must be coin or skip");
+        return SyntaxError("SAMPLER must be coin, skip, or batch");
       }
       cmd.request.query.sampler_kind = kind;
+    } else if (flag == "RELABEL") {
+      VertexOrder order;
+      if (!ParseVertexOrder(*value, &order)) {
+        return SyntaxError("RELABEL must be orig, degree, or bfs");
+      }
+      cmd.request.query.vertex_order = order;
     } else if (flag == "TIMELIMIT") {
       if (!ParseSeconds(*value, &d)) {
         return SyntaxError("TIMELIMIT must be a finite non-negative number");
@@ -277,7 +293,7 @@ Result<Command> ParseEval(const std::vector<std::string_view>& fields) {
       cmd.eval.seed = n64;
     } else if (flag == "SAMPLER") {
       if (!ParseSampler(*value, &cmd.eval.sampler_kind)) {
-        return SyntaxError("SAMPLER must be coin or skip");
+        return SyntaxError("SAMPLER must be coin, skip, or batch");
       }
     } else {
       return SyntaxError("unknown EVAL flag '" + std::string(fields[i - 1]) +
@@ -330,7 +346,21 @@ const char* AlgorithmToken(Algorithm algorithm) {
 }
 
 const char* SamplerToken(SamplerKind kind) {
-  return kind == SamplerKind::kPerEdgeCoin ? "coin" : "skip";
+  switch (kind) {
+    case SamplerKind::kPerEdgeCoin: return "coin";
+    case SamplerKind::kGeometricSkip: return "skip";
+    case SamplerKind::kBatchedSkip: return "batch";
+  }
+  return "skip";
+}
+
+const char* VertexOrderToken(VertexOrder order) {
+  switch (order) {
+    case VertexOrder::kOriginal: return "orig";
+    case VertexOrder::kDegreeDesc: return "degree";
+    case VertexOrder::kBfsFromRoot: return "bfs";
+  }
+  return "orig";
 }
 
 // " MODEL <m> PROB <p>" suffix shared by both LOAD forms. MODEL is omitted
@@ -453,6 +483,9 @@ std::string SerializeCommand(const Command& cmd) {
       }
       if (q.sampler_kind) {
         out += std::string(" SAMPLER ") + SamplerToken(*q.sampler_kind);
+      }
+      if (q.vertex_order) {
+        out += std::string(" RELABEL ") + VertexOrderToken(*q.vertex_order);
       }
       if (q.time_limit_seconds) {
         out += " TIMELIMIT " + FormatExact(*q.time_limit_seconds);

@@ -11,9 +11,10 @@
 //   LOAD <name> FILE <path> [UNDIRECTED] [MODEL wc|tr|const] [PROB <p>]
 //   SOLVE <graph> SEEDS <v,v,..> [BUDGET <n>] [ALG ra|od|pr|bc|bg|ag|gr]
 //         [THETA <n>] [MC <n>] [SEED <n>] [REUSE prune|resample]
-//         [SAMPLER coin|skip] [TIMELIMIT <s>] [DEADLINE <s>]
+//         [SAMPLER coin|skip|batch] [RELABEL orig|degree|bfs]
+//         [TIMELIMIT <s>] [DEADLINE <s>]
 //   EVAL <graph> SEEDS <v,v,..> BLOCKERS <v,v,..|-> [ROUNDS <n>] [SEED <n>]
-//        [SAMPLER coin|skip]
+//        [SAMPLER coin|skip|batch]
 //   STATS
 //   EVICT POOLS
 //   EVICT GRAPH <name>

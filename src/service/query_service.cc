@@ -264,7 +264,7 @@ Result<SolverResult> QueryService::ComputeWithEngine(
   if (cold) {
     entry = std::make_unique<WarmEntry>();
     entry->inst = std::make_unique<UnifiedInstance>(
-        UnifySeeds(comp.snapshot->graph, key.seeds));
+        UnifySeeds(comp.snapshot->graph, key.seeds, key.vertex_order));
   }
   const UnifiedInstance& inst = *entry->inst;
 

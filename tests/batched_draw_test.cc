@@ -1,0 +1,507 @@
+// Tests for the batched geometric-draw kernel (PR 7): BatchLog accuracy
+// against libm, scalar ≡ AVX2 bit-exactness of the transform on shared
+// input bits, exact RNG-consumption accounting of FillGeometricSkips, the
+// per-kernel cost-model crossovers (the batched kernel batches runs the
+// scalar skip kind leaves on per-edge coins, and vice versa for short
+// runs), chi-square / marginal distribution checks for kBatchedSkip on
+// every cost-model branch, pool ≡ one-shot bit-exactness, and end-to-end
+// ISA invariance (forcing the scalar fallback reproduces the AVX2 worlds
+// bit-for-bit).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "cascade/triggering.h"
+#include "common/rng.h"
+#include "core/spread_decrease.h"
+#include "core/spread_decrease_engine.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/prob_grouped_view.h"
+#include "prob/probability_models.h"
+#include "sampling/batched_draw.h"
+#include "sampling/reachable_sampler.h"
+
+namespace vblock {
+namespace {
+
+// Restores the process-wide draw ISA on scope exit so a failing test cannot
+// leak a forced implementation into later tests.
+struct IsaGuard {
+  DrawIsa prev = ActiveDrawIsa();
+  ~IsaGuard() { SetDrawIsa(prev); }
+};
+
+// Star gadget: root 0 with `fan` leaves, every edge probability p.
+Graph StarGraph(VertexId fan, double p) {
+  GraphBuilder builder;
+  for (VertexId k = 0; k < fan; ++k) builder.AddEdge(0, k + 1, p);
+  auto g = builder.Build();
+  VBLOCK_CHECK(g.ok());
+  return std::move(*g);
+}
+
+// --------------------------------------------------------------- BatchLog
+
+TEST(BatchLogTest, MatchesLibmAcrossTheUniformDomain) {
+  // The transform only ever evaluates BatchLog on ((x >> 12) | 1) · 2⁻⁵²,
+  // i.e. odd multiples of 2⁻⁵² in (0, 1). Sweep random points plus both
+  // extremes. Worst case is the √½ mantissa boundary where the truncated
+  // atanh series peaks (|s| ≈ 0.1716, truncation 2s¹⁵/15 ≈ 4.5e-13
+  // absolute, relative ≈ 1.3e-12); asserted with ~3× headroom.
+  auto check = [](double u) {
+    const double expected = std::log(u);
+    const double tolerance = 4e-12 * std::abs(expected) + 1e-15;
+    EXPECT_NEAR(BatchLog(u), expected, tolerance) << "u=" << u;
+  };
+  check(0x1.0p-52);                    // smallest transform input
+  check(1.0 - 0x1.0p-52);              // largest
+  check(0.5 - 0x1.0p-53);              // just below a binade boundary
+  check(0.5);                          // on it
+  check(0x1.6a09e667f3bcdp-1);         // ~√½, the mantissa-split boundary
+  Rng rng(123);
+  for (int i = 0; i < 200000; ++i) {
+    check((((rng() >> 12) | 1u)) * 0x1.0p-52);
+  }
+}
+
+// --------------------------------------------------- transform bit-exactness
+
+TEST(BatchedTransformTest, ScalarMatchesAvx2BitExactOnSharedBits) {
+  if (!internal::Avx2TransformAvailable()) {
+    GTEST_SKIP() << "AVX2 transform not available in this build/CPU";
+  }
+  Rng rng(99);
+  for (double p : {0.5, 0.25, 0.08, 0.01, 1e-6}) {
+    const double inv_log1m = 1.0 / std::log1p(-p);
+    for (uint32_t count : {1u, 3u, 4u, 5u, 17u, 63u, 64u}) {
+      uint64_t bits[kMaxDrawBlock];
+      rng.NextBlock(bits, count);
+      uint64_t scalar[kMaxDrawBlock];
+      uint64_t avx2[kMaxDrawBlock];
+      internal::TransformGeometricScalar(bits, inv_log1m, count, scalar);
+      internal::TransformGeometricAvx2(bits, inv_log1m, count, avx2);
+      for (uint32_t i = 0; i < count; ++i) {
+        ASSERT_EQ(scalar[i], avx2[i])
+            << "p=" << p << " count=" << count << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BatchedTransformTest, FillMatchesScalarTransformUnderAnyActiveIsa) {
+  // FillGeometricSkips = NextBlock + dispatched transform. Whatever ISA is
+  // active, the result must equal the scalar reference transform over the
+  // same raw bits — this is the determinism contract end to end.
+  const double p = 0.1;
+  const double inv_log1m = 1.0 / std::log1p(-p);
+  Rng fill_rng(7), bits_rng(7);
+  uint64_t filled[kMaxDrawBlock];
+  FillGeometricSkips(fill_rng, inv_log1m, 37, filled);
+  uint64_t bits[kMaxDrawBlock];
+  bits_rng.NextBlock(bits, 37);
+  uint64_t reference[kMaxDrawBlock];
+  internal::TransformGeometricScalar(bits, inv_log1m, 37, reference);
+  for (uint32_t i = 0; i < 37; ++i) EXPECT_EQ(filled[i], reference[i]);
+}
+
+TEST(BatchedTransformTest, FillConsumesExactlyCountRawOutputs) {
+  const double inv_log1m = 1.0 / std::log1p(-0.3);
+  for (uint32_t count : {1u, 4u, 29u, 64u}) {
+    Rng a(42), b(42);
+    uint64_t out[kMaxDrawBlock];
+    FillGeometricSkips(a, inv_log1m, count, out);
+    for (uint32_t i = 0; i < count; ++i) (void)b();
+    EXPECT_EQ(a(), b()) << "count=" << count;
+  }
+}
+
+TEST(BatchedTransformTest, SetDrawIsaForcesAndRestores) {
+  IsaGuard guard;
+  ASSERT_TRUE(SetDrawIsa(DrawIsa::kScalar));
+  EXPECT_EQ(ActiveDrawIsa(), DrawIsa::kScalar);
+  if (internal::Avx2TransformAvailable()) {
+    ASSERT_TRUE(SetDrawIsa(DrawIsa::kAvx2));
+    EXPECT_EQ(ActiveDrawIsa(), DrawIsa::kAvx2);
+  } else {
+    EXPECT_FALSE(SetDrawIsa(DrawIsa::kAvx2));
+    EXPECT_EQ(ActiveDrawIsa(), DrawIsa::kScalar);
+  }
+}
+
+// ------------------------------------------------------------ distribution
+
+TEST(FillGeometricSkipsTest, MatchesGeometricMoments) {
+  // Same moment check NextGeometric passes: E[skip] = (1-p)/p within 2%.
+  for (double p : {0.5, 0.1, 0.01}) {
+    const double inv_log1m = 1.0 / std::log1p(-p);
+    Rng rng(7);
+    double total = 0;
+    const int kBlocks = 200000 / kMaxDrawBlock;
+    uint64_t out[kMaxDrawBlock];
+    for (int i = 0; i < kBlocks; ++i) {
+      FillGeometricSkips(rng, inv_log1m, kMaxDrawBlock, out);
+      for (uint32_t j = 0; j < kMaxDrawBlock; ++j) {
+        total += static_cast<double>(out[j]);
+      }
+    }
+    const double mean = total / (kBlocks * kMaxDrawBlock);
+    const double expected = (1.0 - p) / p;
+    EXPECT_NEAR(mean, expected, 0.02 * expected + 0.01) << "p=" << p;
+  }
+}
+
+TEST(FillGeometricSkipsTest, SaturatesInsteadOfOverflowing) {
+  const double p = 1e-300;
+  const double inv_log1m = 1.0 / std::log1p(-p);
+  Rng rng(9);
+  uint64_t out[kMaxDrawBlock];
+  FillGeometricSkips(rng, inv_log1m, kMaxDrawBlock, out);
+  for (uint32_t i = 0; i < kMaxDrawBlock; ++i) {
+    // Clamped exactly to the 2^50 sentinel — far beyond any run length.
+    EXPECT_EQ(out[i], uint64_t{1} << 50);
+  }
+}
+
+// ------------------------------------------------------- cost-model pinning
+
+TEST(BatchedCostModelTest, DrawBlockForRoundsUpToMultiplesOfFour) {
+  using View = ProbGroupedView;
+  EXPECT_EQ(View::DrawBlockFor(0.08, 24), 4u);   // E = 2.92
+  EXPECT_EQ(View::DrawBlockFor(0.6, 3), 4u);     // E = 2.8
+  EXPECT_EQ(View::DrawBlockFor(0.25, 64), 20u);  // E = 17
+  EXPECT_EQ(View::DrawBlockFor(0.5, 256), 64u);  // E = 129, clamped
+  EXPECT_EQ(View::DrawBlockFor(0.2, 400), 64u);  // E = 81, clamped
+  for (double p : {0.01, 0.1, 0.3, 0.7, 0.99}) {
+    for (uint32_t len : {1u, 5u, 24u, 64u, 400u}) {
+      const uint32_t block = View::DrawBlockFor(p, len);
+      EXPECT_EQ(block % 4, 0u) << "p=" << p << " len=" << len;
+      EXPECT_GE(block, 4u);
+      EXPECT_LE(block, kMaxDrawBlock);
+    }
+  }
+}
+
+TEST(BatchedCostModelTest, PerKernelCrossoversDiverge) {
+  using View = ProbGroupedView;
+  // Where both kernels agree: a long sparse run is geometric either way, a
+  // short dense run is coins either way.
+  EXPECT_TRUE(View::RunPrefersGeometric(0.08, 24));
+  EXPECT_TRUE(View::RunPrefersGeometricBatched(0.08, 24));
+  EXPECT_FALSE(View::RunPrefersGeometric(0.6, 3));
+  EXPECT_FALSE(View::RunPrefersGeometricBatched(0.6, 3));
+
+  // The headline divergence: L=64 at p=0.25 expects 17 live edges. Scalar
+  // draws cost 4.5 coins each (17·4.5 = 76.5 > 64 → per-edge coins) while
+  // batched draws cost 2.0 (one 20-draw fill: 20·2 + 2 = 42 < 64 → jump).
+  EXPECT_FALSE(View::RunPrefersGeometric(0.25, 64));
+  EXPECT_TRUE(View::RunPrefersGeometricBatched(0.25, 64));
+
+  // Divergence the other way: short runs cannot amortize a block fill
+  // (every fill costs at least 4·2 + 2 = 10 coins, exactly the length
+  // here and NOT strictly less), so WC-style din=10 vertices jump under
+  // the scalar kernel but coin under the batched one.
+  EXPECT_TRUE(View::RunPrefersGeometric(0.1, 10));
+  EXPECT_FALSE(View::RunPrefersGeometricBatched(0.1, 10));
+
+  // Scalar boundary at exactly cost == length: (1 + 9·(1/9))·4.5 = 9 is
+  // NOT < 9 — the WC din=9 run stays on coins.
+  EXPECT_FALSE(View::RunPrefersGeometric(1.0 / 9.0, 9));
+
+  // Multi-fill territory: E = 81 > 64-draw block. 81/64 fills at 130 coins
+  // each is still far below scanning 400 edges...
+  EXPECT_TRUE(View::RunPrefersGeometricBatched(0.2, 400));
+  // ...but at p=0.5 the expected 129 draws over two fills (262 coins)
+  // exceed the 256-edge scan.
+  EXPECT_FALSE(View::RunPrefersGeometricBatched(0.5, 256));
+}
+
+TEST(BatchedCostModelTest, PerVertexDecisionsFollowTheRunCrossovers) {
+  // Single-run stars inherit their run's decision (plus run overhead).
+  Graph divergent = StarGraph(64, 0.25);
+  EXPECT_FALSE(divergent.GroupedView().OutUsesRunWalk(0));
+  EXPECT_TRUE(divergent.GroupedView().OutUsesRunWalkBatched(0));
+
+  Graph sparse = StarGraph(24, 0.08);
+  EXPECT_TRUE(sparse.GroupedView().OutUsesRunWalk(0));
+  EXPECT_TRUE(sparse.GroupedView().OutUsesRunWalkBatched(0));
+
+  Graph dense = StarGraph(6, 0.35);
+  EXPECT_FALSE(dense.GroupedView().OutUsesRunWalk(0));
+  EXPECT_FALSE(dense.GroupedView().OutUsesRunWalkBatched(0));
+}
+
+// --------------------------------------- kBatchedSkip subset distributions
+
+// Chi-square statistic of observed subset counts against the exact
+// product-Bernoulli distribution (as in skip_sampling_test.cc).
+double SubsetChiSquare(const std::vector<uint64_t>& counts, VertexId fan,
+                       double p, uint64_t rounds) {
+  double chi = 0;
+  for (size_t mask = 0; mask < counts.size(); ++mask) {
+    const int ones = __builtin_popcountll(mask);
+    const double prob = std::pow(p, ones) * std::pow(1.0 - p, fan - ones);
+    const double expected = prob * static_cast<double>(rounds);
+    const double diff = static_cast<double>(counts[mask]) - expected;
+    chi += diff * diff / expected;
+  }
+  return chi;
+}
+
+TEST(BatchedSkipDistributionTest, PlainScanBranchMatchesClosedForm) {
+  // fan=6 / p=0.35 keeps the batched kernel on its plain-scan branch
+  // (pinned above); the 64-cell subset distribution must match the exact
+  // product-Bernoulli law (dof 63, 0.999 quantile 103.4, padded).
+  const VertexId kFan = 6;
+  const double kP = 0.35;
+  const uint64_t kRounds = 120000;
+  Graph g = StarGraph(kFan, kP);
+  ASSERT_FALSE(g.GroupedView().OutUsesRunWalkBatched(0));
+
+  ReachableSampler sampler(g, 0, nullptr, SamplerKind::kBatchedSkip);
+  SampledGraph s;
+  Rng rng(2024);
+  std::vector<uint64_t> counts(size_t{1} << kFan, 0);
+  for (uint64_t i = 0; i < kRounds; ++i) {
+    sampler.Sample(rng, &s);
+    uint64_t mask = 0;
+    for (VertexId parent : s.to_parent) {
+      if (parent > 0) mask |= uint64_t{1} << (parent - 1);
+    }
+    ++counts[mask];
+  }
+  EXPECT_LT(SubsetChiSquare(counts, kFan, kP, kRounds), 110.0);
+}
+
+// Shared harness: samples the star root under kBatchedSkip and checks the
+// live-edge count histogram against Binomial(fan, p) (head/tail-collapsed
+// chi-square) plus every leaf's inclusion frequency at 5 sigma.
+void CheckStarBinomial(const Graph& g, VertexId fan, double p,
+                       uint64_t rounds, int cell_lo, int cell_hi,
+                       double chi_bound, uint64_t seed) {
+  ReachableSampler sampler(g, 0, nullptr, SamplerKind::kBatchedSkip);
+  SampledGraph s;
+  Rng rng(seed);
+  std::vector<uint64_t> count_hist(fan + 1, 0);
+  std::vector<uint64_t> leaf_hits(fan, 0);
+  for (uint64_t i = 0; i < rounds; ++i) {
+    sampler.Sample(rng, &s);
+    ++count_hist[s.to_parent.size() - 1];  // root excluded
+    for (VertexId parent : s.to_parent) {
+      if (parent > 0) ++leaf_hits[parent - 1];
+    }
+  }
+
+  // Binomial pmf built iteratively; cells below cell_lo and above cell_hi
+  // collapsed into head/tail cells.
+  std::vector<double> pmf(fan + 1);
+  pmf[0] = std::pow(1.0 - p, fan);
+  for (VertexId k = 0; k < fan; ++k) {
+    pmf[k + 1] =
+        pmf[k] * static_cast<double>(fan - k) / (k + 1) * (p / (1.0 - p));
+  }
+  double chi = 0;
+  double head_expected = 0, tail_expected = 0;
+  uint64_t head_observed = 0, tail_observed = 0;
+  for (VertexId k = 0; k <= fan; ++k) {
+    const double expected = pmf[k] * static_cast<double>(rounds);
+    if (static_cast<int>(k) < cell_lo) {
+      head_expected += expected;
+      head_observed += count_hist[k];
+    } else if (static_cast<int>(k) > cell_hi) {
+      tail_expected += expected;
+      tail_observed += count_hist[k];
+    } else {
+      const double diff = static_cast<double>(count_hist[k]) - expected;
+      chi += diff * diff / expected;
+    }
+  }
+  if (head_expected > 0) {
+    const double diff = static_cast<double>(head_observed) - head_expected;
+    chi += diff * diff / head_expected;
+  }
+  const double tail_diff = static_cast<double>(tail_observed) - tail_expected;
+  chi += tail_diff * tail_diff / tail_expected;
+  EXPECT_LT(chi, chi_bound);
+
+  const double sigma = std::sqrt(p * (1.0 - p) / static_cast<double>(rounds));
+  for (VertexId k = 0; k < fan; ++k) {
+    EXPECT_NEAR(static_cast<double>(leaf_hits[k]) / rounds, p, 5.0 * sigma)
+        << "leaf " << k;
+  }
+}
+
+TEST(BatchedSkipDistributionTest, SingleFillJumpBranchMatchesBinomial) {
+  // fan=24 / p=0.08: geometric-batched, one 4-draw block per fill. Cells
+  // {0..7, tail}: dof 8, 0.999 quantile 26.1, padded.
+  Graph g = StarGraph(24, 0.08);
+  ASSERT_TRUE(g.GroupedView().OutUsesRunWalkBatched(0));
+  CheckStarBinomial(g, 24, 0.08, 120000, 0, 7, 30.0, 77);
+}
+
+TEST(BatchedSkipDistributionTest, DivergentBranchMatchesBinomial) {
+  // fan=64 / p=0.25: the run the scalar kernel refuses to jump (pinned in
+  // the cost-model test) — exactly the case the batched kernel exists for.
+  // Cells {head, 10..22, tail}: dof 14, 0.999 quantile 36.1, padded.
+  Graph g = StarGraph(64, 0.25);
+  ASSERT_TRUE(g.GroupedView().OutUsesRunWalkBatched(0));
+  ASSERT_FALSE(g.GroupedView().OutUsesRunWalk(0));
+  CheckStarBinomial(g, 64, 0.25, 60000, 10, 22, 40.0, 2025);
+}
+
+TEST(BatchedSkipDistributionTest, MultiFillJumpBranchMatchesBinomial) {
+  // fan=400 / p=0.2 expects 81 live edges — beyond one kMaxDrawBlock=64
+  // fill, so every sample loops the block-fill walk at least twice. Cells
+  // {head, 66..96, tail}: dof 32, 0.999 quantile 62.5, padded.
+  Graph g = StarGraph(400, 0.2);
+  ASSERT_TRUE(g.GroupedView().OutUsesRunWalkBatched(0));
+  ASSERT_TRUE(ProbGroupedView::RunPrefersGeometricBatched(0.2, 400));
+  CheckStarBinomial(g, 400, 0.2, 30000, 66, 96, 66.0, 31337);
+}
+
+TEST(BatchedSkipDistributionTest, MixedRunGadgetMarginals) {
+  // 24 edges at p=0.08 interleaved with 3 at p=0.6: within one batched run
+  // walk the low-p run takes the block-fill jump branch and the high-p run
+  // the coin branch; every edge's inclusion frequency must match its own
+  // probability.
+  GraphBuilder builder;
+  std::vector<double> probs;
+  for (VertexId k = 0; k < 27; ++k) {
+    const double p = (k % 9 == 4) ? 0.6 : 0.08;
+    probs.push_back(p);
+    builder.AddEdge(0, k + 1, p);
+  }
+  auto built = builder.Build();
+  ASSERT_TRUE(built.ok());
+  const Graph& g = *built;
+  ASSERT_TRUE(g.GroupedView().OutUsesRunWalkBatched(0));
+  ASSERT_TRUE(ProbGroupedView::RunPrefersGeometricBatched(0.08, 24));
+  ASSERT_FALSE(ProbGroupedView::RunPrefersGeometricBatched(0.6, 3));
+
+  const uint64_t kRounds = 60000;
+  ReachableSampler sampler(g, 0, nullptr, SamplerKind::kBatchedSkip);
+  SampledGraph s;
+  Rng rng(101);
+  std::vector<uint64_t> hits(27, 0);
+  for (uint64_t i = 0; i < kRounds; ++i) {
+    sampler.Sample(rng, &s);
+    for (VertexId parent : s.to_parent) {
+      if (parent > 0) ++hits[parent - 1];
+    }
+  }
+  for (VertexId k = 0; k < 27; ++k) {
+    const double sigma = std::sqrt(probs[k] * (1.0 - probs[k]) / kRounds);
+    EXPECT_NEAR(static_cast<double>(hits[k]) / kRounds, probs[k], 5.0 * sigma)
+        << "edge " << k;
+  }
+}
+
+TEST(BatchedSkipDistributionTest, TriggeringGroupedMembershipFrequencies) {
+  // The in-edge (RR-set / triggering) side of the batched kernel: grouped
+  // trigger-set draws under kBatchedSkip must include each in-neighbor
+  // index with its edge probability.
+  Graph g = WithWeightedCascade(GenerateErdosRenyi(40, 400, 23));
+  const ProbGroupedView& view = g.GroupedView();
+  IcTriggeringModel model;
+  const VertexId v = 1;
+  const auto din = static_cast<uint32_t>(g.InDegree(v));
+  ASSERT_GT(din, 3u);
+  const int kRounds = 60000;
+
+  std::vector<int> hits(din, 0);
+  std::vector<uint32_t> set;
+  Rng rng(31);
+  for (int i = 0; i < kRounds; ++i) {
+    set.clear();
+    model.SampleTriggerSetGrouped(g, view, v, rng, &set,
+                                  SamplerKind::kBatchedSkip);
+    for (uint32_t idx : set) ++hits[idx];
+  }
+  auto probs = g.InProbabilities(v);
+  for (uint32_t k = 0; k < din; ++k) {
+    const double tolerance = 4.0 * std::sqrt(probs[k] / kRounds) + 1e-3;
+    EXPECT_NEAR(static_cast<double>(hits[k]) / kRounds, probs[k], tolerance);
+  }
+}
+
+// ------------------------------------------------------------- determinism
+
+SpreadDecreaseOptions BatchedOptions(uint32_t theta, uint64_t seed,
+                                     SampleReuse reuse,
+                                     uint32_t threads = 1) {
+  SpreadDecreaseOptions opts;
+  opts.theta = theta;
+  opts.seed = seed;
+  opts.threads = threads;
+  opts.sample_reuse = reuse;
+  opts.sampler_kind = SamplerKind::kBatchedSkip;
+  return opts;
+}
+
+TEST(BatchedSkipDeterminismTest, PoolBuildBitExactWithOneShotEstimator) {
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(300, 3, 5));
+  for (SampleReuse reuse : {SampleReuse::kResample, SampleReuse::kPrune}) {
+    SpreadDecreaseEngine engine(g, 0, BatchedOptions(1200, 13, reuse));
+    ASSERT_TRUE(engine.Build());
+    SpreadDecreaseResult pooled = engine.Scores();
+
+    SpreadDecreaseResult reference =
+        ComputeSpreadDecrease(g, 0, BatchedOptions(1200, 13, reuse));
+    ASSERT_EQ(pooled.delta.size(), reference.delta.size());
+    for (size_t v = 0; v < reference.delta.size(); ++v) {
+      EXPECT_DOUBLE_EQ(pooled.delta[v], reference.delta[v]) << "v=" << v;
+    }
+    EXPECT_DOUBLE_EQ(pooled.expected_spread, reference.expected_spread);
+  }
+}
+
+TEST(BatchedSkipDeterminismTest, VisitsDifferentWorldsThanScalarSkip) {
+  // kBatchedSkip consumes randomness differently (block fills, custom log)
+  // so for one seed it draws different worlds than kGeometricSkip — both
+  // i.i.d. Definition-4 samples. Same seed and kind reproduces itself.
+  // Trivalency over a dense ER graph gives long low-p runs, so both kinds
+  // actually take their (different) geometric branches; a WC graph's short
+  // out-runs would collapse both kinds onto the identical coin scan.
+  Graph g = WithTrivalency(GenerateErdosRenyi(200, 6000, 9), 5);
+  SpreadDecreaseOptions batched =
+      BatchedOptions(4000, 3, SampleReuse::kPrune);
+  SpreadDecreaseOptions skip = batched;
+  skip.sampler_kind = SamplerKind::kGeometricSkip;
+
+  SpreadDecreaseResult a = ComputeSpreadDecrease(g, 0, batched);
+  SpreadDecreaseResult b = ComputeSpreadDecrease(g, 0, batched);
+  SpreadDecreaseResult c = ComputeSpreadDecrease(g, 0, skip);
+  EXPECT_EQ(a.delta, b.delta);
+  EXPECT_DOUBLE_EQ(a.expected_spread, b.expected_spread);
+  EXPECT_NE(a.delta, c.delta);  // different worlds ...
+  EXPECT_NEAR(a.expected_spread, c.expected_spread,
+              0.05 * a.expected_spread);  // ... same distribution
+}
+
+TEST(BatchedSkipDeterminismTest, ScalarFallbackReproducesAvx2Worlds) {
+  // The whole point of the shared BatchLog: forcing the scalar transform
+  // must leave every sampled world — and therefore every score — bit-
+  // identical to the AVX2 path.
+  if (!internal::Avx2TransformAvailable()) {
+    GTEST_SKIP() << "AVX2 transform not available in this build/CPU";
+  }
+  Graph g = WithWeightedCascade(GenerateBarabasiAlbert(250, 3, 7));
+  const SpreadDecreaseOptions opts =
+      BatchedOptions(2000, 17, SampleReuse::kPrune);
+
+  IsaGuard guard;
+  ASSERT_TRUE(SetDrawIsa(DrawIsa::kAvx2));
+  SpreadDecreaseResult vector_result = ComputeSpreadDecrease(g, 0, opts);
+  ASSERT_TRUE(SetDrawIsa(DrawIsa::kScalar));
+  SpreadDecreaseResult scalar_result = ComputeSpreadDecrease(g, 0, opts);
+
+  EXPECT_EQ(vector_result.delta, scalar_result.delta);
+  EXPECT_DOUBLE_EQ(vector_result.expected_spread,
+                   scalar_result.expected_spread);
+}
+
+}  // namespace
+}  // namespace vblock

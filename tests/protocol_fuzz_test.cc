@@ -94,9 +94,16 @@ Command RandomCommand(Rng& rng) {
                                              : SampleReuse::kResample;
       }
       if (rng.NextBernoulli(0.7)) {
-        cmd.request.query.sampler_kind = rng.NextBernoulli(0.5)
-                                             ? SamplerKind::kPerEdgeCoin
-                                             : SamplerKind::kGeometricSkip;
+        const SamplerKind kinds[] = {SamplerKind::kPerEdgeCoin,
+                                     SamplerKind::kGeometricSkip,
+                                     SamplerKind::kBatchedSkip};
+        cmd.request.query.sampler_kind = kinds[rng.NextBounded(3)];
+      }
+      if (rng.NextBernoulli(0.7)) {
+        const VertexOrder orders[] = {VertexOrder::kOriginal,
+                                      VertexOrder::kDegreeDesc,
+                                      VertexOrder::kBfsFromRoot};
+        cmd.request.query.vertex_order = orders[rng.NextBounded(3)];
       }
       if (rng.NextBernoulli(0.7)) {
         cmd.request.query.time_limit_seconds = rng.NextDouble() * 100;
@@ -111,9 +118,12 @@ Command RandomCommand(Rng& rng) {
       if (rng.NextBernoulli(0.7)) cmd.blockers = RandomVertices(rng);
       cmd.eval.mc_rounds = static_cast<uint32_t>(rng.NextBounded(100000));
       cmd.eval.seed = rng();
-      cmd.eval.sampler_kind = rng.NextBernoulli(0.5)
-                                  ? SamplerKind::kPerEdgeCoin
-                                  : SamplerKind::kGeometricSkip;
+      {
+        const SamplerKind kinds[] = {SamplerKind::kPerEdgeCoin,
+                                     SamplerKind::kGeometricSkip,
+                                     SamplerKind::kBatchedSkip};
+        cmd.eval.sampler_kind = kinds[rng.NextBounded(3)];
+      }
       break;
     }
     case 4:
@@ -184,6 +194,7 @@ TEST_P(ProtocolFuzz, SerializeParseRoundTrip) {
         EXPECT_EQ(a.seed, b.seed);
         EXPECT_EQ(a.sample_reuse, b.sample_reuse);
         EXPECT_EQ(a.sampler_kind, b.sampler_kind);
+        EXPECT_EQ(a.vertex_order, b.vertex_order);
         EXPECT_EQ(a.time_limit_seconds, b.time_limit_seconds);
         EXPECT_EQ(reparsed->request.deadline_seconds,
                   original.request.deadline_seconds);

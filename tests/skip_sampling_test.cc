@@ -373,7 +373,8 @@ TEST(SkipSamplingDistributionTest, TriggeringGroupedMembershipFrequencies) {
   Rng rng_grouped(31), rng_per_edge(33);
   for (int i = 0; i < kRounds; ++i) {
     set.clear();
-    model.SampleTriggerSetGrouped(g, view, v, rng_grouped, &set);
+    model.SampleTriggerSetGrouped(g, view, v, rng_grouped, &set,
+                                  SamplerKind::kGeometricSkip);
     for (uint32_t idx : set) ++grouped_hits[idx];
     set.clear();
     model.SampleTriggerSet(g, v, rng_per_edge, &set);
@@ -422,7 +423,8 @@ TEST(SkipSamplingDeterminismTest, PoolBuildBitExactWithOneShotEstimator) {
 TEST(SkipSamplingDeterminismTest, GreedyBlockersInvariantAcrossThreadCounts) {
   Graph g = WithWeightedCascade(GenerateBarabasiAlbert(250, 3, 7));
   for (SamplerKind kind :
-       {SamplerKind::kPerEdgeCoin, SamplerKind::kGeometricSkip}) {
+       {SamplerKind::kPerEdgeCoin, SamplerKind::kGeometricSkip,
+        SamplerKind::kBatchedSkip}) {
     AdvancedGreedyOptions ag;
     ag.budget = 5;
     ag.theta = 700;
@@ -476,7 +478,8 @@ TEST(SkipSamplingDeterminismTest, KindsVisitDifferentButValidWorlds) {
 TEST(SkipSamplingSatelliteTest, EstimateSpreadBitIdenticalAcrossThreadCounts) {
   Graph g = WithWeightedCascade(GenerateBarabasiAlbert(200, 3, 11));
   for (SamplerKind kind :
-       {SamplerKind::kPerEdgeCoin, SamplerKind::kGeometricSkip}) {
+       {SamplerKind::kPerEdgeCoin, SamplerKind::kGeometricSkip,
+        SamplerKind::kBatchedSkip}) {
     MonteCarloOptions mc;
     mc.rounds = 4000;
     mc.seed = 19;
@@ -547,18 +550,23 @@ TEST(SkipSamplingAllocationTest, SteadyStateSamplingDoesNotAllocate) {
   // size, repeated draws must perform zero heap allocations.
   Graph g = StarGraph(60, 0.05);
   ASSERT_TRUE(g.GroupedView().OutUsesRunWalk(0));
-  ReachableSampler sampler(g, 0, nullptr, SamplerKind::kGeometricSkip);
-  SampledGraph s;
-  s.offsets.reserve(64);
-  s.targets.reserve(64);
-  s.to_parent.reserve(64);
-  Rng rng(3);
-  sampler.Sample(rng, &s);  // warm-up
+  ASSERT_TRUE(g.GroupedView().OutUsesRunWalkBatched(0));
+  for (SamplerKind kind :
+       {SamplerKind::kGeometricSkip, SamplerKind::kBatchedSkip}) {
+    ReachableSampler sampler(g, 0, nullptr, kind);
+    SampledGraph s;
+    s.offsets.reserve(64);
+    s.targets.reserve(64);
+    s.to_parent.reserve(64);
+    Rng rng(3);
+    sampler.Sample(rng, &s);  // warm-up
 
-  const uint64_t before = g_allocation_count.load();
-  for (int i = 0; i < 500; ++i) sampler.Sample(rng, &s);
-  const uint64_t after = g_allocation_count.load();
-  EXPECT_EQ(after - before, 0u) << "skip-kernel sampling allocated";
+    const uint64_t before = g_allocation_count.load();
+    for (int i = 0; i < 500; ++i) sampler.Sample(rng, &s);
+    const uint64_t after = g_allocation_count.load();
+    EXPECT_EQ(after - before, 0u)
+        << "skip-kernel sampling allocated, kind=" << static_cast<int>(kind);
+  }
 }
 
 TEST(SkipSamplingAllocationTest, EngineSteadyStateRoundsDoNotAllocate) {
