@@ -1,0 +1,240 @@
+// Micro-benchmark for dynamic graph epochs (docs/DESIGN.md §11): a stream
+// of small deltas (≤1% of edges each — probability swaps plus an edge
+// delete/re-insert round trip) applied to a registered graph, interleaved
+// with the same AG solve, under two policies:
+//
+//   migrate — GraphRegistry::Apply + QueryService::MigrateEpoch carry the
+//             warm pool across each epoch; only samples whose live-edge
+//             worlds touch changed rows are re-drawn, so the interleaved
+//             solve stays a cache hit;
+//   rebuild — Apply + PoolCache::EvictGraph(old epoch); every interleaved
+//             solve pays the full θ-sample build from scratch.
+//
+// Both arms replay the identical delta stream, so their blocker sequences
+// must match exactly (the migrated engine is bit-identical to a cold build
+// on the mutated graph). Emits one JSON object on stdout for CI to archive;
+// exits nonzero when the warm-hit or bit-exactness invariants fail.
+//
+// Environment knobs (defaults are the tiny synthetic config):
+//   VBLOCK_DYNBENCH_N        vertices                  (default 5000)
+//   VBLOCK_DYNBENCH_THETA    samples θ                 (default 1000)
+//   VBLOCK_DYNBENCH_BUDGET   blockers per query        (default 5)
+//   VBLOCK_DYNBENCH_UPDATES  deltas in the stream      (default 16)
+//   VBLOCK_DYNBENCH_EDGES    edges touched per delta   (default m/1000)
+//   VBLOCK_DYNBENCH_REUSE    prune | resample          (default prune)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "gen/generators.h"
+#include "graph/graph_delta.h"
+#include "prob/probability_models.h"
+#include "service/graph_registry.h"
+#include "service/query_service.h"
+
+using namespace vblock;
+using vblock::bench::EnvOr;
+
+namespace {
+
+// Deterministic delta stream against the evolving graph: per update,
+// `edges_per_update` probability swaps, plus one edge deleted on odd
+// updates and re-inserted on the next — exercising every mutation kind
+// while keeping n fixed so the unified id space never shifts.
+//
+// Every mutation is chosen CLASS-TABLE-STABLE so the warm pools actually
+// carry (an unstable table forces MigrateEpoch to drop the entry — see
+// query_service.cc): a touched edge must not be the first appearance of
+// its probability value and a swap only takes the value of a strictly
+// earlier edge, so no class vanishes and no first appearance moves.
+// Stability must hold in the UNIFIED graph's scan order — seed-unification
+// moves the seed's out-row to the super-seed row at the END of the scan —
+// so seed-source edges are excluded from both the ordering and the
+// mutation candidates (the queries below seed at vertex `seed_vertex`).
+std::vector<GraphDelta> MakeDeltaStream(const Graph& base, uint32_t updates,
+                                        uint32_t edges_per_update,
+                                        uint64_t rng,
+                                        VertexId seed_vertex = 0) {
+  std::vector<GraphDelta> deltas;
+  Graph current = base;
+  Edge pending_reinsert;
+  bool have_pending = false;
+  for (uint32_t u = 0; u < updates; ++u) {
+    GraphDelta d;
+    // CollectEdges returns out-CSR order — the grouped view's interning
+    // scan order, so "first appearance" is computable directly.
+    const std::vector<Edge> edges = current.CollectEdges();
+    // Edges incident to the seed do not survive unification (the seed's
+    // out-row becomes the super-seed row at the END of the scan; in-edges
+    // of the seed are dropped outright), so they take no part in the
+    // unified class ordering: skip them as candidates AND as value
+    // sources — copying an in-seed edge's value could introduce a class
+    // the unified graph has never seen.
+    auto unified_edge = [&](size_t i) {
+      return edges[i].source != seed_vertex && edges[i].target != seed_vertex;
+    };
+    std::map<double, size_t> first_pos;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (unified_edge(i)) first_pos.try_emplace(edges[i].probability, i);
+    }
+    auto stable = [&](size_t i) {
+      return i > 0 && unified_edge(i) &&
+             first_pos[edges[i].probability] != i;
+    };
+    std::set<std::pair<VertexId, VertexId>> used;
+    if (have_pending) {
+      d.insert_edges.push_back(pending_reinsert);
+      used.insert({pending_reinsert.source, pending_reinsert.target});
+      have_pending = false;
+    }
+    for (uint32_t k = 0; k < edges_per_update; ++k) {
+      rng = SplitMix64Next(rng);
+      const size_t i = rng % edges.size();
+      if (!stable(i)) continue;
+      const Edge& e = edges[i];
+      if (!used.insert({e.source, e.target}).second) continue;
+      rng = SplitMix64Next(rng);
+      const size_t j = rng % i;
+      if (!unified_edge(j)) continue;
+      d.update_probabilities.push_back(
+          {e.source, e.target, edges[j].probability});
+    }
+    if (u % 2 == 1) {
+      for (uint32_t tries = 0; tries < 64; ++tries) {
+        rng = SplitMix64Next(rng);
+        const size_t i = rng % edges.size();
+        if (!stable(i)) continue;
+        const Edge& e = edges[i];
+        if (!used.insert({e.source, e.target}).second) continue;
+        d.delete_edges.push_back({e.source, e.target});
+        pending_reinsert = e;
+        have_pending = true;
+        break;
+      }
+    }
+    Result<Graph> next = ApplyDelta(current, d);
+    VBLOCK_CHECK_MSG(next.ok(), "delta stream must apply cleanly");
+    current = std::move(*next);
+    deltas.push_back(std::move(d));
+  }
+  return deltas;
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t n = EnvOr("VBLOCK_DYNBENCH_N", 5000);
+  const uint32_t theta = EnvOr("VBLOCK_DYNBENCH_THETA", 1000);
+  const uint32_t budget = EnvOr("VBLOCK_DYNBENCH_BUDGET", 5);
+  const uint32_t updates = EnvOr("VBLOCK_DYNBENCH_UPDATES", 16);
+  const char* reuse_env = std::getenv("VBLOCK_DYNBENCH_REUSE");
+  const SampleReuse reuse =
+      (reuse_env && std::strcmp(reuse_env, "resample") == 0)
+          ? SampleReuse::kResample
+          : SampleReuse::kPrune;
+  const uint64_t seed = 20230227;
+
+  const Graph base = WithWeightedCascade(GenerateBarabasiAlbert(n, 4, seed));
+  const uint32_t edges_per_update = EnvOr(
+      "VBLOCK_DYNBENCH_EDGES",
+      static_cast<uint32_t>(std::max<uint64_t>(1, base.NumEdges() / 1000)));
+  const std::vector<GraphDelta> deltas =
+      MakeDeltaStream(base, updates, edges_per_update, 0x9e3779b9u ^ seed);
+
+  ServiceOptions options;
+  options.num_threads = 1;  // measure per-update latency, not parallelism
+  options.defaults.theta = theta;
+  options.defaults.seed = seed;
+  options.defaults.sample_reuse = reuse;
+
+  IminRequest request;
+  request.graph = "dyn";
+  request.query.seeds = {0};
+  request.query.budget = budget;
+  request.query.algorithm = Algorithm::kAdvancedGreedy;
+
+  // ------------------------------------------------------- migrate arm --
+  GraphRegistry reg_a;
+  reg_a.Add("dyn", base);
+  QueryService svc_a(&reg_a, options);
+  VBLOCK_CHECK(svc_a.SubmitAndWait(request).ok());  // warm the pool (untimed)
+
+  std::vector<std::vector<VertexId>> blockers_migrate;
+  const uint64_t hits_before = svc_a.pool_cache().stats().hits;
+  Timer migrate_timer;
+  for (const GraphDelta& d : deltas) {
+    Result<GraphRegistry::ApplyOutcome> applied = reg_a.Apply("dyn", d);
+    VBLOCK_CHECK(applied.ok());
+    svc_a.MigrateEpoch(applied->snapshot, applied->previous);
+    Result<SolverResult> r = svc_a.SubmitAndWait(request);
+    VBLOCK_CHECK(r.ok());
+    blockers_migrate.push_back(r->blockers);
+  }
+  const double migrate_seconds = migrate_timer.ElapsedSeconds();
+  const PoolCache::Stats stats_a = svc_a.pool_cache().stats();
+  const uint64_t warm_hits = stats_a.hits - hits_before;
+
+  // ------------------------------------------------------- rebuild arm --
+  GraphRegistry reg_b;
+  reg_b.Add("dyn", base);
+  QueryService svc_b(&reg_b, options);
+  VBLOCK_CHECK(svc_b.SubmitAndWait(request).ok());
+
+  std::vector<std::vector<VertexId>> blockers_rebuild;
+  Timer rebuild_timer;
+  for (const GraphDelta& d : deltas) {
+    Result<GraphRegistry::ApplyOutcome> applied = reg_b.Apply("dyn", d);
+    VBLOCK_CHECK(applied.ok());
+    svc_b.pool_cache().EvictGraph(applied->previous->epoch);
+    Result<SolverResult> r = svc_b.SubmitAndWait(request);
+    VBLOCK_CHECK(r.ok());
+    blockers_rebuild.push_back(r->blockers);
+  }
+  const double rebuild_seconds = rebuild_timer.ElapsedSeconds();
+
+  const bool identical = blockers_migrate == blockers_rebuild;
+  const double warm_hit_rate =
+      updates > 0 ? static_cast<double>(warm_hits) / updates : 1.0;
+  const double speedup = migrate_seconds > 0 && rebuild_seconds > 0
+                             ? rebuild_seconds / migrate_seconds
+                             : 0.0;
+  const bool all_migrated =
+      stats_a.migrations == updates && stats_a.evicted_stale == 0;
+
+  std::printf(
+      "{\n"
+      "  \"bench\": \"dynamic_graph\",\n"
+      "  \"graph\": {\"model\": \"barabasi_albert_wc\", \"n\": %u, \"m\": "
+      "%llu},\n"
+      "  \"theta\": %u,\n"
+      "  \"budget\": %u,\n"
+      "  \"sample_reuse\": \"%s\",\n"
+      "  \"updates\": %u,\n"
+      "  \"edges_per_update\": %u,\n"
+      "  \"migrate_seconds\": %.4f,\n"
+      "  \"rebuild_seconds\": %.4f,\n"
+      "  \"speedup_migrate_vs_rebuild\": %.2f,\n"
+      "  \"warm_hit_rate\": %.3f,\n"
+      "  \"pool_migrations\": %llu,\n"
+      "  \"pool_evicted_stale\": %llu,\n"
+      "  \"all_updates_migrated\": %s,\n"
+      "  \"identical_blocker_sets\": %s\n"
+      "}\n",
+      n, static_cast<unsigned long long>(base.NumEdges()), theta, budget,
+      reuse == SampleReuse::kPrune ? "prune" : "resample", updates,
+      edges_per_update, migrate_seconds, rebuild_seconds, speedup,
+      warm_hit_rate, static_cast<unsigned long long>(stats_a.migrations),
+      static_cast<unsigned long long>(stats_a.evicted_stale),
+      all_migrated ? "true" : "false", identical ? "true" : "false");
+  return identical && all_migrated && warm_hits == updates ? 0 : 1;
+}

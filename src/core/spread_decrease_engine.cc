@@ -125,6 +125,26 @@ bool SpreadDecreaseEngine::Restore(const Deadline& deadline) {
   return RecomputeDirty(deadline, /*initial=*/false);
 }
 
+uint32_t SpreadDecreaseEngine::MigrateGraph(
+    std::span<const VertexId> changed_out,
+    std::span<const VertexId> changed_in) {
+  VBLOCK_CHECK_MSG(built_ && !timed_out_, "engine not in a migratable state");
+  // The samplers captured a pointer to the old graph content's grouped
+  // view at construction — rebuild every live worker's scratch against
+  // the swapped-in graph before any re-derivation. (Workers RunParallel
+  // re-spawns later get fresh scratches anyway.)
+  for (Worker& w : workers_) w.scratch = pool_.MakeScratch();
+  dirty_.clear();
+  pool_.BeginMigrate(changed_out, changed_in, &dirty_);
+  const auto migrated = static_cast<uint32_t>(dirty_.size());
+  if (migrated > 0) {
+    const bool ok = RecomputeDirty(Deadline(), /*initial=*/false);
+    VBLOCK_CHECK_MSG(ok, "deadline-free migration cannot expire");
+    pool_.FinishMigrate();
+  }
+  return migrated;
+}
+
 uint64_t SpreadDecreaseEngine::MemoryUsageBytes() const {
   uint64_t bytes = pool_.MemoryUsageBytes();
   for (const auto& s : sizes_) {

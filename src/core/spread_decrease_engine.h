@@ -63,6 +63,23 @@ class SpreadDecreaseEngine {
   /// previous run), not O(θ). Must not be called on a timed-out engine.
   bool Restore(const Deadline& deadline = Deadline());
 
+  /// Epoch migration: carries a restored (at-rest) engine across an
+  /// in-place graph mutation. The caller must already have swapped the
+  /// referenced Graph's content (same address, same vertex count, same
+  /// root — the engine and pool hold references, so the swap is invisible
+  /// until this call) and installed/invalidated its grouped view. The
+  /// changed-row spans come from ComputeChangedRows in this engine's
+  /// (unified) id space. Every worker's sampler scratch is rebuilt first —
+  /// samplers capture a pointer to the *old* grouped view at construction
+  /// — then exactly the samples whose worlds touch changed rows are
+  /// re-drawn on their cold revision-0 streams and re-scored
+  /// (SamplePool::BeginMigrate), leaving the engine bit-identical to one
+  /// cold-built on the mutated graph. Runs deadline-free (the work is
+  /// O(affected samples), the same order as one greedy round). Returns
+  /// the number of re-derived samples.
+  uint32_t MigrateGraph(std::span<const VertexId> changed_out,
+                        std::span<const VertexId> changed_in);
+
   /// Current Δ estimate for v (normalized by θ), reflecting the current
   /// blocked mask.
   double Delta(VertexId v) const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -118,6 +119,13 @@ class Graph {
   /// (losers discard their build). The view is self-contained, so sharing
   /// it across samplers, pools, and batch groups is free.
   const ProbGroupedView& GroupedView() const;
+
+  /// Installs a pre-built grouped view — e.g. one delta-patched from a
+  /// previous epoch's view (ProbGroupedView::DeltaPatched) — replacing any
+  /// cached one. The view must describe exactly this graph's edges. Not
+  /// safe against concurrent GroupedView() readers: callers hold the graph
+  /// exclusively (the epoch-migration path owns the instance it patches).
+  void InstallGroupedView(std::unique_ptr<const ProbGroupedView> view);
 
  private:
   friend class GraphBuilder;

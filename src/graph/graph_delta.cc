@@ -1,0 +1,201 @@
+#include "graph/graph_delta.h"
+
+#include <algorithm>
+#include <span>
+#include <string>
+
+#include "common/check.h"
+#include "graph/graph_builder.h"
+
+namespace vblock {
+namespace {
+
+std::string EdgeName(VertexId u, VertexId v) {
+  return std::to_string(u) + "->" + std::to_string(v);
+}
+
+// Index of edge u→v inside u's out-row, or kInvalidVertex. Rows are sorted
+// by target (GraphBuilder sorts by (source, target)), so binary search.
+VertexId FindInRow(const Graph& g, VertexId u, VertexId v) {
+  std::span<const VertexId> row = g.OutNeighbors(u);
+  auto it = std::lower_bound(row.begin(), row.end(), v);
+  if (it == row.end() || *it != v) return kInvalidVertex;
+  return static_cast<VertexId>(it - row.begin());
+}
+
+}  // namespace
+
+Result<Graph> ApplyDelta(const Graph& g, const GraphDelta& delta) {
+  const VertexId old_n = g.NumVertices();
+  const VertexId new_n = old_n + delta.add_vertices;
+  if (new_n < old_n) {
+    return Status::InvalidArgument("add_vertices overflows the vertex space");
+  }
+
+  std::vector<uint8_t> deleted_vertex(new_n, 0);
+  for (VertexId v : delta.delete_vertices) {
+    if (v >= new_n) {
+      return Status::InvalidArgument("delete of out-of-range vertex " +
+                                     std::to_string(v));
+    }
+    if (deleted_vertex[v]) {
+      return Status::InvalidArgument("duplicate vertex delete " +
+                                     std::to_string(v));
+    }
+    deleted_vertex[v] = 1;
+  }
+
+  // Per-edge pending operation, keyed by position in the source graph's
+  // out-CSR. 0 = keep as-is; kInvalidEdge = delete; otherwise 1-based
+  // index into update_probabilities.
+  constexpr EdgeId kKeep = 0;
+  std::vector<EdgeId> edge_op(g.NumEdges(), kKeep);
+
+  for (const EdgeKey& e : delta.delete_edges) {
+    if (e.source >= old_n || e.target >= old_n) {
+      return Status::InvalidArgument("delete of out-of-range edge " +
+                                     EdgeName(e.source, e.target));
+    }
+    if (deleted_vertex[e.source] || deleted_vertex[e.target]) {
+      return Status::InvalidArgument("edge delete touches deleted vertex on " +
+                                     EdgeName(e.source, e.target));
+    }
+    const VertexId k = FindInRow(g, e.source, e.target);
+    if (k == kInvalidVertex) {
+      return Status::InvalidArgument("delete of missing edge " +
+                                     EdgeName(e.source, e.target));
+    }
+    EdgeId& op = edge_op[g.OutEdgeId(e.source, k)];
+    if (op != kKeep) {
+      return Status::InvalidArgument("conflicting ops on edge " +
+                                     EdgeName(e.source, e.target));
+    }
+    op = kInvalidEdge;
+  }
+
+  for (size_t i = 0; i < delta.update_probabilities.size(); ++i) {
+    const Edge& e = delta.update_probabilities[i];
+    if (e.probability < 0.0 || e.probability > 1.0) {
+      return Status::InvalidArgument(
+          "updated probability out of [0,1]: " +
+          std::to_string(e.probability) + " on edge " +
+          EdgeName(e.source, e.target));
+    }
+    if (e.source >= old_n || e.target >= old_n) {
+      return Status::InvalidArgument("update of out-of-range edge " +
+                                     EdgeName(e.source, e.target));
+    }
+    if (deleted_vertex[e.source] || deleted_vertex[e.target]) {
+      return Status::InvalidArgument("edge update touches deleted vertex on " +
+                                     EdgeName(e.source, e.target));
+    }
+    const VertexId k = FindInRow(g, e.source, e.target);
+    if (k == kInvalidVertex) {
+      return Status::InvalidArgument("update of missing edge " +
+                                     EdgeName(e.source, e.target));
+    }
+    EdgeId& op = edge_op[g.OutEdgeId(e.source, k)];
+    if (op != kKeep) {
+      return Status::InvalidArgument("conflicting ops on edge " +
+                                     EdgeName(e.source, e.target));
+    }
+    op = static_cast<EdgeId>(i) + 1;
+  }
+
+  std::vector<Edge> inserts = delta.insert_edges;
+  std::sort(inserts.begin(), inserts.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.source != b.source ? a.source < b.source
+                                          : a.target < b.target;
+            });
+  for (size_t i = 0; i < inserts.size(); ++i) {
+    const Edge& e = inserts[i];
+    if (e.probability < 0.0 || e.probability > 1.0) {
+      return Status::InvalidArgument(
+          "inserted probability out of [0,1]: " +
+          std::to_string(e.probability) + " on edge " +
+          EdgeName(e.source, e.target));
+    }
+    if (e.source >= new_n || e.target >= new_n) {
+      return Status::InvalidArgument("insert of out-of-range edge " +
+                                     EdgeName(e.source, e.target));
+    }
+    if (e.source == e.target) {
+      return Status::InvalidArgument("insert of self-loop " +
+                                     EdgeName(e.source, e.target));
+    }
+    if (deleted_vertex[e.source] || deleted_vertex[e.target]) {
+      return Status::InvalidArgument("edge insert touches deleted vertex on " +
+                                     EdgeName(e.source, e.target));
+    }
+    if (i > 0 && inserts[i - 1].source == e.source &&
+        inserts[i - 1].target == e.target) {
+      return Status::InvalidArgument("duplicate insert of edge " +
+                                     EdgeName(e.source, e.target));
+    }
+    if (e.source < old_n && FindInRow(g, e.source, e.target) != kInvalidVertex) {
+      return Status::InvalidArgument("insert of existing edge " +
+                                     EdgeName(e.source, e.target));
+    }
+  }
+
+  // Replay the surviving edges through the no-transform builder: the
+  // source rows are already merged and self-loop-free, so untouched rows
+  // come out bit-identical.
+  GraphBuilder builder(GraphBuilder::Options{/*merge_parallel_edges=*/false,
+                                             /*drop_self_loops=*/false});
+  builder.ReserveVertices(new_n);
+  for (VertexId u = 0; u < old_n; ++u) {
+    std::span<const VertexId> targets = g.OutNeighbors(u);
+    std::span<const double> probs = g.OutProbabilities(u);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      if (deleted_vertex[u] || deleted_vertex[targets[k]]) continue;
+      const EdgeId op = edge_op[g.OutEdgeId(u, static_cast<VertexId>(k))];
+      if (op == kInvalidEdge) continue;
+      const double p = op == kKeep
+                           ? probs[k]
+                           : delta.update_probabilities[op - 1].probability;
+      builder.AddEdge(u, targets[k], p);
+    }
+  }
+  for (const Edge& e : inserts) builder.AddEdge(e.source, e.target,
+                                                e.probability);
+  return builder.Build();
+}
+
+void ComputeChangedRows(const Graph& old_graph, const Graph& new_graph,
+                        std::vector<VertexId>* changed_out,
+                        std::vector<VertexId>* changed_in) {
+  const VertexId old_n = old_graph.NumVertices();
+  const VertexId new_n = new_graph.NumVertices();
+  VBLOCK_CHECK_MSG(old_n <= new_n, "graphs never shrink across a delta");
+  changed_out->clear();
+  changed_in->clear();
+
+  auto row_equal = [](std::span<const VertexId> a_ids,
+                      std::span<const double> a_probs,
+                      std::span<const VertexId> b_ids,
+                      std::span<const double> b_probs) {
+    return a_ids.size() == b_ids.size() &&
+           std::equal(a_ids.begin(), a_ids.end(), b_ids.begin()) &&
+           std::equal(a_probs.begin(), a_probs.end(), b_probs.begin());
+  };
+
+  for (VertexId u = 0; u < new_n; ++u) {
+    if (u >= old_n) {
+      if (new_graph.OutDegree(u) > 0) changed_out->push_back(u);
+      if (new_graph.InDegree(u) > 0) changed_in->push_back(u);
+      continue;
+    }
+    if (!row_equal(old_graph.OutNeighbors(u), old_graph.OutProbabilities(u),
+                   new_graph.OutNeighbors(u), new_graph.OutProbabilities(u))) {
+      changed_out->push_back(u);
+    }
+    if (!row_equal(old_graph.InNeighbors(u), old_graph.InProbabilities(u),
+                   new_graph.InNeighbors(u), new_graph.InProbabilities(u))) {
+      changed_in->push_back(u);
+    }
+  }
+}
+
+}  // namespace vblock

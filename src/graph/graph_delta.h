@@ -1,0 +1,83 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Incremental graph mutation: a GraphDelta describes edge/vertex
+// insertions, deletions, and probability updates against an existing
+// immutable Graph; ApplyDelta materializes the mutated graph through the
+// exact GraphBuilder pipeline, so every CSR row an update does not touch
+// stays bit-identical to the source graph. That row-level stability is
+// what the epoch-migration path upstream (ProbGroupedView::DeltaPatched,
+// SamplePool::BeginMigrate) relies on for bit-exact warm-cache carry-over.
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace vblock {
+
+/// An edge endpoint pair (no probability) — names an existing edge for
+/// deletion.
+struct EdgeKey {
+  VertexId source = 0;
+  VertexId target = 0;
+
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+};
+
+/// A batch of mutations against one graph snapshot. Validation is strict —
+/// inserting an edge that exists, deleting one that doesn't, or updating
+/// the probability of a missing edge is an InvalidArgument, so a delta
+/// that applies cleanly describes exactly the rows that changed.
+///
+/// Vertex ids are never compacted: `delete_vertices` removes every edge
+/// incident to the vertex but leaves the id itself as an isolated
+/// tombstone, and `add_vertices` appends fresh isolated ids at the top.
+/// External ids therefore stay stable across any update stream, which is
+/// what lets insert-then-delete round-trip to the identity graph.
+struct GraphDelta {
+  /// New edges u→v with probability p ∈ [0,1]. Must not already exist,
+  /// must not be self-loops, endpoints must be < n + add_vertices.
+  std::vector<Edge> insert_edges;
+
+  /// Existing edges to remove.
+  std::vector<EdgeKey> delete_edges;
+
+  /// Existing edges whose probability changes to the carried value.
+  std::vector<Edge> update_probabilities;
+
+  /// Count of fresh isolated vertices appended after the current top id.
+  uint32_t add_vertices = 0;
+
+  /// Vertices whose incident edges (both directions) are removed. The ids
+  /// remain valid isolated vertices — n never shrinks.
+  std::vector<VertexId> delete_vertices;
+
+  bool Empty() const {
+    return insert_edges.empty() && delete_edges.empty() &&
+           update_probabilities.empty() && add_vertices == 0 &&
+           delete_vertices.empty();
+  }
+};
+
+/// Applies `delta` to `g`, returning the mutated graph or an
+/// InvalidArgument describing the first inconsistent entry. The result is
+/// rebuilt through GraphBuilder with merging and self-loop dropping
+/// disabled (the source rows are already canonical), so any CSR row the
+/// delta does not touch is bit-identical to the corresponding row of `g`.
+Result<Graph> ApplyDelta(const Graph& g, const GraphDelta& delta);
+
+/// Row-level diff between two graphs with old_n ≤ new_n: appends to
+/// `changed_out` every vertex whose out-row (targets or probabilities)
+/// differs, and to `changed_in` every vertex whose in-row differs.
+/// Vertices ≥ old_n count as changed only when their new row is
+/// non-empty. Output vectors are cleared first and come back sorted
+/// ascending. This is the ground truth the migration path uses to decide
+/// which per-vertex grouped-view runs to re-derive and which pool samples
+/// are dirty.
+void ComputeChangedRows(const Graph& old_graph, const Graph& new_graph,
+                        std::vector<VertexId>* changed_out,
+                        std::vector<VertexId>* changed_in);
+
+}  // namespace vblock

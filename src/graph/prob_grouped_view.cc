@@ -29,11 +29,137 @@ uint32_t InternClass(double p,
   return it->second;
 }
 
+uint64_t ProbBits(double p) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &p, sizeof(bits));
+  return bits;
+}
+
 }  // namespace
+
+// Epoch-stamped per-class scratch (grown as classes are interned) for the
+// stable per-vertex counting group — no per-vertex allocations. Shared by
+// the cold build and the delta patch.
+struct ProbGroupedView::GroupScratch {
+  std::vector<uint32_t> class_of;  // per original position of one vertex
+  std::vector<uint32_t> distinct;  // this vertex's classes, sorted ascending
+  std::vector<uint32_t> class_epoch, class_count, class_cursor;
+  uint32_t vertex_epoch = 0;
+};
 
 ProbGroupedView::ProbGroupedView(const Graph& g) {
   BuildDir(g, /*out=*/true, &out_);
   BuildDir(g, /*out=*/false, &in_);
+}
+
+void ProbGroupedView::GroupVertex(VertexId v,
+                                  std::span<const VertexId> neighbors,
+                                  std::span<const double> probs,
+                                  std::unordered_map<uint64_t, uint32_t>*
+                                      interned,
+                                  GroupScratch* s, Dir* d) {
+  const auto degree = static_cast<uint32_t>(neighbors.size());
+  const EdgeId edge_cursor = d->offsets[v];
+
+  s->class_of.resize(degree);
+  for (uint32_t k = 0; k < degree; ++k) {
+    s->class_of[k] = InternClass(probs[k], interned, &classes_);
+  }
+  if (s->class_epoch.size() < classes_.size()) {
+    s->class_epoch.resize(classes_.size(), 0);
+    s->class_count.resize(classes_.size());
+    s->class_cursor.resize(classes_.size());
+  }
+
+  // Stable counting group by ascending class id: edges of one class
+  // become one contiguous run, original relative order preserved within
+  // it — deterministic, and each run is emitted directly from its count.
+  ++s->vertex_epoch;
+  s->distinct.clear();
+  for (uint32_t k = 0; k < degree; ++k) {
+    const uint32_t c = s->class_of[k];
+    if (s->class_epoch[c] != s->vertex_epoch) {
+      s->class_epoch[c] = s->vertex_epoch;
+      s->class_count[c] = 0;
+      s->distinct.push_back(c);
+    }
+    ++s->class_count[c];
+  }
+  std::sort(s->distinct.begin(), s->distinct.end());
+
+  const auto first_run = static_cast<uint32_t>(d->runs.size());
+  uint32_t cursor = 0;
+  for (uint32_t c : s->distinct) {
+    s->class_cursor[c] = cursor;
+    cursor += s->class_count[c];
+    const double p = classes_[c].probability;
+    const bool stochastic = p > 0.0 && p < 1.0;
+    const uint8_t geometric =
+        stochastic && RunPrefersGeometric(p, s->class_count[c]) ? 1 : 0;
+    const uint8_t geometric_batched =
+        stochastic && RunPrefersGeometricBatched(p, s->class_count[c]) ? 1 : 0;
+    const uint16_t block =
+        geometric_batched
+            ? static_cast<uint16_t>(DrawBlockFor(p, s->class_count[c]))
+            : 0;
+    d->runs.push_back(Run{c, s->class_count[c], geometric, geometric_batched,
+                          block});
+  }
+  for (uint32_t k = 0; k < degree; ++k) {
+    const uint32_t slot = s->class_cursor[s->class_of[k]]++;
+    d->neighbors[edge_cursor + slot] = neighbors[k];
+    d->orig_pos[edge_cursor + slot] = k;
+    d->probs[edge_cursor + slot] = probs[k];
+  }
+  // Pick the vertex's kernel strategy under the cost model: total run-walk
+  // cost (with each run already taking its cheapest branch) against one
+  // plain coin scan. Vertices whose grouping cannot pay — typical for WC
+  // out-edges, whose targets mostly have distinct in-degrees — keep the
+  // plain scan and cost exactly what the per-edge kind costs. The batched
+  // walk's fallback chain (block → scalar geometric → coins) shows up
+  // here too: a run the batched gate rejects costs the scalar-geometric
+  // figure, not a coin scan, when RunPrefersGeometric holds.
+  double plain_cost = 0;
+  double walk_cost = 0;
+  double walk_cost_batched = 0;
+  for (uint32_t r = first_run; r < d->runs.size(); ++r) {
+    const double p = classes_[d->runs[r].class_id].probability;
+    const uint32_t length = d->runs[r].length;
+    walk_cost += kRunOverheadCost;
+    walk_cost_batched += kRunOverheadCost;
+    if (p <= 0.0) {
+      plain_cost += kDegenerateEdgeCost * length;
+    } else if (p >= 1.0) {
+      plain_cost += kDegenerateEdgeCost * length;
+      walk_cost += kDegenerateEdgeCost * length;
+      walk_cost_batched += kDegenerateEdgeCost * length;
+    } else {
+      plain_cost += length;
+      const double scalar_cost =
+          d->runs[r].geometric
+              ? (1.0 + length * p) * kGeometricDrawCostScalar
+              : static_cast<double>(length);
+      walk_cost += scalar_cost;
+      if (d->runs[r].geometric_batched) {
+        const double expected = 1.0 + length * p;
+        const double block = d->runs[r].block;
+        const double fills = expected <= block ? 1.0 : expected / block;
+        walk_cost_batched +=
+            fills * (block * kGeometricDrawCostBatched +
+                     kBlockFillOverheadCost);
+      } else {
+        walk_cost_batched += scalar_cost;
+      }
+    }
+  }
+  d->use_runs[v] = walk_cost < plain_cost ? 1 : 0;
+  d->use_runs_batched[v] = walk_cost_batched < plain_cost ? 1 : 0;
+  d->offsets[v + 1] = edge_cursor + degree;
+  // run_offsets is 32-bit (one run per edge worst case, and EdgeId is
+  // 64-bit) — make the limit explicit rather than silently wrapping.
+  VBLOCK_CHECK_MSG(d->runs.size() <= UINT32_MAX,
+                   "grouped view supports at most 2^32 probability runs");
+  d->run_offsets[v + 1] = static_cast<uint32_t>(d->runs.size());
 }
 
 void ProbGroupedView::BuildDir(const Graph& g, bool out, Dir* d) {
@@ -53,121 +179,109 @@ void ProbGroupedView::BuildDir(const Graph& g, bool out, Dir* d) {
   std::unordered_map<uint64_t, uint32_t> interned;
   interned.reserve(classes_.size() * 2 + 16);
   for (const ProbClass& cls : classes_) {
-    uint64_t bits = 0;
-    std::memcpy(&bits, &cls.probability, sizeof(bits));
-    interned.emplace(bits, static_cast<uint32_t>(&cls - classes_.data()));
+    interned.emplace(ProbBits(cls.probability),
+                     static_cast<uint32_t>(&cls - classes_.data()));
   }
 
-  std::vector<uint32_t> class_of;  // per original position of one vertex
-  // Epoch-stamped per-class scratch (grown as classes are interned) for the
-  // stable per-vertex counting group below — no per-vertex allocations.
-  std::vector<uint32_t> distinct;  // this vertex's classes, sorted ascending
-  std::vector<uint32_t> class_epoch, class_count, class_cursor;
-  uint32_t vertex_epoch = 0;
-
-  EdgeId edge_cursor = 0;
+  GroupScratch scratch;
   for (VertexId v = 0; v < n; ++v) {
-    const auto neighbors = out ? g.OutNeighbors(v) : g.InNeighbors(v);
-    const auto probs = out ? g.OutProbabilities(v) : g.InProbabilities(v);
-    const auto degree = static_cast<uint32_t>(neighbors.size());
-
-    class_of.resize(degree);
-    for (uint32_t k = 0; k < degree; ++k) {
-      class_of[k] = InternClass(probs[k], &interned, &classes_);
-    }
-    if (class_epoch.size() < classes_.size()) {
-      class_epoch.resize(classes_.size(), 0);
-      class_count.resize(classes_.size());
-      class_cursor.resize(classes_.size());
-    }
-
-    // Stable counting group by ascending class id: edges of one class
-    // become one contiguous run, original relative order preserved within
-    // it — deterministic, and each run is emitted directly from its count.
-    ++vertex_epoch;
-    distinct.clear();
-    for (uint32_t k = 0; k < degree; ++k) {
-      const uint32_t c = class_of[k];
-      if (class_epoch[c] != vertex_epoch) {
-        class_epoch[c] = vertex_epoch;
-        class_count[c] = 0;
-        distinct.push_back(c);
-      }
-      ++class_count[c];
-    }
-    std::sort(distinct.begin(), distinct.end());
-
-    const auto first_run = static_cast<uint32_t>(d->runs.size());
-    uint32_t cursor = 0;
-    for (uint32_t c : distinct) {
-      class_cursor[c] = cursor;
-      cursor += class_count[c];
-      const double p = classes_[c].probability;
-      const bool stochastic = p > 0.0 && p < 1.0;
-      const uint8_t geometric =
-          stochastic && RunPrefersGeometric(p, class_count[c]) ? 1 : 0;
-      const uint8_t geometric_batched =
-          stochastic && RunPrefersGeometricBatched(p, class_count[c]) ? 1 : 0;
-      const uint16_t block =
-          geometric_batched
-              ? static_cast<uint16_t>(DrawBlockFor(p, class_count[c]))
-              : 0;
-      d->runs.push_back(Run{c, class_count[c], geometric, geometric_batched,
-                            block});
-    }
-    for (uint32_t k = 0; k < degree; ++k) {
-      const uint32_t slot = class_cursor[class_of[k]]++;
-      d->neighbors[edge_cursor + slot] = neighbors[k];
-      d->orig_pos[edge_cursor + slot] = k;
-      d->probs[edge_cursor + slot] = probs[k];
-    }
-    // Pick the vertex's kernel strategy under the cost model: total run-walk
-    // cost (with each run already taking its cheaper branch) against one
-    // plain coin scan. Vertices whose grouping cannot pay — typical for WC
-    // out-edges, whose targets mostly have distinct in-degrees — keep the
-    // plain scan and cost exactly what the per-edge kind costs.
-    double plain_cost = 0;
-    double walk_cost = 0;
-    double walk_cost_batched = 0;
-    for (uint32_t r = first_run; r < d->runs.size(); ++r) {
-      const double p = classes_[d->runs[r].class_id].probability;
-      const uint32_t length = d->runs[r].length;
-      walk_cost += kRunOverheadCost;
-      walk_cost_batched += kRunOverheadCost;
-      if (p <= 0.0) {
-        plain_cost += kDegenerateEdgeCost * length;
-      } else if (p >= 1.0) {
-        plain_cost += kDegenerateEdgeCost * length;
-        walk_cost += kDegenerateEdgeCost * length;
-        walk_cost_batched += kDegenerateEdgeCost * length;
-      } else {
-        plain_cost += length;
-        walk_cost += d->runs[r].geometric
-                         ? (1.0 + length * p) * kGeometricDrawCostScalar
-                         : length;
-        if (d->runs[r].geometric_batched) {
-          const double expected = 1.0 + length * p;
-          const double block = d->runs[r].block;
-          const double fills = expected <= block ? 1.0 : expected / block;
-          walk_cost_batched +=
-              fills * (block * kGeometricDrawCostBatched +
-                       kBlockFillOverheadCost);
-        } else {
-          walk_cost_batched += length;
-        }
-      }
-    }
-    d->use_runs[v] = walk_cost < plain_cost ? 1 : 0;
-    d->use_runs_batched[v] = walk_cost_batched < plain_cost ? 1 : 0;
-    edge_cursor += degree;
-    d->offsets[v + 1] = edge_cursor;
-    // run_offsets is 32-bit (one run per edge worst case, and EdgeId is
-    // 64-bit) — make the limit explicit rather than silently wrapping.
-    VBLOCK_CHECK_MSG(d->runs.size() <= UINT32_MAX,
-                     "grouped view supports at most 2^32 probability runs");
-    d->run_offsets[v + 1] = static_cast<uint32_t>(d->runs.size());
+    GroupVertex(v, out ? g.OutNeighbors(v) : g.InNeighbors(v),
+                out ? g.OutProbabilities(v) : g.InProbabilities(v), &interned,
+                &scratch, d);
   }
   d->runs.shrink_to_fit();
+}
+
+std::unique_ptr<ProbGroupedView> ProbGroupedView::DeltaPatched(
+    const ProbGroupedView& old_view, const Graph& new_graph,
+    std::span<const VertexId> changed_out,
+    std::span<const VertexId> changed_in) {
+  const VertexId n = new_graph.NumVertices();
+
+  // Learn the class table a cold build of new_graph would produce: one
+  // interning pass in exactly the cold build's scan order (all out rows,
+  // then all in rows).
+  std::unordered_map<uint64_t, uint32_t> interned;
+  std::vector<ProbClass> fresh;
+  interned.reserve(old_view.classes_.size() * 2 + 16);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (VertexId v = 0; v < n; ++v) {
+      const auto probs = pass == 0 ? new_graph.OutProbabilities(v)
+                                   : new_graph.InProbabilities(v);
+      for (double p : probs) InternClass(p, &interned, &fresh);
+    }
+  }
+
+  // Stability precondition: the old table must be a bitwise prefix of the
+  // fresh one. Copied runs store old class ids, and the per-vertex runs
+  // are sorted by class id — if a cold build would number any old class
+  // differently, unchanged vertices' run order (and thus their samplers'
+  // RNG consumption) would diverge from cold, so the patch must refuse.
+  if (fresh.size() < old_view.classes_.size()) return nullptr;
+  for (size_t c = 0; c < old_view.classes_.size(); ++c) {
+    if (ProbBits(fresh[c].probability) !=
+        ProbBits(old_view.classes_[c].probability)) {
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<ProbGroupedView> patched(new ProbGroupedView());
+  patched->classes_ = std::move(fresh);
+  GroupScratch scratch;
+
+  const EdgeId m = new_graph.NumEdges();
+  auto patch_dir = [&](const Dir& old_dir, bool out,
+                       std::span<const VertexId> changed, Dir* d) {
+    d->offsets.assign(n + 1, 0);
+    d->run_offsets.assign(n + 1, 0);
+    d->neighbors.resize(m);
+    d->orig_pos.resize(m);
+    d->probs.resize(m);
+    d->use_runs.assign(n, 0);
+    d->use_runs_batched.assign(n, 0);
+
+    std::vector<uint8_t> is_changed(n, 0);
+    for (VertexId v : changed) {
+      VBLOCK_DCHECK(v < n);
+      is_changed[v] = 1;
+    }
+    const auto old_n = static_cast<VertexId>(old_dir.offsets.size() - 1);
+
+    for (VertexId v = 0; v < n; ++v) {
+      if (v >= old_n || is_changed[v]) {
+        patched->GroupVertex(
+            v, out ? new_graph.OutNeighbors(v) : new_graph.InNeighbors(v),
+            out ? new_graph.OutProbabilities(v) : new_graph.InProbabilities(v),
+            &interned, &scratch, d);
+        continue;
+      }
+      // Unchanged row: copy the old vertex's grouped slices and decisions
+      // verbatim, shifted to the new edge cursor.
+      const EdgeId src = old_dir.offsets[v];
+      const EdgeId len = old_dir.offsets[v + 1] - src;
+      const EdgeId dst = d->offsets[v];
+      VBLOCK_DCHECK(len == (out ? new_graph.OutDegree(v)
+                                : new_graph.InDegree(v)));
+      std::copy_n(old_dir.neighbors.begin() + src, len,
+                  d->neighbors.begin() + dst);
+      std::copy_n(old_dir.orig_pos.begin() + src, len,
+                  d->orig_pos.begin() + dst);
+      std::copy_n(old_dir.probs.begin() + src, len, d->probs.begin() + dst);
+      d->runs.insert(d->runs.end(), old_dir.runs.begin() + old_dir.run_offsets[v],
+                     old_dir.runs.begin() + old_dir.run_offsets[v + 1]);
+      d->use_runs[v] = old_dir.use_runs[v];
+      d->use_runs_batched[v] = old_dir.use_runs_batched[v];
+      d->offsets[v + 1] = dst + len;
+      VBLOCK_CHECK_MSG(d->runs.size() <= UINT32_MAX,
+                       "grouped view supports at most 2^32 probability runs");
+      d->run_offsets[v + 1] = static_cast<uint32_t>(d->runs.size());
+    }
+    d->runs.shrink_to_fit();
+  };
+
+  patch_dir(old_view.out_, /*out=*/true, changed_out, &patched->out_);
+  patch_dir(old_view.in_, /*out=*/false, changed_in, &patched->in_);
+  return patched;
 }
 
 // -- Graph::GroupedView -----------------------------------------------------
@@ -196,6 +310,11 @@ const ProbGroupedView& Graph::GroupedView() const {
   }
   delete built;
   return *expected;
+}
+
+void Graph::InstallGroupedView(std::unique_ptr<const ProbGroupedView> view) {
+  grouped_.Reset();
+  grouped_.view.store(view.release(), std::memory_order_release);
 }
 
 uint64_t Graph::GroupedViewMemoryUsageBytes() const {

@@ -21,7 +21,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -55,6 +57,8 @@ class ProbGroupedView {
     uint8_t geometric = 0;
     uint8_t geometric_batched = 0;
     uint16_t block = 0;
+
+    friend bool operator==(const Run&, const Run&) = default;
   };
 
   /// Builds the grouped view: one pass to intern the distinct probability
@@ -63,6 +67,26 @@ class ProbGroupedView {
   /// by ascending class id. O(m log dmax) time, ~2x the adjacency in extra
   /// memory (see docs/DESIGN.md §7).
   explicit ProbGroupedView(const Graph& g);
+
+  /// Delta-patches `old_view` (built for the pre-delta graph) into a view
+  /// of `new_graph`: vertices listed in `changed_out` / `changed_in`
+  /// (sorted ascending — the output of ComputeChangedRows) are regrouped
+  /// from scratch, every other vertex's runs, grouped arrays, and kernel
+  /// flags are copied verbatim from the old view. The patched view is
+  /// bit-identical to `ProbGroupedView(new_graph)` — same class table,
+  /// same runs, same flags — so samplers walking unchanged vertices
+  /// consume RNG exactly as a cold build would.
+  ///
+  /// Returns nullptr when the class table is unstable — the fresh
+  /// first-appearance interning order is not an extension of the old one
+  /// (a probability value vanished, or a new value surfaced before an old
+  /// one's first appearance). Stability is the patch's correctness
+  /// precondition (copied runs store old class ids), so an unstable delta
+  /// means the caller must build fresh instead.
+  static std::unique_ptr<ProbGroupedView> DeltaPatched(
+      const ProbGroupedView& old_view, const Graph& new_graph,
+      std::span<const VertexId> changed_out,
+      std::span<const VertexId> changed_in);
 
   uint32_t NumClasses() const { return static_cast<uint32_t>(classes_.size()); }
   const ProbClass& ClassAt(uint32_t c) const { return classes_[c]; }
@@ -135,10 +159,15 @@ class ProbGroupedView {
   /// plus a 4-wide transform instead of one libm log per live edge. The
   /// run/vertex decisions come from the *batched* cost model (cheaper
   /// draws move the crossover), so these kernels batch runs the scalar
-  /// walk leaves on per-edge coins. RNG consumption differs from the
-  /// scalar kernels (whole blocks are drawn and the tail past the run end
-  /// is discarded), so for one seed the two kinds visit different —
-  /// equally valid, i.i.d. — worlds.
+  /// walk leaves on per-edge coins. Runs the batched model rejects (the
+  /// expected-draws gate below screens out tiny fills, where the per-fill
+  /// transform latency sits on the walk's critical path) fall back to the
+  /// scalar geometric walk when RunPrefersGeometric holds, then to
+  /// per-edge coins — so the batched kind is never slower than the scalar
+  /// kind on a run, it only ever upgrades. RNG consumption differs from
+  /// the scalar kernels wherever a run actually batches (whole blocks are
+  /// drawn and the tail past the run end is discarded), so for one seed
+  /// the two kinds visit different — equally valid, i.i.d. — worlds.
   template <typename Fn>
   void SampleOutEdgesBatched(VertexId u, Rng& rng, Fn&& fn) const {
     SampleDir</*Batched=*/true>(out_, u, rng, fn);
@@ -201,14 +230,29 @@ class ProbGroupedView {
     return (static_cast<uint32_t>(expected) + 4u) & ~3u;
   }
 
+  /// Minimum expected draws 1 + length·p for a run to qualify for the
+  /// batched walk at all. The throughput constants above model a *full
+  /// pipeline* of fills; a run that expects only a couple of draws puts
+  /// the fill's transform latency (~15 ns: NextBlock + the 4-wide
+  /// log/multiply/floor) squarely on the walk's critical path, where the
+  /// amortized 2.0-coin figure is a fiction. PR 7 measured exactly that
+  /// mis-selection: 0.70× *loss* vs the scalar skip walk on WC-RR, whose
+  /// in-runs expect 1 + din·(1/din) = 2 draws regardless of degree. Runs
+  /// under this bar fall back to the scalar geometric walk (or coins) —
+  /// see SampleOutEdgesBatched.
+  static constexpr double kMinExpectedDrawsBatched = 8.0;
+
   /// Batched-kernel twin of RunPrefersGeometric. Every fill transforms a
   /// whole block (draws past the run's end are discarded), so the cost is
   /// blocks · (block·draw + fill overhead) — a *different* crossover than
   /// the scalar walk: cheaper per draw, but block-granular. Long runs that
   /// the scalar model leaves on coins (e.g. length 64 at p = 0.25) clear
-  /// this bar.
+  /// this bar; runs expecting fewer than kMinExpectedDrawsBatched draws
+  /// never do, whatever the throughput arithmetic says (the constants
+  /// assume the fill latency amortizes, which tiny fills cannot).
   static constexpr bool RunPrefersGeometricBatched(double p, uint32_t length) {
     const double expected = 1.0 + static_cast<double>(length) * p;
+    if (expected < kMinExpectedDrawsBatched) return false;
     const double block = static_cast<double>(DrawBlockFor(p, length));
     const double fills = expected <= block ? 1.0 : expected / block;
     const double cost =
@@ -308,35 +352,36 @@ class ProbGroupedView {
           fn(d.neighbors[slot + k], d.orig_pos[slot + k]);
         }
       } else if (cls.probability > 0.0) {
-        if (Batched ? run.geometric_batched : run.geometric) {
-          if constexpr (Batched) {
-            // Block walk: pull `run.block` skips per fill, emit the live
-            // edges they land on, refill if the run is not exhausted.
-            // Skips left in the block past the run's end are *discarded* —
-            // each fill consumes exactly run.block raw outputs, so total
-            // consumption is a pure function of the drawn values and the
-            // within-kind determinism guarantees hold.
-            uint64_t skips[kMaxDrawBlock];
-            uint64_t pos = 0;
-            uint64_t gap = 0;  // 0 before the first draw, 1 after
-            for (bool done = false; !done;) {
-              FillGeometricSkips(rng, cls.inv_log1m, run.block, skips);
-              for (uint32_t j = 0; j < run.block; ++j) {
-                pos += gap + skips[j];
-                gap = 1;
-                if (pos >= run.length) {
-                  done = true;
-                  break;
-                }
-                fn(d.neighbors[slot + pos], d.orig_pos[slot + pos]);
+        if (Batched && run.geometric_batched) {
+          // Block walk: pull `run.block` skips per fill, emit the live
+          // edges they land on, refill if the run is not exhausted.
+          // Skips left in the block past the run's end are *discarded* —
+          // each fill consumes exactly run.block raw outputs, so total
+          // consumption is a pure function of the drawn values and the
+          // within-kind determinism guarantees hold.
+          uint64_t skips[kMaxDrawBlock];
+          uint64_t pos = 0;
+          uint64_t gap = 0;  // 0 before the first draw, 1 after
+          for (bool done = false; !done;) {
+            FillGeometricSkips(rng, cls.inv_log1m, run.block, skips);
+            for (uint32_t j = 0; j < run.block; ++j) {
+              pos += gap + skips[j];
+              gap = 1;
+              if (pos >= run.length) {
+                done = true;
+                break;
               }
-            }
-          } else {
-            for (uint64_t pos = rng.NextGeometric(cls.inv_log1m);
-                 pos < run.length;
-                 pos += 1 + rng.NextGeometric(cls.inv_log1m)) {
               fn(d.neighbors[slot + pos], d.orig_pos[slot + pos]);
             }
+          }
+        } else if (run.geometric) {
+          // Scalar geometric walk — the batched kernel lands here too when
+          // the expected-draws gate rejects batching for this run, so the
+          // batched kind never does worse than the scalar kind on a run.
+          for (uint64_t pos = rng.NextGeometric(cls.inv_log1m);
+               pos < run.length;
+               pos += 1 + rng.NextGeometric(cls.inv_log1m)) {
+            fn(d.neighbors[slot + pos], d.orig_pos[slot + pos]);
           }
         } else {
           for (uint32_t k = 0; k < run.length; ++k) {
@@ -350,7 +395,24 @@ class ProbGroupedView {
     }
   }
 
+  // Empty shell for DeltaPatched to fill.
+  ProbGroupedView() = default;
+
+  // Per-vertex grouping scratch (class counts, epoch stamps); defined in
+  // the .cc, shared by the cold build and the delta patch.
+  struct GroupScratch;
+
   void BuildDir(const Graph& g, bool out, Dir* d);
+
+  // Groups one vertex's adjacency into runs and writes the grouped slices
+  // at d->offsets[v]; appends runs and sets offsets[v+1], run_offsets[v+1],
+  // and the per-vertex kernel flags. The one shared implementation of the
+  // grouping + cost-model decisions, so a patched vertex is bit-identical
+  // to a cold-built one.
+  void GroupVertex(VertexId v, std::span<const VertexId> neighbors,
+                   std::span<const double> probs,
+                   std::unordered_map<uint64_t, uint32_t>* interned,
+                   GroupScratch* scratch, Dir* d);
 
   std::vector<ProbClass> classes_;
   Dir out_;

@@ -98,59 +98,101 @@ void SamplePool::DeriveSample(uint32_t i, Scratch* scratch) {
   ++revision_[i];
 }
 
-void SamplePool::FinalizeBuild() {
+void SamplePool::BuildPristineArena() {
   const uint32_t theta = options_.theta;
-  if (options_.reuse == SampleReuse::kPrune) {
-    uint64_t total_vertices = 0, total_edges = 0;
-    for (const SampledGraph& s : samples_) {
-      total_vertices += s.to_parent.size();
-      total_edges += s.targets.size();
-    }
-    arena_offsets_.reserve(total_vertices + theta);
-    arena_targets_.reserve(total_edges);
-    arena_parents_.reserve(total_vertices);
-    ext_off_.reserve(theta + 1);
-    ext_tgt_.reserve(theta + 1);
-    ext_par_.reserve(theta + 1);
-    ext_off_.push_back(0);
-    ext_tgt_.push_back(0);
-    ext_par_.push_back(0);
-    for (const SampledGraph& s : samples_) {
-      arena_offsets_.insert(arena_offsets_.end(), s.offsets.begin(),
-                            s.offsets.end());
-      arena_targets_.insert(arena_targets_.end(), s.targets.begin(),
-                            s.targets.end());
-      arena_parents_.insert(arena_parents_.end(), s.to_parent.begin(),
-                            s.to_parent.end());
-      ext_off_.push_back(arena_offsets_.size());
-      ext_tgt_.push_back(arena_targets_.size());
-      ext_par_.push_back(arena_parents_.size());
-    }
+  arena_offsets_.clear();
+  arena_targets_.clear();
+  arena_parents_.clear();
+  ext_off_.clear();
+  ext_tgt_.clear();
+  ext_par_.clear();
 
-    // Static pristine inverted index (counting sort; sample ids end up
-    // ascending within each vertex's slice). Slot 0 (the root) is skipped —
-    // the root is in every sample and can never be blocked.
-    pristine_begin_.assign(graph_.NumVertices() + 1, 0);
-    for (uint32_t i = 0; i < theta; ++i) {
-      for (uint64_t k = ext_par_[i] + 1; k < ext_par_[i + 1]; ++k) {
-        ++pristine_begin_[arena_parents_[k] + 1];
-      }
-    }
-    for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
-      pristine_begin_[v + 1] += pristine_begin_[v];
-    }
-    pristine_index_.resize(pristine_begin_[graph_.NumVertices()]);
-    std::vector<uint64_t> cursor(pristine_begin_.begin(),
-                                 pristine_begin_.end() - 1);
-    for (uint32_t i = 0; i < theta; ++i) {
-      for (uint64_t k = ext_par_[i] + 1; k < ext_par_[i + 1]; ++k) {
-        pristine_index_[cursor[arena_parents_[k]]++] = i;
-      }
-    }
+  uint64_t total_vertices = 0, total_edges = 0;
+  for (const SampledGraph& s : samples_) {
+    total_vertices += s.to_parent.size();
+    total_edges += s.targets.size();
+  }
+  arena_offsets_.reserve(total_vertices + theta);
+  arena_targets_.reserve(total_edges);
+  arena_parents_.reserve(total_vertices);
+  ext_off_.reserve(theta + 1);
+  ext_tgt_.reserve(theta + 1);
+  ext_par_.reserve(theta + 1);
+  ext_off_.push_back(0);
+  ext_tgt_.push_back(0);
+  ext_par_.push_back(0);
+  for (const SampledGraph& s : samples_) {
+    arena_offsets_.insert(arena_offsets_.end(), s.offsets.begin(),
+                          s.offsets.end());
+    arena_targets_.insert(arena_targets_.end(), s.targets.begin(),
+                          s.targets.end());
+    arena_parents_.insert(arena_parents_.end(), s.to_parent.begin(),
+                          s.to_parent.end());
+    ext_off_.push_back(arena_offsets_.size());
+    ext_tgt_.push_back(arena_targets_.size());
+    ext_par_.push_back(arena_parents_.size());
   }
 
+  // Static pristine inverted index (counting sort; sample ids end up
+  // ascending within each vertex's slice). Slot 0 (the root) is skipped —
+  // the root is in every sample and can never be blocked.
+  pristine_begin_.assign(graph_.NumVertices() + 1, 0);
+  for (uint32_t i = 0; i < theta; ++i) {
+    for (uint64_t k = ext_par_[i] + 1; k < ext_par_[i + 1]; ++k) {
+      ++pristine_begin_[arena_parents_[k] + 1];
+    }
+  }
+  for (VertexId v = 0; v < graph_.NumVertices(); ++v) {
+    pristine_begin_[v + 1] += pristine_begin_[v];
+  }
+  pristine_index_.resize(pristine_begin_[graph_.NumVertices()]);
+  std::vector<uint64_t> cursor(pristine_begin_.begin(),
+                               pristine_begin_.end() - 1);
+  for (uint32_t i = 0; i < theta; ++i) {
+    for (uint64_t k = ext_par_[i] + 1; k < ext_par_[i + 1]; ++k) {
+      pristine_index_[cursor[arena_parents_[k]]++] = i;
+    }
+  }
+}
+
+void SamplePool::FinalizeBuild() {
+  if (options_.reuse == SampleReuse::kPrune) BuildPristineArena();
   index_.assign(graph_.NumVertices(), {});
-  index_pos_.assign(theta, {});
+  index_pos_.assign(options_.theta, {});
+}
+
+void SamplePool::BeginMigrate(std::span<const VertexId> changed_out,
+                              std::span<const VertexId> changed_in,
+                              std::vector<uint32_t>* dirty) {
+  const uint32_t theta = options_.theta;
+  std::vector<uint8_t> affected(theta, 0);
+  bool all = false;
+  auto mark = [&](VertexId v) {
+    VBLOCK_DCHECK(v < graph_.NumVertices());
+    if (v == root_) {
+      // The root is in every sample but skipped by the dynamic index.
+      all = true;
+      return;
+    }
+    for (const IndexEntry& entry : index_[v]) affected[entry.sample] = 1;
+  };
+  for (VertexId v : changed_out) mark(v);
+  for (VertexId v : changed_in) mark(v);
+
+  for (uint32_t i = 0; i < theta; ++i) {
+    if (!all && !affected[i]) continue;
+    VBLOCK_DCHECK(!touched_[i]);  // at rest: nothing blocked since restore
+    dirty->push_back(i);
+    // Rewind to the cold stream: DeriveSample's revision-0 branch draws
+    // fresh from the (already swapped-in) mutated graph with
+    // MixSeed(seed, i) in both reuse modes — exactly the draw a cold
+    // build would make, which is what makes migration bit-exact.
+    revision_[i] = 0;
+  }
+}
+
+void SamplePool::FinishMigrate() {
+  if (options_.reuse == SampleReuse::kPrune) BuildPristineArena();
 }
 
 void SamplePool::AddToIndex(uint32_t i) {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cascade/triggering.h"
@@ -128,6 +129,31 @@ class SamplePool {
   /// cold-path bit-exactness.
   void BeginRestore(std::vector<uint32_t>* dirty);
 
+  /// Epoch migration, step 1 of 3 (see core/spread_decrease_engine.h
+  /// MigrateGraph for the orchestration). The pool must be at rest — mask
+  /// empty, every sample published, nothing touched since the last
+  /// restore — and the bound Graph reference must already hold the
+  /// *mutated* edges (the service swaps the graph in place, address- and
+  /// n-stable). Appends to *dirty, sorted ascending, every sample whose
+  /// region contains a vertex with a changed out- or in-row (the spans
+  /// come from ComputeChangedRows in unified id space; a changed root row
+  /// dirties all θ), and rewinds those samples' revisions to 0 so the
+  /// re-derive replays the cold stream MixSeed(seed, i) — in *both* reuse
+  /// modes: a kPrune re-derive must be a fresh draw from the mutated
+  /// graph, not a prune of the stale pristine arena. Samples left clean
+  /// visited only unchanged rows, so their stored worlds are already
+  /// bit-identical to what a cold build on the mutated graph would draw.
+  void BeginMigrate(std::span<const VertexId> changed_out,
+                    std::span<const VertexId> changed_in,
+                    std::vector<uint32_t>* dirty);
+
+  /// Epoch migration, step 3: after the dirty samples have been
+  /// re-derived and re-published, re-flattens the current regions into the
+  /// pristine arena and rebuilds its CSR index (kPrune; no-op for
+  /// kResample). Unlike FinalizeBuild this leaves the populated dynamic
+  /// inverted index alone.
+  void FinishMigrate();
+
   /// Total vertices (with multiplicity) across current sample regions —
   /// the arena high-water mark; used by benchmarks/diagnostics.
   uint64_t TotalRegionVertices() const;
@@ -141,6 +167,7 @@ class SamplePool {
  private:
   void DrawFresh(uint32_t i, Scratch* scratch);
   void PruneFromPristine(uint32_t i, Scratch* scratch);
+  void BuildPristineArena();
 
   const Graph& graph_;
   VertexId root_;

@@ -51,7 +51,8 @@ GraphRegistry::Shard& GraphRegistry::ShardFor(const std::string& name) const {
 
 GraphRegistry::SnapshotPtr GraphRegistry::Install(const std::string& name,
                                                   Graph graph,
-                                                  bool warm_grouped_view) {
+                                                  bool warm_grouped_view,
+                                                  uint64_t* replaced_epoch) {
   auto snapshot = std::make_shared<Snapshot>();
   snapshot->name = name;
   snapshot->graph = std::move(graph);
@@ -63,28 +64,34 @@ GraphRegistry::SnapshotPtr GraphRegistry::Install(const std::string& name,
   // Epoch drawn under the shard lock: replacing a name is thereby
   // guaranteed to publish a strictly larger epoch than its predecessor's.
   snapshot->epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
-  shard.graphs[name] = snapshot;
+  auto [it, inserted] = shard.graphs.try_emplace(name, snapshot);
+  if (replaced_epoch != nullptr) {
+    *replaced_epoch = inserted ? 0 : it->second->epoch;
+  }
+  if (!inserted) it->second = snapshot;
   return snapshot;
 }
 
 GraphRegistry::SnapshotPtr GraphRegistry::Add(const std::string& name,
                                               Graph graph,
-                                              bool warm_grouped_view) {
-  return Install(name, std::move(graph), warm_grouped_view);
+                                              bool warm_grouped_view,
+                                              uint64_t* replaced_epoch) {
+  return Install(name, std::move(graph), warm_grouped_view, replaced_epoch);
 }
 
 Result<GraphRegistry::SnapshotPtr> GraphRegistry::LoadEdgeList(
     const std::string& name, const std::string& path,
-    const GraphLoadOptions& options) {
+    const GraphLoadOptions& options, uint64_t* replaced_epoch) {
   Result<Graph> graph = ReadEdgeList(path, options.read);
   if (!graph.ok()) return graph.status();
   return Install(name, ApplyProbModel(std::move(*graph), options),
-                 options.warm_grouped_view);
+                 options.warm_grouped_view, replaced_epoch);
 }
 
 Result<GraphRegistry::SnapshotPtr> GraphRegistry::LoadGenerated(
     const std::string& name, const std::string& dataset, double scale,
-    uint64_t seed, const GraphLoadOptions& options) {
+    uint64_t seed, const GraphLoadOptions& options,
+    uint64_t* replaced_epoch) {
   if (!(scale > 0.0) || scale > 1.0) {
     return Status::InvalidArgument("scale must be in (0, 1], got " +
                                    std::to_string(scale));
@@ -95,7 +102,50 @@ Result<GraphRegistry::SnapshotPtr> GraphRegistry::LoadGenerated(
   }
   return Install(name,
                  ApplyProbModel(MakeDataset(*spec, scale, seed), options),
-                 options.warm_grouped_view);
+                 options.warm_grouped_view, replaced_epoch);
+}
+
+Result<GraphRegistry::ApplyOutcome> GraphRegistry::Apply(
+    const std::string& name, const GraphDelta& delta, bool warm_grouped_view) {
+  Result<SnapshotPtr> current = Get(name);
+  if (!current.ok()) return current.status();
+  const SnapshotPtr previous = *current;
+
+  // Heavy work outside the shard lock: validate + rebuild the CSR, then
+  // carry the grouped view forward. The delta patch recomputes only the
+  // per-vertex runs the changed rows touch; when the class table is
+  // unstable (a probability value vanished or appeared out of order) the
+  // view is analyzed from scratch instead.
+  Result<Graph> mutated = ApplyDelta(previous->graph, delta);
+  if (!mutated.ok()) return mutated.status();
+
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->name = name;
+  snapshot->graph = std::move(*mutated);
+  if (warm_grouped_view) {
+    std::vector<VertexId> changed_out, changed_in;
+    ComputeChangedRows(previous->graph, snapshot->graph, &changed_out,
+                       &changed_in);
+    auto patched = ProbGroupedView::DeltaPatched(
+        previous->graph.GroupedView(), snapshot->graph, changed_out,
+        changed_in);
+    if (patched != nullptr) {
+      snapshot->graph.InstallGroupedView(std::move(patched));
+    } else {
+      snapshot->graph.GroupedView();
+    }
+  }
+
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.graphs.find(name);
+  if (it == shard.graphs.end() || it->second != previous) {
+    return Status::FailedPrecondition(
+        "graph '" + name + "' was concurrently replaced during Apply");
+  }
+  snapshot->epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
+  it->second = snapshot;
+  return ApplyOutcome{snapshot, previous};
 }
 
 Result<GraphRegistry::SnapshotPtr> GraphRegistry::Get(
@@ -109,10 +159,17 @@ Result<GraphRegistry::SnapshotPtr> GraphRegistry::Get(
   return it->second;
 }
 
-bool GraphRegistry::Remove(const std::string& name) {
+bool GraphRegistry::Remove(const std::string& name, uint64_t* removed_epoch) {
   Shard& shard = ShardFor(name);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.graphs.erase(name) > 0;
+  auto it = shard.graphs.find(name);
+  if (it == shard.graphs.end()) {
+    if (removed_epoch != nullptr) *removed_epoch = 0;
+    return false;
+  }
+  if (removed_epoch != nullptr) *removed_epoch = it->second->epoch;
+  shard.graphs.erase(it);
+  return true;
 }
 
 std::vector<std::string> GraphRegistry::List() const {

@@ -8,9 +8,22 @@
 // epoch. Handles are shared_ptr<const Snapshot>: replacing or removing a
 // name never invalidates a handle an in-flight query still holds — the old
 // snapshot simply dies with its last reference. Cache layers key on the
-// epoch, so re-registering a name under fresh data silently invalidates
-// every warmed pool of the old graph (the stale entries age out of the LRU
-// or are dropped by EvictGraph).
+// epoch, so re-registering a name under fresh data invalidates every
+// warmed pool of the old graph. The replace→evict contract: each mutating
+// entry point reports the epoch it displaced (Add/Load* via the
+// `replaced_epoch` out-param, Remove via `removed_epoch`, Apply via the
+// returned previous snapshot), and the caller owning a PoolCache must
+// either EvictGraph(old_epoch) or migrate the warm entries forward —
+// otherwise dead-epoch bytes pin the cache budget until LRU pressure
+// (ServiceSession does this on every replacing LOAD/UPDATE/EVICT).
+//
+// Apply() is the dynamic-graphs path: it mutates a registered snapshot
+// with a GraphDelta (graph/graph_delta.h) into a fresh epoch, delta-
+// patching the grouped view (ProbGroupedView::DeltaPatched) instead of
+// re-analyzing the whole graph when the class table is stable. Epochs
+// stay globally monotonic: the new epoch is drawn under the shard lock,
+// so it is strictly greater than the epoch it replaces and than any epoch
+// published earlier by any thread.
 //
 // Sharding (docs/DESIGN.md §9): every request resolves its graph through
 // Get(), so under many concurrent TCP clients a single registry mutex is
@@ -36,6 +49,7 @@
 
 #include "common/status.h"
 #include "graph/graph.h"
+#include "graph/graph_delta.h"
 #include "graph/graph_io.h"
 
 namespace vblock {
@@ -86,14 +100,19 @@ class GraphRegistry {
   using SnapshotPtr = std::shared_ptr<const Snapshot>;
 
   /// Registers `graph` under `name`, replacing any previous snapshot of
-  /// that name (under a fresh epoch). Returns the new snapshot.
+  /// that name (under a fresh epoch). Returns the new snapshot. When
+  /// `replaced_epoch` is non-null it receives the epoch of the snapshot
+  /// this call displaced, or 0 when the name was fresh — the caller must
+  /// evict (or migrate) that epoch from any PoolCache it owns.
   SnapshotPtr Add(const std::string& name, Graph graph,
-                  bool warm_grouped_view = true);
+                  bool warm_grouped_view = true,
+                  uint64_t* replaced_epoch = nullptr);
 
   /// Reads a SNAP-style edge list and registers it (see Add).
   Result<SnapshotPtr> LoadEdgeList(const std::string& name,
                                    const std::string& path,
-                                   const GraphLoadOptions& options = {});
+                                   const GraphLoadOptions& options = {},
+                                   uint64_t* replaced_epoch = nullptr);
 
   /// Instantiates a dataset-catalog stand-in (gen/dataset_catalog.h) at
   /// `scale` and registers it. NotFound when `dataset` names no catalog
@@ -101,14 +120,36 @@ class GraphRegistry {
   Result<SnapshotPtr> LoadGenerated(const std::string& name,
                                     const std::string& dataset, double scale,
                                     uint64_t seed,
-                                    const GraphLoadOptions& options = {});
+                                    const GraphLoadOptions& options = {},
+                                    uint64_t* replaced_epoch = nullptr);
+
+  /// Outcome of Apply(): the freshly installed snapshot plus the one the
+  /// delta was applied to (previous->epoch is what cache layers must
+  /// migrate or evict).
+  struct ApplyOutcome {
+    SnapshotPtr snapshot;
+    SnapshotPtr previous;
+  };
+
+  /// Applies `delta` to the current snapshot of `name` and installs the
+  /// mutated graph under a fresh (strictly larger) epoch. The heavy work —
+  /// delta validation, CSR rebuild, grouped-view patching — runs outside
+  /// the shard lock; if another thread replaces the name meanwhile, Apply
+  /// refuses with FailedPrecondition instead of clobbering the newer
+  /// snapshot (the delta was validated against data that no longer
+  /// exists). NotFound when the name is absent, InvalidArgument when the
+  /// delta is inconsistent with the snapshot.
+  Result<ApplyOutcome> Apply(const std::string& name, const GraphDelta& delta,
+                             bool warm_grouped_view = true);
 
   /// Snapshot registered under `name`; NotFound when absent.
   Result<SnapshotPtr> Get(const std::string& name) const;
 
   /// Unregisters `name`. Handles still held by in-flight queries keep the
-  /// snapshot alive. Returns false when the name was not registered.
-  bool Remove(const std::string& name);
+  /// snapshot alive. Returns false when the name was not registered. When
+  /// `removed_epoch` is non-null it receives the dead snapshot's epoch (0
+  /// when the name was not registered) for cache eviction.
+  bool Remove(const std::string& name, uint64_t* removed_epoch = nullptr);
 
   /// Registered names, sorted.
   std::vector<std::string> List() const;
@@ -124,7 +165,7 @@ class GraphRegistry {
   };
 
   SnapshotPtr Install(const std::string& name, Graph graph,
-                      bool warm_grouped_view);
+                      bool warm_grouped_view, uint64_t* replaced_epoch);
   Shard& ShardFor(const std::string& name) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -138,12 +138,41 @@ uint64_t PoolCache::EvictGraph(uint64_t graph_epoch) {
       auto next = std::next(it);
       if (it->first.graph_epoch == graph_epoch) {
         EraseLocked(shard, it, /*count_eviction=*/true);
+        ++shard.stats.evicted_stale;
         ++dropped;
       }
       it = next;
     }
   }
   return dropped;
+}
+
+std::vector<std::pair<PoolCache::Key, std::unique_ptr<WarmEntry>>>
+PoolCache::TakeEpoch(uint64_t graph_epoch) {
+  std::vector<std::pair<Key, std::unique_ptr<WarmEntry>>> taken;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      auto next = std::next(it);
+      if (it->first.graph_epoch == graph_epoch) {
+        taken.emplace_back(it->first, std::move(it->second.entry));
+        shard.stats.bytes_in_use -= taken.back().second->bytes;
+        shard.lru.erase(it->second.lru_pos);
+        --shard.stats.entries;
+        ++shard.stats.migrations;
+        shard.entries.erase(it);
+      }
+      it = next;
+    }
+  }
+  return taken;
+}
+
+void PoolCache::CountStaleDrop(const Key& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.stats.evicted_stale;
 }
 
 uint64_t PoolCache::EvictAll() {
@@ -181,6 +210,8 @@ PoolCache::Stats PoolCache::stats() const {
     total.misses += shard.stats.misses;
     total.inserts += shard.stats.inserts;
     total.evictions += shard.stats.evictions;
+    total.migrations += shard.stats.migrations;
+    total.evicted_stale += shard.stats.evicted_stale;
     total.bytes_in_use += shard.stats.bytes_in_use;
     total.entries += shard.stats.entries;
   }

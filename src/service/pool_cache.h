@@ -109,14 +109,26 @@ class PoolCache {
   };
 
   /// Monotonic counters plus the current footprint. hits/misses count
-  /// Acquire outcomes; evictions counts LRU drops (budget pressure and
-  /// EvictGraph), not Acquire checkouts. With shards > 1 these are sums
-  /// over all shards.
+  /// Acquire outcomes; evictions counts LRU drops (budget pressure,
+  /// EvictGraph, EvictAll), not Acquire checkouts; migrations counts
+  /// entries checked out by TakeEpoch for epoch migration; evicted_stale
+  /// is the stale-epoch subset — EvictGraph drops (also in evictions) and
+  /// migrated-out entries that could not be carried forward
+  /// (CountStaleDrop; already in migrations). With shards > 1 these are
+  /// sums over all shards. Ledger invariant at quiescence (no entry
+  /// checked out): entries == inserts − hits − evictions − migrations —
+  /// every departure from the map is counted exactly once (warm checkouts
+  /// under `hits`, drops under `evictions`, epoch sweeps under
+  /// `migrations`) and every arrival under `inserts`, including an entry
+  /// checked back in after a hit or a migration;
+  /// tests/service_test.cc asserts this.
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
+    uint64_t migrations = 0;
+    uint64_t evicted_stale = 0;
     uint64_t bytes_in_use = 0;
     uint64_t entries = 0;
   };
@@ -146,8 +158,23 @@ class PoolCache {
   void Release(const Key& key, std::unique_ptr<WarmEntry> entry);
 
   /// Drops every entry keyed to `graph_epoch` (a removed or replaced
-  /// registry graph). Counted as evictions; returns how many were dropped.
+  /// registry graph). Counted as evictions AND evicted_stale; returns how
+  /// many were dropped.
   uint64_t EvictGraph(uint64_t graph_epoch);
+
+  /// Checks every entry keyed to `graph_epoch` out of the cache in one
+  /// sweep — the epoch-migration path (query_service.h MigrateEpoch).
+  /// Ownership transfers to the caller exactly as with Acquire, but the
+  /// departures are counted under `migrations` (not hits or evictions):
+  /// the caller re-derives each entry against the successor epoch and
+  /// Releases it under its new key, or drops it and calls CountStaleDrop.
+  std::vector<std::pair<Key, std::unique_ptr<WarmEntry>>> TakeEpoch(
+      uint64_t graph_epoch);
+
+  /// Records that an entry checked out by TakeEpoch could not be carried
+  /// to the new epoch and was dropped (informational `evicted_stale`
+  /// bump; the entry already left the ledger under `migrations`).
+  void CountStaleDrop(const Key& key);
 
   /// Drops everything. Counted as evictions; returns how many were dropped.
   uint64_t EvictAll();

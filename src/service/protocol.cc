@@ -43,6 +43,35 @@ bool ParseSeconds(std::string_view s, double* out) {
   return ParseDouble(s, out) && std::isfinite(*out) && *out >= 0.0;
 }
 
+// Parses one "u,v,p" edge group (UPDATE ADD/PROB). The probability must be
+// a finite number; range checks happen in ApplyDelta where the error can
+// name the snapshot.
+bool ParseEdgeTriple(std::string_view token, Edge* out) {
+  const std::vector<std::string_view> f = SplitFields(token, ",");
+  if (f.size() != 3) return false;
+  uint64_t u = 0, v = 0;
+  if (!ParseUint64(f[0], &u) || u >= kInvalidVertex) return false;
+  if (!ParseUint64(f[1], &v) || v >= kInvalidVertex) return false;
+  double p = 0;
+  if (!ParseDouble(f[2], &p) || !std::isfinite(p)) return false;
+  out->source = static_cast<VertexId>(u);
+  out->target = static_cast<VertexId>(v);
+  out->probability = p;
+  return true;
+}
+
+// Parses one "u,v" edge group (UPDATE DEL).
+bool ParseEdgePair(std::string_view token, EdgeKey* out) {
+  const std::vector<std::string_view> f = SplitFields(token, ",");
+  if (f.size() != 2) return false;
+  uint64_t u = 0, v = 0;
+  if (!ParseUint64(f[0], &u) || u >= kInvalidVertex) return false;
+  if (!ParseUint64(f[1], &v) || v >= kInvalidVertex) return false;
+  out->source = static_cast<VertexId>(u);
+  out->target = static_cast<VertexId>(v);
+  return true;
+}
+
 bool ParseVertexList(std::string_view token, std::vector<VertexId>* out) {
   out->clear();
   if (token == "-") return true;  // explicit empty list
@@ -303,6 +332,68 @@ Result<Command> ParseEval(const std::vector<std::string_view>& fields) {
   return cmd;
 }
 
+Result<Command> ParseUpdate(const std::vector<std::string_view>& fields) {
+  if (fields.size() < 2) {
+    return SyntaxError(
+        "usage: UPDATE <name> [ADD u,v,p;..] [DEL u,v;..] [PROB u,v,p;..] "
+        "[ADDV <n>] [DELV v,v,..]");
+  }
+  Command cmd;
+  cmd.kind = Command::Kind::kUpdate;
+  cmd.name = std::string(fields[1]);
+
+  Status error;
+  std::vector<std::string> seen;
+  for (size_t i = 2; i < fields.size(); ++i) {
+    const std::string flag = Upper(fields[i]);
+    if (!MarkFlagSeen(flag, &seen)) {
+      return SyntaxError("duplicate flag '" + std::string(fields[i]) + "'");
+    }
+    auto value = FlagValue(fields, &i, &error);
+    if (!value) return error;
+    if (flag == "ADD" || flag == "PROB") {
+      auto* edges = flag == "ADD" ? &cmd.delta.insert_edges
+                                  : &cmd.delta.update_probabilities;
+      for (std::string_view group : SplitFields(*value, ";")) {
+        Edge e;
+        if (!ParseEdgeTriple(group, &e)) {
+          return SyntaxError(flag + " groups must be u,v,p with p finite");
+        }
+        edges->push_back(e);
+      }
+      if (edges->empty()) {
+        return SyntaxError(flag + " needs at least one u,v,p group");
+      }
+    } else if (flag == "DEL") {
+      for (std::string_view group : SplitFields(*value, ";")) {
+        EdgeKey k;
+        if (!ParseEdgePair(group, &k)) {
+          return SyntaxError("DEL groups must be u,v");
+        }
+        cmd.delta.delete_edges.push_back(k);
+      }
+      if (cmd.delta.delete_edges.empty()) {
+        return SyntaxError("DEL needs at least one u,v group");
+      }
+    } else if (flag == "ADDV") {
+      uint32_t n = 0;
+      if (!ParseUint32(*value, &n) || n == 0) {
+        return SyntaxError("ADDV must be a positive vertex count");
+      }
+      cmd.delta.add_vertices = n;
+    } else if (flag == "DELV") {
+      if (!ParseVertexList(*value, &cmd.delta.delete_vertices) ||
+          cmd.delta.delete_vertices.empty()) {
+        return SyntaxError("malformed DELV list");
+      }
+    } else {
+      return SyntaxError("unknown UPDATE flag '" + std::string(fields[i - 1]) +
+                         "'");
+    }
+  }
+  return cmd;
+}
+
 std::string JoinVertices(const std::vector<VertexId>& vertices) {
   if (vertices.empty()) return "-";
   std::string out;
@@ -388,6 +479,7 @@ Result<Command> ParseCommand(const std::string& line) {
   if (verb == "LOAD") return ParseLoad(fields);
   if (verb == "SOLVE") return ParseSolve(fields);
   if (verb == "EVAL") return ParseEval(fields);
+  if (verb == "UPDATE") return ParseUpdate(fields);
   if (verb == "STATS") {
     if (fields.size() != 1) return SyntaxError("STATS takes no arguments");
     Command cmd;
@@ -433,6 +525,8 @@ std::string FormatStats(const ServiceStats& stats, size_t num_graphs) {
   out += " pool_misses=" + std::to_string(stats.cache.misses);
   out += " pool_inserts=" + std::to_string(stats.cache.inserts);
   out += " pool_evictions=" + std::to_string(stats.cache.evictions);
+  out += " pool_migrations=" + std::to_string(stats.cache.migrations);
+  out += " pool_evicted_stale=" + std::to_string(stats.cache.evicted_stale);
   out += " pool_entries=" + std::to_string(stats.cache.entries);
   // Wall-clock / allocator-dependent fields stay last so transcripts can
   // be diffed after stripping everything from pool_bytes on. The net_*
@@ -502,6 +596,40 @@ std::string SerializeCommand(const Command& cmd) {
       out += std::string(" SAMPLER ") + SamplerToken(cmd.eval.sampler_kind);
       return out;
     }
+    case Command::Kind::kUpdate: {
+      std::string out = "UPDATE " + cmd.name;
+      auto join_triples = [](const std::vector<Edge>& edges) {
+        std::string s;
+        for (size_t i = 0; i < edges.size(); ++i) {
+          if (i > 0) s += ';';
+          s += std::to_string(edges[i].source) + ',' +
+               std::to_string(edges[i].target) + ',' +
+               FormatExact(edges[i].probability);
+        }
+        return s;
+      };
+      if (!cmd.delta.insert_edges.empty()) {
+        out += " ADD " + join_triples(cmd.delta.insert_edges);
+      }
+      if (!cmd.delta.delete_edges.empty()) {
+        out += " DEL ";
+        for (size_t i = 0; i < cmd.delta.delete_edges.size(); ++i) {
+          if (i > 0) out += ';';
+          out += std::to_string(cmd.delta.delete_edges[i].source) + ',' +
+                 std::to_string(cmd.delta.delete_edges[i].target);
+        }
+      }
+      if (!cmd.delta.update_probabilities.empty()) {
+        out += " PROB " + join_triples(cmd.delta.update_probabilities);
+      }
+      if (cmd.delta.add_vertices != 0) {
+        out += " ADDV " + std::to_string(cmd.delta.add_vertices);
+      }
+      if (!cmd.delta.delete_vertices.empty()) {
+        out += " DELV " + JoinVertices(cmd.delta.delete_vertices);
+      }
+      return out;
+    }
     case Command::Kind::kStats:
       return "STATS";
     case Command::Kind::kEvictPools:
@@ -565,8 +693,10 @@ void ServiceSession::ExecuteAsync(const std::string& line, ResponseFn done) {
     case Command::Kind::kLoadGen:
     case Command::Kind::kLoadFile:
     case Command::Kind::kEval:
-      // Graph generation / file I/O / Monte-Carlo evaluation can take
-      // seconds — run them on the service scheduler, not the event loop.
+    case Command::Kind::kUpdate:
+      // Graph generation / file I/O / Monte-Carlo evaluation / delta
+      // application (CSR rebuild + pool migration) can take seconds — run
+      // them on the service scheduler, not the event loop.
       service_->scheduler().Submit(
           [this, cmd = std::move(*parsed), done = std::move(done)] {
             done(Run(cmd));
@@ -602,19 +732,23 @@ std::string ServiceSession::Run(const Command& cmd) {
   auto error = [](const Status& status) { return ErrorResponse(status); };
 
   switch (cmd.kind) {
-    case Command::Kind::kLoadGen: {
-      Result<GraphRegistry::SnapshotPtr> snapshot = registry_->LoadGenerated(
-          cmd.name, cmd.source, cmd.scale, cmd.gen_seed, cmd.load);
-      if (!snapshot.ok()) return error(snapshot.status());
-      return "OK graph=" + cmd.name +
-             " n=" + std::to_string((*snapshot)->graph.NumVertices()) +
-             " m=" + std::to_string((*snapshot)->graph.NumEdges()) +
-             " epoch=" + std::to_string((*snapshot)->epoch);
-    }
+    case Command::Kind::kLoadGen:
     case Command::Kind::kLoadFile: {
+      // The replace→evict contract: re-LOADing a name orphans every warm
+      // pool of the displaced epoch — without the eviction they would pin
+      // cache bytes until LRU pressure (they can never hit again).
+      uint64_t replaced_epoch = 0;
       Result<GraphRegistry::SnapshotPtr> snapshot =
-          registry_->LoadEdgeList(cmd.name, cmd.source, cmd.load);
+          cmd.kind == Command::Kind::kLoadGen
+              ? registry_->LoadGenerated(cmd.name, cmd.source, cmd.scale,
+                                         cmd.gen_seed, cmd.load,
+                                         &replaced_epoch)
+              : registry_->LoadEdgeList(cmd.name, cmd.source, cmd.load,
+                                        &replaced_epoch);
       if (!snapshot.ok()) return error(snapshot.status());
+      if (replaced_epoch != 0) {
+        service_->pool_cache().EvictGraph(replaced_epoch);
+      }
       return "OK graph=" + cmd.name +
              " n=" + std::to_string((*snapshot)->graph.NumVertices()) +
              " m=" + std::to_string((*snapshot)->graph.NumEdges()) +
@@ -637,17 +771,33 @@ std::string ServiceSession::Run(const Command& cmd) {
       if (!spread.ok()) return error(spread.status());
       return "OK spread=" + FormatFixed(*spread, 4);
     }
+    case Command::Kind::kUpdate: {
+      Result<GraphRegistry::ApplyOutcome> applied =
+          registry_->Apply(cmd.name, cmd.delta);
+      if (!applied.ok()) return error(applied.status());
+      const QueryService::MigrationOutcome carried =
+          service_->MigrateEpoch(applied->snapshot, applied->previous);
+      return "OK graph=" + cmd.name +
+             " epoch=" + std::to_string(applied->snapshot->epoch) +
+             " n=" + std::to_string(applied->snapshot->graph.NumVertices()) +
+             " m=" + std::to_string(applied->snapshot->graph.NumEdges()) +
+             " migrated=" + std::to_string(carried.migrated) +
+             " rebuilt=" + std::to_string(carried.dropped);
+    }
     case Command::Kind::kStats:
       return RunStats();
     case Command::Kind::kEvictPools:
       return "OK evicted=" +
              std::to_string(service_->pool_cache().EvictAll());
     case Command::Kind::kEvictGraph: {
-      Result<GraphRegistry::SnapshotPtr> snapshot = registry_->Get(cmd.name);
-      if (!snapshot.ok()) return error(snapshot.status());
-      const uint64_t pools =
-          service_->pool_cache().EvictGraph((*snapshot)->epoch);
-      registry_->Remove(cmd.name);
+      // Remove reports the dead epoch itself — one registry round trip,
+      // and no lost eviction if another session re-LOADs the name between
+      // a lookup and the removal.
+      uint64_t removed_epoch = 0;
+      if (!registry_->Remove(cmd.name, &removed_epoch)) {
+        return error(Status::NotFound("no graph named '" + cmd.name + "'"));
+      }
+      const uint64_t pools = service_->pool_cache().EvictGraph(removed_epoch);
       return "OK graph=" + cmd.name + " pools_evicted=" +
              std::to_string(pools);
     }

@@ -15,10 +15,20 @@
 //         [TIMELIMIT <s>] [DEADLINE <s>]
 //   EVAL <graph> SEEDS <v,v,..> BLOCKERS <v,v,..|-> [ROUNDS <n>] [SEED <n>]
 //        [SAMPLER coin|skip|batch]
+//   UPDATE <name> [ADD u,v,p;..] [DEL u,v;..] [PROB u,v,p;..] [ADDV <n>]
+//          [DELV v,v,..]
 //   STATS
 //   EVICT POOLS
 //   EVICT GRAPH <name>
 //   QUIT
+//
+// UPDATE applies a GraphDelta to a registered graph (docs/DESIGN.md §11):
+// edge groups are ';'-separated, fields within a group ','-separated with
+// no spaces. The mutated graph is installed under a fresh epoch and the
+// old epoch's warm pools are migrated forward (QueryService::MigrateEpoch)
+// — the response reports how many were carried vs dropped. A replacing
+// LOAD and EVICT GRAPH instead evict the displaced epoch's pools outright
+// (the replace→evict contract of service/graph_registry.h).
 //
 // Responses: "OK key=value ..." on success, "ERR <CodeName> <message>" on a
 // typed error (the Status taxonomy of common/status.h). Every SOLVE/EVAL
@@ -52,6 +62,7 @@ struct Command {
     kLoadFile,
     kSolve,
     kEval,
+    kUpdate,
     kStats,
     kEvictPools,
     kEvictGraph,
@@ -71,6 +82,9 @@ struct Command {
   IminRequest request;              // SOLVE (request.graph reused by EVAL)
   std::vector<VertexId> blockers;   // EVAL
   EvaluationOptions eval;           // EVAL
+
+  // UPDATE (reuses `name` for the registry name)
+  GraphDelta delta;
 
   // EVICT GRAPH reuses `name`.
 };

@@ -9,6 +9,8 @@
 #include "core/greedy_replace.h"
 #include "core/spread_decrease_engine.h"
 #include "core/unified_instance.h"
+#include "graph/graph_delta.h"
+#include "graph/prob_grouped_view.h"
 
 namespace vblock {
 namespace {
@@ -345,6 +347,74 @@ Result<SolverResult> QueryService::ComputeWithEngine(
     cache_.Release(pool_key, std::move(entry));
   }
   return result;
+}
+
+QueryService::MigrationOutcome QueryService::MigrateEpoch(
+    const GraphRegistry::SnapshotPtr& to,
+    const GraphRegistry::SnapshotPtr& from) {
+  MigrationOutcome outcome;
+  auto taken = cache_.TakeEpoch(from->epoch);
+  for (auto& [key, entry] : taken) {
+    if (!entry || !entry->inst || !entry->engine ||
+        entry->engine->timed_out()) {
+      cache_.CountStaleDrop(key);
+      ++outcome.dropped;
+      continue;
+    }
+    UnifiedInstance& inst = *entry->inst;
+
+    // Re-unify against the mutated graph. The warm pool is only valid if
+    // the unified id space is bit-identical to the old one: same vertex
+    // count (the delta added no vertex the super-seed construction keeps),
+    // same root slot, same relabeling (a degree-ordered VertexOrder can
+    // reshuffle ids when the delta changes degrees). Otherwise every
+    // sample's vertex ids would be misinterpreted — drop, rebuild cold.
+    UnifiedInstance fresh =
+        UnifySeeds(to->graph, key.query.seeds, key.query.vertex_order);
+    if (fresh.graph.NumVertices() != inst.graph.NumVertices() ||
+        fresh.root != inst.root || fresh.to_original != inst.to_original) {
+      cache_.CountStaleDrop(key);
+      ++outcome.dropped;
+      continue;
+    }
+
+    std::vector<VertexId> changed_out, changed_in;
+    ComputeChangedRows(inst.graph, fresh.graph, &changed_out, &changed_in);
+
+    // The skip samplers read the grouped adjacency; patch the old unified
+    // view forward so unchanged rows keep their analyzed runs. When the
+    // class table is unstable (DeltaPatched returns nullptr) the entry
+    // CANNOT be carried: a vertex's grouped edge order is its row sorted
+    // by *global* class id, so a reordered class table permutes even
+    // untouched vertices' grouped adjacency — a cold build on the mutated
+    // graph would then map the same RNG stream onto different edges, and
+    // the kept unaffected samples would no longer match it bit-for-bit
+    // (tests/dynamic_graph_test.cc pins this drop). Per-edge-coin pools
+    // never consult the view and migrate regardless.
+    if (key.query.sampler_kind != SamplerKind::kPerEdgeCoin) {
+      auto patched = ProbGroupedView::DeltaPatched(
+          inst.graph.GroupedView(), fresh.graph, changed_out, changed_in);
+      if (patched == nullptr) {
+        cache_.CountStaleDrop(key);
+        ++outcome.dropped;
+        continue;
+      }
+      fresh.graph.InstallGroupedView(std::move(patched));
+    }
+
+    // In-place content swap: the engine and its pool hold references to
+    // inst.graph, so the Graph object must keep its address — only its
+    // CSR arrays (and grouped-view slot) move.
+    inst.graph = std::move(fresh.graph);
+    entry->engine->MigrateGraph(changed_out, changed_in);
+    entry->engine->ReleaseThreads();
+
+    PoolCache::Key new_key = key;
+    new_key.graph_epoch = to->epoch;
+    cache_.Release(new_key, std::move(entry));
+    ++outcome.migrated;
+  }
+  return outcome;
 }
 
 Result<double> QueryService::Evaluate(const EvalRequest& request) const {

@@ -174,6 +174,35 @@ class QueryService {
   /// or exact per request.options; runs on the calling thread).
   Result<double> Evaluate(const EvalRequest& request) const;
 
+  /// What MigrateEpoch did with the displaced epoch's warm entries.
+  struct MigrationOutcome {
+    /// Entries carried forward: re-keyed to the new epoch with their pools
+    /// incrementally re-derived (only samples touching changed rows).
+    uint64_t migrated = 0;
+    /// Entries that could not be carried (seed relabeling changed, vertex
+    /// count grew, grouped-view class table destabilized, engine poisoned)
+    /// and were dropped; the next query for their key rebuilds cold.
+    uint64_t dropped = 0;
+  };
+
+  /// Epoch migration (docs/DESIGN.md §11): carries the warm pools keyed to
+  /// `from` forward to `to`, where `to` is the registry snapshot that
+  /// replaced `from` via GraphRegistry::Apply. For each warm entry the
+  /// seeds are re-unified against the mutated graph; when the unified id
+  /// space is unchanged (same vertex count, root, and relabeling) the
+  /// entry's unified graph is swapped in place — the engine and pool hold
+  /// references, so addresses must not move — its grouped view is
+  /// delta-patched, and exactly the samples whose live-edge worlds touch
+  /// changed rows are re-drawn (SpreadDecreaseEngine::MigrateGraph). The
+  /// migrated engine is bit-identical to one cold-built on the mutated
+  /// graph (tests/dynamic_graph_test.cc proves this differentially), so
+  /// the determinism contract survives updates. Entries whose unified
+  /// space shifted are dropped (counted under stats().cache.evicted_stale)
+  /// and rebuild cold on next use. Thread-safe; call after Apply has
+  /// published `to`.
+  MigrationOutcome MigrateEpoch(const GraphRegistry::SnapshotPtr& to,
+                                const GraphRegistry::SnapshotPtr& from);
+
   /// Consistent snapshot of counters, queue state, cache stats, latency.
   ServiceStats Stats() const;
 

@@ -187,12 +187,21 @@ TEST(BatchedCostModelTest, DrawBlockForRoundsUpToMultiplesOfFour) {
 
 TEST(BatchedCostModelTest, PerKernelCrossoversDiverge) {
   using View = ProbGroupedView;
-  // Where both kernels agree: a long sparse run is geometric either way, a
-  // short dense run is coins either way.
-  EXPECT_TRUE(View::RunPrefersGeometric(0.08, 24));
-  EXPECT_TRUE(View::RunPrefersGeometricBatched(0.08, 24));
+  // A short dense run is coins either way.
   EXPECT_FALSE(View::RunPrefersGeometric(0.6, 3));
   EXPECT_FALSE(View::RunPrefersGeometricBatched(0.6, 3));
+
+  // A long sparse run jumps under the scalar model, but its 2.92 expected
+  // draws sit under the kMinExpectedDrawsBatched = 8 amortization gate:
+  // one tiny fill would put the whole block transform's latency on the
+  // walk's critical path, so the batched kernel keeps the scalar jump for
+  // it instead of block fills. (This is the WC-RR mis-selection fixed in
+  // this revision: in-runs there expect exactly 2 draws.)
+  EXPECT_TRUE(View::RunPrefersGeometric(0.08, 24));
+  EXPECT_FALSE(View::RunPrefersGeometricBatched(0.08, 24));
+  EXPECT_FALSE(View::RunPrefersGeometricBatched(1.0 / 50.0, 50));  // E = 2
+  // Just above the gate the throughput arithmetic takes over again.
+  EXPECT_TRUE(View::RunPrefersGeometricBatched(0.25, 40));  // E = 11
 
   // The headline divergence: L=64 at p=0.25 expects 17 live edges. Scalar
   // draws cost 4.5 coins each (17·4.5 = 76.5 > 64 → per-edge coins) while
@@ -335,10 +344,25 @@ void CheckStarBinomial(const Graph& g, VertexId fan, double p,
 }
 
 TEST(BatchedSkipDistributionTest, SingleFillJumpBranchMatchesBinomial) {
-  // fan=24 / p=0.08: geometric-batched, one 4-draw block per fill. Cells
+  // fan=40 / p=0.25 expects 11 draws — above the 8-draw gate, within one
+  // 12-draw fill, so every sample is exactly one block fill. Cells
+  // {head, 4..17, tail}: dof 15, 0.999 quantile 37.7, padded.
+  Graph g = StarGraph(40, 0.25);
+  ASSERT_TRUE(g.GroupedView().OutUsesRunWalkBatched(0));
+  ASSERT_TRUE(ProbGroupedView::RunPrefersGeometricBatched(0.25, 40));
+  ASSERT_EQ(ProbGroupedView::DrawBlockFor(0.25, 40), 12u);
+  CheckStarBinomial(g, 40, 0.25, 120000, 4, 17, 42.0, 77);
+}
+
+TEST(BatchedSkipDistributionTest, GatedRunFallsBackToScalarJumpBranch) {
+  // fan=24 / p=0.08 expects 2.92 draws — UNDER the gate, so the batched
+  // kernel walks this run with the scalar geometric jump instead of block
+  // fills. The marginals must be the same Binomial either way. Cells
   // {0..7, tail}: dof 8, 0.999 quantile 26.1, padded.
   Graph g = StarGraph(24, 0.08);
   ASSERT_TRUE(g.GroupedView().OutUsesRunWalkBatched(0));
+  ASSERT_FALSE(ProbGroupedView::RunPrefersGeometricBatched(0.08, 24));
+  ASSERT_TRUE(ProbGroupedView::RunPrefersGeometric(0.08, 24));
   CheckStarBinomial(g, 24, 0.08, 120000, 0, 7, 30.0, 77);
 }
 
@@ -363,14 +387,14 @@ TEST(BatchedSkipDistributionTest, MultiFillJumpBranchMatchesBinomial) {
 }
 
 TEST(BatchedSkipDistributionTest, MixedRunGadgetMarginals) {
-  // 24 edges at p=0.08 interleaved with 3 at p=0.6: within one batched run
-  // walk the low-p run takes the block-fill jump branch and the high-p run
-  // the coin branch; every edge's inclusion frequency must match its own
-  // probability.
+  // 64 edges at p=0.25 interleaved with 3 at p=0.6: within one batched run
+  // walk the low-p run (17 expected draws — over the gate) takes the
+  // block-fill jump branch and the high-p run the coin branch; every
+  // edge's inclusion frequency must match its own probability.
   GraphBuilder builder;
   std::vector<double> probs;
-  for (VertexId k = 0; k < 27; ++k) {
-    const double p = (k % 9 == 4) ? 0.6 : 0.08;
+  for (VertexId k = 0; k < 67; ++k) {
+    const double p = (k % 22 == 4) ? 0.6 : 0.25;
     probs.push_back(p);
     builder.AddEdge(0, k + 1, p);
   }
@@ -378,21 +402,21 @@ TEST(BatchedSkipDistributionTest, MixedRunGadgetMarginals) {
   ASSERT_TRUE(built.ok());
   const Graph& g = *built;
   ASSERT_TRUE(g.GroupedView().OutUsesRunWalkBatched(0));
-  ASSERT_TRUE(ProbGroupedView::RunPrefersGeometricBatched(0.08, 24));
+  ASSERT_TRUE(ProbGroupedView::RunPrefersGeometricBatched(0.25, 64));
   ASSERT_FALSE(ProbGroupedView::RunPrefersGeometricBatched(0.6, 3));
 
   const uint64_t kRounds = 60000;
   ReachableSampler sampler(g, 0, nullptr, SamplerKind::kBatchedSkip);
   SampledGraph s;
   Rng rng(101);
-  std::vector<uint64_t> hits(27, 0);
+  std::vector<uint64_t> hits(67, 0);
   for (uint64_t i = 0; i < kRounds; ++i) {
     sampler.Sample(rng, &s);
     for (VertexId parent : s.to_parent) {
       if (parent > 0) ++hits[parent - 1];
     }
   }
-  for (VertexId k = 0; k < 27; ++k) {
+  for (VertexId k = 0; k < 67; ++k) {
     const double sigma = std::sqrt(probs[k] * (1.0 - probs[k]) / kRounds);
     EXPECT_NEAR(static_cast<double>(hits[k]) / kRounds, probs[k], 5.0 * sigma)
         << "edge " << k;
@@ -462,10 +486,12 @@ TEST(BatchedSkipDeterminismTest, VisitsDifferentWorldsThanScalarSkip) {
   // kBatchedSkip consumes randomness differently (block fills, custom log)
   // so for one seed it draws different worlds than kGeometricSkip — both
   // i.i.d. Definition-4 samples. Same seed and kind reproduces itself.
-  // Trivalency over a dense ER graph gives long low-p runs, so both kinds
-  // actually take their (different) geometric branches; a WC graph's short
-  // out-runs would collapse both kinds onto the identical coin scan.
-  Graph g = WithTrivalency(GenerateErdosRenyi(200, 6000, 9), 5);
+  // Constant p=0.25 over a dense ER graph makes each row one ~60-edge run
+  // expecting ~16 draws — over the batched kernel's 8-draw gate, so it
+  // block-fills where the scalar kernel coin-scans. (Trivalency runs
+  // expect ≤ 2–3 draws and now fall back to the identical scalar walk; a
+  // WC graph's short out-runs would likewise collapse the two kinds.)
+  Graph g = WithConstantProbability(GenerateErdosRenyi(200, 12000, 9), 0.25);
   SpreadDecreaseOptions batched =
       BatchedOptions(4000, 3, SampleReuse::kPrune);
   SpreadDecreaseOptions skip = batched;

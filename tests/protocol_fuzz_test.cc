@@ -45,9 +45,17 @@ std::vector<VertexId> RandomVertices(Rng& rng) {
   return out;
 }
 
+Edge RandomEdge(Rng& rng) {
+  Edge e;
+  e.source = static_cast<VertexId>(rng.NextBounded(100000));
+  e.target = static_cast<VertexId>(rng.NextBounded(100000));
+  e.probability = 0.001 + 0.998 * rng.NextDouble();
+  return e;
+}
+
 Command RandomCommand(Rng& rng) {
   Command cmd;
-  switch (rng.NextBounded(8)) {
+  switch (rng.NextBounded(9)) {
     case 0: {
       cmd.kind = Command::Kind::kLoadGen;
       cmd.name = RandomToken(rng, 12);
@@ -136,6 +144,40 @@ Command RandomCommand(Rng& rng) {
       cmd.kind = Command::Kind::kEvictGraph;
       cmd.name = RandomToken(rng, 12);
       break;
+    case 7: {
+      cmd.kind = Command::Kind::kUpdate;
+      cmd.name = RandomToken(rng, 12);
+      // Each delta group is independently present or absent — including
+      // the degenerate all-absent "UPDATE <name>", which must round-trip
+      // to an empty delta.
+      if (rng.NextBernoulli(0.6)) {
+        const size_t n = 1 + rng.NextBounded(4);
+        for (size_t i = 0; i < n; ++i) {
+          cmd.delta.insert_edges.push_back(RandomEdge(rng));
+        }
+      }
+      if (rng.NextBernoulli(0.6)) {
+        const size_t n = 1 + rng.NextBounded(4);
+        for (size_t i = 0; i < n; ++i) {
+          const Edge e = RandomEdge(rng);
+          cmd.delta.delete_edges.push_back({e.source, e.target});
+        }
+      }
+      if (rng.NextBernoulli(0.6)) {
+        const size_t n = 1 + rng.NextBounded(4);
+        for (size_t i = 0; i < n; ++i) {
+          cmd.delta.update_probabilities.push_back(RandomEdge(rng));
+        }
+      }
+      if (rng.NextBernoulli(0.4)) {
+        cmd.delta.add_vertices =
+            1 + static_cast<uint32_t>(rng.NextBounded(100));
+      }
+      if (rng.NextBernoulli(0.4)) {
+        cmd.delta.delete_vertices = RandomVertices(rng);
+      }
+      break;
+    }
     default:
       cmd.kind = Command::Kind::kQuit;
       break;
@@ -209,6 +251,36 @@ TEST_P(ProtocolFuzz, SerializeParseRoundTrip) {
         EXPECT_EQ(reparsed->eval.seed, original.eval.seed);
         EXPECT_EQ(reparsed->eval.sampler_kind, original.eval.sampler_kind);
         break;
+      case Command::Kind::kUpdate: {
+        const GraphDelta& a = reparsed->delta;
+        const GraphDelta& b = original.delta;
+        ASSERT_EQ(a.insert_edges.size(), b.insert_edges.size());
+        for (size_t k = 0; k < b.insert_edges.size(); ++k) {
+          EXPECT_EQ(a.insert_edges[k].source, b.insert_edges[k].source);
+          EXPECT_EQ(a.insert_edges[k].target, b.insert_edges[k].target);
+          // %.17g serialization: probabilities survive bit-exactly.
+          EXPECT_EQ(a.insert_edges[k].probability,
+                    b.insert_edges[k].probability);
+        }
+        ASSERT_EQ(a.delete_edges.size(), b.delete_edges.size());
+        for (size_t k = 0; k < b.delete_edges.size(); ++k) {
+          EXPECT_EQ(a.delete_edges[k].source, b.delete_edges[k].source);
+          EXPECT_EQ(a.delete_edges[k].target, b.delete_edges[k].target);
+        }
+        ASSERT_EQ(a.update_probabilities.size(),
+                  b.update_probabilities.size());
+        for (size_t k = 0; k < b.update_probabilities.size(); ++k) {
+          EXPECT_EQ(a.update_probabilities[k].source,
+                    b.update_probabilities[k].source);
+          EXPECT_EQ(a.update_probabilities[k].target,
+                    b.update_probabilities[k].target);
+          EXPECT_EQ(a.update_probabilities[k].probability,
+                    b.update_probabilities[k].probability);
+        }
+        EXPECT_EQ(a.add_vertices, b.add_vertices);
+        EXPECT_EQ(a.delete_vertices, b.delete_vertices);
+        break;
+      }
       default:
         break;
     }
@@ -239,8 +311,9 @@ TEST_P(ProtocolFuzz, ParseCommandNeverCrashesOnGarbage) {
 // that exceed the framing cap.
 std::string HostileStream(Rng& rng, size_t* expect_lines) {
   static const char* kValid[] = {
-      "STATS",          "EVICT POOLS",     "SOLVE nope SEEDS 1",
+      "STATS",          "EVICT POOLS",      "SOLVE nope SEEDS 1",
       "stats",          "EVICT GRAPH gone", "EVAL nada SEEDS 3 BLOCKERS -",
+      "UPDATE gone PROB 1,2,0.5", "UPDATE gone ADD 1,2,0.5 DEL 3,4",
   };
   std::string stream;
   *expect_lines = 0;
@@ -249,7 +322,7 @@ std::string HostileStream(Rng& rng, size_t* expect_lines) {
     switch (rng.NextBounded(6)) {
       case 0:
       case 1:
-        stream += kValid[rng.NextBounded(6)];
+        stream += kValid[rng.NextBounded(8)];
         break;
       case 2: {  // raw garbage, NULs and broken UTF-8 included
         const size_t len = rng.NextBounded(40);

@@ -10,12 +10,14 @@
 #include <cmath>
 #include <future>
 #include <limits>
+#include <map>
 #include <optional>
 #include <random>
 #include <vector>
 
 #include "core/solver.h"
 #include "gen/generators.h"
+#include "graph/graph_delta.h"
 #include "prob/probability_models.h"
 #include "service/graph_registry.h"
 #include "service/pool_cache.h"
@@ -355,6 +357,223 @@ TEST(QueryServiceTest, EvictGraphDropsOnlyThatEpoch) {
   EXPECT_EQ(service.pool_cache().stats().hits, 1u);
 }
 
+// ------------------------------------------------------- epoch migration --
+
+// A one-edge probability swap that provably keeps the unified grouped
+// view's class table stable (docs/DESIGN.md §11): the touched edge is not
+// the first appearance of its value, the value it takes first appears on
+// an earlier edge, and neither endpoint is a seed (seed rows are rewritten
+// or dropped by UnifySeeds, so seed-incident edges sit outside — or at the
+// end of — the unified interning scan).
+GraphDelta StableProbSwap(const Graph& g, const std::vector<VertexId>& seeds) {
+  const std::vector<Edge> edges = g.CollectEdges();
+  auto is_seed_edge = [&](const Edge& e) {
+    return std::find(seeds.begin(), seeds.end(), e.source) != seeds.end() ||
+           std::find(seeds.begin(), seeds.end(), e.target) != seeds.end();
+  };
+  std::map<double, size_t> first_pos;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (!is_seed_edge(edges[i])) first_pos.try_emplace(edges[i].probability, i);
+  }
+  for (size_t i = edges.size(); i-- > 1;) {
+    const Edge& e = edges[i];
+    if (is_seed_edge(e) || first_pos[e.probability] == i) continue;
+    for (size_t j = 0; j < i; ++j) {
+      const Edge& o = edges[j];
+      if (is_seed_edge(o) || o.probability == e.probability ||
+          first_pos[o.probability] != j) {
+        continue;
+      }
+      GraphDelta delta;
+      delta.update_probabilities.push_back(
+          {e.source, e.target, o.probability});
+      return delta;
+    }
+  }
+  ADD_FAILURE() << "no class-stable swap found in test graph";
+  return {};
+}
+
+// First edge (in CSR scan order) touching no seed on either endpoint.
+Edge FirstNonSeedEdge(const Graph& g, const std::vector<VertexId>& seeds) {
+  for (const Edge& e : g.CollectEdges()) {
+    if (std::find(seeds.begin(), seeds.end(), e.source) == seeds.end() &&
+        std::find(seeds.begin(), seeds.end(), e.target) == seeds.end()) {
+      return e;
+    }
+  }
+  ADD_FAILURE() << "graph has only seed-incident edges";
+  return {};
+}
+
+TEST(QueryServiceTest, MigrateEpochCarriesWarmPoolsBitExact) {
+  GraphRegistry registry;
+  auto before = registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  const std::vector<VertexId> seeds = {5, 12};
+  const GraphDelta delta = StableProbSwap(before->graph, seeds);
+
+  // One pool per sampler kind (the sampler is part of the cache key):
+  // per-edge coin ignores the grouped view; the two skip kernels exercise
+  // the DeltaPatched path. Reuse modes vary to cover both re-derivations.
+  struct Combo {
+    SamplerKind sampler;
+    SampleReuse reuse;
+    Algorithm algorithm;
+  };
+  const Combo combos[] = {
+      {SamplerKind::kPerEdgeCoin, SampleReuse::kPrune,
+       Algorithm::kAdvancedGreedy},
+      {SamplerKind::kGeometricSkip, SampleReuse::kResample,
+       Algorithm::kGreedyReplace},
+      {SamplerKind::kBatchedSkip, SampleReuse::kPrune,
+       Algorithm::kAdvancedGreedy},
+  };
+  auto make_request = [&](const Combo& combo) {
+    IminRequest request = MakeRequest(seeds, 4, combo.algorithm, combo.reuse);
+    request.query.sampler_kind = combo.sampler;
+    return request;
+  };
+  for (const Combo& combo : combos) {
+    ASSERT_TRUE(service.SubmitAndWait(make_request(combo)).ok());
+  }
+  ASSERT_EQ(service.pool_cache().stats().entries, 3u);
+
+  Result<GraphRegistry::ApplyOutcome> applied = registry.Apply("g", delta);
+  ASSERT_TRUE(applied.ok());
+  QueryService::MigrationOutcome outcome =
+      service.MigrateEpoch(applied->snapshot, applied->previous);
+  EXPECT_EQ(outcome.migrated, 3u);
+  EXPECT_EQ(outcome.dropped, 0u);
+
+  // Every migrated pool serves the new epoch warm, and each warm answer is
+  // bit-identical to a standalone cold solve on the mutated graph.
+  const uint64_t hits_before = service.pool_cache().stats().hits;
+  for (const Combo& combo : combos) {
+    SCOPED_TRACE(static_cast<int>(combo.sampler));
+    SolverOptions standalone = FastOptions().defaults;
+    standalone.algorithm = combo.algorithm;
+    standalone.budget = 4;
+    standalone.sample_reuse = combo.reuse;
+    standalone.sampler_kind = combo.sampler;
+    Result<SolverResult> want =
+        SolveImin(applied->snapshot->graph, seeds, standalone);
+    ASSERT_TRUE(want.ok());
+    Result<SolverResult> warm = service.SubmitAndWait(make_request(combo));
+    ASSERT_TRUE(warm.ok());
+    ExpectSameResult(*warm, *want);
+  }
+  PoolCache::Stats stats = service.pool_cache().stats();
+  EXPECT_EQ(stats.hits - hits_before, 3u);
+  EXPECT_EQ(stats.migrations, 3u);
+  EXPECT_EQ(stats.evicted_stale, 0u);
+}
+
+TEST(QueryServiceTest, UnstableDeltaDropsGroupedPoolsButCarriesCoin) {
+  GraphRegistry registry;
+  auto before = registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  IminRequest skip = MakeRequest({5, 12}, 4, Algorithm::kAdvancedGreedy);
+  skip.query.sampler_kind = SamplerKind::kGeometricSkip;
+  IminRequest coin = MakeRequest({5, 12}, 4, Algorithm::kAdvancedGreedy);
+  coin.query.sampler_kind = SamplerKind::kPerEdgeCoin;
+  ASSERT_TRUE(service.SubmitAndWait(skip).ok());
+  ASSERT_TRUE(service.SubmitAndWait(coin).ok());
+
+  // A brand-new probability value re-ranks the grouped view's class table
+  // (first-appearance interning), so the skip pool cannot be patched and
+  // must drop; the coin pool never reads the view and always carries. The
+  // probe edge must not touch a seed — seed-incident edges are rewritten
+  // or dropped by unification, and a delta confined to them would leave
+  // the unified graph untouched.
+  GraphDelta delta;
+  const Edge e = FirstNonSeedEdge(before->graph, {5, 12});
+  delta.update_probabilities.push_back({e.source, e.target, 0.123456789});
+  Result<GraphRegistry::ApplyOutcome> applied = registry.Apply("g", delta);
+  ASSERT_TRUE(applied.ok());
+  QueryService::MigrationOutcome outcome =
+      service.MigrateEpoch(applied->snapshot, applied->previous);
+  EXPECT_EQ(outcome.migrated, 1u);
+  EXPECT_EQ(outcome.dropped, 1u);
+  PoolCache::Stats stats = service.pool_cache().stats();
+  EXPECT_EQ(stats.migrations, 2u);  // both left the old epoch via TakeEpoch
+  EXPECT_EQ(stats.evicted_stale, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // The dropped key rebuilds cold; both answers match standalone solves on
+  // the mutated graph bit-for-bit.
+  for (const IminRequest* request : {&skip, &coin}) {
+    SolverOptions standalone = FastOptions().defaults;
+    standalone.algorithm = Algorithm::kAdvancedGreedy;
+    standalone.budget = 4;
+    standalone.sample_reuse = *request->query.sample_reuse;
+    standalone.sampler_kind = *request->query.sampler_kind;
+    Result<SolverResult> want =
+        SolveImin(applied->snapshot->graph, {5, 12}, standalone);
+    ASSERT_TRUE(want.ok());
+    Result<SolverResult> got = service.SubmitAndWait(*request);
+    ASSERT_TRUE(got.ok());
+    ExpectSameResult(*got, *want);
+  }
+  stats = service.pool_cache().stats();
+  EXPECT_EQ(stats.hits, 1u);    // the carried coin pool
+  EXPECT_EQ(stats.misses, 3u);  // two cold builds + the dropped skip key
+}
+
+TEST(QueryServiceTest, PoolLedgerBalancesAcrossMigrationsAndEvictions) {
+  GraphRegistry registry;
+  auto before = registry.Add("g", TestGraph());
+  QueryService service(&registry, FastOptions());
+
+  // Every departure from the cache map is counted exactly once — warm
+  // checkouts under `hits`, stale drops under `evictions`, epoch sweeps
+  // under `migrations` — and every arrival under `inserts` (a checked-out
+  // entry that comes back counts again). At quiescence the books balance.
+  auto expect_ledger = [&](const char* where) {
+    const PoolCache::Stats s = service.pool_cache().stats();
+    EXPECT_EQ(s.entries, s.inserts - s.hits - s.evictions - s.migrations)
+        << where;
+  };
+
+  IminRequest request = MakeRequest({5, 12}, 3, Algorithm::kAdvancedGreedy);
+  request.query.sampler_kind = SamplerKind::kPerEdgeCoin;
+  ASSERT_TRUE(service.SubmitAndWait(request).ok());
+  ASSERT_TRUE(service.SubmitAndWait(request).ok());  // warm round trip
+  expect_ledger("after solves");
+
+  // Stable migration: the entry leaves under `migrations` and returns
+  // under a fresh `inserts`.
+  const GraphDelta stable = StableProbSwap(before->graph, {5, 12});
+  Result<GraphRegistry::ApplyOutcome> applied = registry.Apply("g", stable);
+  ASSERT_TRUE(applied.ok());
+  service.MigrateEpoch(applied->snapshot, applied->previous);
+  expect_ledger("after stable migration");
+
+  // Unstable migration of a grouped pool: leaves under `migrations`, never
+  // comes back (CountStaleDrop is informational only).
+  IminRequest skip = MakeRequest({5, 12}, 3, Algorithm::kAdvancedGreedy);
+  skip.query.sampler_kind = SamplerKind::kGeometricSkip;
+  ASSERT_TRUE(service.SubmitAndWait(skip).ok());
+  GraphDelta unstable;
+  const Edge e = FirstNonSeedEdge(applied->snapshot->graph, {5, 12});
+  unstable.update_probabilities.push_back({e.source, e.target, 0.987654321});
+  Result<GraphRegistry::ApplyOutcome> applied2 =
+      registry.Apply("g", unstable);
+  ASSERT_TRUE(applied2.ok());
+  service.MigrateEpoch(applied2->snapshot, applied2->previous);
+  expect_ledger("after unstable migration");
+
+  // Stale-epoch eviction and full eviction land under `evictions`.
+  ASSERT_TRUE(service.SubmitAndWait(request).ok());
+  service.pool_cache().EvictGraph(applied2->snapshot->epoch);
+  expect_ledger("after EvictGraph");
+  service.pool_cache().EvictAll();
+  expect_ledger("after EvictAll");
+  EXPECT_EQ(service.pool_cache().stats().entries, 0u);
+}
+
 // ----------------------------------------------- admission + deadlines ----
 
 TEST(QueryServiceTest, ExpiredDeadlineReturnsTypedTimeout) {
@@ -606,6 +825,33 @@ TEST(ProtocolTest, ParseLoadAndEvalAndEvict) {
   EXPECT_EQ(ParseCommand("STATS")->kind, Command::Kind::kStats);
 }
 
+TEST(ProtocolTest, ParseUpdateRoundTrip) {
+  Result<Command> cmd = ParseCommand(
+      "UPDATE g ADD 1,2,0.5;3,4,0.25 DEL 5,6;7,8 PROB 9,10,0.125 "
+      "ADDV 2 DELV 11,12");
+  ASSERT_TRUE(cmd.ok()) << cmd.status().ToString();
+  EXPECT_EQ(cmd->kind, Command::Kind::kUpdate);
+  EXPECT_EQ(cmd->name, "g");
+  ASSERT_EQ(cmd->delta.insert_edges.size(), 2u);
+  EXPECT_EQ(cmd->delta.insert_edges[0].source, 1u);
+  EXPECT_EQ(cmd->delta.insert_edges[0].target, 2u);
+  EXPECT_DOUBLE_EQ(cmd->delta.insert_edges[0].probability, 0.5);
+  EXPECT_DOUBLE_EQ(cmd->delta.insert_edges[1].probability, 0.25);
+  ASSERT_EQ(cmd->delta.delete_edges.size(), 2u);
+  EXPECT_EQ(cmd->delta.delete_edges[1].source, 7u);
+  EXPECT_EQ(cmd->delta.delete_edges[1].target, 8u);
+  ASSERT_EQ(cmd->delta.update_probabilities.size(), 1u);
+  EXPECT_DOUBLE_EQ(cmd->delta.update_probabilities[0].probability, 0.125);
+  EXPECT_EQ(cmd->delta.add_vertices, 2u);
+  EXPECT_EQ(cmd->delta.delete_vertices, std::vector<VertexId>({11, 12}));
+
+  // Serialize(parse(s)) is a fixed point for the canonical form.
+  const std::string line = SerializeCommand(*cmd);
+  Result<Command> reparsed = ParseCommand(line);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(SerializeCommand(*reparsed), line);
+}
+
 TEST(ProtocolTest, ParserRejectsMalformedLines) {
   for (const char* line : {
            "",                                  // empty
@@ -633,6 +879,18 @@ TEST(ProtocolTest, ParserRejectsMalformedLines) {
            "EVICT",                             // missing subcommand
            "EVICT GRAPH",                       // missing name
            "STATS now",                         // stray argument
+           "UPDATE",                            // missing name
+           "UPDATE g ADD",                      // flag without value
+           "UPDATE g ADD 1,2",                  // triple missing p
+           "UPDATE g ADD 1,2,x",                // malformed probability
+           "UPDATE g ADD 1,2,inf",              // p must be finite
+           "UPDATE g DEL 1",                    // pair missing target
+           "UPDATE g DEL 1,2,0.5",              // pair with stray field
+           "UPDATE g ADDV 0",                   // zero vertex count
+           "UPDATE g ADDV -3",                  // negative vertex count
+           "UPDATE g DELV",                     // flag without value
+           "UPDATE g FROB 1",                   // unknown flag
+           "UPDATE g ADDV 1 ADDV 1",            // duplicate flag
        }) {
     SCOPED_TRACE(line);
     Result<Command> cmd = ParseCommand(line);
@@ -685,6 +943,54 @@ TEST(ProtocolTest, SessionEndToEnd) {
   EXPECT_FALSE(session.done());
   EXPECT_EQ(session.Execute("QUIT"), "OK bye");
   EXPECT_TRUE(session.done());
+}
+
+TEST(ProtocolTest, UpdateSessionMigratesAndEvictsStalePools) {
+  ServiceSession session(FastOptions());
+  ASSERT_TRUE(session.Execute("LOAD ec GEN EmailCore SCALE 0.05 SEED 7 MODEL wc")
+                  .starts_with("OK graph=ec"));
+
+  // Coin-sampler pools migrate across any epoch, so the repeated SOLVE
+  // after UPDATE is still a warm hit against the mutated graph.
+  std::string cold = session.Execute(
+      "SOLVE ec SEEDS 1,2 BUDGET 3 ALG ag THETA 200 SEED 9 SAMPLER coin");
+  ASSERT_TRUE(cold.starts_with("OK blockers=")) << cold;
+  std::string update = session.Execute("UPDATE ec PROB 1,2,0.5");
+  ASSERT_TRUE(update.starts_with("OK graph=ec epoch=")) << update;
+  EXPECT_NE(update.find(" migrated=1 rebuilt=0"), std::string::npos) << update;
+  std::string warm = session.Execute(
+      "SOLVE ec SEEDS 1,2 BUDGET 3 ALG ag THETA 200 SEED 9 SAMPLER coin");
+  EXPECT_NE(warm.find("pool=warm"), std::string::npos) << warm;
+
+  // Typed errors: unknown graph, delta inconsistent with the graph.
+  EXPECT_TRUE(session.Execute("UPDATE nope PROB 1,2,0.5")
+                  .starts_with("ERR NotFound"));
+  EXPECT_TRUE(session.Execute("UPDATE ec DEL 1,999999")
+                  .starts_with("ERR InvalidArgument"));
+
+  // A skip-sampler pool hit by a class-destabilizing value (a brand-new
+  // probability on a non-seed-incident edge) is dropped (rebuilt=1) and
+  // surfaces in STATS as pool_evicted_stale; the coin pool still carries.
+  ASSERT_TRUE(
+      session
+          .Execute("SOLVE ec SEEDS 1,2 BUDGET 3 ALG ag THETA 200 SEED 9 "
+                   "SAMPLER skip")
+          .starts_with("OK blockers="));
+  std::string unstable = session.Execute("UPDATE ec PROB 3,4,0.123456789");
+  ASSERT_TRUE(unstable.starts_with("OK graph=ec epoch=")) << unstable;
+  EXPECT_NE(unstable.find(" migrated=1 rebuilt=1"), std::string::npos)
+      << unstable;
+  std::string stats = session.Execute("STATS");
+  EXPECT_NE(stats.find("pool_migrations=3"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("pool_evicted_stale=1"), std::string::npos) << stats;
+
+  // A replacing LOAD evicts the displaced epoch's pools (the carried coin
+  // entry) outright instead of migrating them.
+  ASSERT_TRUE(session.Execute("LOAD ec GEN EmailCore SCALE 0.05 SEED 7 MODEL wc")
+                  .starts_with("OK graph=ec"));
+  stats = session.Execute("STATS");
+  EXPECT_NE(stats.find("pool_evicted_stale=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("pool_entries=0"), std::string::npos) << stats;
 }
 
 }  // namespace

@@ -24,8 +24,9 @@ entry and exits 1 if any ratio regressed by more than --threshold (default
 rewrites the trajectory file; commit the result.
 
 The metric extractors below understand the JSON emitted by
-bench_skip_sampling, bench_sample_pool, bench_batch_solver, and
-bench_service_throughput, keyed by the "bench" field each one emits.
+bench_skip_sampling, bench_sample_pool, bench_batch_solver,
+bench_service_throughput, and bench_dynamic_graph, keyed by the "bench"
+field each one emits.
 """
 
 import argparse
@@ -59,32 +60,65 @@ def _service_throughput_metrics(run):
     return {"warm_vs_cold_speedup": run["speedup_warm_vs_cold"]}
 
 
+def _dynamic_metrics(run):
+    # Both dimensionless: migrate-arm wall time vs the rebuild arm replaying
+    # the identical delta stream, and the fraction of post-update solves the
+    # migrated pools answered warm (1.0 = every update carried its pools).
+    return {
+        "migrate_vs_rebuild_speedup": run["speedup_migrate_vs_rebuild"],
+        "warm_hit_rate": run["warm_hit_rate"],
+    }
+
+
 EXTRACTORS = {
     "skip_sampling": _skip_sampling_metrics,
     "sample_pool": _sample_pool_metrics,
     "batch_solver": _batch_solver_metrics,
     "service_throughput": _service_throughput_metrics,
+    "dynamic_graph": _dynamic_metrics,
 }
 
 UNIT = "x"  # every tracked metric is a speedup ratio
 
 
 def extract(run_path):
-    with open(run_path) as f:
-        run = json.load(f)
+    try:
+        with open(run_path) as f:
+            run = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read bench run {run_path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: bench run {run_path} is not valid JSON: {e}")
+    if not isinstance(run, dict):
+        sys.exit(f"error: bench run {run_path} must be a JSON object")
     bench = run.get("bench")
     if bench not in EXTRACTORS:
         sys.exit(f"error: unknown bench kind {bench!r} in {run_path} "
                  f"(known: {', '.join(sorted(EXTRACTORS))})")
-    return EXTRACTORS[bench](run)
+    try:
+        metrics = EXTRACTORS[bench](run)
+    except (KeyError, TypeError) as e:
+        sys.exit(f"error: bench run {run_path} is missing a field the "
+                 f"{bench!r} extractor needs: {e}")
+    bad = [k for k, v in metrics.items() if not isinstance(v, (int, float))]
+    if bad:
+        sys.exit(f"error: non-numeric metric(s) in {run_path}: "
+                 f"{', '.join(sorted(bad))}")
+    return metrics
 
 
 def load_trajectory(path):
     try:
         with open(path) as f:
-            return json.load(f)
+            trajectory = json.load(f)
     except FileNotFoundError:
         return {}
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: trajectory {path} is not valid JSON: {e}")
+    if not isinstance(trajectory, dict):
+        sys.exit(f"error: trajectory {path} must be a JSON object of "
+                 "per-metric history lists")
+    return trajectory
 
 
 def cmd_check(args):
