@@ -1,0 +1,152 @@
+// Micro-benchmark for the observability layer's overhead contract
+// (ISSUE 10): the warm-SOLVE service path with tracing OFF must cost the
+// same as the uninstrumented path — every ScopedSpan compiles to a
+// branch-on-null and every per-request metric fold is a handful of
+// relaxed atomic adds — and tracing ON must never change result bits.
+//
+// Three interleaved arms over one warm pool entry:
+//   direct     warm service SOLVE, trace off (the reference arm)
+//   trace_off  identical to `direct` — the off/direct ratio bounds the
+//              run-to-run noise of the trace-off path itself; creep
+//              against the *pre-PR* baseline is caught cross-PR by the
+//              committed BENCH_obs.json efficiency trajectory
+//   trace_on   same SOLVE with TRACE, spans + stage cells live
+//
+// Arms are interleaved batch-wise and scored by their minimum batch time
+// (robust to CI noise on a loaded single core). Hard failures (exit 1):
+// any arm's blockers differ from the cold reference, or any timed request
+// misses the warm pool. The ≤2% trace-off overhead assertion exits 2 so
+// CI can treat a noisy box as advisory while still failing on real bits.
+//
+// Environment knobs:
+//   VBLOCK_OBS_BENCH_N        vertices            (default 3000)
+//   VBLOCK_OBS_BENCH_THETA    samples θ           (default 1024)
+//   VBLOCK_OBS_BENCH_BUDGET   blockers per query  (default 12)
+//   VBLOCK_OBS_BENCH_ITERS    iterations per batch (default 8)
+//   VBLOCK_OBS_BENCH_BATCHES  batches per arm      (default 5)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "gen/generators.h"
+#include "obs/solve_trace.h"
+#include "prob/probability_models.h"
+#include "service/graph_registry.h"
+#include "service/query_service.h"
+
+using namespace vblock;
+using vblock::bench::EnvOr;
+
+namespace {
+
+IminRequest MakeRequest(uint32_t budget, bool trace) {
+  IminRequest request;
+  request.graph = "bench";
+  request.query.seeds = {1, 2, 3};
+  request.query.budget = budget;
+  request.query.algorithm = Algorithm::kGreedyReplace;
+  request.query.sample_reuse = SampleReuse::kPrune;
+  request.query.sampler_kind = SamplerKind::kPerEdgeCoin;
+  request.query.trace = trace;
+  return request;
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t n = EnvOr("VBLOCK_OBS_BENCH_N", 3000);
+  const uint32_t theta = EnvOr("VBLOCK_OBS_BENCH_THETA", 1024);
+  const uint32_t budget = EnvOr("VBLOCK_OBS_BENCH_BUDGET", 12);
+  const uint32_t iters = EnvOr("VBLOCK_OBS_BENCH_ITERS", 8);
+  const uint32_t batches = EnvOr("VBLOCK_OBS_BENCH_BATCHES", 5);
+  const uint64_t seed = 20230227;
+
+  GraphRegistry registry;
+  registry.Add("bench",
+               WithWeightedCascade(GenerateBarabasiAlbert(n, 4, seed)));
+
+  ServiceOptions options;
+  options.num_threads = 1;  // measure per-request latency, not parallelism
+  options.defaults.theta = theta;
+  options.defaults.seed = seed;
+  QueryService service(&registry, options);
+
+  // Cold build once; everything after must be a warm hit.
+  Result<SolverResult> reference =
+      service.SubmitAndWait(MakeRequest(budget, false));
+  VBLOCK_CHECK(reference.ok());
+  const uint64_t hits_before = service.pool_cache().stats().hits;
+
+  bool identical = true;
+  uint64_t warm_requests = 0;
+  auto run_batch = [&](bool trace) {
+    Timer timer;
+    for (uint32_t i = 0; i < iters; ++i) {
+      Result<SolverResult> r =
+          service.SubmitAndWait(MakeRequest(budget, trace));
+      VBLOCK_CHECK(r.ok());
+      identical = identical && r->blockers == reference->blockers;
+      VBLOCK_CHECK(!trace || r->trace != nullptr);
+      ++warm_requests;
+    }
+    return timer.ElapsedSeconds();
+  };
+
+  // One untimed warm-up per arm, then interleaved timed batches.
+  run_batch(false);
+  run_batch(true);
+  double min_direct = 0, min_off = 0, min_on = 0;
+  for (uint32_t b = 0; b < batches; ++b) {
+    const double direct = run_batch(false);
+    const double off = run_batch(false);
+    const double on = run_batch(true);
+    if (b == 0 || direct < min_direct) min_direct = direct;
+    if (b == 0 || off < min_off) min_off = off;
+    if (b == 0 || on < min_on) min_on = on;
+  }
+
+  const uint64_t warm_hits =
+      service.pool_cache().stats().hits - hits_before;
+  const bool all_warm = warm_hits == warm_requests;
+  const double off_ratio = min_direct > 0 ? min_off / min_direct : 0.0;
+  const double on_ratio = min_direct > 0 ? min_on / min_direct : 0.0;
+  const double off_efficiency = min_off > 0 ? iters / min_off : 0.0;
+  const double on_efficiency = min_on > 0 ? iters / min_on : 0.0;
+
+  std::printf(
+      "{\"bench\":\"observability\",\"n\":%u,\"theta\":%u,\"budget\":%u,"
+      "\"iters_per_batch\":%u,\"batches\":%u,"
+      "\"trace_off_overhead_ratio\":%.4f,"
+      "\"trace_on_overhead_ratio\":%.4f,"
+      "\"trace_off_qps\":%.2f,"
+      "\"trace_on_qps\":%.2f,"
+      "\"identical\":%s,\"all_warm\":%s}\n",
+      n, theta, budget, iters, batches, off_ratio, on_ratio,
+      off_efficiency, on_efficiency, identical ? "true" : "false",
+      all_warm ? "true" : "false");
+
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: traced/untraced blockers diverged from the cold "
+                 "reference\n");
+    return 1;
+  }
+  if (!all_warm) {
+    std::fprintf(stderr, "FAIL: %llu warm hits for %llu requests\n",
+                 static_cast<unsigned long long>(warm_hits),
+                 static_cast<unsigned long long>(warm_requests));
+    return 1;
+  }
+  if (off_ratio > 1.02) {
+    std::fprintf(stderr,
+                 "OVERHEAD: trace-off ratio %.4f exceeds the 1.02 "
+                 "contract (advisory on noisy machines)\n",
+                 off_ratio);
+    return 2;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "core/spread_decrease_engine.h"
+#include "obs/solve_trace.h"
 
 namespace vblock {
 
@@ -10,6 +11,7 @@ BlockerSelection AdvancedGreedyWithEngine(SpreadDecreaseEngine* engine,
                                           const AdvancedGreedyOptions& options,
                                           const Deadline& deadline) {
   Timer timer;
+  obs::SolveTrace* const trace = options.trace;
   BlockerSelection result;
   for (uint32_t round = 0; round < options.budget; ++round) {
     if (deadline.Expired()) {
@@ -17,7 +19,14 @@ BlockerSelection AdvancedGreedyWithEngine(SpreadDecreaseEngine* engine,
       break;
     }
     double best_delta = 0;
+    // Per-round leaf timing via Add (no span): budgets can exceed the
+    // span-log capacity, and the cells are what the wire report reads.
+    const uint64_t pick_begin = trace ? obs::SolveTrace::NowNanos() : 0;
     VertexId best = engine->BestUnblocked(&best_delta);
+    if (trace) {
+      trace->Add(obs::SolveStage::kSelect,
+                 obs::SolveTrace::NowNanos() - pick_begin);
+    }
     if (best == kInvalidVertex) break;  // no candidates left
 
     result.blockers.push_back(best);
@@ -54,13 +63,18 @@ BlockerSelection AdvancedGreedy(const Graph& g, VertexId root,
   sd.sample_reuse = options.sample_reuse;
   sd.sampler_kind = options.sampler_kind;
   SpreadDecreaseEngine engine(g, root, sd, options.triggering_model);
+  engine.set_trace(options.trace);
+  const double build_begin = timer.ElapsedSeconds();
   if (!engine.Build(deadline)) {
     result.stats.timed_out = true;
+    result.stats.pool_build_seconds = timer.ElapsedSeconds() - build_begin;
     result.stats.seconds = timer.ElapsedSeconds();
     return result;
   }
+  const double pool_build_seconds = timer.ElapsedSeconds() - build_begin;
 
   result = AdvancedGreedyWithEngine(&engine, options, deadline);
+  result.stats.pool_build_seconds = pool_build_seconds;
   result.stats.seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -12,6 +12,10 @@
 #include "core/spread_decrease.h"
 #include "graph/graph.h"
 
+namespace vblock::obs {
+class SolveTrace;
+}  // namespace vblock::obs
+
 namespace vblock {
 
 class SpreadDecreaseEngine;
@@ -40,6 +44,10 @@ struct AdvancedGreedyOptions {
   /// are drawn from this model (e.g. LtTriggeringModel) instead of the IC
   /// per-edge coins. Not owned; must outlive the call.
   const TriggeringModel* triggering_model = nullptr;
+  /// Optional per-solve trace sink (obs/solve_trace.h). Not owned; null
+  /// (default) compiles the instrumentation to branch-on-null. Never
+  /// affects result bits.
+  obs::SolveTrace* trace = nullptr;
 };
 
 /// Runs Algorithm 3 on a unified single-seed instance over a persistent
@@ -58,7 +66,9 @@ BlockerSelection AdvancedGreedy(const Graph& g, VertexId root,
 /// bit-identical to the standalone call. On return the engine's mask holds
 /// every pick except the last (the final round skips the Block nothing
 /// would read); SpreadDecreaseEngine::Restore undoes it either way.
-/// stats.seconds excludes the pool build the caller paid for.
+/// stats.seconds excludes the pool build the caller paid for —
+/// pool-owning callers report it in stats.pool_build_seconds (the
+/// standalone entry point below fills it itself).
 BlockerSelection AdvancedGreedyWithEngine(SpreadDecreaseEngine* engine,
                                           const AdvancedGreedyOptions& options,
                                           const Deadline& deadline);

@@ -6,6 +6,7 @@
 #include "common/timer.h"
 #include "graph/traversal.h"
 #include "graph/vertex_mask.h"
+#include "obs/solve_trace.h"
 
 namespace vblock {
 
@@ -46,6 +47,11 @@ BlockerSelection BaselineGreedy(const Graph& g, VertexId root,
     base_mc.seed = options.common_random_numbers
                        ? round_seed
                        : MixSeed(options.seed, round * 1000003ULL);
+    // The whole candidate sweep is one MC-estimation leaf: BG has no pool
+    // or dominator trees, so all its stochastic work lands in kSampleDraw
+    // and the argmax bookkeeping is inseparable from it.
+    obs::SolveTrace* const trace = options.trace;
+    const uint64_t mc_begin = trace ? obs::SolveTrace::NowNanos() : 0;
     const double base_spread = EstimateSpread(g, {root}, base_mc, &blocked);
 
     VertexId best = kInvalidVertex;
@@ -69,6 +75,10 @@ BlockerSelection BaselineGreedy(const Graph& g, VertexId root,
         best = u;
         best_delta = delta;
       }
+    }
+    if (trace) {
+      trace->Add(obs::SolveStage::kSampleDraw,
+                 obs::SolveTrace::NowNanos() - mc_begin);
     }
     if (!have_best || deadline.Expired()) {
       result.stats.timed_out = deadline.Expired();

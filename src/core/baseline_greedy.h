@@ -13,6 +13,10 @@
 #include "core/blocker_result.h"
 #include "graph/graph.h"
 
+namespace vblock::obs {
+class SolveTrace;
+}  // namespace vblock::obs
+
 namespace vblock {
 
 /// Parameters for Algorithm 1.
@@ -39,6 +43,10 @@ struct BaselineGreedyOptions {
   /// (common random numbers). Variance-reduction ablation; default off to
   /// match the paper.
   bool common_random_numbers = false;
+  /// Optional per-solve trace sink (obs/solve_trace.h). Not owned; null
+  /// (default) compiles the instrumentation to branch-on-null. Never
+  /// affects result bits.
+  obs::SolveTrace* trace = nullptr;
 };
 
 /// Runs Algorithm 1 on a unified single-seed instance: graph `g`, source

@@ -14,6 +14,7 @@
 #include "core/query_key.h"
 #include "core/spread_decrease_engine.h"
 #include "core/unified_instance.h"
+#include "obs/solve_trace.h"
 
 namespace vblock {
 namespace {
@@ -26,7 +27,17 @@ using GroupKey = QueryKey;
 struct Member {
   uint32_t query_index = 0;
   uint32_t budget = 0;
+  // Wants the shared run's SolveTrace attached to its result. Not part of
+  // the group key; a group runs traced when any member asks.
+  bool trace = false;
 };
+
+bool GroupTraced(const std::vector<Member>& members) {
+  for (const Member& m : members) {
+    if (m.trace) return true;
+  }
+  return false;
+}
 
 // Members sorted by (budget, query_index): the last one carries the
 // group's maximum budget, and GR groups walk budgets ascending.
@@ -43,9 +54,10 @@ void RunSweepGroup(const Graph& g, const Group& group, uint32_t engine_threads,
                    std::vector<BatchQueryResult>* out, BatchStats* stats) {
   Timer timer;
   const uint32_t max_budget = group.members.back().budget;
-  Result<SolverResult> full = SolveImin(
-      g, group.key.seeds, SolverOptionsForKey(group.key, max_budget,
-                                              engine_threads));
+  SolverOptions shared_opts =
+      SolverOptionsForKey(group.key, max_budget, engine_threads);
+  shared_opts.trace = GroupTraced(group.members);
+  Result<SolverResult> full = SolveImin(g, group.key.seeds, shared_opts);
   // Validation is per-query and budget-monotone: the max-budget member
   // passed it, so the shared solve cannot be rejected.
   VBLOCK_CHECK(full.ok());
@@ -65,9 +77,10 @@ void RunSweepGroup(const Graph& g, const Group& group, uint32_t engine_threads,
       // budget. Every query is entitled to its own full time budget —
       // exactly like the GR group's rebuild-on-poison path — so fall back
       // to an individual solve under a fresh deadline.
-      Result<SolverResult> solo = SolveImin(
-          g, group.key.seeds,
-          SolverOptionsForKey(group.key, m.budget, engine_threads));
+      SolverOptions solo_opts =
+          SolverOptionsForKey(group.key, m.budget, engine_threads);
+      solo_opts.trace = m.trace;
+      Result<SolverResult> solo = SolveImin(g, group.key.seeds, solo_opts);
       VBLOCK_CHECK(solo.ok());
       ++stats->full_solves;
       if (group.key.algorithm == Algorithm::kAdvancedGreedy) {
@@ -89,6 +102,8 @@ void RunSweepGroup(const Graph& g, const Group& group, uint32_t engine_threads,
           deltas.begin(), deltas.begin() + static_cast<ptrdiff_t>(kd));
     }
     r.stats.seconds = seconds;
+    r.stats.pool_build_seconds = full->stats.pool_build_seconds;
+    if (m.trace) r.trace = full->trace;  // the shared run's attribution
     (*out)[m.query_index].result = std::move(r);
     ++served_from_trace;
   }
@@ -109,8 +124,21 @@ void RunGreedyReplaceGroup(const Graph& g, const Group& group,
                            std::vector<BatchQueryResult>* out,
                            BatchStats* stats) {
   Timer timer;
+  // One shared trace for the whole group in both reuse modes — GR members
+  // share the unification (and, under kPrune, the pool build), so their
+  // attribution is inherently group-level, mirroring the sweep groups.
+  std::shared_ptr<obs::SolveTrace> group_trace;
+  if (GroupTraced(group.members)) {
+    group_trace = std::make_shared<obs::SolveTrace>();
+  }
+  const uint64_t unify_begin =
+      group_trace ? obs::SolveTrace::NowNanos() : 0;
   UnifiedInstance inst =
       UnifySeeds(g, group.key.seeds, group.key.vertex_order);
+  if (group_trace) {
+    group_trace->Add(obs::SolveStage::kUnify,
+                     obs::SolveTrace::NowNanos() - unify_begin);
+  }
   const uint32_t max_budget = group.members.back().budget;
 
   if (max_budget == 0 || inst.graph.OutDegree(inst.root) == 0) {
@@ -137,6 +165,12 @@ void RunGreedyReplaceGroup(const Graph& g, const Group& group,
   gr.time_limit_seconds = group.key.time_limit_seconds;
   gr.sample_reuse = group.key.sample_reuse;
   gr.sampler_kind = group.key.sampler_kind;
+  gr.trace = group_trace.get();
+
+  // Build seconds of the most recent engine Build — the shared group build
+  // under kPrune (every member reports the cost it amortizes over), the
+  // member's own build under kResample.
+  double build_seconds = 0;
 
   auto publish = [&](const Member& m, const BlockerSelection& sel) {
     SolverResult r;
@@ -145,20 +179,27 @@ void RunGreedyReplaceGroup(const Graph& g, const Group& group,
     r.stats.selection_trace =
         inst.BlockersToOriginal(sel.stats.selection_trace);
     r.stats.seconds = timer.ElapsedSeconds();
+    r.stats.pool_build_seconds = build_seconds;
+    if (m.trace) r.trace = group_trace;
     (*out)[m.query_index].result = std::move(r);
   };
   auto publish_timeout = [&](const Member& m) {
     SolverResult r;
     r.stats.timed_out = true;
     r.stats.seconds = timer.ElapsedSeconds();
+    r.stats.pool_build_seconds = build_seconds;
+    if (m.trace) r.trace = group_trace;
     (*out)[m.query_index].result = std::move(r);
   };
 
   if (group.key.sample_reuse == SampleReuse::kPrune) {
     auto engine = std::make_unique<SpreadDecreaseEngine>(inst.graph,
                                                          inst.root, sd);
+    engine->set_trace(group_trace.get());
     ++stats->engine_builds;
+    double build_begin = timer.ElapsedSeconds();
     bool engine_ok = engine->Build(Deadline(group.key.time_limit_seconds));
+    build_seconds = timer.ElapsedSeconds() - build_begin;
     for (const Member& m : group.members) {
       Deadline deadline(group.key.time_limit_seconds);
       if (!engine_ok) {
@@ -169,8 +210,11 @@ void RunGreedyReplaceGroup(const Graph& g, const Group& group,
         // worlds bit-for-bit.
         engine = std::make_unique<SpreadDecreaseEngine>(inst.graph,
                                                         inst.root, sd);
+        engine->set_trace(group_trace.get());
         ++stats->engine_builds;
+        build_begin = timer.ElapsedSeconds();
         engine_ok = engine->Build(deadline);
+        build_seconds = timer.ElapsedSeconds() - build_begin;
         if (!engine_ok) {
           publish_timeout(m);
           continue;
@@ -199,8 +243,12 @@ void RunGreedyReplaceGroup(const Graph& g, const Group& group,
     for (const Member& m : group.members) {
       Deadline deadline(group.key.time_limit_seconds);
       SpreadDecreaseEngine engine(inst.graph, inst.root, sd);
+      engine.set_trace(group_trace.get());
       ++stats->engine_builds;
-      if (!engine.Build(deadline)) {
+      const double build_begin = timer.ElapsedSeconds();
+      const bool built = engine.Build(deadline);
+      build_seconds = timer.ElapsedSeconds() - build_begin;
+      if (!built) {
         publish_timeout(m);
         continue;
       }
@@ -247,7 +295,7 @@ BatchResult BatchSolver::Solve(const std::vector<IminQuery>& queries) const {
       continue;
     }
     grouping[ResolveQueryKey(q, options_.defaults)].push_back(
-        Member{i, q.budget});
+        Member{i, q.budget, q.trace || options_.defaults.trace});
   }
 
   std::vector<Group> groups;

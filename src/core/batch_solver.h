@@ -64,6 +64,11 @@ struct IminQuery {
   std::optional<SamplerKind> sampler_kind;
   std::optional<VertexOrder> vertex_order;
   std::optional<double> time_limit_seconds;
+  /// Request a per-stage SolveTrace on this query's result. NOT part of
+  /// the work-sharing key (ResolveQueryKey ignores it — tracing never
+  /// changes result bits, so traced and untraced queries share groups);
+  /// members of a shared run receive the run's shared trace.
+  bool trace = false;
 };
 
 /// Batch-wide configuration.

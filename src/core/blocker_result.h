@@ -19,8 +19,16 @@ struct GreedyRunStats {
   uint32_t replacements = 0;
   /// True if the cooperative deadline ended the run early.
   bool timed_out = false;
-  /// Wall-clock seconds.
+  /// Wall-clock seconds of the selection run. For the *WithEngine entry
+  /// points this excludes the pool build the caller paid for — see
+  /// pool_build_seconds.
   double seconds = 0;
+  /// Wall-clock seconds spent building the θ-sample pool (engine Build).
+  /// Filled by the standalone AG/GR entry points and by callers that own
+  /// the build (query service, batch solver); 0 when the pool was already
+  /// warm. Reported separately so warm-vs-cold wins are visible
+  /// per-request (`pool_ms=` on the wire).
+  double pool_build_seconds = 0;
   /// Best Δ chosen in each completed selection round (diagnostics).
   std::vector<double> round_best_delta;
   /// Every blocker commit in chronological order: for BG/AG (and the

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "core/spread_decrease_engine.h"
+#include "obs/solve_trace.h"
 
 namespace vblock {
 
@@ -12,6 +13,7 @@ BlockerSelection GreedyReplaceWithEngine(SpreadDecreaseEngine* engine,
                                          const GreedyReplaceOptions& options,
                                          const Deadline& deadline) {
   Timer timer;
+  obs::SolveTrace* const trace = options.trace;
   BlockerSelection result;
   const Graph& g = engine->graph();
   const VertexId root = engine->root();
@@ -31,6 +33,7 @@ BlockerSelection GreedyReplaceWithEngine(SpreadDecreaseEngine* engine,
     size_t best_idx = 0;
     bool have_best = false;
     double best_delta = -1.0;
+    const uint64_t pick_begin = trace ? obs::SolveTrace::NowNanos() : 0;
     for (size_t i = 0; i < cb.size(); ++i) {
       // cb may hold duplicates or the root itself when the graph was built
       // with merge_parallel_edges / drop_self_loops disabled; blocking
@@ -43,6 +46,10 @@ BlockerSelection GreedyReplaceWithEngine(SpreadDecreaseEngine* engine,
         best_idx = i;
         best_delta = delta;
       }
+    }
+    if (trace) {
+      trace->Add(obs::SolveStage::kSelect,
+                 obs::SolveTrace::NowNanos() - pick_begin);
     }
     if (!have_best) break;
     VertexId x = cb[best_idx];
@@ -77,7 +84,12 @@ BlockerSelection GreedyReplaceWithEngine(SpreadDecreaseEngine* engine,
     }
 
     double best_delta = 0;
+    const uint64_t pick_begin = trace ? obs::SolveTrace::NowNanos() : 0;
     VertexId x = engine->BestUnblocked(&best_delta);
+    if (trace) {
+      trace->Add(obs::SolveStage::kSelect,
+                 obs::SolveTrace::NowNanos() - pick_begin);
+    }
     VBLOCK_CHECK_MSG(x != kInvalidVertex, "candidate pool cannot be empty");
 
     *it = x;
@@ -115,14 +127,19 @@ BlockerSelection GreedyReplace(const Graph& g, VertexId root,
   sd.sample_reuse = options.sample_reuse;
   sd.sampler_kind = options.sampler_kind;
   SpreadDecreaseEngine engine(g, root, sd, options.triggering_model);
+  engine.set_trace(options.trace);
+  const double build_begin = timer.ElapsedSeconds();
   if (!engine.Build(deadline)) {
     BlockerSelection result;
     result.stats.timed_out = true;
+    result.stats.pool_build_seconds = timer.ElapsedSeconds() - build_begin;
     result.stats.seconds = timer.ElapsedSeconds();
     return result;
   }
+  const double pool_build_seconds = timer.ElapsedSeconds() - build_begin;
 
   BlockerSelection result = GreedyReplaceWithEngine(&engine, options, deadline);
+  result.stats.pool_build_seconds = pool_build_seconds;
   result.stats.seconds = timer.ElapsedSeconds();
   return result;
 }

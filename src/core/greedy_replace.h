@@ -17,6 +17,10 @@
 #include "core/spread_decrease.h"
 #include "graph/graph.h"
 
+namespace vblock::obs {
+class SolveTrace;
+}  // namespace vblock::obs
+
 namespace vblock {
 
 class SpreadDecreaseEngine;
@@ -45,6 +49,10 @@ struct GreedyReplaceOptions {
   /// are drawn from this model (e.g. LtTriggeringModel) instead of the IC
   /// per-edge coins. Not owned; must outlive the call.
   const TriggeringModel* triggering_model = nullptr;
+  /// Optional per-solve trace sink (obs/solve_trace.h). Not owned; null
+  /// (default) compiles the instrumentation to branch-on-null. Never
+  /// affects result bits.
+  obs::SolveTrace* trace = nullptr;
 };
 
 /// Runs Algorithm 4 on a unified single-seed instance. Returns at most
@@ -66,7 +74,9 @@ BlockerSelection GreedyReplace(const Graph& g, VertexId root,
 /// the last tentatively unblocked vertex when phase 2 early-terminated);
 /// callers that reuse the engine restore the mask themselves — bit-exact
 /// only under SampleReuse::kPrune, where engine state is a pure function of
-/// the mask. stats.seconds excludes the pool build the caller paid for.
+/// the mask. stats.seconds excludes the pool build the caller paid for —
+/// pool-owning callers report it in stats.pool_build_seconds (the
+/// standalone entry point above fills it itself).
 BlockerSelection GreedyReplaceWithEngine(SpreadDecreaseEngine* engine,
                                          const GreedyReplaceOptions& options,
                                          const Deadline& deadline);

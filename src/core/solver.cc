@@ -73,20 +73,36 @@ Result<SolverResult> SolveImin(const Graph& g,
 
   SolverResult result;
   Timer timer;
+  if (options.trace) result.trace = std::make_shared<obs::SolveTrace>();
+  obs::SolveTrace* const trace = result.trace.get();
+
+  // Seed unification is shared by all greedy branches; give it one helper
+  // so each branch's kUnify span covers exactly the UnifySeeds call.
+  auto unify = [&] {
+    obs::ScopedSpan span(trace, obs::SolveStage::kUnify);
+    return UnifySeeds(g, seeds, options.vertex_order);
+  };
 
   switch (options.algorithm) {
-    case Algorithm::kRandom:
+    case Algorithm::kRandom: {
+      obs::ScopedSpan span(trace, obs::SolveStage::kSelect);
       result.blockers = RandomBlockers(g, seeds, options.budget, options.seed);
       break;
-    case Algorithm::kOutDegree:
+    }
+    case Algorithm::kOutDegree: {
+      obs::ScopedSpan span(trace, obs::SolveStage::kSelect);
       result.blockers = OutDegreeBlockers(g, seeds, options.budget);
       break;
-    case Algorithm::kPageRank:
+    }
+    case Algorithm::kPageRank: {
+      obs::ScopedSpan span(trace, obs::SolveStage::kSelect);
       result.blockers = PageRankBlockers(g, seeds, options.budget);
       break;
+    }
     case Algorithm::kBetweenness: {
       // Exact Brandes up to ~2k vertices, then pivot-sampled (O(n·m) would
       // dominate the solve otherwise).
+      obs::ScopedSpan span(trace, obs::SolveStage::kSelect);
       BetweennessOptions bc;
       if (g.NumVertices() > 2048) {
         bc.pivots = 512;
@@ -96,13 +112,14 @@ Result<SolverResult> SolveImin(const Graph& g,
       break;
     }
     case Algorithm::kBaselineGreedy: {
-      UnifiedInstance inst = UnifySeeds(g, seeds, options.vertex_order);
+      UnifiedInstance inst = unify();
       BaselineGreedyOptions bg;
       bg.budget = options.budget;
       bg.mc_rounds = options.mc_rounds;
       bg.seed = options.seed;
       bg.sampler_kind = options.sampler_kind;
       bg.time_limit_seconds = options.time_limit_seconds;
+      bg.trace = trace;
       BlockerSelection sel = BaselineGreedy(inst.graph, inst.root, bg);
       result.blockers = inst.BlockersToOriginal(sel.blockers);
       result.stats = sel.stats;
@@ -111,7 +128,7 @@ Result<SolverResult> SolveImin(const Graph& g,
       break;
     }
     case Algorithm::kAdvancedGreedy: {
-      UnifiedInstance inst = UnifySeeds(g, seeds, options.vertex_order);
+      UnifiedInstance inst = unify();
       AdvancedGreedyOptions ag;
       ag.budget = options.budget;
       ag.theta = options.theta;
@@ -120,6 +137,7 @@ Result<SolverResult> SolveImin(const Graph& g,
       ag.time_limit_seconds = options.time_limit_seconds;
       ag.sample_reuse = options.sample_reuse;
       ag.sampler_kind = options.sampler_kind;
+      ag.trace = trace;
       BlockerSelection sel = AdvancedGreedy(inst.graph, inst.root, ag);
       result.blockers = inst.BlockersToOriginal(sel.blockers);
       result.stats = sel.stats;
@@ -128,7 +146,7 @@ Result<SolverResult> SolveImin(const Graph& g,
       break;
     }
     case Algorithm::kGreedyReplace: {
-      UnifiedInstance inst = UnifySeeds(g, seeds, options.vertex_order);
+      UnifiedInstance inst = unify();
       GreedyReplaceOptions gr;
       gr.budget = options.budget;
       gr.theta = options.theta;
@@ -137,6 +155,7 @@ Result<SolverResult> SolveImin(const Graph& g,
       gr.time_limit_seconds = options.time_limit_seconds;
       gr.sample_reuse = options.sample_reuse;
       gr.sampler_kind = options.sampler_kind;
+      gr.trace = trace;
       BlockerSelection sel = GreedyReplace(inst.graph, inst.root, gr);
       result.blockers = inst.BlockersToOriginal(sel.blockers);
       result.stats = sel.stats;

@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "core/blocker_result.h"
 #include "graph/graph.h"
 #include "graph/vertex_order.h"
+#include "obs/solve_trace.h"
 #include "sampling/sample_reuse.h"
 
 namespace vblock {
@@ -77,6 +79,11 @@ struct SolverOptions {
   /// unchanged either way; like sampler_kind, a non-default order visits
   /// different sampled worlds for the same seed. See docs/DESIGN.md §10.
   VertexOrder vertex_order = VertexOrder::kOriginal;
+  /// Collect a per-stage SolveTrace (obs/solve_trace.h) into
+  /// SolverResult::trace. Off (default) the instrumentation compiles to
+  /// branch-on-null; on or off, result bits are identical — tracing never
+  /// feeds back into the solve (docs/DESIGN.md §12).
+  bool trace = false;
 };
 
 /// Facade result: blockers in *original* vertex ids. stats.selection_trace
@@ -84,6 +91,8 @@ struct SolverOptions {
 struct SolverResult {
   std::vector<VertexId> blockers;
   GreedyRunStats stats;
+  /// Per-stage timing attribution; non-null iff SolverOptions::trace.
+  std::shared_ptr<obs::SolveTrace> trace;
 };
 
 /// Checks an IMIN query against the graph it targets. Non-OK when:

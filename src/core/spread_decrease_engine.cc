@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "obs/solve_trace.h"
 
 namespace vblock {
 
@@ -27,10 +28,18 @@ SpreadDecreaseEngine::SpreadDecreaseEngine(const Graph& g, VertexId root,
 
 bool SpreadDecreaseEngine::RecomputeDirty(const Deadline& deadline,
                                           bool initial) {
+  // Stage attribution: the retire/publish bookkeeping passes accumulate
+  // under kScore; each re-derived sample's draw and dominator-tree time
+  // land in kSampleDraw/kDomTree from whichever worker ran it. Leaf
+  // stages overlap any enclosing span (e.g. kPoolBuild), so per-stage
+  // totals are attributions, not a partition of wall time.
+  obs::SolveTrace* const trace = trace_;
+
   // Retire pass (sequential): subtract the dirty samples' cached
   // contributions and unpublish them from the inverted index while their
   // old regions are still stored.
   if (!initial) {
+    const uint64_t t0 = trace ? obs::SolveTrace::NowNanos() : 0;
     for (uint32_t i : dirty_) {
       const auto& to_parent = pool_.sample(i).to_parent;
       const auto& sizes = sizes_[i];
@@ -39,6 +48,9 @@ bool SpreadDecreaseEngine::RecomputeDirty(const Deadline& deadline,
         delta_raw_[to_parent[k]] -= static_cast<double>(sizes[k]);
       }
       pool_.RemoveFromIndex(i);
+    }
+    if (trace) {
+      trace->Add(obs::SolveStage::kScore, obs::SolveTrace::NowNanos() - t0);
     }
   }
 
@@ -57,13 +69,23 @@ bool SpreadDecreaseEngine::RecomputeDirty(const Deadline& deadline,
             return;
           }
           const uint32_t i = dirty_[d];
+          // Leaf timing runs on the parallel workers — relaxed atomic adds
+          // into the stage cells, two clock reads per sample, only when a
+          // trace is attached.
+          const uint64_t draw_begin = trace ? obs::SolveTrace::NowNanos() : 0;
           pool_.DeriveSample(i, &w.scratch);
+          const uint64_t draw_end = trace ? obs::SolveTrace::NowNanos() : 0;
           const SampledGraph& sample = pool_.sample(i);
           if (sample.NumVertices() > 1) {
             w.domtree.ComputeDominatorTreeInto(sample.View(), 0, &w.tree);
             w.domtree.ComputeSubtreeSizesInto(w.tree, &sizes_[i]);
           } else {
             sizes_[i].assign(sample.NumVertices(), 0);
+          }
+          if (trace) {
+            trace->Add(obs::SolveStage::kSampleDraw, draw_end - draw_begin);
+            trace->Add(obs::SolveStage::kDomTree,
+                       obs::SolveTrace::NowNanos() - draw_end);
           }
         }
       });
@@ -76,6 +98,7 @@ bool SpreadDecreaseEngine::RecomputeDirty(const Deadline& deadline,
 
   // Publish pass (sequential, ascending sample id — deterministic for any
   // thread count): add the new contributions and index entries.
+  const uint64_t publish_begin = trace ? obs::SolveTrace::NowNanos() : 0;
   for (uint32_t i : dirty_) {
     const auto& to_parent = pool_.sample(i).to_parent;
     const auto& sizes = sizes_[i];
@@ -85,11 +108,16 @@ bool SpreadDecreaseEngine::RecomputeDirty(const Deadline& deadline,
     }
     pool_.AddToIndex(i);
   }
+  if (trace) {
+    trace->Add(obs::SolveStage::kScore,
+               obs::SolveTrace::NowNanos() - publish_begin);
+  }
   return true;
 }
 
 bool SpreadDecreaseEngine::Build(const Deadline& deadline) {
   VBLOCK_CHECK_MSG(!built_, "Build() must be called exactly once");
+  obs::ScopedSpan span(trace_, obs::SolveStage::kPoolBuild);
   delta_raw_.assign(graph_.NumVertices(), 0.0);
   spread_raw_ = 0;
   sizes_.resize(pool_.theta());
@@ -104,6 +132,7 @@ bool SpreadDecreaseEngine::Block(VertexId v, const Deadline& deadline) {
   VBLOCK_CHECK_MSG(built_ && !timed_out_, "engine not in a scorable state");
   VBLOCK_CHECK_MSG(v != root_ && !pool_.blocked_mask().Test(v),
                    "vertex is the root or already blocked");
+  obs::ScopedSpan span(trace_, obs::SolveStage::kBlock);
   dirty_.clear();
   pool_.BeginBlock(v, &dirty_);
   return RecomputeDirty(deadline, /*initial=*/false);
@@ -112,6 +141,7 @@ bool SpreadDecreaseEngine::Block(VertexId v, const Deadline& deadline) {
 bool SpreadDecreaseEngine::Unblock(VertexId v, const Deadline& deadline) {
   VBLOCK_CHECK_MSG(built_ && !timed_out_, "engine not in a scorable state");
   VBLOCK_CHECK_MSG(pool_.blocked_mask().Test(v), "vertex is not blocked");
+  obs::ScopedSpan span(trace_, obs::SolveStage::kUnblock);
   dirty_.clear();
   pool_.BeginUnblock(v, &dirty_);
   return RecomputeDirty(deadline, /*initial=*/false);
@@ -119,6 +149,7 @@ bool SpreadDecreaseEngine::Unblock(VertexId v, const Deadline& deadline) {
 
 bool SpreadDecreaseEngine::Restore(const Deadline& deadline) {
   VBLOCK_CHECK_MSG(built_ && !timed_out_, "engine not in a restorable state");
+  obs::ScopedSpan span(trace_, obs::SolveStage::kRestore);
   dirty_.clear();
   pool_.BeginRestore(&dirty_);
   if (dirty_.empty()) return true;  // nothing blocked since Build()
@@ -129,6 +160,7 @@ uint32_t SpreadDecreaseEngine::MigrateGraph(
     std::span<const VertexId> changed_out,
     std::span<const VertexId> changed_in) {
   VBLOCK_CHECK_MSG(built_ && !timed_out_, "engine not in a migratable state");
+  obs::ScopedSpan span(trace_, obs::SolveStage::kMigrate);
   // The samplers captured a pointer to the old graph content's grouped
   // view at construction — rebuild every live worker's scratch against
   // the swapped-in graph before any re-derivation. (Workers RunParallel

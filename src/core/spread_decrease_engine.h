@@ -27,6 +27,10 @@
 #include "domtree/dominator_tree.h"
 #include "sampling/sample_pool.h"
 
+namespace vblock::obs {
+class SolveTrace;
+}  // namespace vblock::obs
+
 namespace vblock {
 
 /// Incremental Δ estimator consumed by AdvancedGreedy / GreedyReplace.
@@ -134,6 +138,12 @@ class SpreadDecreaseEngine {
     if (workers_.size() > 1) workers_.resize(1);
   }
 
+  /// Attaches (or detaches, with nullptr) a per-solve trace sink. Not
+  /// owned; the caller must clear it before the engine outlives the trace
+  /// (the warm-pool cache path does so before Release). Tracing changes
+  /// no result bits — off is a branch-on-null per instrumented scope.
+  void set_trace(obs::SolveTrace* trace) { trace_ = trace; }
+
  private:
   // Per-thread state: pool scratch plus dominator workspace/tree.
   struct Worker {
@@ -187,6 +197,7 @@ class SpreadDecreaseEngine {
   std::vector<uint32_t> dirty_;
   bool built_ = false;
   bool timed_out_ = false;
+  obs::SolveTrace* trace_ = nullptr;  // per-solve sink; null = tracing off
 };
 
 }  // namespace vblock

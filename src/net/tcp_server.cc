@@ -98,9 +98,24 @@ TcpServer::TcpServer(GraphRegistry* registry, QueryService* service,
     : registry_(registry), service_(service), options_(options),
       mailbox_(std::make_shared<Mailbox>()) {
   mailbox_->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  // One stats source on the shared service (not one augmenter per
+  // connection session): every STATS response and the pre-registered
+  // vblock_net_* metrics read the server's totals through it.
+  service_->set_net_stats_source([this](ServiceStats* s) {
+    const TcpServerStats t = stats();
+    s->net_connections = t.connections;
+    s->net_active = t.active;
+    s->net_bytes_in = t.bytes_in;
+    s->net_bytes_out = t.bytes_out;
+    s->net_lines = t.lines;
+    s->net_errors = t.errors;
+  });
 }
 
 TcpServer::~TcpServer() {
+  // The source captures `this`; the service outlives the server
+  // (vblock_serve destroys the server first), so it MUST be cleared here.
+  service_->set_net_stats_source(nullptr);
   for (auto& [fd, conn] : connections_) {
     if (conn->fd >= 0) ::close(conn->fd);
     conn->fd = -1;
@@ -289,15 +304,6 @@ void TcpServer::Accept() {
     auto conn = std::make_shared<Connection>(options_.max_line_bytes);
     conn->fd = fd;
     conn->session = std::make_unique<ServiceSession>(registry_, service_);
-    conn->session->set_stats_augmenter([this](ServiceStats* s) {
-      const TcpServerStats t = stats();
-      s->net_connections = t.connections;
-      s->net_active = t.active;
-      s->net_bytes_in = t.bytes_in;
-      s->net_bytes_out = t.bytes_out;
-      s->net_lines = t.lines;
-      s->net_errors = t.errors;
-    });
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;

@@ -1,0 +1,240 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Unified metrics registry: named counters, gauges, and histograms with
+// cheap sharded-atomic recording and snapshot iteration.
+//
+// Before this layer, every component kept its own ad-hoc stats struct
+// (ServiceStats, TcpServerStats, PoolCache::Stats) and STATS responses
+// were hand-merged from all of them. The registry is the one place a
+// metric lives: components register instruments once (stable pointers,
+// recording is lock-free or shard-locked) or register a callback that
+// projects an existing ledger into the snapshot, and every consumer —
+// the STATS projection, the METRICS Prometheus exposition, tests — reads
+// the same cells. Totals therefore reconcile by construction.
+//
+// Instrument taxonomy:
+//  * Counter        — monotonic uint64; recording is one relaxed atomic
+//                     add on a per-thread cache-line-padded shard (no
+//                     contention between recording threads).
+//  * FloatCounter   — monotonic double (seconds totals); CAS-loop add.
+//  * Gauge          — instantaneous int64, Set/Add.
+//  * HistogramMetric— distribution over common/histogram.h buckets;
+//                     per-shard mutex, merged at snapshot time.
+//  * callbacks      — registered functions evaluated at Snapshot() that
+//                     project derived or externally-owned values (cache
+//                     ledger sums, registry sizes, sliding-window rates)
+//                     without double-counting state.
+//
+// Naming follows Prometheus conventions: counters end in `_total`, units
+// are spelled out (`_seconds`, `_bytes`). A single label can be baked
+// into the registered name (`stage="pool_build"` style); the exposition
+// groups samples of one family (name up to '{') under one HELP/TYPE
+// header. Names must match [a-zA-Z_][a-zA-Z0-9_]* before any '{'.
+//
+// Thread safety: instrument registration takes the registry mutex;
+// recording through the returned pointers never does. Snapshot() is safe
+// against concurrent recording (counters are read with relaxed loads; a
+// snapshot is a point-in-time view, not a linearized cut across
+// instruments).
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace vblock::obs {
+
+/// Monotonic counter, sharded across cache lines so concurrent recorders
+/// never contend on one atomic. Value() sums the shards (approximate only
+/// while increments are in flight; exact at quiescence).
+class Counter {
+ public:
+  static constexpr uint32_t kShards = 8;
+
+  void Increment(uint64_t n = 1) {
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  // Each thread records into a fixed shard assigned round-robin on first
+  // use; cheaper and better-distributed than hashing thread ids per call.
+  static uint32_t ShardIndex() {
+    static std::atomic<uint32_t> next{0};
+    thread_local const uint32_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Monotonic double counter (stage-seconds totals). Add is a CAS loop —
+/// uncontended in practice (folded once per completed solve, not per
+/// sample).
+class FloatCounter {
+ public:
+  void Add(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Instantaneous signed value.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Distribution instrument over the fixed log-scale bucket layout of
+/// common/histogram.h. Recording locks one of kShards thread-affine
+/// mutexes (the Histogram itself is not synchronized); Merged() folds the
+/// shards into one histogram for snapshots.
+class HistogramMetric {
+ public:
+  static constexpr uint32_t kShards = 8;
+
+  void Record(double value) {
+    Shard& s = shards_[ShardIndex()];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.histogram.Record(value);
+  }
+
+  Histogram Merged() const {
+    Histogram merged;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      merged.Merge(s.histogram);
+    }
+    return merged;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    Histogram histogram;
+  };
+
+  static uint32_t ShardIndex() {
+    static std::atomic<uint32_t> next{0};
+    thread_local const uint32_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Exposition type of one registered metric.
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Point-in-time view of one metric (Snapshot() output).
+struct MetricSnapshot {
+  std::string name;  // full name, label suffix included
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  /// Scalar value (counters/gauges; unused for histograms).
+  double value = 0;
+  /// Bucketed distribution (histograms only).
+  Histogram histogram;
+};
+
+/// Named instrument registry. Get* registers on first use and returns a
+/// stable pointer (the instrument outlives every snapshot; the registry
+/// must outlive every recorder). Re-Get of a name returns the same cell —
+/// that is what makes "STATS reads the same counter the exposition
+/// scrapes" hold by construction.
+class MetricsRegistry {
+ public:
+  using CallbackFn = std::function<double()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Counter cell for `name` (convention: name ends in `_total`).
+  Counter* GetCounter(const std::string& name, const std::string& help);
+
+  /// Monotonic double counter (seconds totals; exposed as a counter).
+  FloatCounter* GetFloatCounter(const std::string& name,
+                                const std::string& help);
+
+  Gauge* GetGauge(const std::string& name, const std::string& help);
+
+  HistogramMetric* GetHistogram(const std::string& name,
+                                const std::string& help);
+
+  /// Registers (or replaces) a callback evaluated at Snapshot() time.
+  /// `type` selects the exposition type (counter callbacks must be
+  /// monotonic projections of an external ledger). Replacement keeps the
+  /// metric set stable when a component re-binds its source (e.g. a TCP
+  /// front-end attaching to a running service).
+  void RegisterCallback(const std::string& name, const std::string& help,
+                        MetricType type, CallbackFn fn);
+
+  /// Point-in-time view of every registered metric, sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Process-global default registry for embedders that do not own a
+  /// component with its own (the QueryService owns one per instance so
+  /// two services in one process never mix totals).
+  static MetricsRegistry& Default();
+
+ private:
+  struct Entry {
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    // Exactly one of these is set, matching how the entry was registered.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<FloatCounter> float_counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+    CallbackFn callback;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Renders a snapshot in the Prometheus text exposition format:
+/// `# HELP` / `# TYPE` once per family (name up to '{'), one sample line
+/// per scalar metric, and the full `_bucket{le=...}` / `_sum` / `_count`
+/// expansion for histograms. Ends with the "# EOF" terminator line
+/// (OpenMetrics-style; also the framing sentinel the line protocol's
+/// METRICS response uses) with NO trailing newline — the REPL/TCP writer
+/// appends the final one.
+std::string RenderPrometheusText(const std::vector<MetricSnapshot>& snapshot);
+
+}  // namespace vblock::obs

@@ -1,0 +1,107 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+//
+// Prometheus text exposition renderer for MetricsRegistry snapshots.
+// Format reference: one `# HELP <family> <help>` and `# TYPE <family>
+// <type>` pair per family, then the sample lines. Histograms expand into
+// the cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdint>
+#include <cmath>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace vblock::obs {
+
+namespace {
+
+// Integral values print as integers (counters stay readable and the
+// exposition is byte-stable for the golden test); everything else uses
+// round-trippable %.17g, matching the wire protocol's FormatExact.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.2e18) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+// Family = metric name up to the label suffix; HELP/TYPE are emitted once
+// per family even when many labeled samples share it.
+std::string FamilyOf(const std::string& name) {
+  const size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+void AppendHistogram(const std::string& family, const Histogram& h,
+                     std::string* out) {
+  uint64_t cumulative = 0;
+  for (uint32_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    cumulative += h.bucket_count(b);
+    char bound[64];
+    std::snprintf(bound, sizeof(bound), "%.17g", Histogram::UpperBound(b));
+    out->append(family)
+        .append("_bucket{le=\"")
+        .append(bound)
+        .append("\"} ")
+        .append(FormatValue(static_cast<double>(cumulative)))
+        .append("\n");
+  }
+  out->append(family)
+      .append("_bucket{le=\"+Inf\"} ")
+      .append(FormatValue(static_cast<double>(h.count())))
+      .append("\n");
+  out->append(family).append("_sum ").append(FormatValue(h.sum())).append("\n");
+  out->append(family)
+      .append("_count ")
+      .append(FormatValue(static_cast<double>(h.count())))
+      .append("\n");
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(
+    const std::vector<MetricSnapshot>& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const MetricSnapshot& m : snapshot) {
+    const std::string family = FamilyOf(m.name);
+    if (family != last_family) {
+      out.append("# HELP ").append(family).append(" ").append(m.help).append(
+          "\n");
+      out.append("# TYPE ")
+          .append(family)
+          .append(" ")
+          .append(TypeName(m.type))
+          .append("\n");
+      last_family = family;
+    }
+    if (m.type == MetricType::kHistogram) {
+      AppendHistogram(family, m.histogram, &out);
+    } else {
+      out.append(m.name).append(" ").append(FormatValue(m.value)).append("\n");
+    }
+  }
+  // Terminator doubles as the response-framing sentinel for the METRICS
+  // protocol command; the REPL/TCP writer appends the final newline.
+  out.append("# EOF");
+  return out;
+}
+
+}  // namespace vblock::obs

@@ -1,0 +1,44 @@
+// Copyright (c) the vblock authors. Licensed under the MIT license.
+
+#include "obs/solve_trace.h"
+
+namespace vblock::obs {
+
+const char* SolveStageName(SolveStage stage) {
+  switch (stage) {
+    case SolveStage::kUnify:
+      return "unify";
+    case SolveStage::kPoolBuild:
+      return "pool_build";
+    case SolveStage::kSampleDraw:
+      return "sample_draw";
+    case SolveStage::kDomTree:
+      return "dom_tree";
+    case SolveStage::kScore:
+      return "score";
+    case SolveStage::kSelect:
+      return "select";
+    case SolveStage::kBlock:
+      return "block";
+    case SolveStage::kUnblock:
+      return "unblock";
+    case SolveStage::kRestore:
+      return "restore";
+    case SolveStage::kMigrate:
+      return "migrate";
+  }
+  return "unknown";
+}
+
+std::vector<SolveTrace::StageTotal> SolveTrace::Totals() const {
+  std::vector<StageTotal> out;
+  for (uint32_t i = 0; i < kNumSolveStages; ++i) {
+    const uint64_t nanos = cells_[i].nanos.load(std::memory_order_relaxed);
+    const uint64_t calls = cells_[i].calls.load(std::memory_order_relaxed);
+    if (nanos == 0 && calls == 0) continue;
+    out.push_back({static_cast<SolveStage>(i), nanos, calls});
+  }
+  return out;
+}
+
+}  // namespace vblock::obs

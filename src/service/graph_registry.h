@@ -156,6 +156,13 @@ class GraphRegistry {
 
   size_t size() const;
 
+  /// Epochs handed out so far (registrations + Apply installs, including
+  /// replaced and removed ones) — the monotonic `graph_epochs_installed`
+  /// counter the metrics registry projects.
+  uint64_t epochs_installed() const {
+    return next_epoch_.load(std::memory_order_relaxed) - 1;
+  }
+
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
 
  private:

@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/solve_trace.h"
 
 namespace vblock {
 namespace {
@@ -272,6 +274,14 @@ Result<Command> ParseSolve(const std::vector<std::string_view>& fields) {
         return SyntaxError("TIMELIMIT must be a finite non-negative number");
       }
       cmd.request.query.time_limit_seconds = d;
+    } else if (flag == "TRACE") {
+      if (*value == "1") {
+        cmd.request.query.trace = true;
+      } else if (*value == "0") {
+        cmd.request.query.trace = false;
+      } else {
+        return SyntaxError("TRACE must be 0 or 1");
+      }
     } else if (flag == "DEADLINE") {
       if (!ParseSeconds(*value, &d)) {
         return SyntaxError("DEADLINE must be a finite non-negative number");
@@ -486,6 +496,12 @@ Result<Command> ParseCommand(const std::string& line) {
     cmd.kind = Command::Kind::kStats;
     return cmd;
   }
+  if (verb == "METRICS") {
+    if (fields.size() != 1) return SyntaxError("METRICS takes no arguments");
+    Command cmd;
+    cmd.kind = Command::Kind::kMetrics;
+    return cmd;
+  }
   if (verb == "EVICT") {
     if (fields.size() >= 2 && Upper(fields[1]) == "POOLS" &&
         fields.size() == 2) {
@@ -541,6 +557,7 @@ std::string FormatStats(const ServiceStats& stats, size_t num_graphs) {
   out += " net_errors=" + std::to_string(stats.net_errors);
   out += " uptime_s=" + FormatFixed(stats.uptime_seconds, 3);
   out += " qps=" + FormatFixed(stats.qps, 1);
+  out += " qps60=" + FormatFixed(stats.qps_60s, 1);
   out += " lat_mean_ms=" + FormatFixed(stats.latency_mean_ms, 3);
   out += " lat_p50_ms=" + FormatFixed(stats.latency_p50_ms, 3);
   out += " lat_p90_ms=" + FormatFixed(stats.latency_p90_ms, 3);
@@ -584,6 +601,7 @@ std::string SerializeCommand(const Command& cmd) {
       if (q.time_limit_seconds) {
         out += " TIMELIMIT " + FormatExact(*q.time_limit_seconds);
       }
+      if (q.trace) out += " TRACE 1";
       out += " DEADLINE " + FormatExact(cmd.request.deadline_seconds);
       return out;
     }
@@ -632,6 +650,8 @@ std::string SerializeCommand(const Command& cmd) {
     }
     case Command::Kind::kStats:
       return "STATS";
+    case Command::Kind::kMetrics:
+      return "METRICS";
     case Command::Kind::kEvictPools:
       return "EVICT POOLS";
     case Command::Kind::kEvictGraph:
@@ -715,17 +735,30 @@ std::string ServiceSession::SolveResponse(const Result<SolverResult>& result,
   const char* pool = after.hits > before.hits       ? "warm"
                      : after.misses > before.misses ? "cold"
                                                     : "none";
-  return "OK blockers=" + JoinVertices(result->blockers) +
-         " rounds=" + std::to_string(result->stats.rounds_completed) +
-         " replacements=" + std::to_string(result->stats.replacements) +
-         " pool=" + pool +
-         " timed_out=" + (result->stats.timed_out ? "1" : "0");
+  std::string out = "OK blockers=" + JoinVertices(result->blockers) +
+                    " rounds=" + std::to_string(result->stats.rounds_completed) +
+                    " replacements=" +
+                    std::to_string(result->stats.replacements) +
+                    " pool=" + pool +
+                    " timed_out=" + (result->stats.timed_out ? "1" : "0");
+  if (result->trace) {
+    // The wall-clock tail exists only under TRACE 1 so untraced responses
+    // keep the bit-exact transcript contract. trace_id comes first: one
+    // `sed 's/ trace_id=.*$//'` strips everything volatile.
+    out += " trace_id=" + std::to_string(result->trace->id());
+    out += " solve_ms=" + FormatFixed(result->stats.seconds * 1e3, 3);
+    out +=
+        " pool_ms=" + FormatFixed(result->stats.pool_build_seconds * 1e3, 3);
+    for (const obs::SolveTrace::StageTotal& t : result->trace->Totals()) {
+      out += std::string(" stage=") + obs::SolveStageName(t.stage) + ":" +
+             FormatFixed(static_cast<double>(t.nanos) * 1e-6, 3);
+    }
+  }
+  return out;
 }
 
 std::string ServiceSession::RunStats() {
-  ServiceStats stats = service_->Stats();
-  if (stats_augmenter_) stats_augmenter_(&stats);
-  return FormatStats(stats, registry_->size());
+  return FormatStats(service_->Stats(), registry_->size());
 }
 
 std::string ServiceSession::Run(const Command& cmd) {
@@ -786,6 +819,10 @@ std::string ServiceSession::Run(const Command& cmd) {
     }
     case Command::Kind::kStats:
       return RunStats();
+    case Command::Kind::kMetrics:
+      // Multi-line Prometheus exposition ending in "# EOF" (no trailing
+      // newline — the REPL/TCP writer appends the final one).
+      return obs::RenderPrometheusText(service_->metrics().Snapshot());
     case Command::Kind::kEvictPools:
       return "OK evicted=" +
              std::to_string(service_->pool_cache().EvictAll());

@@ -12,15 +12,26 @@
 //   SOLVE <graph> SEEDS <v,v,..> [BUDGET <n>] [ALG ra|od|pr|bc|bg|ag|gr]
 //         [THETA <n>] [MC <n>] [SEED <n>] [REUSE prune|resample]
 //         [SAMPLER coin|skip|batch] [RELABEL orig|degree|bfs]
-//         [TIMELIMIT <s>] [DEADLINE <s>]
+//         [TIMELIMIT <s>] [TRACE 0|1] [DEADLINE <s>]
 //   EVAL <graph> SEEDS <v,v,..> BLOCKERS <v,v,..|-> [ROUNDS <n>] [SEED <n>]
 //        [SAMPLER coin|skip|batch]
 //   UPDATE <name> [ADD u,v,p;..] [DEL u,v;..] [PROB u,v,p;..] [ADDV <n>]
 //          [DELV v,v,..]
 //   STATS
+//   METRICS
 //   EVICT POOLS
 //   EVICT GRAPH <name>
 //   QUIT
+//
+// TRACE 1 requests per-stage timing (docs/DESIGN.md §12): the SOLVE
+// response gains a ` trace_id=<n> solve_ms=<f> pool_ms=<f>
+// stage=<name>:<ms>...` tail. The deterministic prefix is unchanged and
+// tracing never changes result bits; the tail is wall-clock data, so
+// transcript diffs strip it with one `sed 's/ trace_id=.*$//'` (trace_id
+// deliberately comes first). METRICS returns the service's metrics
+// registry in the Prometheus text exposition format — a multi-line
+// response terminated by a "# EOF" line (the only multi-line response in
+// the protocol; the framing layer forwards it verbatim).
 //
 // UPDATE applies a GraphDelta to a registered graph (docs/DESIGN.md §11):
 // edge groups are ';'-separated, fields within a group ','-separated with
@@ -64,6 +75,7 @@ struct Command {
     kEval,
     kUpdate,
     kStats,
+    kMetrics,
     kEvictPools,
     kEvictGraph,
     kQuit,
@@ -148,12 +160,6 @@ class ServiceSession {
   /// owning connection referenced from the callback.
   void ExecuteAsync(const std::string& line, ResponseFn done);
 
-  /// Folds extra counters (the TCP server's connection/byte totals) into
-  /// every STATS snapshot this session formats.
-  void set_stats_augmenter(std::function<void(ServiceStats*)> fn) {
-    stats_augmenter_ = std::move(fn);
-  }
-
   bool done() const { return done_; }
 
   GraphRegistry& registry() { return *registry_; }
@@ -169,7 +175,6 @@ class ServiceSession {
   std::unique_ptr<QueryService> owned_service_;
   GraphRegistry* registry_ = nullptr;
   QueryService* service_ = nullptr;
-  std::function<void(ServiceStats*)> stats_augmenter_;
   bool done_ = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "common/check.h"
@@ -54,9 +55,186 @@ QueryService::QueryService(GraphRegistry* registry,
       scheduler_(std::make_unique<ThreadPool>(
           std::max<uint32_t>(1, options.num_threads) + 1)) {
   VBLOCK_CHECK_MSG(registry != nullptr, "registry must not be null");
+  RegisterMetrics();
 }
 
 QueryService::~QueryService() = default;
+
+void QueryService::RegisterMetrics() {
+  submitted_ = metrics_.GetCounter("vblock_requests_submitted_total",
+                                   "Submit() calls accepted or not");
+  invalid_ = metrics_.GetCounter(
+      "vblock_requests_invalid_total",
+      "Requests failing validation (unknown graph, bad query)");
+  rejected_ = metrics_.GetCounter("vblock_requests_rejected_total",
+                                  "Admission-control rejections");
+  coalesced_ = metrics_.GetCounter(
+      "vblock_requests_coalesced_total",
+      "Riders attached to an identical in-flight computation");
+  completed_ = metrics_.GetCounter("vblock_requests_completed_total",
+                                   "Computations finished (any status)");
+  deadline_expired_ =
+      metrics_.GetCounter("vblock_requests_deadline_expired_total",
+                          "Deadlines expired before execution started");
+  latency_ = metrics_.GetHistogram("vblock_request_latency_seconds",
+                                   "Submit-to-completion latency");
+  pool_build_seconds_ = metrics_.GetFloatCounter(
+      "vblock_pool_build_seconds_total",
+      "Seconds spent cold-building theta-sample pools");
+  for (uint32_t i = 0; i < obs::kNumSolveStages; ++i) {
+    const std::string stage =
+        obs::SolveStageName(static_cast<obs::SolveStage>(i));
+    stage_seconds_[i] = metrics_.GetFloatCounter(
+        "vblock_solve_stage_seconds_total{stage=\"" + stage + "\"}",
+        "Seconds attributed to this solve stage (traced solves only)");
+    stage_calls_[i] = metrics_.GetCounter(
+        "vblock_solve_stage_calls_total{stage=\"" + stage + "\"}",
+        "Stage invocations folded from traced solves");
+  }
+
+  // Queue state and derived rates project through callbacks so METRICS and
+  // Stats() read the one source of truth instead of double-counting.
+  metrics_.RegisterCallback(
+      "vblock_queue_depth", "Accepted computations not yet started",
+      obs::MetricType::kGauge, [this]() -> double {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return queue_depth_;
+      });
+  metrics_.RegisterCallback(
+      "vblock_in_flight", "Accepted computations not yet completed",
+      obs::MetricType::kGauge, [this]() -> double {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return in_flight_count_;
+      });
+  metrics_.RegisterCallback(
+      "vblock_qps_60s", "Completions over the last 60 seconds / 60",
+      obs::MetricType::kGauge, [this]() -> double {
+        std::lock_guard<std::mutex> lock(mutex_);
+        AdvanceRingLocked(static_cast<uint64_t>(uptime_.ElapsedSeconds()));
+        uint64_t window = 0;
+        for (uint32_t slot : qps_ring_) window += slot;
+        return static_cast<double>(window) / 60.0;
+      });
+  metrics_.RegisterCallback("vblock_uptime_seconds",
+                            "Seconds since service construction",
+                            obs::MetricType::kGauge,
+                            [this]() -> double {
+                              return uptime_.ElapsedSeconds();
+                            });
+
+  // The pool cache keeps its own ledger (its entries==inserts−hits−
+  // evictions−migrations invariant is test-pinned); the registry projects
+  // it rather than mirroring it.
+  metrics_.RegisterCallback("vblock_pool_hits_total", "Warm-pool cache hits",
+                            obs::MetricType::kCounter, [this]() -> double {
+                              return static_cast<double>(cache_.stats().hits);
+                            });
+  metrics_.RegisterCallback(
+      "vblock_pool_misses_total", "Warm-pool cache misses",
+      obs::MetricType::kCounter,
+      [this]() -> double { return static_cast<double>(cache_.stats().misses); });
+  metrics_.RegisterCallback("vblock_pool_inserts_total",
+                            "Warm-pool cache insertions",
+                            obs::MetricType::kCounter, [this]() -> double {
+                              return static_cast<double>(
+                                  cache_.stats().inserts);
+                            });
+  metrics_.RegisterCallback("vblock_pool_evictions_total",
+                            "Warm-pool cache LRU/stale evictions",
+                            obs::MetricType::kCounter, [this]() -> double {
+                              return static_cast<double>(
+                                  cache_.stats().evictions);
+                            });
+  metrics_.RegisterCallback("vblock_pool_migrations_total",
+                            "Warm entries checked out for epoch migration",
+                            obs::MetricType::kCounter, [this]() -> double {
+                              return static_cast<double>(
+                                  cache_.stats().migrations);
+                            });
+  metrics_.RegisterCallback("vblock_pool_evicted_stale_total",
+                            "Stale-epoch drops (evicted or unmigratable)",
+                            obs::MetricType::kCounter, [this]() -> double {
+                              return static_cast<double>(
+                                  cache_.stats().evicted_stale);
+                            });
+  metrics_.RegisterCallback("vblock_pool_bytes", "Warm-pool cache footprint",
+                            obs::MetricType::kGauge, [this]() -> double {
+                              return static_cast<double>(
+                                  cache_.stats().bytes_in_use);
+                            });
+  metrics_.RegisterCallback("vblock_pool_entries",
+                            "Warm-pool cache resident entries",
+                            obs::MetricType::kGauge, [this]() -> double {
+                              return static_cast<double>(
+                                  cache_.stats().entries);
+                            });
+  metrics_.RegisterCallback(
+      "vblock_graphs", "Graphs currently registered", obs::MetricType::kGauge,
+      [this]() -> double { return static_cast<double>(registry_->size()); });
+  metrics_.RegisterCallback("vblock_graph_epochs_installed_total",
+                            "Graph epochs installed (loads + updates)",
+                            obs::MetricType::kCounter, [this]() -> double {
+                              return static_cast<double>(
+                                  registry_->epochs_installed());
+                            });
+
+  // Network front-end counters read through the installed source; they
+  // report zero when no front-end is attached, keeping the METRICS name
+  // set identical for stdin and TCP serving (the smoke transcripts share
+  // one golden).
+  auto net_metric = [this](auto proj) {
+    return [this, proj]() -> double {
+      std::function<void(ServiceStats*)> source;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        source = net_source_;
+      }
+      if (!source) return 0.0;
+      ServiceStats stats;
+      source(&stats);
+      return static_cast<double>(proj(stats));
+    };
+  };
+  metrics_.RegisterCallback(
+      "vblock_net_connections_total", "TCP connections accepted",
+      obs::MetricType::kCounter,
+      net_metric([](const ServiceStats& s) { return s.net_connections; }));
+  metrics_.RegisterCallback(
+      "vblock_net_active", "TCP connections currently open",
+      obs::MetricType::kGauge,
+      net_metric([](const ServiceStats& s) { return s.net_active; }));
+  metrics_.RegisterCallback(
+      "vblock_net_bytes_in_total", "Bytes read from TCP clients",
+      obs::MetricType::kCounter,
+      net_metric([](const ServiceStats& s) { return s.net_bytes_in; }));
+  metrics_.RegisterCallback(
+      "vblock_net_bytes_out_total", "Bytes written to TCP clients",
+      obs::MetricType::kCounter,
+      net_metric([](const ServiceStats& s) { return s.net_bytes_out; }));
+  metrics_.RegisterCallback(
+      "vblock_net_lines_total", "Protocol lines received over TCP",
+      obs::MetricType::kCounter,
+      net_metric([](const ServiceStats& s) { return s.net_lines; }));
+  metrics_.RegisterCallback(
+      "vblock_net_errors_total", "TCP protocol/socket errors",
+      obs::MetricType::kCounter,
+      net_metric([](const ServiceStats& s) { return s.net_errors; }));
+}
+
+void QueryService::AdvanceRingLocked(uint64_t now_second) const {
+  if (now_second <= ring_second_) return;
+  // Zero every slot a completion-free second skipped; past 60 the whole
+  // window is stale.
+  const uint64_t gap = now_second - ring_second_;
+  if (gap >= qps_ring_.size()) {
+    qps_ring_.fill(0);
+  } else {
+    for (uint64_t s = ring_second_ + 1; s <= now_second; ++s) {
+      qps_ring_[s % qps_ring_.size()] = 0;
+    }
+  }
+  ring_second_ = now_second;
+}
 
 std::future<Result<SolverResult>> QueryService::Submit(
     const IminRequest& request) {
@@ -81,17 +259,11 @@ std::future<Result<SolverResult>> QueryService::SubmitImpl(
     return ReadyFuture(std::move(result));
   };
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++counters_.submitted;
-  }
+  submitted_->Increment();
 
   Result<GraphRegistry::SnapshotPtr> snapshot = registry_->Get(request.graph);
   if (!snapshot.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++counters_.invalid;
-    }
+    invalid_->Increment();
     return deliver_now(snapshot.status());
   }
   const Graph& g = (*snapshot)->graph;
@@ -117,10 +289,7 @@ std::future<Result<SolverResult>> QueryService::SubmitImpl(
     }
   }
   if (!valid.ok()) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++counters_.invalid;
-    }
+    invalid_->Increment();
     return deliver_now(std::move(valid));
   }
 
@@ -130,19 +299,25 @@ std::future<Result<SolverResult>> QueryService::SubmitImpl(
   comp_key.deadline_seconds = request.deadline_seconds;
   comp_key.query = std::move(key);
 
+  // Tracing is excluded from CompKey (it never changes result bits), so a
+  // traced request could find an untraced in-flight twin — which has no
+  // trace to give it. Keep the contract simple: traced computations never
+  // coalesce and never enter the dedup map.
+  const bool traced = request.query.trace || options_.defaults.trace;
+
   std::shared_ptr<Computation> comp;
   std::future<Result<SolverResult>> future;
   Status rejected;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    // Deadline-free requests may ride an identical in-flight computation;
-    // deadlined ones never coalesce (each owns its clock) and never enter
-    // the dedup map. Riders are free — they occupy no queue slot and skip
-    // admission control.
-    if (request.deadline_seconds == 0) {
+    // Deadline-free untraced requests may ride an identical in-flight
+    // computation; deadlined ones never coalesce (each owns its clock)
+    // and never enter the dedup map. Riders are free — they occupy no
+    // queue slot and skip admission control.
+    if (request.deadline_seconds == 0 && !traced) {
       auto it = in_flight_.find(comp_key);
       if (it != in_flight_.end()) {
-        ++counters_.coalesced;
+        coalesced_->Increment();
         it->second->waiters.emplace_back();
         Waiter& rider = it->second->waiters.back();
         if (done) {
@@ -152,13 +327,13 @@ std::future<Result<SolverResult>> QueryService::SubmitImpl(
         return rider.promise.get_future();
       }
     }
-    if (counters_.queue_depth >= options_.max_queue) {
-      ++counters_.rejected;
+    if (queue_depth_ >= options_.max_queue) {
+      rejected_->Increment();
       rejected = Status::ResourceExhausted(
           "queue full (" + std::to_string(options_.max_queue) +
           " pending computations)");
-    } else if (counters_.in_flight >= options_.max_in_flight) {
-      ++counters_.rejected;
+    } else if (in_flight_count_ >= options_.max_in_flight) {
+      rejected_->Increment();
       rejected = Status::ResourceExhausted(
           "too many computations in flight (max " +
           std::to_string(options_.max_in_flight) + ")");
@@ -166,18 +341,19 @@ std::future<Result<SolverResult>> QueryService::SubmitImpl(
       comp = std::make_shared<Computation>();
       comp->key = comp_key;
       comp->snapshot = *snapshot;
+      comp->trace = traced;
       comp->waiters.emplace_back();
       if (done) {
         comp->waiters.back().callback = std::move(done);
       } else {
         future = comp->waiters.back().promise.get_future();
       }
-      if (request.deadline_seconds == 0) {
+      if (request.deadline_seconds == 0 && !traced) {
         comp->tracked = true;
         in_flight_.emplace(std::move(comp_key), comp);
       }
-      ++counters_.queue_depth;
-      ++counters_.in_flight;
+      ++queue_depth_;
+      ++in_flight_count_;
     }
   }
   // Rejections deliver outside the lock: a synchronous callback is allowed
@@ -195,7 +371,7 @@ Result<SolverResult> QueryService::SubmitAndWait(const IminRequest& request) {
 void QueryService::Execute(const std::shared_ptr<Computation>& comp) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    --counters_.queue_depth;
+    --queue_depth_;
   }
 
   const double deadline = comp->key.deadline_seconds;
@@ -207,26 +383,78 @@ void QueryService::Execute(const std::shared_ptr<Computation>& comp) {
                     "s) expired before execution"))
               : Compute(*comp);
 
+  // Fold this solve's stage attribution into the service-lifetime cells —
+  // the vblock_solve_stage_* series accumulate across traced requests.
+  uint64_t trace_id = 0;
+  if (result.ok()) {
+    const SolverResult& r = *result;
+    if (r.stats.pool_build_seconds > 0) {
+      pool_build_seconds_->Add(r.stats.pool_build_seconds);
+    }
+    if (r.trace) {
+      trace_id = r.trace->id();
+      for (const obs::SolveTrace::StageTotal& t : r.trace->Totals()) {
+        const auto i = static_cast<uint32_t>(t.stage);
+        stage_seconds_[i]->Add(static_cast<double>(t.nanos) * 1e-9);
+        stage_calls_[i]->Increment(t.calls);
+      }
+    }
+  }
+
   std::vector<Waiter> waiters;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (comp->tracked) in_flight_.erase(comp->key);
-    --counters_.in_flight;
-    ++counters_.completed;
-    if (expired) ++counters_.deadline_expired;
-    // One latency sample per request (riders included), each measured
-    // from its own Submit.
-    for (const Waiter& waiter : comp->waiters) {
-      latency_.Record(waiter.submitted.ElapsedSeconds());
-    }
+    --in_flight_count_;
+    completed_->Increment();
+    if (expired) deadline_expired_->Increment();
+    const uint64_t now_second =
+        static_cast<uint64_t>(uptime_.ElapsedSeconds());
+    AdvanceRingLocked(now_second);
+    ++qps_ring_[now_second % qps_ring_.size()];
     waiters = std::move(comp->waiters);
   }
+  // One latency sample per request (riders included), each measured from
+  // its own Submit and recorded before its delivery so a waiter observing
+  // its future always finds its own sample in Stats(). The slow-query
+  // sink and callbacks run outside the lock (both may re-enter the
+  // service).
   for (auto& waiter : waiters) {
+    const double seconds = waiter.submitted.ElapsedSeconds();
+    latency_->Record(seconds);
+    MaybeLogSlow(*comp, seconds, trace_id, result.status());
     if (waiter.callback) {
       waiter.callback(result);
     } else {
       waiter.promise.set_value(result);
     }
+  }
+}
+
+void QueryService::MaybeLogSlow(const Computation& comp,
+                                double latency_seconds, uint64_t trace_id,
+                                const Status& status) const {
+  if (options_.slow_query_ms == 0) return;
+  const double ms = latency_seconds * 1e3;
+  if (ms < static_cast<double>(options_.slow_query_ms)) return;
+  char ms_buf[32];
+  std::snprintf(ms_buf, sizeof(ms_buf), "%.1f", ms);
+  std::string line = "slow_query ms=";
+  line += ms_buf;
+  line += " graph=";
+  line += comp.snapshot->name;
+  line += " alg=";
+  line += AlgorithmName(comp.key.query.algorithm);
+  line += " budget=";
+  line += std::to_string(comp.key.budget);
+  line += " trace_id=";
+  line += std::to_string(trace_id);
+  line += " status=";
+  line += StatusCodeName(status.code());
+  if (options_.slow_log) {
+    options_.slow_log(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
 }
 
@@ -244,11 +472,18 @@ Result<SolverResult> QueryService::Compute(const Computation& comp) {
       PoolCache::KeyFor(comp.snapshot->epoch, key);
   if (!pool_key.has_value() || comp.key.budget == 0) {
     // Heuristics, BaselineGreedy, and trivial budgets: no warmable pool —
-    // the standalone facade already is the cheapest path.
-    return SolveImin(comp.snapshot->graph, key.seeds,
-                     ResolveSolverOptions(key, comp.key.budget,
-                                          options_.defaults.threads,
-                                          time_limit));
+    // the standalone facade already is the cheapest path. It allocates the
+    // trace itself; only the wire-visible id comes from the service.
+    SolverOptions opts = ResolveSolverOptions(
+        key, comp.key.budget, options_.defaults.threads, time_limit);
+    opts.trace = comp.trace;
+    Result<SolverResult> result =
+        SolveImin(comp.snapshot->graph, key.seeds, opts);
+    if (result.ok() && (*result).trace) {
+      (*result).trace->set_id(
+          trace_seq_.fetch_add(1, std::memory_order_relaxed));
+    }
+    return result;
   }
   return ComputeWithEngine(comp, *pool_key, time_limit);
 }
@@ -261,10 +496,18 @@ Result<SolverResult> QueryService::ComputeWithEngine(
   Timer timer;
   Deadline deadline(time_limit_seconds);
 
+  std::shared_ptr<obs::SolveTrace> trace_ptr;
+  if (comp.trace) {
+    trace_ptr = std::make_shared<obs::SolveTrace>();
+    trace_ptr->set_id(trace_seq_.fetch_add(1, std::memory_order_relaxed));
+  }
+  obs::SolveTrace* const trace = trace_ptr.get();
+
   std::unique_ptr<WarmEntry> entry = cache_.Acquire(pool_key);
   const bool cold = entry == nullptr;
   if (cold) {
     entry = std::make_unique<WarmEntry>();
+    obs::ScopedSpan span(trace, obs::SolveStage::kUnify);
     entry->inst = std::make_unique<UnifiedInstance>(
         UnifySeeds(comp.snapshot->graph, key.seeds, key.vertex_order));
   }
@@ -276,10 +519,12 @@ Result<SolverResult> QueryService::ComputeWithEngine(
     // entry (possibly built for AG) goes straight back.
     if (!cold) cache_.Release(pool_key, std::move(entry));
     SolverResult result;
+    result.trace = trace_ptr;
     result.stats.seconds = timer.ElapsedSeconds();
     return result;
   }
 
+  double build_seconds = 0;
   if (cold) {
     SpreadDecreaseOptions sd;
     sd.theta = key.theta;
@@ -287,16 +532,26 @@ Result<SolverResult> QueryService::ComputeWithEngine(
     sd.threads = options_.defaults.threads;
     sd.sample_reuse = key.sample_reuse;
     sd.sampler_kind = key.sampler_kind;
+    // pool_build_seconds clock reads happen on the cold path only: a warm
+    // hit gains zero reads, which is what anchors the ≤2% trace-off
+    // overhead contract on the warm solve.
+    const double build_begin = timer.ElapsedSeconds();
     entry->engine = std::make_unique<SpreadDecreaseEngine>(inst.graph,
                                                            inst.root, sd);
+    entry->engine->set_trace(trace);
     if (!entry->engine->Build(deadline)) {
       // Timed out mid-build: the standalone algorithms return an empty,
       // timed_out-flagged result. The half-built engine is discarded.
       SolverResult result;
+      result.trace = trace_ptr;
       result.stats.timed_out = true;
+      result.stats.pool_build_seconds = timer.ElapsedSeconds() - build_begin;
       result.stats.seconds = timer.ElapsedSeconds();
       return result;
     }
+    build_seconds = timer.ElapsedSeconds() - build_begin;
+  } else {
+    entry->engine->set_trace(trace);
   }
 
   BlockerSelection sel;
@@ -309,6 +564,7 @@ Result<SolverResult> QueryService::ComputeWithEngine(
     gr.time_limit_seconds = time_limit_seconds;
     gr.sample_reuse = key.sample_reuse;
     gr.sampler_kind = key.sampler_kind;
+    gr.trace = trace;
     sel = GreedyReplaceWithEngine(entry->engine.get(), gr, deadline);
   } else {
     AdvancedGreedyOptions ag;
@@ -319,6 +575,7 @@ Result<SolverResult> QueryService::ComputeWithEngine(
     ag.time_limit_seconds = time_limit_seconds;
     ag.sample_reuse = key.sample_reuse;
     ag.sampler_kind = key.sampler_kind;
+    ag.trace = trace;
     sel = AdvancedGreedyWithEngine(entry->engine.get(), ag, deadline);
   }
 
@@ -327,7 +584,9 @@ Result<SolverResult> QueryService::ComputeWithEngine(
   result.stats = sel.stats;
   result.stats.selection_trace =
       inst.BlockersToOriginal(sel.stats.selection_trace);
+  result.stats.pool_build_seconds = build_seconds;
   result.stats.seconds = timer.ElapsedSeconds();
+  result.trace = trace_ptr;
 
   // Check the engine back in restored to its freshly built state — the
   // next request for this key skips the θ-sample build entirely. The
@@ -341,6 +600,10 @@ Result<SolverResult> QueryService::ComputeWithEngine(
   // cached. Restoration runs without a deadline: a poisoned cache entry
   // would silently break the determinism contract.
   if (!entry->engine->timed_out() && entry->engine->Restore()) {
+    // Restore above still ran traced (its kRestore span belongs to this
+    // request); the pointer MUST clear before the engine outlives the
+    // request's trace in the cache.
+    entry->engine->set_trace(nullptr);
     // Cached entries must not pin idle OS threads or per-thread scratch;
     // the engine re-spawns its workers lazily when next needed.
     entry->engine->ReleaseThreads();
@@ -353,6 +616,7 @@ QueryService::MigrationOutcome QueryService::MigrateEpoch(
     const GraphRegistry::SnapshotPtr& to,
     const GraphRegistry::SnapshotPtr& from) {
   MigrationOutcome outcome;
+  const auto migrate_stage = static_cast<uint32_t>(obs::SolveStage::kMigrate);
   auto taken = cache_.TakeEpoch(from->epoch);
   for (auto& [key, entry] : taken) {
     if (!entry || !entry->inst || !entry->engine ||
@@ -406,7 +670,14 @@ QueryService::MigrationOutcome QueryService::MigrateEpoch(
     // inst.graph, so the Graph object must keep its address — only its
     // CSR arrays (and grouped-view slot) move.
     inst.graph = std::move(fresh.graph);
+    // Migration runs outside any request, so its cost folds straight into
+    // the service-lifetime stage cells (no per-request trace to carry it).
+    const uint64_t migrate_begin = obs::SolveTrace::NowNanos();
     entry->engine->MigrateGraph(changed_out, changed_in);
+    stage_seconds_[migrate_stage]->Add(
+        static_cast<double>(obs::SolveTrace::NowNanos() - migrate_begin) *
+        1e-9);
+    stage_calls_[migrate_stage]->Increment();
     entry->engine->ReleaseThreads();
 
     PoolCache::Key new_key = key;
@@ -439,20 +710,43 @@ Result<double> QueryService::Evaluate(const EvalRequest& request) const {
   return EvaluateSpread(g, request.seeds, request.blockers, request.options);
 }
 
+void QueryService::set_net_stats_source(
+    std::function<void(ServiceStats*)> source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  net_source_ = std::move(source);
+}
+
 ServiceStats QueryService::Stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  ServiceStats stats = counters_;
+  ServiceStats stats;
+  // Every monotonic counter reads from the registry cell the METRICS
+  // exposition scrapes — the reconciliation the obs tests pin.
+  stats.submitted = submitted_->Value();
+  stats.invalid = invalid_->Value();
+  stats.rejected = rejected_->Value();
+  stats.coalesced = coalesced_->Value();
+  stats.completed = completed_->Value();
+  stats.deadline_expired = deadline_expired_->Value();
+  stats.queue_depth = queue_depth_;
+  stats.in_flight = in_flight_count_;
   stats.uptime_seconds = uptime_.ElapsedSeconds();
   stats.qps = stats.uptime_seconds > 0
                   ? static_cast<double>(stats.completed) / stats.uptime_seconds
                   : 0;
+  AdvanceRingLocked(static_cast<uint64_t>(stats.uptime_seconds));
+  uint64_t window = 0;
+  for (uint32_t slot : qps_ring_) window += slot;
+  stats.qps_60s = static_cast<double>(window) / 60.0;
   stats.cache = cache_.stats();
-  stats.latency_count = latency_.count();
-  stats.latency_mean_ms = latency_.mean() * 1e3;
-  stats.latency_p50_ms = latency_.Quantile(0.50) * 1e3;
-  stats.latency_p90_ms = latency_.Quantile(0.90) * 1e3;
-  stats.latency_p99_ms = latency_.Quantile(0.99) * 1e3;
-  stats.latency_max_ms = latency_.max() * 1e3;
+  const Histogram latency = latency_->Merged();
+  stats.latency_count = latency.count();
+  stats.latency_mean_ms = latency.mean() * 1e3;
+  stats.latency_p50_ms = latency.Quantile(0.50) * 1e3;
+  stats.latency_p90_ms = latency.Quantile(0.90) * 1e3;
+  stats.latency_p99_ms = latency.Quantile(0.99) * 1e3;
+  stats.latency_max_ms = latency.max() * 1e3;
+  // The network front-end folds its totals in last (zeros when absent).
+  if (net_source_) net_source_(&stats);
   return stats;
 }
 

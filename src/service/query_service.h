@@ -35,6 +35,8 @@
 
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -51,6 +53,8 @@
 #include "core/batch_solver.h"
 #include "core/evaluator.h"
 #include "core/solver.h"
+#include "obs/metrics.h"
+#include "obs/solve_trace.h"
 #include "service/graph_registry.h"
 #include "service/pool_cache.h"
 
@@ -93,6 +97,14 @@ struct ServiceOptions {
   /// (`algorithm` and `budget` are per-request; `threads` parallelizes
   /// inside one solve and never changes results).
   SolverOptions defaults;
+  /// Slow-query log threshold in milliseconds (0 = disabled). A completed
+  /// request whose submit→completion latency reaches the threshold emits
+  /// one structured line (`slow_query ms=... graph=... alg=... budget=...
+  /// trace_id=... status=...`) through `slow_log`.
+  uint64_t slow_query_ms = 0;
+  /// Sink for slow-query lines (no trailing newline). Defaults to stderr.
+  /// Invoked from worker threads; must be thread-safe and non-blocking.
+  std::function<void(const std::string&)> slow_log;
 };
 
 /// Monotonic counters + current state snapshot. All counters are totals
@@ -107,7 +119,11 @@ struct ServiceStats {
   uint32_t queue_depth = 0;      // accepted, not yet started
   uint32_t in_flight = 0;        // accepted, not yet completed
   double uptime_seconds = 0;
-  double qps = 0;                // completed / uptime
+  double qps = 0;                // completed / uptime (lifetime average)
+  /// Completions over the last 60 seconds / 60 — a sliding-window rate
+  /// that tracks current load where the lifetime `qps` stays dragged down
+  /// by idle history.
+  double qps_60s = 0;
   PoolCache::Stats cache;
   /// Latency (submit → completion) percentiles in milliseconds, bucketed
   /// by common/histogram.h (upper-bound estimates, ~26% resolution).
@@ -204,7 +220,24 @@ class QueryService {
                                 const GraphRegistry::SnapshotPtr& from);
 
   /// Consistent snapshot of counters, queue state, cache stats, latency.
+  /// A projection of the metrics registry: every monotonic counter here is
+  /// read from the same cell the METRICS exposition scrapes, so the two
+  /// always reconcile exactly (tests/obs_test.cc asserts this).
   ServiceStats Stats() const;
+
+  /// This service's metrics registry — the single source of truth behind
+  /// Stats() and the METRICS wire command. Per-instance (not the process
+  /// Default()) so concurrent services never mix totals.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Installs (or clears, with nullptr) the network front-end stats
+  /// source: a function folding TcpServerStats totals into a ServiceStats
+  /// (net/tcp_server.h installs itself here). Stats() applies it, and the
+  /// pre-registered vblock_net_* metrics read through it — absent a
+  /// source they report zero, keeping the METRICS name set identical for
+  /// stdin and TCP serving. The front-end MUST clear the source before it
+  /// is destroyed.
+  void set_net_stats_source(std::function<void(ServiceStats*)> source);
 
   /// Warm-pool cache (eviction control, direct stats).
   PoolCache& pool_cache() { return cache_; }
@@ -246,6 +279,10 @@ class QueryService {
     // otherwise inherit the first submitter's deadline clock and time out
     // while its own submission-to-completion budget still had slack.
     bool tracked = false;
+    // Collect a per-stage SolveTrace. NOT part of CompKey (tracing never
+    // changes result bits); traced computations skip the dedup map
+    // entirely — see SubmitImpl.
+    bool trace = false;
     std::vector<Waiter> waiters;
   };
 
@@ -261,15 +298,52 @@ class QueryService {
                                          const PoolCache::Key& pool_key,
                                          double time_limit_seconds);
 
+  // Registers every metric the service exports — called once from the
+  // constructor so the METRICS name set is fixed at construction (the
+  // smoke transcripts depend on a deterministic name set).
+  void RegisterMetrics();
+
+  // Zeroes ring slots for seconds that elapsed without completions and
+  // advances the cursor to `now_second`. Caller holds mutex_.
+  void AdvanceRingLocked(uint64_t now_second) const;
+
+  // Emits one structured slow-query line when the threshold is configured
+  // and latency_seconds reaches it.
+  void MaybeLogSlow(const Computation& comp, double latency_seconds,
+                    uint64_t trace_id, const Status& status) const;
+
   GraphRegistry* registry_;
   ServiceOptions options_;
   PoolCache cache_;
   Timer uptime_;
 
+  // The instrument cells behind Stats(): monotonic counters live ONLY in
+  // the registry (Stats() reads the same cells METRICS scrapes);
+  // queue_depth_/in_flight_count_ stay plain ints under mutex_ because
+  // admission control reads them together atomically.
+  mutable obs::MetricsRegistry metrics_;
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* invalid_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* coalesced_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* deadline_expired_ = nullptr;
+  obs::HistogramMetric* latency_ = nullptr;  // seconds
+  obs::FloatCounter* pool_build_seconds_ = nullptr;
+  std::array<obs::FloatCounter*, obs::kNumSolveStages> stage_seconds_{};
+  std::array<obs::Counter*, obs::kNumSolveStages> stage_calls_{};
+  std::atomic<uint64_t> trace_seq_{1};  // per-request trace ids
+
   mutable std::mutex mutex_;
   std::map<CompKey, std::shared_ptr<Computation>> in_flight_;
-  ServiceStats counters_;  // queue_depth/in_flight maintained inline
-  Histogram latency_;      // seconds; guarded by mutex_
+  uint32_t queue_depth_ = 0;      // accepted, not yet started
+  uint32_t in_flight_count_ = 0;  // accepted, not yet completed
+  // Sliding-window completion ring: one slot per second of the last 60,
+  // indexed by (uptime second % 60). Guarded by mutex_; mutable so the
+  // const readers (Stats, the qps_60s metric callback) can expire slots.
+  mutable std::array<uint32_t, 60> qps_ring_{};
+  mutable uint64_t ring_second_ = 0;
+  std::function<void(ServiceStats*)> net_source_;  // guarded by mutex_
 
   // Declared last: destroyed first, draining all tasks while the members
   // above are still alive.

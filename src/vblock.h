@@ -89,6 +89,10 @@
 #include "core/spread_decrease_engine.h"
 #include "core/unified_instance.h"
 
+// observability: metrics registry + per-stage solve traces
+#include "obs/metrics.h"
+#include "obs/solve_trace.h"
+
 // in-process query service
 #include "service/graph_registry.h"
 #include "service/pool_cache.h"

@@ -35,8 +35,11 @@ std::string ReadFileOrDie(const std::string& path) {
   return buffer.str();
 }
 
-// Removes the wall-clock / allocator-dependent STATS tail, exactly like
-// the CI smoke's `sed 's/ pool_bytes=.*$//'`.
+// Removes the wall-clock / allocator-dependent tails, exactly like the CI
+// smoke's sed pipeline: the STATS suffix from pool_bytes on, the traced
+// SOLVE tail from trace_id on, and the sample value of every METRICS line
+// (metric names and '#' headers stay — the exposition name set is pinned,
+// its values are not).
 std::string StripVolatile(const std::string& transcript) {
   std::string out;
   size_t start = 0;
@@ -47,8 +50,15 @@ std::string StripVolatile(const std::string& transcript) {
       break;
     }
     std::string line = transcript.substr(start, end - start);
-    const size_t cut = line.find(" pool_bytes=");
+    size_t cut = line.find(" pool_bytes=");
+    if (cut == std::string::npos) cut = line.find(" trace_id=");
     if (cut != std::string::npos) line.erase(cut);
+    if (line.rfind("vblock_", 0) == 0) {
+      // "name{labels} value" → "name{labels}"; a '}' may contain a space
+      // inside a label value, so cut at the LAST space.
+      const size_t space = line.rfind(' ');
+      if (space != std::string::npos) line.erase(space);
+    }
     out += line;
     out += '\n';
     start = end + 1;

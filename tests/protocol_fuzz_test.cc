@@ -55,7 +55,7 @@ Edge RandomEdge(Rng& rng) {
 
 Command RandomCommand(Rng& rng) {
   Command cmd;
-  switch (rng.NextBounded(9)) {
+  switch (rng.NextBounded(10)) {
     case 0: {
       cmd.kind = Command::Kind::kLoadGen;
       cmd.name = RandomToken(rng, 12);
@@ -116,6 +116,9 @@ Command RandomCommand(Rng& rng) {
       if (rng.NextBernoulli(0.7)) {
         cmd.request.query.time_limit_seconds = rng.NextDouble() * 100;
       }
+      // TRACE is a plain flag: absent == false, "TRACE 1" == true. Both
+      // states must round-trip (false serializes to nothing).
+      cmd.request.query.trace = rng.NextBernoulli(0.5);
       cmd.request.deadline_seconds = rng.NextDouble() * 100;
       break;
     }
@@ -143,6 +146,9 @@ Command RandomCommand(Rng& rng) {
     case 6:
       cmd.kind = Command::Kind::kEvictGraph;
       cmd.name = RandomToken(rng, 12);
+      break;
+    case 8:
+      cmd.kind = Command::Kind::kMetrics;
       break;
     case 7: {
       cmd.kind = Command::Kind::kUpdate;
@@ -238,6 +244,7 @@ TEST_P(ProtocolFuzz, SerializeParseRoundTrip) {
         EXPECT_EQ(a.sampler_kind, b.sampler_kind);
         EXPECT_EQ(a.vertex_order, b.vertex_order);
         EXPECT_EQ(a.time_limit_seconds, b.time_limit_seconds);
+        EXPECT_EQ(a.trace, b.trace);
         EXPECT_EQ(reparsed->request.deadline_seconds,
                   original.request.deadline_seconds);
         break;
@@ -314,6 +321,7 @@ std::string HostileStream(Rng& rng, size_t* expect_lines) {
       "STATS",          "EVICT POOLS",      "SOLVE nope SEEDS 1",
       "stats",          "EVICT GRAPH gone", "EVAL nada SEEDS 3 BLOCKERS -",
       "UPDATE gone PROB 1,2,0.5", "UPDATE gone ADD 1,2,0.5 DEL 3,4",
+      "SOLVE nope SEEDS 1 TRACE 1",
   };
   std::string stream;
   *expect_lines = 0;
@@ -322,7 +330,7 @@ std::string HostileStream(Rng& rng, size_t* expect_lines) {
     switch (rng.NextBounded(6)) {
       case 0:
       case 1:
-        stream += kValid[rng.NextBounded(8)];
+        stream += kValid[rng.NextBounded(9)];
         break;
       case 2: {  // raw garbage, NULs and broken UTF-8 included
         const size_t len = rng.NextBounded(40);

@@ -68,6 +68,21 @@ TEST(RunReplTest, EmptyInputIsCleanShutdown) {
   EXPECT_EQ(out.str(), "");
 }
 
+TEST(RunReplTest, MetricsEmitsTerminatedExposition) {
+  // METRICS is the protocol's only multi-line response; the REPL writes
+  // the body verbatim and its "# EOF" terminator gets the final newline.
+  std::istringstream in("METRICS\nEVICT POOLS\n");
+  std::ostringstream out;
+  ServiceSession session(FastOptions());
+  EXPECT_EQ(RunRepl(in, out, &session), 0);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("# HELP ", 0), 0u) << text.substr(0, 40);
+  EXPECT_NE(text.find("\nvblock_requests_submitted_total 0\n"),
+            std::string::npos);
+  // The command after the exposition still gets its own reply line.
+  EXPECT_NE(text.find("\n# EOF\nOK evicted=0\n"), std::string::npos);
+}
+
 TEST(RunReplTest, ErrorResponsesStillCountAsCleanExit) {
   std::istringstream in("FROB\nSOLVE missing SEEDS 1");
   std::ostringstream out;

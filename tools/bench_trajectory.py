@@ -25,8 +25,8 @@ rewrites the trajectory file; commit the result.
 
 The metric extractors below understand the JSON emitted by
 bench_skip_sampling, bench_sample_pool, bench_batch_solver,
-bench_service_throughput, and bench_dynamic_graph, keyed by the "bench"
-field each one emits.
+bench_service_throughput, bench_dynamic_graph, and bench_observability,
+keyed by the "bench" field each one emits.
 """
 
 import argparse
@@ -70,12 +70,26 @@ def _dynamic_metrics(run):
     }
 
 
+def _observability_metrics(run):
+    # The bench reports overhead ratios (lower = better); the trajectory
+    # tracks their inverses so that, like every other metric here, a
+    # falling value means a regression — instrumentation creep on the
+    # trace-off hot path or heavier span recording when tracing is on.
+    off = run["trace_off_overhead_ratio"]
+    on = run["trace_on_overhead_ratio"]
+    return {
+        "trace_off_efficiency": 1.0 / off if off else 0.0,
+        "trace_on_efficiency": 1.0 / on if on else 0.0,
+    }
+
+
 EXTRACTORS = {
     "skip_sampling": _skip_sampling_metrics,
     "sample_pool": _sample_pool_metrics,
     "batch_solver": _batch_solver_metrics,
     "service_throughput": _service_throughput_metrics,
     "dynamic_graph": _dynamic_metrics,
+    "observability": _observability_metrics,
 }
 
 UNIT = "x"  # every tracked metric is a speedup ratio

@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition scraped from vblock_serve METRICS.
+
+Stdlib-only; CI pipes the METRICS response body (everything the server
+emitted for the command, including the trailing "# EOF") through this
+script and fails the job on any violation:
+
+  * every sample line parses (name, optional {labels}, float value)
+  * each family is preceded by exactly one # HELP and one # TYPE pair,
+    with a known type, and all of a family's samples are contiguous
+  * counter families end in _total
+  * histogram families expand into _bucket/_sum/_count, bucket bounds
+    strictly increase, cumulative counts never decrease, and the +Inf
+    bucket equals _count
+  * the final line is the "# EOF" terminator
+
+Usage: check_prometheus.py [FILE]     (reads stdin when FILE is absent)
+Exit status: 0 valid, 1 invalid, 2 usage.
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+# name, optional {label="value",...} block, single space, value token.
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S.*)$"
+)
+LABEL_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$'
+)
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fail(lineno, line, why):
+    sys.stderr.write(
+        "check_prometheus: line %d: %s\n  %s\n" % (lineno, why, line)
+    )
+    sys.exit(1)
+
+
+def parse_value(token):
+    if token in ("+Inf", "Inf"):
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def parse_labels(block, lineno, line):
+    """'{a="x",b="y"}' -> dict; label values may contain escaped quotes."""
+    inner = block[1:-1]
+    if not inner:
+        return {}
+    labels = {}
+    # Split on commas that are outside quotes.
+    parts, depth, cur = [], False, ""
+    for ch in inner:
+        if ch == '"' and not cur.endswith("\\"):
+            depth = not depth
+        if ch == "," and not depth:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += ch
+    parts.append(cur)
+    for part in parts:
+        if not LABEL_RE.match(part):
+            fail(lineno, line, "malformed label pair %r" % part)
+        key, value = part.split("=", 1)
+        labels[key] = value[1:-1]
+    return labels
+
+
+def family_of(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    if len(sys.argv) > 2:
+        sys.stderr.write(__doc__)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    lines = text.splitlines()
+    if not lines:
+        sys.stderr.write("check_prometheus: empty input\n")
+        return 1
+    if lines[-1].strip() != "# EOF":
+        sys.stderr.write(
+            "check_prometheus: missing terminal '# EOF' (last line: %r)\n"
+            % lines[-1]
+        )
+        return 1
+
+    helped = {}  # family -> help text
+    typed = {}  # family -> type
+    closed = set()  # families whose sample block has ended
+    current = None  # family currently emitting samples
+    # histogram accumulation for the current family
+    hist = None  # dict(bounds=[], counts=[], inf=None, sum=None, count=None)
+    samples = {}  # full sample name (with labels) -> value, for dup check
+
+    def close_family(lineno):
+        nonlocal current, hist
+        if current is None:
+            return
+        if typed.get(current) == "histogram":
+            if hist is None or hist["inf"] is None:
+                fail(lineno, current, "histogram missing +Inf bucket")
+            if hist["count"] is None or hist["sum"] is None:
+                fail(lineno, current, "histogram missing _sum or _count")
+            if hist["inf"] != hist["count"]:
+                fail(
+                    lineno,
+                    current,
+                    "+Inf bucket (%g) != _count (%g)"
+                    % (hist["inf"], hist["count"]),
+                )
+        closed.add(current)
+        current = None
+        hist = None
+
+    for lineno, line in enumerate(lines, 1):
+        if line.strip() == "# EOF":
+            if lineno != len(lines):
+                fail(lineno, line, "'# EOF' before end of input")
+            close_family(lineno)
+            continue
+        if not line or line.isspace():
+            fail(lineno, line, "blank line inside exposition")
+        if line.startswith("#"):
+            fields = line.split(" ", 3)
+            if len(fields) < 3 or fields[0] != "#":
+                fail(lineno, line, "malformed comment/meta line")
+            kind, family = fields[1], fields[2]
+            if kind not in ("HELP", "TYPE"):
+                fail(lineno, line, "unknown meta keyword %r" % kind)
+            if not NAME_RE.fullmatch(family):
+                fail(lineno, line, "bad family name %r" % family)
+            if family in closed:
+                fail(lineno, line, "family %r re-opened" % family)
+            if kind == "HELP":
+                if family in helped:
+                    fail(lineno, line, "duplicate HELP for %r" % family)
+                helped[family] = fields[3] if len(fields) > 3 else ""
+            else:
+                if family in typed:
+                    fail(lineno, line, "duplicate TYPE for %r" % family)
+                if len(fields) < 4 or fields[3] not in KNOWN_TYPES:
+                    fail(lineno, line, "unknown metric type")
+                if family not in helped:
+                    fail(lineno, line, "TYPE before HELP for %r" % family)
+                typed[family] = fields[3]
+                if fields[3] == "counter" and not family.endswith("_total"):
+                    fail(
+                        lineno, line, "counter family must end in _total"
+                    )
+            close_family(lineno)
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, line, "unparsable sample line")
+        name, label_block, value_token = m.groups()
+        value = parse_value(value_token)
+        if value is None:
+            fail(lineno, line, "unparsable value %r" % value_token)
+        labels = parse_labels(label_block, lineno, line) if label_block else {}
+        family = name if typed.get(name) is not None else family_of(name)
+        if family not in typed:
+            fail(lineno, line, "sample before TYPE for %r" % family)
+        if family in closed:
+            fail(lineno, line, "family %r re-opened by sample" % family)
+        if current is not None and family != current:
+            close_family(lineno)
+        current = family
+
+        key = name + (label_block or "")
+        if key in samples:
+            fail(lineno, line, "duplicate sample %r" % key)
+        samples[key] = value
+
+        if typed[family] == "histogram":
+            if hist is None:
+                hist = {
+                    "bounds": [],
+                    "counts": [],
+                    "inf": None,
+                    "sum": None,
+                    "count": None,
+                }
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    fail(lineno, line, "_bucket without le label")
+                if labels["le"] == "+Inf":
+                    hist["inf"] = value
+                else:
+                    bound = parse_value(labels["le"])
+                    if bound is None:
+                        fail(lineno, line, "bad le bound")
+                    if hist["inf"] is not None:
+                        fail(lineno, line, "finite bucket after +Inf")
+                    if hist["bounds"] and bound <= hist["bounds"][-1]:
+                        fail(lineno, line, "le bounds not increasing")
+                    if hist["counts"] and value < hist["counts"][-1]:
+                        fail(
+                            lineno, line, "cumulative bucket count decreased"
+                        )
+                    hist["bounds"].append(bound)
+                    hist["counts"].append(value)
+                if hist["counts"] and hist["inf"] is not None:
+                    if hist["inf"] < hist["counts"][-1]:
+                        fail(lineno, line, "+Inf bucket below last bucket")
+            elif name.endswith("_sum"):
+                hist["sum"] = value
+            elif name.endswith("_count"):
+                hist["count"] = value
+            else:
+                fail(lineno, line, "bare sample in histogram family")
+        else:
+            if typed[family] == "counter" and value < 0:
+                fail(lineno, line, "negative counter")
+
+    print(
+        "check_prometheus: OK (%d families, %d samples)"
+        % (len(typed), len(samples))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
